@@ -1,0 +1,49 @@
+"""Figure 1 + §3.2.1: the <Total> metrics of the two MCF experiments.
+
+Paper values (550 s run on a 900 MHz US-III):
+
+* E$ stall = 297.6 s of 549.4 s User CPU  -> ~54% of run time;
+* DTLB misses at ~100 cycles each cost another ~5%;
+* overall E$ read miss rate 6.4%.
+
+Shape targets here: stall fraction 0.35-0.65, DTLB cost 0.02-0.12,
+E$ read miss rate 0.03-0.20.
+"""
+
+from repro.analyze import reports
+
+
+def test_fig1_total_metrics(reduced, benchmark):
+    text = benchmark(reports.overview, reduced)
+    print("\n=== Figure 1: performance metrics for <Total> ===")
+    print(text)
+    analysis = reports.overview_analysis(reduced)
+    print(f"\nE$ stall fraction of run time: {analysis['stall_fraction']:.1%}"
+          f"   (paper: 54%)")
+    print(f"DTLB miss cost:                {analysis['dtlb_cost_fraction']:.1%}"
+          f"   (paper: ~5%)")
+    print(f"E$ read miss rate:             {analysis['ec_read_miss_rate']:.1%}"
+          f"   (paper: 6.4%)")
+
+    # the paper's headline: memory dominates
+    assert 0.35 < analysis["stall_fraction"] < 0.65
+    assert 0.02 < analysis["dtlb_cost_fraction"] < 0.12
+    assert 0.03 < analysis["ec_read_miss_rate"] < 0.20
+
+    # sampled counter totals must track the machine's ground truth
+    truth = reduced.machine_totals
+    assert reduced.total["ecstall"] == truth["ec_stall_cycles"] * 1.0 or (
+        abs(reduced.total["ecstall"] - truth["ec_stall_cycles"])
+        / truth["ec_stall_cycles"]
+        < 0.05
+    )
+    assert abs(reduced.total["ecrm"] - truth["ec_read_misses"]) / truth[
+        "ec_read_misses"
+    ] < 0.05
+
+
+def test_fig1_program_is_cpu_bound(reduced):
+    """'The program as a whole is almost 100% CPU-bound.'"""
+    truth = reduced.machine_totals
+    system_fraction = truth["system_cycles"] / truth["cycles"]
+    assert system_fraction < 0.02

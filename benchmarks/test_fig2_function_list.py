@@ -1,0 +1,75 @@
+"""Figure 2: the function list.
+
+Paper shape:
+
+* the top three functions (refresh_potential 51%, primal_bea_mpp 23%,
+  price_out_impl 22%) carry >95% of User CPU time;
+* refresh_potential leads every memory metric and carries ~88% of DTLB
+  misses but only 38% of E$ references;
+* the pricing scans (bea + price_out) own the majority of E$ references
+  while taking few E$ read misses (price_out: 42% of refs, 4% of misses).
+"""
+
+from repro.analyze import reports
+
+
+def _pct(reduced, table, func, metric):
+    raw = table.get(func, {}).get(metric, (0.0, 0.0))
+    return raw[1]
+
+
+def test_fig2_function_list(reduced, benchmark):
+    text = benchmark(reports.function_list, reduced, top=9)
+    print("\n=== Figure 2: the function list ===")
+    print(text)
+
+    table = reports.function_table(reduced)
+
+    # refresh_potential tops User CPU, E$ stall, E$ RM and DTLB misses
+    for metric in ("user_cpu", "ecstall", "ecrm", "dtlbm"):
+        leader = max(table, key=lambda fn: table[fn][metric][0])
+        assert leader == "refresh_potential", (metric, leader)
+
+    # the top three functions dominate CPU time (paper: >95%)
+    top3 = {"refresh_potential", "primal_bea_mpp", "price_out_impl"}
+    cpu_share = sum(_pct(reduced, table, fn, "user_cpu") for fn in top3)
+    assert cpu_share > 80.0
+
+    # refresh_potential: ~half the CPU time (paper 51%)
+    refresh_cpu = _pct(reduced, table, "refresh_potential", "user_cpu")
+    assert 35.0 < refresh_cpu < 80.0
+
+    # disproportionately more stall than CPU (paper: 51% CPU -> 62% stall)
+    refresh_stall = _pct(reduced, table, "refresh_potential", "ecstall")
+    assert refresh_stall > refresh_cpu
+
+    # DTLB misses concentrate in refresh_potential (paper: 88%)
+    assert _pct(reduced, table, "refresh_potential", "dtlbm") > 70.0
+
+    # the pricing scans own the majority of the REMAINING E$ refs, with a
+    # far lower miss share than refs share (paper's price_out: 42% refs,
+    # 4% misses)
+    scan_refs = sum(
+        _pct(reduced, table, fn, "ecref")
+        for fn in ("primal_bea_mpp", "price_out_impl")
+    )
+    scan_misses = sum(
+        _pct(reduced, table, fn, "ecrm")
+        for fn in ("primal_bea_mpp", "price_out_impl")
+    )
+    assert scan_refs > 30.0
+    assert scan_misses < scan_refs / 1.5
+
+
+def test_fig2_refresh_has_higher_miss_rate_than_scans(reduced):
+    """'refresh_potential ... E$ Read Miss rate of 10.3%; conversely
+    primal_bea_mpp ... 0.6%' — the random pointer walk misses far more
+    per reference than the sequential scans."""
+    table = reports.function_table(reduced)
+
+    def rate(fn):
+        rm = table[fn]["ecrm"][0]
+        refs = table[fn]["ecref"][0]
+        return rm / refs if refs else 0.0
+
+    assert rate("refresh_potential") > 2 * rate("price_out_impl")

@@ -1,0 +1,47 @@
+"""Figure 3: annotated source of refresh_potential's critical loop.
+
+Paper shape: the potential-update statements (`node->potential = ...`)
+and the traversal step (`node = node->child`) carry the E$ stall seconds
+and are flagged hot (##); scaffolding lines show ~zero.
+"""
+
+from repro.analyze import reports
+
+
+def test_fig3_annotated_source(reduced, benchmark):
+    text = benchmark(reports.annotated_source, reduced, "refresh_potential")
+    print("\n=== Figure 3: annotated source of refresh_potential ===")
+    print(text)
+
+    lines = text.splitlines()
+    hot = [line for line in lines if line.startswith("##")]
+    assert hot, "the critical loop must have hot lines"
+
+    # the potential updates are hot (the paper's lines 85/88)
+    assert any("node->potential" in line for line in hot)
+
+    # the orientation test heads the loop (paper line 84) and appears
+    assert any("node->orientation" in line for line in lines)
+
+    # source text is reproduced verbatim with line numbers
+    func = reduced.program.function("refresh_potential")
+    assert any(f"{func.line:4d}." in line for line in lines)
+
+
+def test_fig3_hot_lines_cover_most_stall(reduced):
+    """The critical loop lines must hold the bulk of the function's
+    E$ stall cycles."""
+    func_total = reduced.functions["refresh_potential"].get("ecstall", 0.0)
+    loop_lines = sum(
+        vector.get("ecstall", 0.0)
+        for (fn, _line), vector in reduced.lines.items()
+        if fn == "refresh_potential"
+    )
+    assert loop_lines == func_total  # line attribution is lossless
+    top_line = max(
+        (vector.get("ecstall", 0.0)
+         for (fn, _l), vector in reduced.lines.items()
+         if fn == "refresh_potential"),
+        default=0.0,
+    )
+    assert top_line > 0.2 * func_total

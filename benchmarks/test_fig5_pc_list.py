@@ -1,0 +1,48 @@
+"""Figure 5: PCs ranked by E$ Read Misses.
+
+Paper shape: the top PCs are loads of ``arc.cost`` / ``arc.ident`` /
+``node.orientation``; refresh_potential owns several of the top five;
+every top PC carries a data-object annotation.
+"""
+
+from repro.analyze import reports
+
+
+def test_fig5_pc_list(reduced, benchmark):
+    text = benchmark(reports.pc_list, reduced, sort_by="ecrm", top=12)
+    print("\n=== Figure 5: PCs ranked by E$ Read Misses ===")
+    print(text)
+
+    lines = text.splitlines()
+    body = [line for line in lines[2:] if line.strip()]
+    top5 = body[:5]
+
+    # refresh_potential owns most of the top five (paper: 4 of 5)
+    refresh_count = sum(1 for line in top5 if "refresh_potential" in line)
+    assert refresh_count >= 3
+
+    # the paper's hot members appear among the top PCs
+    joined = "\n".join(top5)
+    assert "{structure:arc -}.{" in joined
+    assert "cost" in joined
+
+
+def test_fig5_top_pcs_concentrate_misses(reduced):
+    """A handful of PCs carry the bulk of all E$ read misses."""
+    values = sorted(
+        (r.metrics.get("ecrm", 0.0) for r in reduced.pcs.values()),
+        reverse=True,
+    )
+    total = reduced.total.get("ecrm", 1.0)
+    assert sum(values[:8]) / total > 0.6
+
+
+def test_fig5_pc_offsets_match_function_starts(reduced):
+    """Names render as function + hex offset, and offsets stay in range."""
+    import re
+
+    text = reports.pc_list(reduced, sort_by="ecrm", top=10)
+    for match in re.finditer(r"(\w+) \+ 0x([0-9A-F]{8})", text):
+        func = reduced.program.function(match.group(1))
+        offset = int(match.group(2), 16)
+        assert func.start + offset < func.end

@@ -1,0 +1,76 @@
+"""Figure 6 + §3.2.5: data objects ranked by E$ Stall Cycles.
+
+Paper shape:
+
+* ``structure:arc`` 56% and ``structure:node`` 42% of E$ stall — arcs
+  lead, together they dominate (~98%);
+* the ``<Unknown>`` aggregate is small for the stall/miss metrics and
+  larger for E$ References (the skiddy counter);
+* backtracking effectiveness: >99% for E$ stall, ~100% for E$ RM, 100%
+  for DTLB (precise), ~94% for E$ refs.
+"""
+
+from repro.analyze import reports
+from repro.analyze.model import UNKNOWN_KINDS
+
+
+def test_fig6_data_objects(reduced, benchmark):
+    text = benchmark(reports.data_objects, reduced)
+    print("\n=== Figure 6: data objects ranked by E$ Stall Cycles ===")
+    print(text)
+    table = reports.data_object_table(reduced)
+
+    arc = table["structure:arc"]["ecstall"]
+    node = table["structure:node"]["ecstall"]
+
+    # arcs lead nodes; together they dominate (paper: 56% + 42%)
+    assert arc > node > 5.0
+    assert arc + node > 85.0
+
+    # nodes carry the majority of E$ references (the pointer walk)
+    assert table["structure:node"]["ecref"] > table["structure:arc"]["ecref"]
+
+    # the basket shows up as its own structure (paper Figure 6 row)
+    assert "structure:basket" in table
+
+
+def test_fig6_unknown_breakdown(reduced):
+    unknown = reduced.unknown_total()
+    total_stall = reduced.total.get("ecstall", 1.0)
+    assert unknown.get("ecstall", 0.0) / total_stall < 0.05
+    # E$ refs skid far more -> bigger unknown share (paper: 19% of refs)
+    refs_unknown = unknown.get("ecref", 0.0) / reduced.total.get("ecref", 1.0)
+    stall_unknown = unknown.get("ecstall", 0.0) / total_stall
+    assert refs_unknown > stall_unknown
+
+
+def test_fig6_backtracking_effectiveness(reduced):
+    """Paper §3.2.5: 100% - ((Unresolvable)+(Unascertainable)) shares."""
+    eff = {m: reduced.backtrack_effectiveness(m)
+           for m in ("ecstall", "ecrm", "ecref", "dtlbm")}
+    print("\nbacktracking effectiveness (paper: >99 / ~100 / ~94 / 100):")
+    for metric, value in eff.items():
+        print(f"  {metric:8s} {value:6.1f}%")
+    assert eff["ecstall"] > 97.0
+    assert eff["ecrm"] > 97.0
+    assert eff["dtlbm"] > 99.0
+    assert 75.0 < eff["ecref"] < 99.9  # skiddy, but mostly attributable
+    assert eff["ecref"] < eff["ecrm"]
+
+
+def test_fig6_unascertainable_comes_from_runtime(reduced):
+    """Events in the hwcprof-less runtime library ('libc') surface as
+    (Unascertainable) — never as struct attributions."""
+    for kind in UNKNOWN_KINDS:
+        vector = reduced.data_objects.get(kind)
+        if vector is None:
+            continue
+    # zero_memory's stores generate E$ refs; any that sampled must have
+    # landed in (Unascertainable), not in a structure
+    runtime_funcs = {"zero_memory", "copy_memory", "malloc"}
+    runtime_refs = sum(
+        reduced.functions.get(fn, {}).get("ecref", 0.0) for fn in runtime_funcs
+    )
+    if runtime_refs:
+        unasc = reduced.data_objects.get("(Unascertainable)")
+        assert unasc is not None and unasc.get("ecref", 0.0) > 0

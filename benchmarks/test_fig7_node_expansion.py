@@ -1,0 +1,65 @@
+"""Figure 7 + §3.2.5: structure:node expanded by member.
+
+Paper shape:
+
+* the bulk of node cost sits on a few hot members — orientation (+56),
+  child (+24), potential (+88), pred (+16) — while number/ident/firstout/
+  firstin/flow/mark show ~nothing;
+* arc's cost/ident members dominate structure:arc;
+* 120-byte nodes packed at 120-byte stride straddle 512-byte E$ lines
+  (paper: 28%; exact combinatorics for a dense array: 14/64 = 21.9%).
+"""
+
+from repro.analyze import reports
+from repro.layoutopt.advisor import straddle_fraction
+
+
+def test_fig7_node_expansion(reduced, benchmark):
+    text = benchmark(reports.data_object_expand, reduced, "structure:node")
+    print("\n=== Figure 7: structure:node expansion ===")
+    print(text)
+
+    members = reports.member_percentages(reduced, "structure:node", "ecstall")
+    hot = {"orientation", "child", "potential", "pred", "basic_arc", "sibling"}
+    cold = {"number", "ident", "firstout", "firstin", "flow", "mark", "time"}
+    hot_share = sum(members.get(m, 0.0) for m in hot)
+    cold_share = sum(members.get(m, 0.0) for m in cold)
+    print(f"\nhot members (tree walk): {hot_share:.1f}% of E$ stall; "
+          f"cold members: {cold_share:.1f}%")
+    assert hot_share > 10 * max(cold_share, 0.1)
+
+    # offsets printed match the paper's layout
+    assert "+56" in text and "+24" in text and "+88" in text
+
+
+def test_fig7_arc_expansion(reduced):
+    text = reports.data_object_expand(reduced, "structure:arc")
+    print("\n=== structure:arc expansion ===")
+    print(text)
+    members = reports.member_percentages(reduced, "structure:arc", "ecstall")
+    # cost is the hot arc member (paper: 27% of all stall via refresh)
+    assert members.get("cost", 0.0) == max(members.values())
+
+
+def test_fig7_straddle_analysis(reduced):
+    """'28% of these 120-byte data objects end up split this way.'
+    For a dense array (stride 120) the exact fraction is 14/64."""
+    node = reduced.program.structs["node"]
+    fraction = straddle_fraction(node.size, node.size, 512)
+    print(f"\nnode E$-line straddle fraction: {fraction:.1%} (paper: 28%)")
+    assert 0.15 < fraction < 0.30
+    # padding to 128 eliminates the splits entirely
+    assert straddle_fraction(128, 128, 512) == 0.0
+
+
+def test_fig7_member_hotness_feeds_the_advisor(reduced):
+    """The §3.3 advice derives from this figure: the advisor must rank
+    the tree-walk members first and propose the 128-byte padding."""
+    from repro.layoutopt.advisor import LayoutAdvisor
+
+    advice = LayoutAdvisor(reduced).advise_struct("structure:node")
+    assert advice.current_size == 120
+    assert advice.proposed_size == 128
+    top4 = set(advice.proposed_order[:4])
+    assert top4 <= {"orientation", "child", "potential", "pred", "basic_arc",
+                    "sibling"}

@@ -1,0 +1,58 @@
+"""§2.1: the runtime overhead of compiling with -xhwcprof.
+
+Paper: 'The runtime for the MCF application ... as compiled with
+-xhwcprof, is approximately 1.3% greater than the runtime of the
+application compiled with identical flags, but without -xhwcprof.'
+
+The overhead comes from the padding nops and the unfilled delay slots;
+it must be small (the tools stay usable on production binaries) but
+nonzero.  Shape target: 0% < overhead < 8%.
+"""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.mcf.casestudy import default_instance
+from repro.mcf.sources import LayoutVariant
+from repro.mcf.workload import build_mcf, run_mcf
+
+OVERHEAD_TRIPS = 200
+
+
+@pytest.fixture(scope="module")
+def overhead_runs():
+    instance = default_instance(trips=OVERHEAD_TRIPS)
+    config = scaled_config()
+    with_prof = run_mcf(build_mcf(LayoutVariant.BASELINE, hwcprof=True),
+                        instance, config, max_instructions=100_000_000)
+    without = run_mcf(build_mcf(LayoutVariant.BASELINE, hwcprof=False),
+                      instance, config, max_instructions=100_000_000)
+    return with_prof, without
+
+
+def test_sec21_hwcprof_overhead(overhead_runs, benchmark):
+    with_prof, without = overhead_runs
+
+    def report():
+        overhead = with_prof.stats.cycles / without.stats.cycles - 1.0
+        return overhead
+
+    overhead = benchmark(report)
+    print("\n=== §2.1: -xhwcprof runtime overhead ===")
+    print(f"without -xhwcprof: {without.stats.cycles:>12} cycles "
+          f"({without.stats.instructions} instructions)")
+    print(f"with    -xhwcprof: {with_prof.stats.cycles:>12} cycles "
+          f"({with_prof.stats.instructions} instructions)")
+    print(f"overhead: {overhead:+.2%}   (paper: +1.3%)")
+
+    assert with_prof.flow_cost == without.flow_cost, "same answer required"
+    assert 0.0 < overhead < 0.08
+
+
+def test_sec21_padding_is_the_cause(overhead_runs):
+    """The instruction-count delta explains the overhead: hwcprof adds
+    nops and keeps memops out of delay slots but does not change the
+    algorithm."""
+    with_prof, without = overhead_runs
+    assert with_prof.stats.instructions > without.stats.instructions
+    assert with_prof.iterations == without.iterations

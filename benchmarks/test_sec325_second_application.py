@@ -1,0 +1,76 @@
+"""§3.2.5's closing sentence: "We have found approximately the same
+effectiveness for these in experiments on a large commercial application."
+
+The cross-check workload (repro.workloads.commercial) is an
+order-processing program — hash index, linked order lists, report sweeps
+— i.e. a completely different code shape from MCF.  The strong claims
+must carry over:
+
+* E$ Stall / E$ Read Misses: backtracking ~100% effective;
+* DTLB misses: ~100% (precise trap);
+* E$ References: visibly lower (large skid), majority still attributed.
+"""
+
+import pytest
+
+from repro.analyze.reduce import reduce_experiments
+from repro.collect.collector import CollectConfig, collect
+from repro.workloads import build_commercial, commercial_input
+
+
+@pytest.fixture(scope="module")
+def commercial_reduced(machine_config):
+    program = build_commercial()
+    input_longs = commercial_input()
+    exp1 = collect(
+        program, machine_config,
+        CollectConfig(clock_profiling=True, clock_interval=997,
+                      counters=["+ecstall,499", "+ecrm,29"]),
+        input_longs=input_longs,
+    )
+    exp2 = collect(
+        program, machine_config,
+        CollectConfig(clock_profiling=False,
+                      counters=["+ecref,97", "+dtlbm,13"]),
+        input_longs=input_longs,
+    )
+    return reduce_experiments([exp1, exp2])
+
+
+def test_sec325_effectiveness_on_second_application(commercial_reduced, benchmark):
+    reduced = commercial_reduced
+    eff = benchmark(
+        lambda: {m: reduced.backtrack_effectiveness(m)
+                 for m in ("ecstall", "ecrm", "ecref", "dtlbm")}
+    )
+    print("\n=== §3.2.5: effectiveness on the commercial-style workload ===")
+    for metric, value in eff.items():
+        print(f"  {metric:8s} {value:6.1f}%")
+    assert eff["ecstall"] > 97.0
+    assert eff["ecrm"] > 97.0
+    assert eff["dtlbm"] > 98.0
+    # ecref skids: lower, and how much lower depends on basic-block sizes;
+    # this workload's hot loop is short and branchy, so it loses more of
+    # the skiddy events than MCF does — still, a plurality must resolve
+    assert 35.0 < eff["ecref"] < 99.9
+    assert eff["ecref"] < eff["ecrm"]
+
+
+def test_sec325_data_objects_still_attribute(commercial_reduced):
+    """The data-object view works on the second app too: its two record
+    types dominate the memory profile."""
+    reduced = commercial_reduced
+    customer = reduced.data_objects.get("structure:customer")
+    order = reduced.data_objects.get("structure:order")
+    assert customer is not None and order is not None
+    total = reduced.total.get("ecstall", 1.0)
+    share = (customer.get("ecstall", 0) + order.get("ecstall", 0)) / total
+    assert share > 0.9
+
+
+def test_sec325_profile_identifies_the_sweep(commercial_reduced):
+    """report_by_region's table sweep is the memory hog."""
+    reduced = commercial_reduced
+    leader = max(reduced.functions,
+                 key=lambda fn: reduced.functions[fn].get("ecstall", 0.0))
+    assert leader == "report_by_region"

@@ -1,0 +1,106 @@
+"""Engineering benchmarks: simulator and collection throughput.
+
+Not a paper figure — these track the substrate's own performance so
+regressions in the interpreter or the backtracking hot paths are caught.
+"""
+
+import pytest
+
+from repro import build_executable, scaled_config
+from repro.collect.backtrack import apropos_backtrack
+from repro.collect.collector import CollectConfig, collect
+from repro.kernel.process import Process
+from repro.machine.counters import EVENTS
+
+SPIN = """
+long main(long *input, long n) {
+    long i; long s;
+    s = 0;
+    for (i = 0; i < 200000; i++)
+        s = s + (i ^ (s >> 3)) + (i & 15);
+    return s & 255;
+}
+"""
+
+MEMWALK = """
+long main(long *input, long n) {
+    long *a; long i; long j; long s;
+    a = (long *) malloc(262144);
+    s = 0;
+    for (j = 0; j < 8; j++)
+        for (i = 0; i < 32768; i = i + 8)
+            s = s + a[i];
+    return s & 255;
+}
+"""
+
+
+def test_interpreter_throughput_alu(benchmark):
+    program = build_executable(SPIN)
+
+    def run():
+        process = Process(program, scaled_config())
+        process.run(max_instructions=20_000_000)
+        return process.machine.cpu.instr_count
+
+    instructions = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert instructions > 1_000_000
+
+
+def test_interpreter_throughput_memory(benchmark):
+    program = build_executable(MEMWALK)
+
+    def run():
+        process = Process(program, scaled_config())
+        process.run(max_instructions=20_000_000)
+        return process.machine.stats()
+
+    stats = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert stats.ec_refs > 10_000
+
+
+def test_backtracking_throughput(benchmark):
+    """The per-signal cost of the apropos search."""
+    program = build_executable(MEMWALK)
+    process = Process(program, scaled_config())
+    process.run(max_instructions=20_000_000)
+    cpu = process.machine.cpu
+    func = program.function("main")
+    regs = [0] * 32
+    event = EVENTS["ecrm"]
+    trap_pcs = list(range(func.start + 40, func.end - 4, 4))
+
+    def run():
+        found = 0
+        for trap_pc in trap_pcs:
+            result = apropos_backtrack(cpu.code, cpu.text_base, trap_pc,
+                                       event, regs)
+            found += result.status == "found"
+        return found
+
+    found = benchmark(run)
+    assert found > 0
+
+
+def test_profiled_run_overhead(benchmark):
+    """Collection (handlers + backtracking) must not slow the simulation
+    by more than ~3x."""
+    import time
+
+    program = build_executable(MEMWALK)
+
+    start = time.perf_counter()
+    process = Process(program, scaled_config())
+    process.run(max_instructions=20_000_000)
+    plain_seconds = time.perf_counter() - start
+
+    def profiled():
+        cfg = CollectConfig(clock_profiling=True, clock_interval=4999,
+                            counters=["+ecstall,997", "+ecrm,97"])
+        return collect(program, scaled_config(), cfg)
+
+    start = time.perf_counter()
+    experiment = benchmark.pedantic(profiled, rounds=1, iterations=1)
+    profiled_seconds = time.perf_counter() - start
+    assert experiment.hwc_events
+    assert profiled_seconds < max(plain_seconds, 0.05) * 4

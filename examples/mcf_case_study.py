@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The paper's §3 MCF case study, end to end.
+
+Runs the two collect experiments of §3.1::
+
+    collect -S off -p on  -h +ecstall,lo,+ecrm,on  mcf.exe mcf.in
+    collect -S off -p off -h +ecref,on,+dtlbm,on   mcf.exe mcf.in
+
+merges them, and prints every figure of the paper's evaluation.
+
+Run:  python examples/mcf_case_study.py [--trips N]
+(The default instance takes a few minutes of host time; use --trips 200
+for a quick look.)
+"""
+
+import argparse
+
+from repro.analyze import reports
+from repro.mcf.casestudy import default_instance, run_case_study
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--trips", type=int, default=300,
+                        help="instance size (paper shape needs >=500)")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    instance = default_instance(trips=args.trips, seed=args.seed)
+    print(f"instance: {instance.n} nodes, {instance.m} arcs")
+    study = run_case_study(instance)
+    reduced = study.reduced
+
+    analysis = reports.overview_analysis(reduced)
+    print("\n=== Figure 1: <Total> metrics ===")
+    print(reports.overview(reduced))
+    print(f"\nE$ stall is {analysis['stall_fraction']:.0%} of run time "
+          f"(paper: ~54%); DTLB misses cost another "
+          f"{analysis['dtlb_cost_fraction']:.1%} (paper: ~5%); "
+          f"E$ read miss rate {analysis['ec_read_miss_rate']:.1%} (paper: 6.4%)")
+
+    print("\n=== Figure 2: function list ===")
+    print(reports.function_list(reduced, top=9))
+
+    print("\n=== Figure 3: annotated source of refresh_potential ===")
+    print(reports.annotated_source(reduced, "refresh_potential"))
+
+    print("\n=== Figure 4: annotated disassembly (critical loop) ===")
+    disasm = reports.annotated_disassembly(reduced, "refresh_potential")
+    print("\n".join(disasm.splitlines()[:45]))
+
+    print("\n=== Figure 5: PCs ranked by E$ Read Misses ===")
+    print(reports.pc_list(reduced, sort_by="ecrm", top=10))
+
+    print("\n=== Figure 6: data objects ===")
+    print(reports.data_objects(reduced))
+    for metric in ("ecstall", "ecrm", "ecref", "dtlbm"):
+        print(f"  backtracking effectiveness for {metric}: "
+              f"{reduced.backtrack_effectiveness(metric):.1f}%")
+
+    print("\n=== Figure 7: structure:node expansion ===")
+    print(reports.data_object_expand(reduced, "structure:node"))
+
+    print("\n=== §4 extensions: segment / page / cache-line views ===")
+    print(reports.segment_report(reduced, "ecrm"))
+    print()
+    print(reports.page_report(reduced, "dtlbm", top=8))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Quickstart: data-space profiling of a small program in ~30 lines.
+
+Compiles a mini-C program with hwcprof (the paper's ``-xhwcprof``),
+runs it under HW-counter overflow profiling with apropos backtracking,
+and prints the function list and the data-object profile.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_executable, scaled_config
+from repro.analyze import reports
+from repro.analyze.reduce import reduce_experiment
+from repro.collect.collector import CollectConfig, collect
+
+SOURCE = """
+struct particle { long x; long y; long vx; long vy; };
+
+void integrate(struct particle *ps, long count) {
+    long i;
+    for (i = 0; i < count; i++) {
+        ps[i].x = ps[i].x + ps[i].vx;
+        ps[i].y = ps[i].y + ps[i].vy;
+    }
+}
+
+long energy(struct particle *ps, long count) {
+    long i; long e;
+    e = 0;
+    for (i = 0; i < count; i++)
+        e = e + ps[i].vx * ps[i].vx + ps[i].vy * ps[i].vy;
+    return e;
+}
+
+long main(long *input, long n) {
+    struct particle *ps;
+    long step; long e;
+    ps = (struct particle *) malloc(8192 * sizeof(struct particle));
+    zero_memory((char *) ps, 8192 * sizeof(struct particle));
+    e = 0;
+    for (step = 0; step < 4; step++) {
+        integrate(ps, 8192);
+        e = e + energy(ps, 8192);
+    }
+    print_long(e);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    # 1. compile (with data-space debug info) and link against the runtime
+    program = build_executable(SOURCE, name="particles", hwcprof=True)
+
+    # 2. collect: clock profiling + two HW counters with backtracking ("+")
+    config = CollectConfig(
+        clock_profiling=True,
+        counters=["+ecstall,997", "+ecrm,97"],
+        name="quickstart",
+    )
+    experiment = collect(program, scaled_config(), config)
+    print(f"collected {len(experiment.hwc_events)} HW counter events, "
+          f"{len(experiment.clock_events)} clock ticks\n")
+
+    # 3. analyze
+    reduced = reduce_experiment(experiment)
+    print("=== Overview (paper Figure 1 style) ===")
+    print(reports.overview(reduced))
+    print()
+    print("=== Function list (Figure 2 style) ===")
+    print(reports.function_list(reduced))
+    print()
+    print("=== Data objects (Figure 6 style) ===")
+    print(reports.data_objects(reduced))
+    print()
+    print("=== structure:particle expanded (Figure 7 style) ===")
+    print(reports.data_object_expand(reduced, "structure:particle"))
+    print()
+    print("Note how `vy` soaks up the misses: malloc's 8-byte header offsets")
+    print("the 32-byte particles so that `vy` lands in the *next* cache line")
+    print("and takes the line-crossing miss for every particle — exactly the")
+    print("kind of layout problem the paper's §3.3 fixes with padding and")
+    print("alignment.")
+
+
+if __name__ == "__main__":
+    main()

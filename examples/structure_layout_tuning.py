@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""§3.3 workflow: profile -> layout advice -> recompile -> measure.
+
+1. Profile the baseline MCF (paper ``node``/``arc`` layouts).
+2. Feed the data-object profile to the LayoutAdvisor, which proposes the
+   §3.3 changes (hot-member packing, pad 120->128, cache-line alignment).
+3. Rebuild with ``LayoutVariant.OPT_LAYOUT`` (the advice applied) and
+   compare run times.
+
+Run:  python examples/structure_layout_tuning.py [--trips N]
+"""
+
+import argparse
+
+from repro.analyze import reports
+from repro.config import scaled_config
+from repro.layoutopt.advisor import LayoutAdvisor
+from repro.mcf.casestudy import default_instance, run_case_study
+from repro.mcf.sources import LayoutVariant
+from repro.mcf.workload import build_mcf, run_mcf
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--trips", type=int, default=300)
+    args = parser.parse_args()
+
+    instance = default_instance(trips=args.trips)
+    config = scaled_config()
+
+    print("profiling the baseline layout ...")
+    study = run_case_study(instance, config)
+    advisor = LayoutAdvisor(
+        study.reduced,
+        dcache_line=config.dcache.line_bytes,
+        ecache_line=config.ecache.line_bytes,
+    )
+    print()
+    print(advisor.report(["structure:node", "structure:arc"]))
+
+    advice = advisor.advise_struct("structure:node")
+    print("\nproposed structure:node definition:")
+    print(advice.render_struct())
+
+    print("\nmeasuring baseline vs optimized layout ...")
+    baseline = run_mcf(build_mcf(LayoutVariant.BASELINE), instance, config)
+    optimized = run_mcf(build_mcf(LayoutVariant.OPT_LAYOUT), instance, config)
+    assert baseline.flow_cost == optimized.flow_cost, "optimizations must not change the answer"
+
+    b, o = baseline.stats, optimized.stats
+    print(f"\nbaseline:  {b.cycles:>12} cycles "
+          f"({b.ec_stall_cycles / b.cycles:.0%} E$ stall)")
+    print(f"optimized: {o.cycles:>12} cycles "
+          f"({o.ec_stall_cycles / o.cycles:.0%} E$ stall)")
+    print(f"improvement: {100 * (1 - o.cycles / b.cycles):.1f}% "
+          f"(paper §3.3: 16.2% on real hardware)")
+
+    print("\nper-function E$ stall, baseline vs optimized:")
+    optimized_study = run_case_study(instance, config,
+                                     variant=LayoutVariant.OPT_LAYOUT)
+    print(reports.compare_functions(study.reduced, optimized_study.reduced,
+                                    "ecstall"))
+
+
+if __name__ == "__main__":
+    main()

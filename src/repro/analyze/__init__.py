@@ -1,0 +1,28 @@
+"""Analysis (`analyzer` / `er_print`): data reduction and reports."""
+
+from .metrics import MetricDef, METRICS, seconds_for
+from .model import ReducedData, DataObjectKey, UNKNOWN_KINDS
+from .reduce import reduce_experiment, reduce_experiments
+from .feedback import (
+    PrefetchHint,
+    make_prefetch_feedback,
+    save_feedback,
+    load_feedback,
+)
+from . import reports
+
+__all__ = [
+    "MetricDef",
+    "METRICS",
+    "seconds_for",
+    "ReducedData",
+    "DataObjectKey",
+    "UNKNOWN_KINDS",
+    "reduce_experiment",
+    "reduce_experiments",
+    "PrefetchHint",
+    "make_prefetch_feedback",
+    "save_feedback",
+    "load_feedback",
+    "reports",
+]

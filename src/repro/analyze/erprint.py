@@ -1,0 +1,146 @@
+"""``repro-erprint`` — the command-line analyzer (the paper's ``er_print``).
+
+Usage::
+
+    repro-erprint <experiment.er> [<experiment2.er> ...] <command> [args]
+
+Commands (er_print-style):
+
+* ``overview``                      Figure 1 metrics
+* ``functions``                     Figure 2 function list
+* ``source <function>``             Figure 3 annotated source
+* ``disasm <function>``             Figure 4 annotated disassembly
+* ``pcs [metric]``                  Figure 5 PC list
+* ``data_objects``                  Figure 6 data objects
+* ``data_single <structure:name>``  Figure 7 member expansion
+* ``callers-callees <function>``
+* ``segments [metric]`` / ``pages [metric]`` / ``lines [metric]``
+* ``instances [metric]``    events by heap-allocation instance (§4)
+* ``header``                collection parameters + run facts
+* ``heap``                  allocation/deallocation summary by site (§2.2)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..collect.experiment import Experiment
+from ..errors import ReproError
+from . import reports
+from .reduce import reduce_experiments
+
+_COMMANDS = (
+    "overview",
+    "functions",
+    "source",
+    "disasm",
+    "pcs",
+    "data_objects",
+    "data_single",
+    "callers-callees",
+    "segments",
+    "pages",
+    "lines",
+    "instances",
+    "header",
+    "heap",
+)
+
+
+def run_command(reduced, command: str, args: list) -> str:
+    """Execute one er_print command against a reduction."""
+    if command == "overview":
+        analysis = reports.overview_analysis(reduced)
+        return (
+            reports.overview(reduced)
+            + "\n\n"
+            + f"E$ stall fraction of run time:  {analysis['stall_fraction']:.1%}\n"
+            + f"Est. DTLB miss cost:            {analysis['dtlb_cost_seconds']:.3f} s"
+            f" ({analysis['dtlb_cost_fraction']:.1%})\n"
+            + f"E$ read miss rate:              {analysis['ec_read_miss_rate']:.1%}"
+        )
+    if command == "functions":
+        return reports.function_list(reduced)
+    if command == "source":
+        if not args:
+            raise ReproError("source: function name required")
+        return reports.annotated_source(reduced, args[0])
+    if command == "disasm":
+        if not args:
+            raise ReproError("disasm: function name required")
+        return reports.annotated_disassembly(reduced, args[0])
+    if command == "pcs":
+        metric = args[0] if args else "ecrm"
+        return reports.pc_list(reduced, sort_by=metric)
+    if command == "data_objects":
+        return reports.data_objects(reduced)
+    if command == "data_single":
+        if not args:
+            raise ReproError("data_single: object name required (structure:node)")
+        return reports.data_object_expand(reduced, args[0])
+    if command == "callers-callees":
+        if not args:
+            raise ReproError("callers-callees: function name required")
+        return reports.callers_callees(reduced, args[0])
+    if command == "segments":
+        return reports.segment_report(reduced, args[0] if args else "ecrm")
+    if command == "pages":
+        return reports.page_report(reduced, args[0] if args else "dtlbm")
+    if command == "lines":
+        return reports.cache_line_report(reduced, args[0] if args else "ecrm")
+    if command == "instances":
+        return reports.instance_report(reduced, args[0] if args else "ecrm")
+    if command == "heap":
+        return reports.heap_report(reduced)
+    if command == "header":
+        lines = ["Experiment header:"]
+        for info in reduced.counter_info:
+            plus = "+" if info.get("backtrack") else ""
+            lines.append(
+                f"  HW counter: {plus}{info['name']} interval={info['interval']}"
+                f" (PIC{info['register']})"
+            )
+        for name, base, size, page in reduced.segments:
+            lines.append(
+                f"  segment {name:<6} base=0x{base:x} size={size} page={page}"
+            )
+        lines.append(f"  heap allocations recorded: {len(reduced.allocations)}")
+        totals = reduced.machine_totals
+        if totals:
+            lines.append(f"  cycles={int(totals.get('cycles', 0))} "
+                         f"instructions={int(totals.get('instructions', 0))}")
+        return "\n".join(lines)
+    raise ReproError(f"unknown command {command!r}; one of {', '.join(_COMMANDS)}")
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    directories: list[str] = []
+    while argv and argv[0] not in _COMMANDS:
+        directories.append(argv.pop(0))
+    if not directories:
+        print("error: no experiment directories given", file=sys.stderr)
+        return 2
+    if not argv:
+        print("error: no command given", file=sys.stderr)
+        return 2
+    command, args = argv[0], argv[1:]
+    try:
+        experiments = [Experiment.open(d) for d in directories]
+        reduced = reduce_experiments(experiments)
+        print(run_command(reduced, command, args))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
+
+
+__all__ = ["main", "run_command"]

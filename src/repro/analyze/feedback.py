@@ -1,0 +1,105 @@
+"""Compiler feedback from data-space profiles (paper §4, first paragraph).
+
+"Since the experiments contain the information necessary to know which
+memory references cause the cache-misses, the data can be used to
+construct a feedback file, allowing a recompilation of the target to be
+done with the insertion of prefetch instructions."
+
+:func:`make_prefetch_feedback` selects the loads worth prefetching (hot
+struct-member loads by E$ stall share); the compiler's
+``prefetch_feedback`` option (see :mod:`repro.compiler.codegen`) hoists a
+``prefetch`` for each matching load to the earliest point in its basic
+block where the address is available — overlapping its miss latency with
+the other work (including other misses) in the block.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..errors import AnalysisError
+from .model import ReducedData
+
+
+@dataclass(frozen=True)
+class PrefetchHint:
+    """One load worth prefetching, identified like the paper's tools would
+    identify it: by function and data object member (stable across
+    recompilation, unlike raw PCs)."""
+
+    function: str
+    object_class: str
+    member: str
+    #: share of <Total> for the driving metric, for reporting
+    percent: float
+
+    def matches(self, function_name: str, memop) -> bool:
+        """Does this hint name the given function's memop?"""
+        return (
+            self.function == function_name
+            and memop is not None
+            and memop.category == "struct"
+            and memop.object_class == self.object_class
+            and memop.member == self.member
+            and not memop.is_store
+        )
+
+
+def make_prefetch_feedback(
+    reduced: ReducedData,
+    metric: str = "ecstall",
+    min_percent: float = 2.0,
+    top: int = 16,
+) -> list:
+    """Pick the hot (function, member) load sites from a reduction."""
+    if metric not in reduced.metric_ids:
+        raise AnalysisError(f"metric {metric!r} not present in the experiment")
+    program = reduced.program
+    weights: dict[tuple, float] = {}
+    for pc, record in reduced.pcs.items():
+        value = record.metrics.get(metric, 0.0)
+        if not value or record.is_branch_target_artifact:
+            continue
+        instr = program.instr_at(pc)
+        if instr is None or instr.memop is None:
+            continue
+        memop = instr.memop
+        if memop.category != "struct" or memop.is_store:
+            continue
+        func = program.function_at(pc)
+        if func is None:
+            continue
+        key = (func.name, memop.object_class, memop.member)
+        weights[key] = weights.get(key, 0.0) + value
+
+    hints = []
+    for (function, object_class, member), value in sorted(
+        weights.items(), key=lambda kv: kv[1], reverse=True
+    )[:top]:
+        percent = reduced.percent(metric, value)
+        if percent < min_percent:
+            continue
+        hints.append(PrefetchHint(function, object_class, member, round(percent, 2)))
+    return hints
+
+
+def save_feedback(hints, path) -> Path:
+    """Write the feedback file (JSON; the role of the paper's feedback
+    file consumed by a recompilation)."""
+    path = Path(path)
+    path.write_text(json.dumps([asdict(h) for h in hints], indent=2))
+    return path
+
+
+def load_feedback(path) -> list:
+    """Read a feedback file written by save_feedback."""
+    path = Path(path)
+    if not path.exists():
+        raise AnalysisError(f"no feedback file at {path}")
+    records = json.loads(path.read_text())
+    return [PrefetchHint(**record) for record in records]
+
+
+__all__ = ["PrefetchHint", "make_prefetch_feedback", "save_feedback", "load_feedback"]

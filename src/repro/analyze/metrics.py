@@ -1,0 +1,51 @@
+"""Metric definitions shared by the reduction and report layers.
+
+Raw metric values are *counts* (clock ticks x interval cycles; HW events x
+overflow interval).  Metrics whose underlying event counts cycles can be
+shown as seconds — the paper's Figures display E$ Stall Cycles and User
+CPU in seconds, and pure event counters (E$ Read Misses, DTLB Misses) as
+counts/percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MetricDef:
+    """Display metadata for one metric column."""
+    id: str
+    label: str
+    #: raw unit is cycles (display as seconds at the experiment's clock)
+    counts_cycles: bool
+    #: short column header, Figure-2 style
+    header: str
+
+
+METRICS: dict[str, MetricDef] = {
+    m.id: m
+    for m in (
+        MetricDef("user_cpu", "User CPU Time", True, "User CPU"),
+        MetricDef("system_cpu", "System CPU Time", True, "Sys CPU"),
+        MetricDef("cycles", "Cycle Count", True, "Cycles"),
+        MetricDef("insts", "Instructions Completed", False, "Insts"),
+        MetricDef("icm", "I$ Misses", False, "I$ Miss"),
+        MetricDef("dcrm", "D$ Read Misses", False, "D$ RM"),
+        MetricDef("dtlbm", "DTLB Misses", False, "DTLB Miss"),
+        MetricDef("ecref", "E$ Refs", False, "E$ Refs"),
+        MetricDef("ecrm", "E$ Read Misses", False, "E$ RM"),
+        MetricDef("ecstall", "E$ Stall Cycles", True, "E$ Stall"),
+    )
+}
+
+
+def seconds_for(metric_id: str, raw_value: float, clock_hz: float) -> float:
+    """Convert a raw (cycle-counting) metric value to seconds."""
+    metric = METRICS[metric_id]
+    if not metric.counts_cycles:
+        raise ValueError(f"metric {metric_id} does not count cycles")
+    return raw_value / clock_hz
+
+
+__all__ = ["MetricDef", "METRICS", "seconds_for"]

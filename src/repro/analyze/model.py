@@ -1,0 +1,213 @@
+"""The reduced-data model: everything the reports are generated from.
+
+The reduction attributes every profile event to
+
+* a PC (real, or an artificial ``<branch target>`` PC when trigger-PC
+  validation failed), rolled up to source lines and functions, and
+* a **data object** — a ``structure:<name>`` class with a member, the
+  ``<Scalars>`` bucket, or one of the paper's indeterminate kinds:
+
+  ========================  ==============================================
+  ``(Unspecified)``          compiler gave no symbolic memop reference
+  ``(Unresolvable)``         backtracking failed / invalidated by a branch
+                             target
+  ``(Unascertainable)``      module not compiled with -xhwcprof
+  ``(Unidentified)``         compiler temporary (spill/save slots, locals)
+  ``(Unverifiable)``         module lacks branch-target info, validation
+                             impossible
+  ========================  ==============================================
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..compiler.program import Program
+
+# pseudo data objects (paper §3.2.5)
+UNSPECIFIED = "(Unspecified)"
+UNRESOLVABLE = "(Unresolvable)"
+UNASCERTAINABLE = "(Unascertainable)"
+UNIDENTIFIED = "(Unidentified)"
+UNVERIFIABLE = "(Unverifiable)"
+SCALARS = "<Scalars>"
+TOTAL = "<Total>"
+UNKNOWN = "<Unknown>"
+
+UNKNOWN_KINDS = (UNSPECIFIED, UNRESOLVABLE, UNASCERTAINABLE, UNIDENTIFIED, UNVERIFIABLE)
+
+
+@dataclass(frozen=True)
+class DataObjectKey:
+    """One row of the member-level data-object profile (Figure 7)."""
+
+    object_class: str   # "structure:node"
+    offset: int         # byte offset of the member
+    member: str
+    member_type: str
+
+
+class MetricVector(defaultdict):
+    """metric id -> raw count; behaves like a defaultdict(float)."""
+
+    def __init__(self, *args) -> None:
+        super().__init__(float, *args)
+
+    def add(self, metric_id: str, value: float) -> None:
+        """Accumulate into one metric."""
+        self[metric_id] += value
+
+    def merged_with(self, other: "MetricVector") -> "MetricVector":
+        """A new vector with both operands' counts summed."""
+        out = MetricVector(self)
+        for key, value in other.items():
+            out[key] += value
+        return out
+
+
+@dataclass
+class PCRecord:
+    """Metrics attributed to one PC (possibly artificial)."""
+
+    pc: int
+    metrics: MetricVector = field(default_factory=MetricVector)
+    is_branch_target_artifact: bool = False
+    #: data-object annotation of this PC's instruction (for the PC report)
+    data_object: str = ""
+    member: str = ""
+
+
+class ReducedData:
+    """Everything the analyzer computed from one (or merged) experiments."""
+
+    def __init__(self, program: Program, clock_hz: float) -> None:
+        self.program = program
+        self.clock_hz = clock_hz
+        #: metric ids with data present, in canonical order
+        self.metric_ids: list[str] = []
+        self.total = MetricVector()
+        self.pcs: dict[int, PCRecord] = {}
+        #: function name -> exclusive metrics
+        self.functions: dict[str, MetricVector] = defaultdict(MetricVector)
+        #: function name -> inclusive metrics (via callstacks)
+        self.functions_incl: dict[str, MetricVector] = defaultdict(MetricVector)
+        #: (caller, callee) -> attributed metrics
+        self.caller_callee: dict[tuple, MetricVector] = defaultdict(MetricVector)
+        #: (function name, line) -> exclusive metrics
+        self.lines: dict[tuple, MetricVector] = defaultdict(MetricVector)
+        #: data object class -> metrics (only memory metrics land here)
+        self.data_objects: dict[str, MetricVector] = defaultdict(MetricVector)
+        #: member-level rows
+        self.data_members: dict[DataObjectKey, MetricVector] = defaultdict(MetricVector)
+        #: effective addresses per metric: list of (ea, weight) samples
+        self.address_samples: dict[str, list] = defaultdict(list)
+        #: ground truth totals from the experiment info (for validation)
+        self.machine_totals: dict[str, float] = {}
+        #: segments recorded at collection (name, base, size, page_bytes)
+        self.segments: list[tuple] = []
+        #: heap allocations (addr, size, start_cycle, end_cycle, callsite)
+        self.allocations: list[tuple] = []
+        #: counter configs that produced the data
+        self.counter_info: list[dict] = []
+
+    # ------------------------------------------------------------- helpers
+
+    def record_pc(self, pc: int) -> PCRecord:
+        """Get-or-create the record for one PC."""
+        record = self.pcs.get(pc)
+        if record is None:
+            record = PCRecord(pc)
+            self.pcs[pc] = record
+        return record
+
+    def seconds(self, metric_id: str, raw: float) -> float:
+        """Wall-clock seconds at the configured clock rate."""
+        return raw / self.clock_hz
+
+    def percent(self, metric_id: str, raw: float) -> float:
+        """Share of <Total> for a metric, in percent."""
+        total = self.total.get(metric_id, 0.0)
+        return 100.0 * raw / total if total else 0.0
+
+    def unknown_total(self) -> MetricVector:
+        """Sum of all (Un*) pseudo-object vectors."""
+        out = MetricVector()
+        for kind in UNKNOWN_KINDS:
+            vector = self.data_objects.get(kind)
+            if vector:
+                for key, value in vector.items():
+                    out[key] += value
+        return out
+
+    def backtrack_effectiveness(self, metric_id: str) -> float:
+        """Paper §3.2.5: 100% minus (Unresolvable)+(Unascertainable) share."""
+        total = self.total.get(metric_id, 0.0)
+        if not total:
+            return 0.0
+        bad = 0.0
+        for kind in (UNRESOLVABLE, UNASCERTAINABLE):
+            vector = self.data_objects.get(kind)
+            if vector:
+                bad += vector.get(metric_id, 0.0)
+        return 100.0 * (1.0 - bad / total)
+
+    def merged_with(self, other: "ReducedData") -> "ReducedData":
+        """Combine two experiments over the same program (the paper's two
+        collect runs feed one analysis)."""
+        if other.program is not self.program and (
+            len(other.program.code) != len(self.program.code)
+        ):
+            raise ValueError("cannot merge experiments over different programs")
+        out = ReducedData(self.program, self.clock_hz)
+        out.metric_ids = list(
+            dict.fromkeys([*self.metric_ids, *other.metric_ids])
+        )
+        out.total = self.total.merged_with(other.total)
+        for source in (self, other):
+            for pc, record in source.pcs.items():
+                target = out.record_pc(pc)
+                target.metrics = target.metrics.merged_with(record.metrics)
+                target.is_branch_target_artifact |= record.is_branch_target_artifact
+                if record.data_object and not target.data_object:
+                    target.data_object = record.data_object
+                    target.member = record.member
+            for table_name in (
+                "functions",
+                "functions_incl",
+                "lines",
+                "data_objects",
+            ):
+                table = getattr(source, table_name)
+                out_table = getattr(out, table_name)
+                for key, vector in table.items():
+                    out_table[key] = out_table[key].merged_with(vector)
+            for key, vector in source.caller_callee.items():
+                out.caller_callee[key] = out.caller_callee[key].merged_with(vector)
+            for key, vector in source.data_members.items():
+                out.data_members[key] = out.data_members[key].merged_with(vector)
+            for metric_id, samples in source.address_samples.items():
+                out.address_samples[metric_id].extend(samples)
+            for key, value in source.machine_totals.items():
+                out.machine_totals[key] = max(out.machine_totals.get(key, 0.0), value)
+            out.counter_info.extend(source.counter_info)
+        out.segments = self.segments or other.segments
+        out.allocations = self.allocations or other.allocations
+        return out
+
+
+__all__ = [
+    "ReducedData",
+    "PCRecord",
+    "MetricVector",
+    "DataObjectKey",
+    "UNSPECIFIED",
+    "UNRESOLVABLE",
+    "UNASCERTAINABLE",
+    "UNIDENTIFIED",
+    "UNVERIFIABLE",
+    "SCALARS",
+    "TOTAL",
+    "UNKNOWN",
+    "UNKNOWN_KINDS",
+]

@@ -1,0 +1,223 @@
+"""Data reduction: profile events -> attributed metrics (paper §2.3).
+
+This is where the candidate trigger PC recorded at collection time is
+**validated**: if any branch target lies in ``(candidate_pc, trap_pc]``
+the analysis cannot know how execution reached the trap, so the events are
+attributed to an artificial ``<branch target>`` PC and the data object
+becomes ``(Unresolvable)``.  Events in modules compiled without hwcprof
+become ``(Unascertainable)``; compiler temporaries ``(Unidentified)``;
+memops the compiler left unannotated ``(Unspecified)``; modules with
+memop info but no branch-target table ``(Unverifiable)``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Optional
+
+from ..compiler import debuginfo
+from ..compiler.program import Program
+from ..errors import AnalysisError
+from ..collect.experiment import Experiment
+from .model import (
+    DataObjectKey,
+    ReducedData,
+    SCALARS,
+    UNASCERTAINABLE,
+    UNIDENTIFIED,
+    UNRESOLVABLE,
+    UNSPECIFIED,
+    UNVERIFIABLE,
+)
+
+#: canonical display order of metrics
+_METRIC_ORDER = [
+    "user_cpu",
+    "system_cpu",
+    "ecstall",
+    "ecrm",
+    "ecref",
+    "dtlbm",
+    "dcrm",
+    "cycles",
+    "insts",
+    "icm",
+]
+
+
+def _metric_sort_key(metric_id: str) -> int:
+    try:
+        return _METRIC_ORDER.index(metric_id)
+    except ValueError:
+        return len(_METRIC_ORDER)
+
+
+class _Reducer:
+    def __init__(self, experiment: Experiment) -> None:
+        if experiment.program is None:
+            raise AnalysisError("experiment has no program image")
+        self.experiment = experiment
+        self.program: Program = experiment.program
+        clock_hz = experiment.info.clock_hz or 900e6
+        self.reduced = ReducedData(self.program, clock_hz)
+        self.branch_targets = sorted(self.program.branch_targets)
+        self._func_cache: dict[int, Optional[str]] = {}
+
+    # ------------------------------------------------------------- helpers
+
+    def _function_name(self, pc: int) -> Optional[str]:
+        if pc in self._func_cache:
+            return self._func_cache[pc]
+        func = self.program.function_at(pc)
+        name = func.name if func else None
+        self._func_cache[pc] = name
+        return name
+
+    def _branch_target_in(self, lo_exclusive: int, hi_inclusive: int) -> Optional[int]:
+        """Highest branch target t with lo < t <= hi (nearest to the trap)."""
+        targets = self.branch_targets
+        idx = bisect_right(targets, hi_inclusive) - 1
+        if idx >= 0 and targets[idx] > lo_exclusive:
+            return targets[idx]
+        return None
+
+    def _attribute(self, metric_id: str, weight: float, pc: int,
+                   callstack: tuple, artificial: bool = False) -> None:
+        reduced = self.reduced
+        reduced.total.add(metric_id, weight)
+        record = reduced.record_pc(pc)
+        record.metrics.add(metric_id, weight)
+        if artificial:
+            record.is_branch_target_artifact = True
+        func_name = self._function_name(pc)
+        leaf = func_name or f"<unknown 0x{pc:x}>"
+        reduced.functions[leaf].add(metric_id, weight)
+        instr = self.program.instr_at(pc)
+        if instr is not None and func_name is not None:
+            reduced.lines[(func_name, instr.line)].add(metric_id, weight)
+        # inclusive + caller/callee attribution via the recorded callstack
+        chain: list[str] = []
+        for call_site in callstack:
+            caller = self._function_name(call_site)
+            chain.append(caller or f"<unknown 0x{call_site:x}>")
+        chain.append(leaf)
+        for name in set(chain):
+            reduced.functions_incl[name].add(metric_id, weight)
+        for caller, callee in zip(chain, chain[1:]):
+            reduced.caller_callee[(caller, callee)].add(metric_id, weight)
+
+    def _data_object_for(self, pc: int):
+        """(object class, member key or None) for the instruction at pc."""
+        instr = self.program.instr_at(pc)
+        memop = instr.memop if instr is not None else None
+        if memop is None:
+            if self.program.hwcprof_enabled(pc):
+                return UNSPECIFIED, None
+            return UNASCERTAINABLE, None
+        if memop.category == debuginfo.STRUCT:
+            key = DataObjectKey(
+                memop.object_class, memop.offset, memop.member, memop.member_type
+            )
+            return memop.object_class, key
+        if memop.category == debuginfo.SCALAR:
+            key = DataObjectKey(SCALARS, 0, memop.object_class, memop.object_class)
+            return SCALARS, key
+        # temporaries and named locals: the paper's compiler-temporary bucket
+        return UNIDENTIFIED, None
+
+    def _account_data_object(self, metric_id: str, weight: float,
+                             object_class: str, key) -> None:
+        self.reduced.data_objects[object_class].add(metric_id, weight)
+        if key is not None:
+            self.reduced.data_members[key].add(metric_id, weight)
+
+    # --------------------------------------------------------------- passes
+
+    def run(self) -> ReducedData:
+        """Execute the pass over the whole unit and return the result."""
+        info = self.experiment.info
+        reduced = self.reduced
+        reduced.machine_totals = dict(info.totals)
+        reduced.segments = [tuple(seg) for seg in info.segments]
+        reduced.allocations = [tuple(a) for a in info.allocations]
+        reduced.counter_info = list(info.counters)
+
+        for event in self.experiment.clock_events:
+            self._attribute("user_cpu", info.clock_interval_cycles, event.pc,
+                            event.callstack)
+
+        for event in self.experiment.hwc_events:
+            self._reduce_hwc(event)
+
+        present = {m for m in reduced.total}
+        reduced.metric_ids = sorted(present, key=_metric_sort_key)
+        return reduced
+
+    def _reduce_hwc(self, event) -> None:
+        metric_id = event.event
+        weight = float(event.weight)
+        program = self.program
+
+        if event.status == "disabled":
+            # no backtracking requested: raw skidded PC, no data objects
+            self._attribute(metric_id, weight, event.trap_pc, event.callstack)
+            return
+
+        if event.status != "found" or event.candidate_pc is None:
+            # collector walked back and found nothing
+            self._attribute(metric_id, weight, event.trap_pc, event.callstack)
+            self._account_data_object(metric_id, weight, UNRESOLVABLE, None)
+            return
+
+        candidate = event.candidate_pc
+        if program.has_branch_info(candidate):
+            blocker = self._branch_target_in(candidate, event.trap_pc)
+            if blocker is not None:
+                # validation failed: artificial <branch target> PC
+                self._attribute(metric_id, weight, blocker, event.callstack,
+                                artificial=True)
+                self._account_data_object(metric_id, weight, UNRESOLVABLE, None)
+                return
+            self._attribute(metric_id, weight, candidate, event.callstack)
+            object_class, key = self._data_object_for(candidate)
+            self._account_data_object(metric_id, weight, object_class, key)
+        elif program.hwcprof_enabled(candidate):
+            # memop info exists but validation is impossible
+            self._attribute(metric_id, weight, candidate, event.callstack)
+            self._account_data_object(metric_id, weight, UNVERIFIABLE, None)
+        else:
+            self._attribute(metric_id, weight, candidate, event.callstack)
+            self._account_data_object(metric_id, weight, UNASCERTAINABLE, None)
+
+        if event.effective_address is not None:
+            self.reduced.address_samples[metric_id].append(
+                (event.effective_address, weight)
+            )
+
+        # annotate the PC record with its data object (for the PC report)
+        record = self.reduced.pcs.get(candidate)
+        if record is not None and not record.data_object:
+            object_class, key = self._data_object_for(candidate)
+            record.data_object = object_class
+            if key is not None:
+                record.member = key.member
+
+
+def reduce_experiment(experiment: Experiment) -> ReducedData:
+    """Reduce one experiment to attributed metrics."""
+    return _Reducer(experiment).run()
+
+
+def reduce_experiments(experiments) -> ReducedData:
+    """Reduce and merge several experiments over the same program (the
+    paper's case study merges two collect runs)."""
+    reduced_list = [reduce_experiment(exp) for exp in experiments]
+    if not reduced_list:
+        raise AnalysisError("no experiments to reduce")
+    merged = reduced_list[0]
+    for other in reduced_list[1:]:
+        merged = merged.merged_with(other)
+    return merged
+
+
+__all__ = ["reduce_experiment", "reduce_experiments"]

@@ -1,0 +1,655 @@
+"""Report generators — one per figure of the paper's evaluation.
+
+Every function returns a plain-text report (string); the benchmark
+harness prints them so each paper figure can be regenerated verbatim:
+
+========  ==========================================  =======================
+Figure 1  overview metrics for ``<Total>``            :func:`overview`
+Figure 2  the function list                           :func:`function_list`
+Figure 3  annotated source                            :func:`annotated_source`
+Figure 4  annotated disassembly                       :func:`annotated_disassembly`
+Figure 5  PCs ranked by a metric                      :func:`pc_list`
+Figure 6  data objects ranked by E$ stall             :func:`data_objects`
+Figure 7  one struct expanded by member               :func:`data_object_expand`
+========  ==========================================  =======================
+
+Plus the §4 "future work" reports implemented as extensions:
+:func:`segment_report`, :func:`page_report`, :func:`cache_line_report`,
+:func:`instance_report` (per-allocation aggregation),
+:func:`heap_report` (allocation tracing, §2.2), :func:`callers_callees`,
+and :func:`compare_functions` (before/after diff for the §3.3 workflow).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Optional, Sequence
+
+from ..errors import AnalysisError
+from ..isa.disasm import disassemble
+from .metrics import METRICS
+from .model import (
+    MetricVector,
+    ReducedData,
+    TOTAL,
+    UNKNOWN,
+    UNKNOWN_KINDS,
+)
+
+#: default column plan, Figure-2 style: (metric id, "time+pct" | "pct")
+DEFAULT_COLUMNS = (
+    ("user_cpu", "time+pct"),
+    ("ecstall", "time+pct"),
+    ("ecrm", "pct"),
+    ("ecref", "pct"),
+    ("dtlbm", "pct"),
+)
+
+
+def _columns_for(reduced: ReducedData, columns=None):
+    plan = columns or DEFAULT_COLUMNS
+    return [(metric, style) for metric, style in plan if metric in reduced.metric_ids]
+
+
+def _header_cells(reduced: ReducedData, plan) -> list:
+    cells = []
+    for metric, style in plan:
+        label = METRICS[metric].header
+        if style == "time+pct":
+            cells += [f"{label} sec.", "%"]
+        else:
+            cells += [f"{label} %"]
+    return cells
+
+
+def _value_cells(reduced: ReducedData, plan, vector: MetricVector) -> list:
+    cells = []
+    for metric, style in plan:
+        raw = vector.get(metric, 0.0)
+        pct = reduced.percent(metric, raw)
+        if style == "time+pct":
+            cells += [f"{reduced.seconds(metric, raw):.3f}", f"{pct:.1f}"]
+        else:
+            cells += [f"{pct:.1f}"]
+    return cells
+
+
+def _render_table(headers: Sequence[str], rows: Iterable[Sequence[str]],
+                  left_align_last: bool = True) -> str:
+    rows = [list(r) for r in rows]
+    ncols = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+
+    def fmt(cells):
+        parts = []
+        for i, cell in enumerate(cells):
+            if left_align_last and i == ncols - 1:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines.append(fmt(headers))
+    for row in rows:
+        lines.append(fmt(row))
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------- Figure 1
+
+def overview(reduced: ReducedData) -> str:
+    """Figure 1: performance metrics for the artificial <Total> function."""
+    hz = reduced.clock_hz
+    totals = reduced.machine_totals
+    lines = []
+    total_cycles = totals.get("cycles", 0)
+    system_cycles = totals.get("system_cycles", 0)
+    lines.append(f"Exclusive Total LWP Time:      {total_cycles / hz:10.3f} secs.")
+    lines.append(
+        f"Exclusive User CPU Time:       {(total_cycles - system_cycles) / hz:10.3f} secs."
+    )
+    lines.append(f"Exclusive System CPU Time:     {system_cycles / hz:10.3f} secs.")
+    if "ecstall" in reduced.metric_ids:
+        stall = reduced.total.get("ecstall", 0.0)
+        lines.append(f"Exclusive E$ Stall Cycles:     {stall / hz:10.3f} secs.")
+        lines.append(f"         count:                {int(stall):d}")
+    if "ecrm" in reduced.metric_ids:
+        lines.append(
+            f"Exclusive E$ Read Misses:      {int(reduced.total.get('ecrm', 0)):d}"
+        )
+    if "ecref" in reduced.metric_ids:
+        lines.append(
+            f"Exclusive E$ Refs:             {int(reduced.total.get('ecref', 0)):d}"
+        )
+    if "dtlbm" in reduced.metric_ids:
+        lines.append(
+            f"Exclusive DTLB Misses:         {int(reduced.total.get('dtlbm', 0)):d}"
+        )
+    return "\n".join(lines)
+
+
+def overview_analysis(reduced: ReducedData, dtlb_cost_cycles: int = 100) -> dict:
+    """The §3.2.1 derived numbers: stall share of runtime, DTLB cost, E$
+    read-miss rate."""
+    hz = reduced.clock_hz
+    cycles = reduced.machine_totals.get("cycles", 0) or 1
+    stall = reduced.total.get("ecstall", 0.0)
+    dtlbm = reduced.total.get("dtlbm", 0.0)
+    ecrm = reduced.total.get("ecrm", 0.0)
+    ecref = reduced.total.get("ecref", 0.0)
+    return {
+        "total_seconds": cycles / hz,
+        "stall_fraction": stall / cycles,
+        "dtlb_cost_seconds": dtlbm * dtlb_cost_cycles / hz,
+        "dtlb_cost_fraction": dtlbm * dtlb_cost_cycles / cycles,
+        "ec_read_miss_rate": (ecrm / ecref) if ecref else 0.0,
+    }
+
+
+# --------------------------------------------------------------- Figure 2
+
+def function_list(reduced: ReducedData, columns=None, top: Optional[int] = None,
+                  sort_by: Optional[str] = None) -> str:
+    """Figure 2: the function list with exclusive metrics."""
+    plan = _columns_for(reduced, columns)
+    if not plan:
+        raise AnalysisError("no requested metrics present in the experiment")
+    sort_metric = sort_by or plan[0][0]
+    rows = [(TOTAL, reduced.total)]
+    entries = sorted(
+        reduced.functions.items(),
+        key=lambda item: item[1].get(sort_metric, 0.0),
+        reverse=True,
+    )
+    if top is not None:
+        entries = entries[:top]
+    rows.extend(entries)
+    headers = _header_cells(reduced, plan) + ["Name"]
+    body = [_value_cells(reduced, plan, vector) + [name] for name, vector in rows]
+    return _render_table(headers, body)
+
+
+def function_table(reduced: ReducedData) -> dict:
+    """Machine-readable function list: name -> {metric: (raw, pct)}."""
+    out = {}
+    for name, vector in reduced.functions.items():
+        out[name] = {
+            metric: (vector.get(metric, 0.0), reduced.percent(metric, vector.get(metric, 0.0)))
+            for metric in reduced.metric_ids
+        }
+    return out
+
+
+# --------------------------------------------------------------- Figure 3
+
+HOT_MARKER = "##"
+HOT_LINE_THRESHOLD = 0.05  # >=5% of any displayed metric marks a line hot
+
+
+def annotated_source(reduced: ReducedData, function_name: str,
+                     columns=(("user_cpu", "time+pct"), ("ecstall", "time+pct"))) -> str:
+    """Figure 3: source of one function annotated with per-line metrics."""
+    func = reduced.program.function(function_name)
+    source = reduced.program.source_for(func)
+    if not source:
+        raise AnalysisError(f"no source recorded for module {func.module!r}")
+    plan = _columns_for(reduced, columns)
+    src_lines = source.splitlines()
+    first = max(func.line, 1)
+    last = func.end_line or min(first + 40, len(src_lines))
+    out = []
+    header = "  ".join(
+        f"{METRICS[m].header} sec." if style == "time+pct" else f"{METRICS[m].header}"
+        for m, style in plan
+    )
+    out.append(f"   {header}")
+    for lineno in range(first, min(last, len(src_lines)) + 1):
+        vector = reduced.lines.get((function_name, lineno))
+        cells = []
+        hot = False
+        for metric, style in plan:
+            raw = vector.get(metric, 0.0) if vector else 0.0
+            frac = raw / reduced.total.get(metric, 1.0) if reduced.total.get(metric) else 0.0
+            hot = hot or frac >= HOT_LINE_THRESHOLD
+            cells.append(f"{reduced.seconds(metric, raw):9.3f}")
+        marker = HOT_MARKER if hot else "  "
+        out.append(f"{marker} {' '.join(cells)}  {lineno:4d}. {src_lines[lineno - 1]}")
+    return "\n".join(out)
+
+
+# --------------------------------------------------------------- Figure 4
+
+def annotated_disassembly(reduced: ReducedData, function_name: str,
+                          columns=(("user_cpu", "time+pct"),
+                                   ("ecstall", "time+pct"),
+                                   ("dtlbm", "pct"))) -> str:
+    """Figure 4: annotated disassembly with ``<branch target>`` lines and
+    data-object annotations."""
+    program = reduced.program
+    func = program.function(function_name)
+    plan = _columns_for(reduced, columns)
+    out = []
+    header_cells = []
+    for metric, style in plan:
+        header_cells.append(
+            f"{METRICS[metric].header} sec." if style == "time+pct"
+            else f"{METRICS[metric].header} %"
+        )
+    out.append("  ".join(header_cells) + "   [line] address: instruction")
+
+    def metric_cells(vector) -> str:
+        cells = []
+        for metric, style in plan:
+            raw = vector.get(metric, 0.0) if vector else 0.0
+            if style == "time+pct":
+                cells.append(f"{reduced.seconds(metric, raw):9.3f}")
+            else:
+                cells.append(f"{reduced.percent(metric, raw):6.1f}")
+        return " ".join(cells)
+
+    for pc in range(func.start, func.end, 4):
+        instr = program.instr_at(pc)
+        if instr is None:  # pragma: no cover - text holes do not exist
+            continue
+        record = reduced.pcs.get(pc)
+        # artificial <branch target> line first, if the analysis made one
+        if pc in program.branch_targets:
+            artificial = record if record and record.is_branch_target_artifact else None
+            vector = artificial.metrics if artificial else None
+            out.append(
+                f"{metric_cells(vector)}   [{instr.line:3d}] {pc:x}*  <branch target>"
+            )
+        real_vector = None
+        if record is not None:
+            if not record.is_branch_target_artifact:
+                real_vector = record.metrics
+        text = disassemble(instr)
+        annotation = ""
+        if instr.memop is not None and instr.memop.category == "struct":
+            annotation = (
+                f"   {{{instr.memop.object_class} -}}"
+                f".{{{instr.memop.member_type} {instr.memop.member}}}"
+            )
+        elif instr.memop is not None and instr.memop.category == "scalar":
+            annotation = f"   {{{instr.memop.object_class}}}"
+        out.append(
+            f"{metric_cells(real_vector)}   [{instr.line:3d}] {pc:x}:  {text}{annotation}"
+        )
+    return "\n".join(out)
+
+
+# --------------------------------------------------------------- Figure 5
+
+def pc_list(reduced: ReducedData, sort_by: str = "ecrm", top: int = 20,
+            columns=None) -> str:
+    """Figure 5: PCs ranked by a metric, with data-object annotations."""
+    if sort_by not in reduced.metric_ids:
+        raise AnalysisError(f"metric {sort_by!r} not present")
+    plan = _columns_for(
+        reduced,
+        columns
+        or (
+            ("user_cpu", "time+pct"),
+            ("ecstall", "time+pct"),
+            ("ecrm", "pct"),
+            ("dtlbm", "pct"),
+        ),
+    )
+    program = reduced.program
+    entries = sorted(
+        reduced.pcs.values(),
+        key=lambda r: r.metrics.get(sort_by, 0.0),
+        reverse=True,
+    )[:top]
+    headers = _header_cells(reduced, plan) + ["Name"]
+    rows = [_value_cells(reduced, plan, reduced.total) + [TOTAL]]
+    for record in entries:
+        func = program.function_at(record.pc)
+        if func is not None:
+            offset = record.pc - func.start
+            name = f"{func.name} + 0x{offset:08X}"
+        else:
+            name = f"0x{record.pc:x}"
+        if record.is_branch_target_artifact:
+            name += " *<branch target>"
+        instr = program.instr_at(record.pc)
+        if instr is not None and instr.memop is not None and instr.memop.category == "struct":
+            name += (
+                f"  {{{instr.memop.object_class} -}}"
+                f".{{{instr.memop.member_type} {instr.memop.member}}}"
+            )
+        rows.append(_value_cells(reduced, plan, record.metrics) + [name])
+    return _render_table(headers, rows)
+
+
+# --------------------------------------------------------------- Figure 6
+
+DATA_COLUMNS = (
+    ("ecstall", "time+pct"),
+    ("ecrm", "pct"),
+    ("ecref", "pct"),
+    ("dtlbm", "pct"),
+)
+
+
+def data_objects(reduced: ReducedData, columns=DATA_COLUMNS) -> str:
+    """Figure 6: data objects ranked by E$ Stall Cycles (or the first
+    available column)."""
+    plan = _columns_for(reduced, columns)
+    if not plan:
+        raise AnalysisError("no data-object metrics present")
+    sort_metric = plan[0][0]
+    headers = _header_cells(reduced, plan) + ["Name"]
+    rows = [_value_cells(reduced, plan, reduced.total) + [TOTAL]]
+
+    unknown_vector = reduced.unknown_total()
+    entries = [
+        (name, vector)
+        for name, vector in reduced.data_objects.items()
+        if name not in UNKNOWN_KINDS
+    ]
+    if any(unknown_vector.values()):
+        entries.append((UNKNOWN, unknown_vector))
+    entries.sort(key=lambda item: item[1].get(sort_metric, 0.0), reverse=True)
+    for name, vector in entries:
+        display = name if name.startswith("(") or name.startswith("<") else f"{{{name}-}}"
+        rows.append(_value_cells(reduced, plan, vector) + [display])
+        if name == UNKNOWN:
+            for kind in UNKNOWN_KINDS:
+                sub = reduced.data_objects.get(kind)
+                if sub and any(sub.values()):
+                    rows.append(_value_cells(reduced, plan, sub) + [f"  {kind}"])
+    return _render_table(headers, rows)
+
+
+def data_object_table(reduced: ReducedData) -> dict:
+    """Machine-readable Figure 6: object class -> {metric: pct}."""
+    out = {}
+    for name, vector in reduced.data_objects.items():
+        out[name] = {
+            metric: reduced.percent(metric, vector.get(metric, 0.0))
+            for metric in reduced.metric_ids
+        }
+    unknown = reduced.unknown_total()
+    out[UNKNOWN] = {
+        metric: reduced.percent(metric, unknown.get(metric, 0.0))
+        for metric in reduced.metric_ids
+    }
+    return out
+
+
+# --------------------------------------------------------------- Figure 7
+
+def data_object_expand(reduced: ReducedData, object_class: str,
+                       columns=DATA_COLUMNS) -> str:
+    """Figure 7: one structure expanded into per-member rows, in layout
+    order with byte offsets."""
+    plan = _columns_for(reduced, columns)
+    struct_name = object_class.split(":", 1)[-1]
+    layout = reduced.program.structs.get(struct_name)
+    if layout is None:
+        raise AnalysisError(f"no recorded layout for {object_class!r}")
+    headers = _header_cells(reduced, plan) + ["Name +offset .field-name"]
+    total_vector = reduced.data_objects.get(object_class, MetricVector())
+    rows = [_value_cells(reduced, plan, total_vector) + [f"{{{object_class}-}}"]]
+    by_offset = {
+        key.offset: vector
+        for key, vector in reduced.data_members.items()
+        if key.object_class == object_class
+    }
+    for member, offset, type_str in layout.members:
+        vector = by_offset.get(offset, MetricVector())
+        rows.append(
+            _value_cells(reduced, plan, vector)
+            + [f"  +{offset} .{{{type_str} {member}}}"]
+        )
+    return _render_table(headers, rows)
+
+
+def member_percentages(reduced: ReducedData, object_class: str, metric: str) -> dict:
+    """member name -> percent of <Total> for ``metric`` (test hook)."""
+    out = {}
+    for key, vector in reduced.data_members.items():
+        if key.object_class == object_class:
+            out[key.member] = reduced.percent(metric, vector.get(metric, 0.0))
+    return out
+
+
+# ----------------------------------------------- §4 future-work extensions
+
+def _address_breakdown(reduced: ReducedData, metric: str, bucket_fn, label_fn) -> str:
+    samples = reduced.address_samples.get(metric)
+    if not samples:
+        raise AnalysisError(f"no effective addresses recorded for {metric!r}")
+    buckets = defaultdict(float)
+    for ea, weight in samples:
+        buckets[bucket_fn(ea)] += weight
+    total = sum(buckets.values())
+    rows = []
+    for key, value in sorted(buckets.items(), key=lambda kv: kv[1], reverse=True):
+        rows.append([f"{value:.0f}", f"{100.0 * value / total:5.1f}", label_fn(key)])
+    return _render_table([METRICS[metric].header, "%", "Name"], rows)
+
+
+def segment_report(reduced: ReducedData, metric: str = "ecrm") -> str:
+    """§4: events broken down by memory segment of their data address."""
+    segments = reduced.segments
+
+    def bucket(ea: int):
+        for name, base, size, _page in segments:
+            if base <= ea < base + size:
+                return name
+        return "<unmapped>"
+
+    return _address_breakdown(reduced, metric, bucket, lambda name: name)
+
+
+def page_report(reduced: ReducedData, metric: str = "dtlbm", top: int = 20) -> str:
+    """§4: events broken down by page (using each segment's page size)."""
+    segments = reduced.segments
+
+    def bucket(ea: int):
+        for name, base, size, page in segments:
+            if base <= ea < base + size:
+                return (name, (ea - base) // page)
+        return ("<unmapped>", 0)
+
+    report = _address_breakdown(
+        reduced, metric, bucket, lambda key: f"{key[0]} page {key[1]}"
+    )
+    return "\n".join(report.splitlines()[: top + 1])
+
+
+def cache_line_report(reduced: ReducedData, metric: str = "ecrm",
+                      line_bytes: int = 512, top: int = 20) -> str:
+    """§4: events aggregated by cache line of the effective address."""
+    report = _address_breakdown(
+        reduced,
+        metric,
+        lambda ea: ea // line_bytes,
+        lambda line: f"line 0x{line * line_bytes:x}",
+    )
+    return "\n".join(report.splitlines()[: top + 1])
+
+
+def instance_report(reduced: ReducedData, metric: str = "ecrm",
+                    top: int = 10) -> str:
+    """§4: aggregate events by *data object instance* — the individual
+    heap allocation their effective address falls into ("translating the
+    effective addresses into structure object instances, and aggregating
+    data by instance, rather than only by type")."""
+    samples = reduced.address_samples.get(metric)
+    if not samples:
+        raise AnalysisError(f"no effective addresses recorded for {metric!r}")
+    if not reduced.allocations:
+        raise AnalysisError("experiment recorded no heap allocations")
+    allocations = sorted(reduced.allocations)  # by addr
+    starts = [a[0] for a in allocations]
+    max_size = max(a[1] for a in allocations)
+    from bisect import bisect_right
+
+    buckets: dict[int, float] = defaultdict(float)
+    outside = 0.0
+    for ea, weight in samples:
+        idx = bisect_right(starts, ea) - 1
+        matched = False
+        # scan back over allocations whose range may cover ea (reused
+        # addresses produce multiple entries; match conservatively by
+        # address, earliest wins)
+        j = idx
+        while j >= 0 and allocations[j][0] + max_size >= ea:
+            addr, size, _start, _end, _site = allocations[j]
+            if addr <= ea < addr + size:
+                buckets[j] += weight
+                matched = True
+                break
+            j -= 1
+        if not matched:
+            outside += weight
+    total = sum(buckets.values()) + outside
+    rows = []
+    program = reduced.program
+    for j, value in sorted(buckets.items(), key=lambda kv: kv[1], reverse=True)[:top]:
+        addr, size, start, end, site = allocations[j]
+        func = program.function_at(site)
+        where = f"{func.name}" if func else f"0x{site:x}"
+        label = (
+            f"instance 0x{addr:x} ({size} bytes, allocated in {where}"
+            f"{', freed' if end >= 0 else ''})"
+        )
+        rows.append([f"{value:.0f}", f"{100.0 * value / total:5.1f}", label])
+    if outside:
+        rows.append([f"{outside:.0f}", f"{100.0 * outside / total:5.1f}",
+                     "<outside any allocation>"])
+    return _render_table([METRICS[metric].header, "%", "Name"], rows)
+
+
+def compare_functions(before: ReducedData, after: ReducedData,
+                      metric: str = "ecstall", top: int = 12) -> str:
+    """Diff two reductions (e.g. baseline vs optimized build) per function.
+
+    This automates the §3.3 before/after comparison: which functions got
+    faster, by how much, in seconds of the chosen metric.
+    """
+    if metric not in before.metric_ids or metric not in after.metric_ids:
+        raise AnalysisError(f"metric {metric!r} missing from one experiment")
+    names = set(before.functions) | set(after.functions)
+    rows = []
+    for name in names:
+        b = before.functions.get(name, MetricVector()).get(metric, 0.0)
+        a = after.functions.get(name, MetricVector()).get(metric, 0.0)
+        if b == 0.0 and a == 0.0:
+            continue
+        delta = a - b
+        pct = (a / b - 1.0) * 100.0 if b else float("inf")
+        rows.append((delta, b, a, pct, name))
+    rows.sort()
+    out_rows = []
+    for delta, b, a, pct, name in rows[:top]:
+        out_rows.append([
+            f"{before.seconds(metric, b):.3f}",
+            f"{after.seconds(metric, a):.3f}",
+            f"{after.seconds(metric, delta):+.3f}",
+            f"{pct:+.0f}%" if pct != float("inf") else "new",
+            name,
+        ])
+    total_b = before.total.get(metric, 0.0)
+    total_a = after.total.get(metric, 0.0)
+    out_rows.append([
+        f"{before.seconds(metric, total_b):.3f}",
+        f"{after.seconds(metric, total_a):.3f}",
+        f"{after.seconds(metric, total_a - total_b):+.3f}",
+        f"{(total_a / total_b - 1.0) * 100.0:+.0f}%" if total_b else "-",
+        TOTAL,
+    ])
+    label = METRICS[metric].header
+    return _render_table(
+        [f"{label} before", "after", "delta", "%", "Name"], out_rows
+    )
+
+
+def heap_report(reduced: ReducedData) -> str:
+    """Heap allocation/deallocation tracing (paper §2.2 lists it among the
+    collectable data kinds), summarized per allocation site."""
+    if not reduced.allocations:
+        raise AnalysisError("experiment recorded no heap allocations")
+    program = reduced.program
+    by_site: dict[str, list] = defaultdict(lambda: [0, 0, 0])  # n, bytes, live
+    for _addr, size, _start, end, site in reduced.allocations:
+        func = program.function_at(site)
+        name = func.name if func else f"0x{site:x}"
+        entry = by_site[name]
+        entry[0] += 1
+        entry[1] += size
+        if end < 0:
+            entry[2] += size
+    rows = []
+    for name, (count, total, live) in sorted(
+        by_site.items(), key=lambda kv: kv[1][1], reverse=True
+    ):
+        rows.append([str(count), str(total), str(live), name])
+    total_bytes = sum(size for _a, size, _s, _e, _c in reduced.allocations)
+    rows.append([
+        str(len(reduced.allocations)), str(total_bytes),
+        str(sum(s for _a, s, _st, e, _c in reduced.allocations if e < 0)),
+        "<Total>",
+    ])
+    return _render_table(["Allocs", "Bytes", "Live bytes", "Site"], rows)
+
+
+def callers_callees(reduced: ReducedData, function_name: str,
+                    metric: Optional[str] = None) -> str:
+    """Attributed caller/callee metrics for one function."""
+    metric = metric or reduced.metric_ids[0]
+    callers = []
+    callees = []
+    for (caller, callee), vector in reduced.caller_callee.items():
+        value = vector.get(metric, 0.0)
+        if not value:
+            continue
+        if callee == function_name:
+            callers.append((value, caller))
+        if caller == function_name:
+            callees.append((value, callee))
+    lines = [f"Callers-callees for {function_name} ({METRICS[metric].label}):"]
+    lines.append("  Callers (attributed):")
+    for value, name in sorted(callers, reverse=True):
+        lines.append(f"    {reduced.percent(metric, value):6.1f}%  {name}")
+    excl = reduced.functions.get(function_name, MetricVector()).get(metric, 0.0)
+    incl = reduced.functions_incl.get(function_name, MetricVector()).get(metric, 0.0)
+    lines.append(
+        f"  *{function_name}: exclusive {reduced.percent(metric, excl):.1f}%, "
+        f"inclusive {reduced.percent(metric, incl):.1f}%"
+    )
+    lines.append("  Callees (attributed):")
+    for value, name in sorted(callees, reverse=True):
+        lines.append(f"    {reduced.percent(metric, value):6.1f}%  {name}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "overview",
+    "overview_analysis",
+    "function_list",
+    "function_table",
+    "annotated_source",
+    "annotated_disassembly",
+    "pc_list",
+    "data_objects",
+    "data_object_table",
+    "data_object_expand",
+    "member_percentages",
+    "segment_report",
+    "page_report",
+    "cache_line_report",
+    "instance_report",
+    "heap_report",
+    "compare_functions",
+    "callers_callees",
+    "DEFAULT_COLUMNS",
+    "DATA_COLUMNS",
+]

@@ -1,0 +1,17 @@
+"""The ``collect`` tool: profiling data collection (paper §2.2)."""
+
+from .backtrack import apropos_backtrack, BacktrackResult, MAX_BACKTRACK_INSTRS
+from .experiment import Experiment, HwcEvent, ClockEvent
+from .collector import Collector, CollectConfig, collect
+
+__all__ = [
+    "apropos_backtrack",
+    "BacktrackResult",
+    "MAX_BACKTRACK_INSTRS",
+    "Experiment",
+    "HwcEvent",
+    "ClockEvent",
+    "Collector",
+    "CollectConfig",
+    "collect",
+]

@@ -1,0 +1,114 @@
+"""The apropos backtracking search (paper §2.2.3).
+
+At signal-delivery time the collector only has:
+
+* ``trap_pc`` — the next instruction to issue (skidded well past the
+  triggering instruction);
+* the register set at delivery time.
+
+The search walks **backwards in address order** from ``trap_pc`` until it
+finds a memory-reference instruction of the type that can raise the
+counted event — the *candidate trigger PC*.  It then disassembles the
+candidate to find the registers forming the effective address and checks
+whether any instruction between the candidate and the trap PC (again in
+address order — the true execution path is unknowable here) overwrites
+them; if so the address is reported unknown.
+
+Branch-target validation is deliberately NOT done here: "It is too
+expensive to locate branch targets at data collection time, so the
+candidate trigger PC is always recorded, but it is validated during data
+reduction" — see :mod:`repro.analyze.reduce`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..isa.instructions import Instr, is_load, is_store, writes_register
+from ..machine.counters import EventSpec
+
+#: how far back the collector is willing to walk, in instructions
+MAX_BACKTRACK_INSTRS = 16
+
+# result statuses
+FOUND = "found"
+NOT_FOUND = "not_found"
+
+
+@dataclass(frozen=True)
+class BacktrackResult:
+    """Outcome of one apropos backtracking search."""
+    status: str
+    candidate_pc: Optional[int]
+    #: recomputed effective data address, or None if it was clobbered
+    effective_address: Optional[int]
+    #: why the EA is missing: "", "clobbered", or "no_candidate"
+    ea_reason: str = ""
+
+
+def _matches(instr: Instr, memop_class: str) -> bool:
+    if memop_class == "load":
+        return is_load(instr)
+    if memop_class == "loadstore":
+        return is_load(instr) or is_store(instr)
+    return False
+
+
+def apropos_backtrack(
+    code: Sequence[Instr],
+    text_base: int,
+    trap_pc: int,
+    event: EventSpec,
+    regs: Sequence[int],
+    max_steps: int = MAX_BACKTRACK_INSTRS,
+) -> BacktrackResult:
+    """Run the search; ``code`` is the decoded text segment."""
+    memop_class = event.memop_class
+    if memop_class is None:
+        return BacktrackResult(NOT_FOUND, None, None, "no_candidate")
+
+    start_idx = (trap_pc - text_base) >> 2
+    candidate = None
+    candidate_idx = -1
+    lo = max(0, start_idx - max_steps)
+    for idx in range(start_idx - 1, lo - 1, -1):
+        if idx >= len(code):
+            continue
+        instr = code[idx]
+        if _matches(instr, memop_class):
+            candidate = instr
+            candidate_idx = idx
+            break
+    if candidate is None:
+        return BacktrackResult(NOT_FOUND, None, None, "no_candidate")
+
+    candidate_pc = text_base + 4 * candidate_idx
+
+    # effective-address recovery: the skid window may have clobbered the
+    # base/index registers.  Walk the instructions between candidate and
+    # trap (address order) and check their destinations.
+    needed = {candidate.rs1}
+    if candidate.rs2 is not None:
+        needed.add(candidate.rs2)
+    # the candidate itself may clobber its own base (ldx [%g1], %g1)
+    own_write = writes_register(candidate)
+    if own_write is not None and own_write in needed:
+        return BacktrackResult(FOUND, candidate_pc, None, "clobbered")
+    for idx in range(candidate_idx + 1, min(start_idx, len(code))):
+        written = writes_register(code[idx])
+        if written is not None and written in needed:
+            return BacktrackResult(FOUND, candidate_pc, None, "clobbered")
+
+    base = regs[candidate.rs1]
+    offset = regs[candidate.rs2] if candidate.rs2 is not None else candidate.imm
+    return BacktrackResult(FOUND, candidate_pc, base + offset)
+
+
+__all__ = [
+    "apropos_backtrack",
+    "BacktrackResult",
+    "MAX_BACKTRACK_INSTRS",
+    "FOUND",
+    "NOT_FOUND",
+]

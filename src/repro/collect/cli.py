@@ -1,0 +1,128 @@
+"""``repro-collect`` — the paper's ``collect`` command line.
+
+Mirrors §3.1::
+
+    repro-collect -S off -p on -h +ecstall,lo,+ecrm,on -o exp1.er \\
+        --workload mcf --trips 400
+
+Run with no arguments to list the available counters, exactly like the
+real ``collect`` ("The collect command, if run with no arguments, will
+generate a list of available counters").
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..config import scaled_config
+from ..errors import ReproError
+from ..machine.counters import EVENTS
+from .collector import CollectConfig, collect
+
+
+def _list_counters() -> str:
+    lines = ["Available HW counters (two registers; pairs must differ):", ""]
+    lines.append(f"  {'name':<10} {'registers':<10} {'unit':<8} description")
+    for spec in EVENTS.values():
+        registers = "/".join(f"PIC{r}" for r in spec.registers)
+        unit = "cycles" if spec.counts_cycles else "events"
+        lines.append(f"  {spec.name:<10} {registers:<10} {unit:<8} {spec.description}")
+    lines.append("")
+    lines.append("Prefix a counter with '+' to request apropos backtracking")
+    lines.append("(memory-related counters only).  Intervals: hi / on / lo / <n>.")
+    return "\n".join(lines)
+
+
+def _parse_counter_list(text: str) -> list:
+    """Split '-h +ecstall,lo,+ecrm,on' into ['+ecstall,lo', '+ecrm,on']."""
+    parts = text.split(",")
+    requests: list[str] = []
+    current: list[str] = []
+    for part in parts:
+        name = part.lstrip("+")
+        if name in EVENTS and current:
+            requests.append(",".join(current))
+            current = [part]
+        elif name in EVENTS:
+            current = [part]
+        else:
+            if not current:
+                raise ReproError(f"bad counter specification near {part!r}")
+            current.append(part)
+    if current:
+        requests.append(",".join(current))
+    return requests
+
+
+def build_workload(args):
+    """Build (program, input_longs) for the requested workload."""
+    if args.workload == "mcf":
+        from ..mcf.instance import encode_instance, generate_instance
+        from ..mcf.sources import LayoutVariant
+        from ..mcf.workload import build_mcf
+
+        instance = generate_instance(trips=args.trips, seed=args.seed)
+        program = build_mcf(LayoutVariant(args.layout))
+        return program, encode_instance(instance)
+    if args.workload == "commercial":
+        from ..workloads import build_commercial, commercial_input
+
+        return build_commercial(), commercial_input(seed=args.seed or 12345)
+    raise ReproError(f"unknown workload {args.workload!r}")
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print(_list_counters())
+        return 0
+
+    parser = argparse.ArgumentParser(prog="repro-collect", add_help=False)
+    parser.add_argument("-S", dest="periodic", default="off",
+                        help="periodic sampling (unsupported; accepts 'off')")
+    parser.add_argument("-p", dest="clock", default="on", choices=["on", "off"],
+                        help="clock profiling")
+    parser.add_argument("-h", dest="counters", default=None,
+                        help="HW counters, e.g. +ecstall,lo,+ecrm,on")
+    parser.add_argument("-o", dest="outdir", default="experiment.er",
+                        help="experiment directory to write")
+    parser.add_argument("--workload", default="mcf",
+                        choices=["mcf", "commercial"])
+    parser.add_argument("--trips", type=int, default=150)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--layout", default="baseline",
+                        choices=["baseline", "opt_layout"])
+    parser.add_argument("--heap-page-bytes", type=int, default=None)
+    parser.add_argument("--help", action="help")
+    parser.prefix_chars = "-"
+    args = parser.parse_args(argv)
+
+    counter_requests = _parse_counter_list(args.counters) if args.counters else []
+    program, input_longs = build_workload(args)
+    config = CollectConfig(
+        clock_profiling=args.clock == "on",
+        counters=counter_requests,
+        name=args.outdir,
+    )
+    experiment = collect(
+        program,
+        scaled_config(),
+        config,
+        input_longs=input_longs,
+        heap_page_bytes=args.heap_page_bytes,
+        save_to=args.outdir,
+    )
+    print(f"experiment written: {args.outdir}")
+    print(f"  {len(experiment.hwc_events)} HW counter events, "
+          f"{len(experiment.clock_events)} clock ticks")
+    print(f"  target exit code {experiment.info.exit_code}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
+
+
+__all__ = ["main", "build_workload"]

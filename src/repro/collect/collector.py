@@ -1,0 +1,235 @@
+"""The collector: run a program under clock and/or HW-counter profiling.
+
+Mirrors the paper's §2.2 user model::
+
+    collect -S off -p on -h +ecstall,lo,+ecrm,on mcf.exe mcf.in
+
+becomes::
+
+    cfg = CollectConfig(clock_profiling=True, counters=["+ecstall,lo", "+ecrm,on"])
+    experiment = collect(program, machine_config, cfg, input_longs=...)
+
+A ``+`` before a counter name requests the apropos backtracking search;
+at most two counters are accepted, and they must land on different PIC
+registers (the hardware constraint that forced the paper to run MCF
+twice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..compiler.program import Program
+from ..config import MachineConfig
+from ..errors import CollectError
+from ..kernel.process import Process
+from ..kernel.signals import SIGEMT, SIGPROF
+from ..machine.counters import EVENTS, CounterSnapshot, CounterSpec
+from .backtrack import apropos_backtrack
+from .experiment import ClockEvent, Experiment, HwcEvent
+
+#: default clock-profiling tick, in cycles (prime, as the paper prescribes)
+CLOCK_INTERVAL_CYCLES = {"hi": 4999, "on": 20011, "lo": 200003}
+
+
+@dataclass
+class CollectConfig:
+    """Parameters of one collect run (the command-line flags)."""
+
+    clock_profiling: bool = True
+    clock_interval: object = "on"  # "hi"/"on"/"lo" or cycles
+    #: counter requests like "+ecstall,lo" (the + requests backtracking)
+    counters: Sequence[str] = field(default_factory=tuple)
+    name: str = "experiment"
+    max_instructions: Optional[int] = None
+
+    def resolve_clock_interval(self) -> int:
+        """Map hi/on/lo (or cycles) to a tick interval."""
+        if isinstance(self.clock_interval, int):
+            if self.clock_interval <= 0:
+                raise CollectError("clock interval must be positive")
+            return self.clock_interval
+        try:
+            return CLOCK_INTERVAL_CYCLES[self.clock_interval]
+        except KeyError:
+            raise CollectError(
+                f"bad clock interval {self.clock_interval!r} (hi/on/lo or cycles)"
+            ) from None
+
+
+def parse_counter_requests(requests: Sequence[str]) -> list[CounterSpec]:
+    """Assign PIC registers to counter requests (paper: the user must put
+    two counters on different registers; we auto-assign and error out when
+    impossible)."""
+    if len(requests) > 2:
+        raise CollectError("at most two HW counters per experiment")
+    specs: list[CounterSpec] = []
+    used: set[int] = set()
+    # try the more constrained requests first
+    order = sorted(
+        range(len(requests)),
+        key=lambda i: len(EVENTS[requests[i].lstrip("+").split(",")[0]].registers)
+        if requests[i].lstrip("+").split(",")[0] in EVENTS
+        else 99,
+    )
+    chosen: dict[int, CounterSpec] = {}
+    for i in order:
+        text = requests[i]
+        name = text.lstrip("+").split(",")[0]
+        if name not in EVENTS:
+            raise CollectError(f"unknown counter name: {name!r}")
+        register = next((r for r in EVENTS[name].registers if r not in used), None)
+        if register is None:
+            raise CollectError(
+                f"counters {[r.lstrip('+').split(',')[0] for r in requests]} "
+                f"cannot be mapped to different PIC registers"
+            )
+        used.add(register)
+        chosen[i] = CounterSpec.parse(text, register)
+    for i in range(len(requests)):
+        specs.append(chosen[i])
+    return specs
+
+
+class Collector:
+    """Drives one profiled run."""
+
+    def __init__(
+        self,
+        program: Program,
+        machine_config: MachineConfig,
+        collect_config: CollectConfig,
+        input_longs: Sequence[int] = (),
+        heap_page_bytes: Optional[int] = None,
+    ) -> None:
+        self.program = program
+        self.machine_config = machine_config
+        self.config = collect_config
+        self.process = Process(
+            program,
+            machine_config,
+            input_longs=input_longs,
+            heap_page_bytes=heap_page_bytes,
+        )
+        self.experiment = Experiment(collect_config.name)
+        self.experiment.program = program
+        self.experiment.info.heap_page_bytes = (
+            heap_page_bytes or machine_config.dtlb.default_page_bytes
+        )
+        self.specs = parse_counter_requests(collect_config.counters)
+        self._spec_by_register = {spec.register: spec for spec in self.specs}
+
+    # ------------------------------------------------------------- handlers
+
+    def _on_overflow(self, snapshot: CounterSnapshot) -> None:
+        spec = self._spec_by_register[snapshot.counter_index]
+        cpu = self.process.machine.cpu
+        if spec.backtrack:
+            result = apropos_backtrack(
+                cpu.code, cpu.text_base, snapshot.trap_pc, spec.event, snapshot.regs
+            )
+            candidate, ea = result.candidate_pc, result.effective_address
+            status, reason = result.status, result.ea_reason
+        else:
+            candidate, ea, status, reason = None, None, "disabled", ""
+        self.experiment.record_hwc(
+            HwcEvent(
+                counter=snapshot.counter_index,
+                event=spec.event.name,
+                weight=spec.interval,
+                trap_pc=snapshot.trap_pc,
+                candidate_pc=candidate,
+                effective_address=ea,
+                status=status,
+                ea_reason=reason,
+                cycle=snapshot.cycle,
+                callstack=snapshot.callstack,
+            )
+        )
+
+    def _on_clock(self, pc: int, cycle: int, callstack: tuple) -> None:
+        self.experiment.record_clock(ClockEvent(pc, cycle, callstack))
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> Experiment:
+        """Execute the pass over the whole unit and return the result."""
+        experiment = self.experiment
+        machine = self.process.machine
+        experiment.log(f"collect: starting run of {self.program.entry:#x}")
+
+        if self.specs:
+            machine.configure_counters(self.specs)
+            self.process.signals.register(SIGEMT, self._on_overflow)
+            experiment.info.counters = [
+                {
+                    "name": spec.event.name,
+                    "interval": spec.interval,
+                    "backtrack": spec.backtrack,
+                    "register": spec.register,
+                }
+                for spec in self.specs
+            ]
+            for spec in self.specs:
+                experiment.log(
+                    f"collect: PIC{spec.register} <- {spec.event.name} "
+                    f"interval={spec.interval} backtrack={spec.backtrack}"
+                )
+
+        if self.config.clock_profiling:
+            interval = self.config.resolve_clock_interval()
+            machine.cpu.enable_clock_profiling(interval)
+            self.process.signals.register(SIGPROF, self._on_clock)
+            experiment.info.clock_interval_cycles = interval
+            experiment.log(f"collect: clock profiling every {interval} cycles")
+
+        experiment.info.clock_hz = self.machine_config.clock_hz
+        experiment.info.segments = [
+            [seg.name, seg.base, seg.size, seg.page_bytes]
+            for seg in machine.memory.segments
+        ]
+        exit_code = self.process.run(max_instructions=self.config.max_instructions)
+        experiment.info.allocations = [list(a) for a in self.process.allocations]
+        experiment.info.exit_code = exit_code
+        experiment.log(f"collect: target exited with {exit_code}")
+
+        stats = machine.stats()
+        experiment.info.instructions = stats.instructions
+        experiment.info.totals = {
+            "cycles": stats.cycles,
+            "system_cycles": stats.system_cycles,
+            "instructions": stats.instructions,
+            "dc_read_misses": stats.dc_read_misses,
+            "ec_refs": stats.ec_refs,
+            "ec_read_misses": stats.ec_read_misses,
+            "ec_stall_cycles": stats.ec_stall_cycles,
+            "dtlb_misses": stats.dtlb_misses,
+        }
+        experiment.log(
+            f"collect: {len(experiment.hwc_events)} HWC events, "
+            f"{len(experiment.clock_events)} clock ticks"
+        )
+        return experiment
+
+
+def collect(
+    program: Program,
+    machine_config: MachineConfig,
+    collect_config: CollectConfig,
+    input_longs: Sequence[int] = (),
+    heap_page_bytes: Optional[int] = None,
+    save_to=None,
+) -> Experiment:
+    """One-call version of the ``collect`` command."""
+    collector = Collector(
+        program, machine_config, collect_config,
+        input_longs=input_longs, heap_page_bytes=heap_page_bytes,
+    )
+    experiment = collector.run()
+    if save_to is not None:
+        experiment.save(save_to)
+    return experiment
+
+
+__all__ = ["Collector", "CollectConfig", "collect", "parse_counter_requests"]

@@ -1,0 +1,202 @@
+"""Experiment directories (paper §2.2: "the result of a collect run is an
+experiment, which is a file-system directory").
+
+Layout::
+
+    <name>.er/
+      log.txt        timestamped trace of high-level collection events
+      map.txt        the loadobjects map: modules + function address ranges
+      info.json      counter configuration + machine ground-truth totals
+      program.pkl    the executable image (plays the role of a.out + DWARF)
+      clock.jsonl    one clock-profile event per line
+      hwc<k>.jsonl   one counter-overflow event per line, per PIC register
+
+Experiments also work fully in memory (``save=None``) so tests and quick
+analyses avoid disk I/O; ``Experiment.open`` reads a saved directory back.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Optional
+
+from ..compiler.program import Program
+from ..errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class HwcEvent:
+    """One counter-overflow profile event, as recorded at collection time."""
+
+    counter: int          # PIC register index
+    event: str            # event name, e.g. "ecrm"
+    weight: int           # events represented (the overflow interval)
+    trap_pc: int
+    candidate_pc: Optional[int]
+    effective_address: Optional[int]
+    status: str           # backtrack status: found/not_found/disabled
+    ea_reason: str
+    cycle: int
+    callstack: tuple
+
+    def to_json(self) -> str:
+        """Serialize to one JSON line."""
+        record = asdict(self)
+        record["callstack"] = list(self.callstack)
+        return json.dumps(record, separators=(",", ":"))
+
+    @staticmethod
+    def from_json(line: str) -> "HwcEvent":
+        """Parse one JSON line back into an event."""
+        record = json.loads(line)
+        record["callstack"] = tuple(record["callstack"])
+        return HwcEvent(**record)
+
+
+@dataclass(frozen=True)
+class ClockEvent:
+    """One clock-profile tick (SIGPROF).  Cannot be backtracked."""
+
+    pc: int
+    cycle: int
+    callstack: tuple
+
+    def to_json(self) -> str:
+        """Serialize to one JSON line."""
+        return json.dumps(
+            {"pc": self.pc, "cycle": self.cycle, "callstack": list(self.callstack)},
+            separators=(",", ":"),
+        )
+
+    @staticmethod
+    def from_json(line: str) -> "ClockEvent":
+        """Parse one JSON line back into an event."""
+        record = json.loads(line)
+        return ClockEvent(record["pc"], record["cycle"], tuple(record["callstack"]))
+
+
+@dataclass
+class ExperimentInfo:
+    """Collection parameters + end-of-run ground truth."""
+
+    counters: list = field(default_factory=list)  # [{name, interval, backtrack, register}]
+    clock_interval_cycles: int = 0
+    clock_hz: float = 0.0
+    totals: dict = field(default_factory=dict)
+    exit_code: int = 0
+    instructions: int = 0
+    heap_page_bytes: int = 0
+    config_name: str = ""
+    #: [name, base, size, page_bytes] for each mapped segment
+    segments: list = field(default_factory=list)
+    #: [addr, size, start_cycle, end_cycle(-1 if live), callsite_pc] per
+    #: heap allocation (instance-level analysis, paper §4)
+    allocations: list = field(default_factory=list)
+
+
+class Experiment:
+    """A collect run's recorded data."""
+
+    def __init__(self, name: str = "experiment") -> None:
+        self.name = name
+        self.program: Optional[Program] = None
+        self.info = ExperimentInfo()
+        self.hwc_events: list[HwcEvent] = []
+        self.clock_events: list[ClockEvent] = []
+        self.log_lines: list[str] = []
+
+    # -------------------------------------------------------------- logging
+
+    def log(self, message: str) -> None:
+        """Append a timestamped line to the experiment log."""
+        self.log_lines.append(f"{time.time():.6f} {message}")
+
+    # -------------------------------------------------------------- record
+
+    def record_hwc(self, event: HwcEvent) -> None:
+        """Record one counter-overflow event."""
+        self.hwc_events.append(event)
+
+    def record_clock(self, event: ClockEvent) -> None:
+        """Record one clock-profiling tick."""
+        self.clock_events.append(event)
+
+    # ---------------------------------------------------------------- save
+
+    def save(self, directory) -> Path:
+        """Write to disk; returns the path written."""
+        path = Path(directory)
+        if path.suffix != ".er":
+            path = path.with_suffix(".er")
+        path.mkdir(parents=True, exist_ok=True)
+        (path / "log.txt").write_text("\n".join(self.log_lines) + "\n")
+        if self.program is not None:
+            map_lines = ["# loadobjects map: module, function, start, end"]
+            for func in self.program.functions:
+                hwcprof, branch_info = self.program.module_flags.get(
+                    func.module, (False, False)
+                )
+                flags = ("hwcprof" if hwcprof else "-") + (
+                    ",btinfo" if branch_info else ""
+                )
+                map_lines.append(
+                    f"{func.module:<12} {func.name:<24} "
+                    f"0x{func.start:x} 0x{func.end:x} {flags}"
+                )
+            (path / "map.txt").write_text("\n".join(map_lines) + "\n")
+        info = asdict(self.info)
+        (path / "info.json").write_text(json.dumps(info, indent=2))
+        if self.program is None:
+            raise ExperimentError("experiment has no program image")
+        self.program.save(path / "program.pkl")
+        with open(path / "clock.jsonl", "w") as stream:
+            for event in self.clock_events:
+                stream.write(event.to_json() + "\n")
+        counters = {event.counter for event in self.hwc_events}
+        for counter in sorted(counters) or []:
+            with open(path / f"hwc{counter}.jsonl", "w") as stream:
+                for event in self.hwc_events:
+                    if event.counter == counter:
+                        stream.write(event.to_json() + "\n")
+        return path
+
+    # ---------------------------------------------------------------- load
+
+    @staticmethod
+    def open(directory) -> "Experiment":
+        """Read a saved experiment directory back into memory."""
+        path = Path(directory)
+        if not path.is_dir():
+            raise ExperimentError(f"no experiment directory at {path}")
+        exp = Experiment(name=path.stem)
+        info_file = path / "info.json"
+        if not info_file.exists():
+            raise ExperimentError(f"{path} has no info.json")
+        info_record = json.loads(info_file.read_text())
+        known = {f.name for f in fields(ExperimentInfo)}
+        exp.info = ExperimentInfo(
+            **{k: v for k, v in info_record.items() if k in known}
+        )
+        program_file = path / "program.pkl"
+        if not program_file.exists():
+            raise ExperimentError(f"{path} has no program image")
+        exp.program = Program.load(program_file)
+        log_file = path / "log.txt"
+        if log_file.exists():
+            exp.log_lines = log_file.read_text().splitlines()
+        clock_file = path / "clock.jsonl"
+        if clock_file.exists():
+            with open(clock_file) as stream:
+                exp.clock_events = [ClockEvent.from_json(line) for line in stream if line.strip()]
+        for hwc_file in sorted(path.glob("hwc*.jsonl")):
+            with open(hwc_file) as stream:
+                exp.hwc_events.extend(
+                    HwcEvent.from_json(line) for line in stream if line.strip()
+                )
+        return exp
+
+
+__all__ = ["Experiment", "ExperimentInfo", "HwcEvent", "ClockEvent"]

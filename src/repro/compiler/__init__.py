@@ -1,0 +1,27 @@
+"""The mini-C compiler: codegen, -xhwcprof support, linking.
+
+Public entry points:
+
+* :func:`compile_module` — mini-C source -> :class:`Module` (relocatable);
+* :func:`link` — modules (+ the runtime library) -> :class:`Program`;
+* :func:`build_executable` — one-call convenience used by the workloads.
+"""
+
+from .debuginfo import MemopInfo, TEMPORARY_MEMOP
+from .codegen import compile_module, Module, AsmFunction, Label
+from .program import link, Program, FunctionSymbol, build_executable
+from .runtime import runtime_module
+
+__all__ = [
+    "MemopInfo",
+    "TEMPORARY_MEMOP",
+    "compile_module",
+    "Module",
+    "AsmFunction",
+    "Label",
+    "link",
+    "Program",
+    "FunctionSymbol",
+    "build_executable",
+    "runtime_module",
+]

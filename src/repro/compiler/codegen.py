@@ -1,0 +1,1087 @@
+"""Code generation: mini-C AST -> SPARC-like instructions.
+
+Design points that matter for the reproduction:
+
+* long-lived locals are assigned **callee-saved registers** in declaration
+  order, which produces the paper's tight pointer-chasing loops
+  (``ldx [%o3 + 56], %o2`` style: base pointer in a register, member
+  offset folded into the load immediate);
+* every load/store is annotated with a :class:`MemopInfo` naming the data
+  object it touches (only kept when the module is compiled with hwcprof);
+* branches are emitted with an explicit ``nop`` delay slot; a separate
+  optimization pass (:mod:`repro.compiler.hwcprof`) may fill slots, with
+  loads/stores allowed only when hwcprof is off (paper §2.1).
+
+Calling convention (flat register file, no windows):
+
+* args in ``%o0``-``%o5``, result in ``%o0``, return address in ``%o7``;
+* ``%g1``-``%g7`` are caller-saved expression scratch;
+* ``%l0``-``%l7``/``%i0``-``%i5`` are callee-saved and hold locals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import CodegenError
+from ..isa.instructions import Instr, Op
+from ..isa.registers import (
+    ARG_REGS,
+    LOCAL_REGS,
+    REG_G0,
+    REG_RA,
+    REG_SP,
+    RETURN_REG,
+    SCRATCH_REGS,
+)
+from ..lang import ast_nodes as A
+from ..lang.ctypes_ import (
+    ArrayType,
+    CharType,
+    CType,
+    PointerType,
+    StructType,
+    describe_for_profile,
+)
+from ..lang.parser import parse
+from ..lang.sema import Analyzer, VarSymbol
+from .debuginfo import (
+    LOCAL,
+    SCALAR,
+    STRUCT,
+    MemopInfo,
+    StructLayoutInfo,
+    TEMPORARY_MEMOP,
+)
+
+# frame layout (sp-relative, bytes)
+RA_SLOT = 0
+CALLEE_SAVE_BASE = 8                      # 14 slots: 8 .. 120
+SCRATCH_SAVE_BASE = CALLEE_SAVE_BASE + 8 * len(LOCAL_REGS)   # 7 slots
+LOCALS_BASE = SCRATCH_SAVE_BASE + 8 * len(SCRATCH_REGS)
+
+#: SPARC simm13 range for fold-into-immediate decisions
+IMM_MIN, IMM_MAX = -4096, 4095
+
+
+@dataclass
+class Label:
+    """A named position in an instruction stream (a join node)."""
+    name: str
+
+
+@dataclass
+class AsmFunction:
+    """One function's labelled instruction stream."""
+    name: str
+    items: list  # Label | Instr
+    line: int = 0
+    end_line: int = 0
+
+
+@dataclass
+class GlobalVar:
+    """A module-level variable awaiting data layout."""
+    name: str
+    size: int
+    align: int
+    init_words: Optional[list] = None  # 8-byte words, or None for zeros
+
+
+@dataclass
+class Module:
+    """One relocatable compilation unit."""
+
+    name: str
+    functions: list
+    globals_: list
+    strings: list  # (symbol, bytes including NUL)
+    structs: dict  # name -> StructLayoutInfo
+    hwcprof: bool
+    has_branch_info: bool
+    source: str
+    opt_fill_delay_slots: bool = True
+
+
+_COMPARE_BRANCH = {
+    "==": (Op.BE, Op.BNE),
+    "!=": (Op.BNE, Op.BE),
+    "<": (Op.BL, Op.BGE),
+    "<=": (Op.BLE, Op.BG),
+    ">": (Op.BG, Op.BLE),
+    ">=": (Op.BGE, Op.BL),
+}
+
+_ALU_OP = {
+    "+": Op.ADD,
+    "-": Op.SUB,
+    "*": Op.MULX,
+    "/": Op.SDIVX,
+    "%": Op.SMODX,
+    "&": Op.AND,
+    "|": Op.OR,
+    "^": Op.XOR,
+    "<<": Op.SLLX,
+    ">>": Op.SRAX,
+}
+
+
+def _is_char(ctype: CType) -> bool:
+    return isinstance(ctype, CharType)
+
+
+def _pointer_elem_size(ctype: CType) -> int:
+    if isinstance(ctype, PointerType):
+        return ctype.target.size()
+    if isinstance(ctype, ArrayType):
+        return ctype.elem.size()
+    raise CodegenError(f"expected pointer type, got {ctype}")
+
+
+class _FuncGen:
+    """Generates one function's instruction stream."""
+
+    def __init__(self, owner: "_ModuleGen", fn: A.FuncDecl) -> None:
+        self.owner = owner
+        self.fn = fn
+        self.items: list = []
+        self.line = fn.line
+        self.free_scratch = list(SCRATCH_REGS)
+        self.label_counter = 0
+        self.loop_stack: list[tuple[str, str]] = []  # (break, continue)
+        self.epilogue_label = self._new_label("epi")
+        self.used_callee: set[int] = set()
+        self.makes_calls = False
+        # spill/save slots are compiler temporaries; annotated only when
+        # the module carries hwcprof debug info
+        self.temp_memop = TEMPORARY_MEMOP if owner.hwcprof else None
+
+        # assign homes
+        self.homes: dict[int, tuple] = {}  # id(symbol) -> ("reg", n) | ("stack", off)
+        stack_off = LOCALS_BASE
+        reg_pool = list(LOCAL_REGS)
+        for sym in fn.all_locals:  # type: ignore[attr-defined]
+            needs_stack = sym.addr_taken or isinstance(sym.ctype, ArrayType)
+            if not needs_stack and reg_pool:
+                reg = reg_pool.pop(0)
+                self.homes[id(sym)] = ("reg", reg)
+                self.used_callee.add(reg)
+            else:
+                size = sym.ctype.size()
+                align = max(sym.ctype.align(), 8)
+                stack_off = (stack_off + align - 1) & ~(align - 1)
+                self.homes[id(sym)] = ("stack", stack_off)
+                stack_off += (size + 7) & ~7
+        self.frame_size = (stack_off + 15) & ~15
+
+    # ----------------------------------------------------------- emission
+
+    def _new_label(self, hint: str = "L") -> str:
+        self.label_counter += 1
+        return f"{self.fn.name}.{hint}{self.label_counter}"
+
+    def emit(self, op: Op, rd: int = REG_G0, rs1: int = REG_G0, rs2=None,
+             imm: int = 0, target=None, memop=None) -> Instr:
+        """Append one instruction to the current stream."""
+        instr = Instr(op, rd, rs1, rs2, imm, target, line=self.line, memop=memop)
+        self.items.append(instr)
+        return instr
+
+    def emit_label(self, name: str) -> None:
+        """Append a label (a join node) to the stream."""
+        self.items.append(Label(name))
+
+    def emit_branch(self, op: Op, target: str) -> None:
+        """Append a branch plus its (initially nop) delay slot."""
+        self.emit(op, target=target)
+        self.emit(Op.NOP)  # delay slot
+
+    # ----------------------------------------------------- register pool
+
+    def acquire(self) -> int:
+        """Allocate a scratch register; raises when the pool is empty."""
+        if not self.free_scratch:
+            raise CodegenError(
+                f"{self.fn.name}: expression too complex (out of scratch registers)"
+            )
+        return self.free_scratch.pop(0)
+
+    def release(self, reg: int, owned: bool) -> None:
+        """Return an owned scratch register to the pool."""
+        if owned and reg in SCRATCH_REGS and reg not in self.free_scratch:
+            self.free_scratch.insert(0, reg)
+
+    def live_scratch(self) -> list[int]:
+        """Scratch registers currently holding values."""
+        return [r for r in SCRATCH_REGS if r not in self.free_scratch]
+
+    # ----------------------------------------------------------- prologue
+
+    def generate(self) -> AsmFunction:
+        """Run code generation and return the result."""
+        body = self.fn.body
+        assert body is not None
+        self.gen_block(body)
+        # fall off the end -> return (undefined value for non-void)
+        items_body = self.items
+
+        # discover whether we made calls (for RA save) — set during genexpr
+        prologue: list = []
+
+        def pro(op: Op, rd=REG_G0, rs1=REG_G0, rs2=None, imm=0, target=None, memop=None):
+            prologue.append(
+                Instr(op, rd, rs1, rs2, imm, target, line=self.fn.line, memop=memop)
+            )
+
+        pro(Op.SUB, REG_SP, REG_SP, imm=self.frame_size)
+        if self.makes_calls:
+            pro(Op.STX, REG_RA, REG_SP, imm=RA_SLOT, memop=self.temp_memop)
+        for reg in sorted(self.used_callee):
+            slot = CALLEE_SAVE_BASE + 8 * LOCAL_REGS.index(reg)
+            pro(Op.STX, reg, REG_SP, imm=slot, memop=self.temp_memop)
+        # move incoming args to their homes
+        for index, sym in enumerate(self.fn.all_locals):  # type: ignore[attr-defined]
+            if sym.kind != "param":
+                continue
+            home = self.homes[id(sym)]
+            if home[0] == "reg":
+                pro(Op.MOV, home[1], ARG_REGS[index])
+            else:
+                store = Op.STB if _is_char(sym.ctype) else Op.STX
+                pro(store, ARG_REGS[index], REG_SP, imm=home[1],
+                    memop=self._local_memop(sym, True))
+
+        epilogue: list = [Label(self.epilogue_label)]
+
+        def epi(op: Op, rd=REG_G0, rs1=REG_G0, rs2=None, imm=0, target=None, memop=None):
+            epilogue.append(
+                Instr(op, rd, rs1, rs2, imm, target,
+                      line=self.fn.end_line or self.fn.line, memop=memop)
+            )
+
+        for reg in sorted(self.used_callee):
+            slot = CALLEE_SAVE_BASE + 8 * LOCAL_REGS.index(reg)
+            epi(Op.LDX, reg, REG_SP, imm=slot, memop=self.temp_memop)
+        if self.makes_calls:
+            epi(Op.LDX, REG_RA, REG_SP, imm=RA_SLOT, memop=self.temp_memop)
+        epi(Op.ADD, REG_SP, REG_SP, imm=self.frame_size)
+        epi(Op.JMPL, REG_G0, REG_RA, imm=8)  # retl
+        epi(Op.NOP)  # delay slot
+
+        return AsmFunction(
+            self.fn.name,
+            prologue + items_body + epilogue,
+            line=self.fn.line,
+            end_line=self.fn.end_line,
+        )
+
+    # ---------------------------------------------------------- statements
+
+    def gen_block(self, block: A.Block) -> None:
+        """Generate all statements of a block."""
+        for stmt in block.stmts:
+            self.gen_stmt(stmt)
+
+    def gen_stmt(self, stmt: A.Stmt) -> None:
+        """Generate one statement."""
+        self.line = stmt.line
+        if isinstance(stmt, A.Block):
+            self.gen_block(stmt)
+        elif isinstance(stmt, A.DeclStmt):
+            if stmt.init is not None:
+                self._store_to_symbol(stmt.symbol, stmt.init)
+        elif isinstance(stmt, A.ExprStmt):
+            reg, owned = self.gen_expr(stmt.expr, want_value=False)
+            if reg is not None:
+                self.release(reg, owned)
+        elif isinstance(stmt, A.If):
+            l_else = self._new_label("else")
+            self.gen_branch_cond(stmt.cond, l_else, branch_if_true=False)
+            self.gen_stmt(stmt.then)
+            if stmt.other is not None:
+                l_end = self._new_label("endif")
+                self.emit_branch(Op.BA, l_end)
+                self.emit_label(l_else)
+                self.gen_stmt(stmt.other)
+                self.emit_label(l_end)
+            else:
+                self.emit_label(l_else)
+        elif isinstance(stmt, A.While):
+            l_loop = self._new_label("loop")
+            l_end = self._new_label("endloop")
+            self.emit_label(l_loop)
+            self.gen_branch_cond(stmt.cond, l_end, branch_if_true=False)
+            self.loop_stack.append((l_end, l_loop))
+            self.gen_stmt(stmt.body)
+            self.loop_stack.pop()
+            self.emit_branch(Op.BA, l_loop)
+            self.emit_label(l_end)
+        elif isinstance(stmt, A.DoWhile):
+            l_loop = self._new_label("doloop")
+            l_cond = self._new_label("docond")
+            l_end = self._new_label("enddo")
+            self.emit_label(l_loop)
+            self.loop_stack.append((l_end, l_cond))
+            self.gen_stmt(stmt.body)
+            self.loop_stack.pop()
+            self.emit_label(l_cond)
+            self.gen_branch_cond(stmt.cond, l_loop, branch_if_true=True)
+            self.emit_label(l_end)
+        elif isinstance(stmt, A.For):
+            if isinstance(stmt.init, A.DeclStmt):
+                self.gen_stmt(stmt.init)
+            elif isinstance(stmt.init, A.ExprStmt):
+                self.gen_stmt(stmt.init)
+            l_loop = self._new_label("for")
+            l_cont = self._new_label("forstep")
+            l_end = self._new_label("endfor")
+            self.emit_label(l_loop)
+            if stmt.cond is not None:
+                self.gen_branch_cond(stmt.cond, l_end, branch_if_true=False)
+            self.loop_stack.append((l_end, l_cont))
+            self.gen_stmt(stmt.body)
+            self.loop_stack.pop()
+            self.emit_label(l_cont)
+            if stmt.step is not None:
+                reg, owned = self.gen_expr(stmt.step, want_value=False)
+                if reg is not None:
+                    self.release(reg, owned)
+            self.emit_branch(Op.BA, l_loop)
+            self.emit_label(l_end)
+        elif isinstance(stmt, A.Return):
+            if stmt.value is not None:
+                reg, owned = self.gen_expr(stmt.value)
+                if reg != RETURN_REG:
+                    self.emit(Op.MOV, RETURN_REG, reg)
+                self.release(reg, owned)
+            self.emit_branch(Op.BA, self.epilogue_label)
+        elif isinstance(stmt, A.Break):
+            if not self.loop_stack:
+                raise CodegenError("break outside loop")
+            self.emit_branch(Op.BA, self.loop_stack[-1][0])
+        elif isinstance(stmt, A.Continue):
+            if not self.loop_stack:
+                raise CodegenError("continue outside loop")
+            self.emit_branch(Op.BA, self.loop_stack[-1][1])
+        else:  # pragma: no cover
+            raise CodegenError(f"cannot generate {type(stmt).__name__}")
+
+    def _store_to_symbol(self, sym: VarSymbol, value_expr: A.Expr) -> None:
+        home = self.homes[id(sym)]
+        reg, owned = self.gen_expr(value_expr)
+        if home[0] == "reg":
+            self.emit(Op.MOV, home[1], reg)
+        else:
+            store = Op.STB if _is_char(sym.ctype) else Op.STX
+            self.emit(store, reg, REG_SP, imm=home[1], memop=self._local_memop(sym, True))
+        self.release(reg, owned)
+
+    def _local_memop(self, sym: VarSymbol, is_store: bool) -> Optional[MemopInfo]:
+        if not self.owner.hwcprof:
+            return None
+        return MemopInfo(category=LOCAL, object_class=str(sym.ctype), is_store=is_store)
+
+    # --------------------------------------------------------- conditions
+
+    def gen_branch_cond(self, expr: A.Expr, target: str, branch_if_true: bool) -> None:
+        """Branch to ``target`` when the condition's truth matches."""
+        self.line = expr.line
+        if isinstance(expr, A.IntLit):
+            if bool(expr.value) == branch_if_true:
+                self.emit_branch(Op.BA, target)
+            return
+        if isinstance(expr, A.Unary) and expr.op == "!":
+            self.gen_branch_cond(expr.operand, target, not branch_if_true)
+            return
+        if isinstance(expr, A.Binary) and expr.op in _COMPARE_BRANCH:
+            self._gen_compare(expr)
+            op_true, op_false = _COMPARE_BRANCH[expr.op]
+            self.emit_branch(op_true if branch_if_true else op_false, target)
+            return
+        if isinstance(expr, A.Binary) and expr.op == "&&":
+            if branch_if_true:
+                l_skip = self._new_label("and")
+                self.gen_branch_cond(expr.left, l_skip, False)
+                self.gen_branch_cond(expr.right, target, True)
+                self.emit_label(l_skip)
+            else:
+                self.gen_branch_cond(expr.left, target, False)
+                self.gen_branch_cond(expr.right, target, False)
+            return
+        if isinstance(expr, A.Binary) and expr.op == "||":
+            if branch_if_true:
+                self.gen_branch_cond(expr.left, target, True)
+                self.gen_branch_cond(expr.right, target, True)
+            else:
+                l_skip = self._new_label("or")
+                self.gen_branch_cond(expr.left, l_skip, True)
+                self.gen_branch_cond(expr.right, target, False)
+                self.emit_label(l_skip)
+            return
+        reg, owned = self.gen_expr(expr)
+        self.emit(Op.CMP, rs1=reg, imm=0)
+        self.release(reg, owned)
+        self.emit_branch(Op.BNE if branch_if_true else Op.BE, target)
+
+    def _gen_compare(self, expr: A.Binary) -> None:
+        """Emit CMP for a comparison's operands (with immediate folding)."""
+        left_reg, left_owned = self.gen_expr(expr.left)
+        if isinstance(expr.right, A.IntLit) and IMM_MIN <= expr.right.value <= IMM_MAX:
+            self.emit(Op.CMP, rs1=left_reg, imm=expr.right.value)
+        else:
+            right_reg, right_owned = self.gen_expr(expr.right)
+            self.emit(Op.CMP, rs1=left_reg, rs2=right_reg)
+            self.release(right_reg, right_owned)
+        self.release(left_reg, left_owned)
+
+    # -------------------------------------------------------- expressions
+
+    def gen_expr(self, expr: A.Expr, want_value: bool = True):
+        """Returns (reg, owned); reg may be None when want_value is False
+        and the expression has no register result (void call, store)."""
+        self.line = expr.line
+        if isinstance(expr, A.IntLit):
+            reg = self.acquire()
+            self.emit(Op.SET, reg, imm=expr.value)
+            return reg, True
+        if isinstance(expr, A.StrLit):
+            symbol = self.owner.intern_string(expr.value)
+            reg = self.acquire()
+            self.emit(Op.SET, reg, target=("data", symbol))
+            return reg, True
+        if isinstance(expr, A.SizeofType):
+            size = self.owner.analyzer.resolve_type(expr.type_ref).size()
+            reg = self.acquire()
+            self.emit(Op.SET, reg, imm=size)
+            return reg, True
+        if isinstance(expr, A.Ident):
+            return self._gen_ident(expr)
+        if isinstance(expr, A.Cast):
+            reg, owned = self.gen_expr(expr.operand)
+            if _is_char(expr.ctype):
+                dst = reg if owned else self._copy_to_new(reg)
+                self.emit(Op.AND, dst, dst, imm=0xFF)
+                return dst, True
+            return reg, owned
+        if isinstance(expr, A.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, A.Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, A.Assign):
+            return self._gen_assign(expr)
+        if isinstance(expr, A.IncDec):
+            return self._gen_incdec(expr, want_value)
+        if isinstance(expr, A.Call):
+            return self._gen_call(expr, want_value)
+        if isinstance(expr, (A.Member, A.Index)):
+            return self._gen_load(expr)
+        if isinstance(expr, A.Conditional):
+            return self._gen_conditional(expr)
+        raise CodegenError(f"cannot generate {type(expr).__name__}")
+
+    def _copy_to_new(self, reg: int) -> int:
+        dst = self.acquire()
+        self.emit(Op.MOV, dst, reg)
+        return dst
+
+    def _gen_ident(self, expr: A.Ident):
+        sym = expr.symbol
+        assert sym is not None
+        if sym.kind == "global":
+            reg = self.acquire()
+            self.emit(Op.SET, reg, target=("data", sym.name))
+            if isinstance(sym.ctype, ArrayType):
+                return reg, True  # array decays to its address
+            load = Op.LDUB if _is_char(sym.ctype) else Op.LDX
+            self.emit(load, reg, reg, imm=0, memop=self._global_memop(sym, False))
+            return reg, True
+        home = self.homes[id(sym)]
+        if home[0] == "reg":
+            return home[1], False
+        if isinstance(sym.ctype, ArrayType):
+            reg = self.acquire()
+            self.emit(Op.ADD, reg, REG_SP, imm=home[1])
+            return reg, True
+        reg = self.acquire()
+        load = Op.LDUB if _is_char(sym.ctype) else Op.LDX
+        self.emit(load, reg, REG_SP, imm=home[1], memop=self._local_memop(sym, False))
+        return reg, True
+
+    def _global_memop(self, sym: VarSymbol, is_store: bool) -> Optional[MemopInfo]:
+        if not self.owner.hwcprof:
+            return None
+        ctype = sym.ctype
+        if isinstance(ctype, ArrayType):
+            ctype = ctype.elem
+        if isinstance(ctype, StructType):
+            return None  # member accesses carry their own memop
+        return MemopInfo(
+            category=SCALAR,
+            object_class=describe_for_profile(ctype),
+            is_store=is_store,
+        )
+
+    def _gen_unary(self, expr: A.Unary):
+        op = expr.op
+        if op == "*":
+            return self._gen_load(expr)
+        if op == "&":
+            base, owned, offset, _memop, _ctype = self.gen_addr(expr.operand)
+            dst = base if owned else self._copy_to_new(base)
+            if offset:
+                self.emit(Op.ADD, dst, dst, imm=offset)
+            return dst, True
+        reg, owned = self.gen_expr(expr.operand)
+        dst = reg if owned else self._copy_to_new(reg)
+        if op == "-":
+            self.emit(Op.SUB, dst, REG_G0, rs2=dst)
+        elif op == "~":
+            self.emit(Op.XOR, dst, dst, imm=-1)
+        elif op == "!":
+            l_zero = self._new_label("not")
+            self.emit(Op.CMP, rs1=dst, imm=0)
+            self.emit(Op.SET, dst, imm=1)
+            self.emit_branch(Op.BE, l_zero)
+            self.emit(Op.SET, dst, imm=0)
+            self.emit_label(l_zero)
+        else:  # pragma: no cover
+            raise CodegenError(f"unknown unary {op!r}")
+        return dst, True
+
+    def _gen_binary(self, expr: A.Binary):
+        op = expr.op
+        if op in _COMPARE_BRANCH or op in ("&&", "||"):
+            # comparison / logical as a value: 0 or 1
+            dst = self.acquire()
+            l_true = self._new_label("val")
+            self.emit(Op.SET, dst, imm=1)
+            self.gen_branch_cond(expr, l_true, branch_if_true=True)
+            self.emit(Op.SET, dst, imm=0)
+            self.emit_label(l_true)
+            return dst, True
+
+        left_type = expr.left.ctype
+        right_type = expr.right.ctype
+        left_is_ptr = left_type is not None and (
+            left_type.is_pointer or isinstance(left_type, ArrayType)
+        )
+        right_is_ptr = right_type is not None and (
+            right_type.is_pointer or isinstance(right_type, ArrayType)
+        )
+
+        # pointer arithmetic with constant: fold scaled offset into imm
+        if op in ("+", "-") and left_is_ptr and isinstance(expr.right, A.IntLit):
+            scale = _pointer_elem_size(left_type)
+            delta = expr.right.value * scale * (1 if op == "+" else -1)
+            reg, owned = self.gen_expr(expr.left)
+            dst = reg if owned else self._copy_to_new(reg)
+            if IMM_MIN <= delta <= IMM_MAX:
+                self.emit(Op.ADD, dst, dst, imm=delta)
+            else:
+                tmp = self.acquire()
+                self.emit(Op.SET, tmp, imm=delta)
+                self.emit(Op.ADD, dst, dst, rs2=tmp)
+                self.release(tmp, True)
+            return dst, True
+
+        left_reg, left_owned = self.gen_expr(expr.left)
+
+        # ptr - ptr: subtract then divide by element size
+        if op == "-" and left_is_ptr and right_is_ptr:
+            right_reg, right_owned = self.gen_expr(expr.right)
+            dst = self.acquire()
+            self.emit(Op.SUB, dst, left_reg, rs2=right_reg)
+            self.release(right_reg, right_owned)
+            self.release(left_reg, left_owned)
+            size = _pointer_elem_size(left_type)
+            if size > 1:
+                if size & (size - 1) == 0:
+                    self.emit(Op.SRAX, dst, dst, imm=size.bit_length() - 1)
+                else:
+                    tmp = self.acquire()
+                    self.emit(Op.SET, tmp, imm=size)
+                    self.emit(Op.SDIVX, dst, dst, rs2=tmp)
+                    self.release(tmp, True)
+            return dst, True
+
+        # ptr +/- integer expression: scale the integer
+        if op in ("+", "-") and (left_is_ptr or right_is_ptr):
+            if right_is_ptr and not left_is_ptr:  # int + ptr -> ptr + int
+                ptr_reg, ptr_owned = self.gen_expr(expr.right)
+                int_reg, int_owned = left_reg, left_owned
+                ptr_type = right_type
+            else:
+                ptr_reg, ptr_owned = left_reg, left_owned
+                int_reg, int_owned = self.gen_expr(expr.right)
+                ptr_type = left_type
+            scale = _pointer_elem_size(ptr_type)
+            scaled = self.acquire()
+            if scale == 1:
+                self.emit(Op.MOV, scaled, int_reg)
+            elif scale & (scale - 1) == 0:
+                self.emit(Op.SLLX, scaled, int_reg, imm=scale.bit_length() - 1)
+            else:
+                self.emit(Op.SET, scaled, imm=scale)
+                self.emit(Op.MULX, scaled, int_reg, rs2=scaled)
+            self.release(int_reg, int_owned)
+            dst = self.acquire()
+            self.emit(_ALU_OP[op], dst, ptr_reg, rs2=scaled)
+            self.release(scaled, True)
+            self.release(ptr_reg, ptr_owned)
+            return dst, True
+
+        # plain integer binop, folding small constants
+        if (
+            isinstance(expr.right, A.IntLit)
+            and IMM_MIN <= expr.right.value <= IMM_MAX
+            and not (op in ("/", "%") and expr.right.value == 0)
+        ):
+            dst = self.acquire()
+            self.emit(_ALU_OP[op], dst, left_reg, imm=expr.right.value)
+            self.release(left_reg, left_owned)
+            return dst, True
+        right_reg, right_owned = self.gen_expr(expr.right)
+        dst = self.acquire()
+        self.emit(_ALU_OP[op], dst, left_reg, rs2=right_reg)
+        self.release(right_reg, right_owned)
+        self.release(left_reg, left_owned)
+        return dst, True
+
+    def _gen_conditional(self, expr: A.Conditional):
+        dst = self.acquire()
+        l_else = self._new_label("celse")
+        l_end = self._new_label("cend")
+        self.gen_branch_cond(expr.cond, l_else, branch_if_true=False)
+        then_reg, then_owned = self.gen_expr(expr.then)
+        self.emit(Op.MOV, dst, then_reg)
+        self.release(then_reg, then_owned)
+        self.emit_branch(Op.BA, l_end)
+        self.emit_label(l_else)
+        other_reg, other_owned = self.gen_expr(expr.other)
+        self.emit(Op.MOV, dst, other_reg)
+        self.release(other_reg, other_owned)
+        self.emit_label(l_end)
+        return dst, True
+
+    # -------------------------------------------------------- loads/stores
+
+    def gen_addr(self, expr: A.Expr):
+        """Address of an lvalue.
+
+        Returns (base_reg, base_owned, const_offset, memop, value_ctype).
+        Register-homed locals never reach here (handled by callers).
+        """
+        self.line = expr.line
+        if isinstance(expr, A.Ident):
+            sym = expr.symbol
+            if sym.kind == "global":
+                reg = self.acquire()
+                self.emit(Op.SET, reg, target=("data", sym.name))
+                return reg, True, 0, self._global_memop(sym, False), sym.ctype
+            home = self.homes[id(sym)]
+            if home[0] != "stack":
+                raise CodegenError(
+                    f"address of register-homed local {sym.name} (sema bug)"
+                )
+            return REG_SP, False, home[1], self._local_memop(sym, False), sym.ctype
+        if isinstance(expr, A.Unary) and expr.op == "*":
+            base, owned = self.gen_expr(expr.operand)
+            memop = None
+            if self.owner.hwcprof:
+                memop = MemopInfo(
+                    category=SCALAR,
+                    object_class=describe_for_profile(expr.ctype),
+                )
+            return base, owned, 0, memop, expr.ctype
+        if isinstance(expr, A.Member):
+            f = expr.field
+            struct = expr.struct_type
+            memop = None
+            if self.owner.hwcprof:
+                memop = MemopInfo(
+                    category=STRUCT,
+                    object_class=f"structure:{struct.name}",
+                    member=f.name,
+                    offset=f.offset,
+                    member_type=describe_for_profile(f.ctype),
+                )
+            if expr.arrow:
+                base, owned = self.gen_expr(expr.base)
+                return base, owned, f.offset, memop, f.ctype
+            base, owned, offset, _inner, _ctype = self.gen_addr(expr.base)
+            return base, owned, offset + f.offset, memop, f.ctype
+        if isinstance(expr, A.Index):
+            base_type = expr.base.ctype
+            elem = expr.ctype
+            elem_size = elem.size()
+            memop = None
+            if self.owner.hwcprof and not isinstance(elem, StructType):
+                memop = MemopInfo(
+                    category=SCALAR,
+                    object_class=describe_for_profile(elem),
+                )
+            # base address: array lvalue (address) or pointer value
+            if isinstance(base_type, ArrayType):
+                base, owned, offset, _m, _c = self.gen_addr(expr.base)
+            else:
+                base, owned = self.gen_expr(expr.base)
+                offset = 0
+            if isinstance(expr.index, A.IntLit):
+                delta = expr.index.value * elem_size
+                return base, owned, offset + delta, memop, elem
+            idx_reg, idx_owned = self.gen_expr(expr.index)
+            scaled = self.acquire()
+            if elem_size == 1:
+                self.emit(Op.MOV, scaled, idx_reg)
+            elif elem_size & (elem_size - 1) == 0:
+                self.emit(Op.SLLX, scaled, idx_reg, imm=elem_size.bit_length() - 1)
+            else:
+                self.emit(Op.SET, scaled, imm=elem_size)
+                self.emit(Op.MULX, scaled, idx_reg, rs2=scaled)
+            self.release(idx_reg, idx_owned)
+            dst = self.acquire()
+            self.emit(Op.ADD, dst, base, rs2=scaled)
+            self.release(scaled, True)
+            self.release(base, owned)
+            return dst, True, offset, memop, elem
+        raise CodegenError(f"not an addressable lvalue: {type(expr).__name__}")
+
+    def _gen_load(self, expr: A.Expr):
+        base, owned, offset, memop, ctype = self.gen_addr(expr)
+        if isinstance(ctype, ArrayType):
+            # member array decays to its address
+            dst = base if owned else self._copy_to_new(base)
+            if offset:
+                self.emit(Op.ADD, dst, dst, imm=offset)
+            return dst, True
+        if isinstance(ctype, StructType):
+            raise CodegenError("struct values are not supported; take a member")
+        load = Op.LDUB if _is_char(ctype) else Op.LDX
+        if memop is not None:
+            memop = MemopInfo(
+                category=memop.category,
+                object_class=memop.object_class,
+                member=memop.member,
+                offset=memop.offset,
+                member_type=memop.member_type,
+                is_store=False,
+            )
+        # Prefer a fresh destination so the base register survives — the
+        # collector's effective-address recovery needs the base intact at
+        # trap time (a self-clobbering ``ldx [%g1], %g1`` makes every EA
+        # "(clobbered)"); fall back to reuse under register pressure.
+        if owned and not self.free_scratch:
+            self.emit(load, base, base, imm=offset, memop=memop)
+            return base, True
+        dst = self.acquire()
+        self.emit(load, dst, base, imm=offset, memop=memop)
+        self.release(base, owned)
+        return dst, True
+
+    def _gen_assign(self, expr: A.Assign):
+        target = expr.target
+        # register-homed local
+        if isinstance(target, A.Ident) and target.symbol.kind != "global":
+            home = self.homes[id(target.symbol)]
+            if home[0] == "reg":
+                home_reg = home[1]
+                if expr.op == "=":
+                    reg, owned = self.gen_expr(expr.value)
+                    self.emit(Op.MOV, home_reg, reg)
+                    self.release(reg, owned)
+                else:
+                    self._compound_into_reg(home_reg, expr)
+                return home_reg, False
+
+        base, owned, offset, memop, ctype = self.gen_addr(target)
+        is_char = _is_char(ctype)
+        store = Op.STB if is_char else Op.STX
+        load = Op.LDUB if is_char else Op.LDX
+        store_memop = None
+        if memop is not None:
+            store_memop = MemopInfo(
+                category=memop.category,
+                object_class=memop.object_class,
+                member=memop.member,
+                offset=memop.offset,
+                member_type=memop.member_type,
+                is_store=True,
+            )
+        if expr.op == "=":
+            value_reg, value_owned = self.gen_expr(expr.value)
+            self.emit(store, value_reg, base, imm=offset, memop=store_memop)
+            self.release(base, owned)
+            return value_reg, value_owned
+        # compound: load, op, store
+        old = self.acquire()
+        self.emit(load, old, base, imm=offset, memop=memop)
+        new = self._apply_binop_for_compound(expr, old)
+        self.emit(store, new, base, imm=offset, memop=store_memop)
+        self.release(base, owned)
+        if new != old:
+            self.release(old, True)
+        return new, True
+
+    def _apply_binop_for_compound(self, expr: A.Assign, old_reg: int) -> int:
+        """old_reg OP value -> returns result register (may reuse old_reg)."""
+        op = expr.op
+        target_type = expr.target.ctype
+        scale = 1
+        if target_type is not None and target_type.is_pointer and op in ("+", "-"):
+            scale = _pointer_elem_size(target_type)
+        if isinstance(expr.value, A.IntLit):
+            folded = expr.value.value * scale
+            if IMM_MIN <= folded <= IMM_MAX and not (op in ("/", "%") and folded == 0):
+                self.emit(_ALU_OP[op], old_reg, old_reg, imm=folded)
+                return old_reg
+        value_reg, value_owned = self.gen_expr(expr.value)
+        if scale != 1:
+            scaled = self.acquire()
+            if scale & (scale - 1) == 0:
+                self.emit(Op.SLLX, scaled, value_reg, imm=scale.bit_length() - 1)
+            else:
+                self.emit(Op.SET, scaled, imm=scale)
+                self.emit(Op.MULX, scaled, value_reg, rs2=scaled)
+            self.release(value_reg, value_owned)
+            value_reg, value_owned = scaled, True
+        self.emit(_ALU_OP[op], old_reg, old_reg, rs2=value_reg)
+        self.release(value_reg, value_owned)
+        return old_reg
+
+    def _compound_into_reg(self, home_reg: int, expr: A.Assign) -> None:
+        op = expr.op
+        target_type = expr.target.ctype
+        scale = 1
+        if target_type is not None and target_type.is_pointer and op in ("+", "-"):
+            scale = _pointer_elem_size(target_type)
+        if isinstance(expr.value, A.IntLit):
+            folded = expr.value.value * scale
+            if IMM_MIN <= folded <= IMM_MAX and not (op in ("/", "%") and folded == 0):
+                self.emit(_ALU_OP[op], home_reg, home_reg, imm=folded)
+                return
+        value_reg, value_owned = self.gen_expr(expr.value)
+        if scale != 1:
+            scaled = self.acquire()
+            if scale & (scale - 1) == 0:
+                self.emit(Op.SLLX, scaled, value_reg, imm=scale.bit_length() - 1)
+            else:
+                self.emit(Op.SET, scaled, imm=scale)
+                self.emit(Op.MULX, scaled, value_reg, rs2=scaled)
+            self.release(value_reg, value_owned)
+            value_reg, value_owned = scaled, True
+        self.emit(_ALU_OP[op], home_reg, home_reg, rs2=value_reg)
+        self.release(value_reg, value_owned)
+
+    def _gen_incdec(self, expr: A.IncDec, want_value: bool):
+        delta = 1 if expr.op == "++" else -1
+        target = expr.target
+        ctype = target.ctype
+        if ctype is not None and ctype.is_pointer:
+            delta *= _pointer_elem_size(ctype)
+        if isinstance(target, A.Ident) and target.symbol.kind != "global":
+            home = self.homes[id(target.symbol)]
+            if home[0] == "reg":
+                home_reg = home[1]
+                if want_value and not expr.is_prefix:
+                    old = self._copy_to_new(home_reg)
+                    self.emit(Op.ADD, home_reg, home_reg, imm=delta)
+                    return old, True
+                self.emit(Op.ADD, home_reg, home_reg, imm=delta)
+                return home_reg, False
+        base, owned, offset, memop, vtype = self.gen_addr(target)
+        is_char = _is_char(vtype)
+        load = Op.LDUB if is_char else Op.LDX
+        store = Op.STB if is_char else Op.STX
+        store_memop = None
+        if memop is not None:
+            store_memop = MemopInfo(
+                category=memop.category,
+                object_class=memop.object_class,
+                member=memop.member,
+                offset=memop.offset,
+                member_type=memop.member_type,
+                is_store=True,
+            )
+        old = self.acquire()
+        self.emit(load, old, base, imm=offset, memop=memop)
+        new = self.acquire()
+        self.emit(Op.ADD, new, old, imm=delta)
+        self.emit(store, new, base, imm=offset, memop=store_memop)
+        self.release(base, owned)
+        if expr.is_prefix or not want_value:
+            self.release(old, True)
+            return new, True
+        self.release(new, True)
+        return old, True
+
+    # --------------------------------------------------------------- calls
+
+    def _gen_call(self, expr: A.Call, want_value: bool):
+        self.makes_calls = True
+        if len(expr.args) > len(ARG_REGS):
+            raise CodegenError(f"{expr.name}: too many arguments")
+        # 1. evaluate args into scratch
+        arg_regs: list[tuple[int, bool]] = []
+        for arg in expr.args:
+            arg_regs.append(self.gen_expr(arg))
+        # 2. move args into %o registers, releasing scratch
+        for index, (reg, owned) in enumerate(arg_regs):
+            self.emit(Op.MOV, ARG_REGS[index], reg)
+            self.release(reg, owned)
+        # 3. save remaining live scratch (caller-saved) around the call
+        live = self.live_scratch()
+        if len(live) > len(SCRATCH_REGS):  # pragma: no cover
+            raise CodegenError("scratch bookkeeping error")
+        for slot, reg in enumerate(live):
+            self.emit(Op.STX, reg, REG_SP, imm=SCRATCH_SAVE_BASE + 8 * slot,
+                      memop=self.temp_memop)
+        self.emit(Op.CALL, target=("func", expr.name))
+        self.emit(Op.NOP)  # delay slot
+        for slot, reg in enumerate(live):
+            self.emit(Op.LDX, reg, REG_SP, imm=SCRATCH_SAVE_BASE + 8 * slot,
+                      memop=self.temp_memop)
+        ret = expr.symbol.ftype.ret
+        from ..lang.ctypes_ import VoidType
+
+        if isinstance(ret, VoidType) or not want_value:
+            return None, False
+        dst = self.acquire()
+        self.emit(Op.MOV, dst, RETURN_REG)
+        return dst, True
+
+
+class _ModuleGen:
+    """Generates a whole module."""
+
+    def __init__(self, name: str, analyzer: Analyzer, unit: A.TranslationUnit,
+                 hwcprof: bool, fill_delay_slots: bool,
+                 prefetch_feedback=None, xprefetch: bool = False) -> None:
+        self.name = name
+        self.analyzer = analyzer
+        self.unit = unit
+        self.hwcprof = hwcprof
+        self.fill_delay_slots = fill_delay_slots
+        self.prefetch_feedback = list(prefetch_feedback or [])
+        self.xprefetch = xprefetch
+        self.strings: list = []
+        self._string_index: dict[str, str] = {}
+
+    def intern_string(self, text: str) -> str:
+        """Deduplicate a string literal; returns its data symbol."""
+        if text in self._string_index:
+            return self._string_index[text]
+        symbol = f"__{self.name}_str{len(self.strings)}"
+        self._string_index[text] = symbol
+        self.strings.append((symbol, text.encode() + b"\0"))
+        return symbol
+
+    def generate(self) -> Module:
+        """Run code generation and return the result."""
+        from .hwcprof import (
+            apply_hwcprof_padding,
+            fill_delay_slots,
+            insert_prefetches,
+        )
+
+        functions = []
+        for fn in self.unit.functions:
+            if fn.body is None:
+                continue
+            asm = _FuncGen(self, fn).generate()
+            if self.fill_delay_slots:
+                asm.items = fill_delay_slots(asm.items, allow_mem=not self.hwcprof)
+            if self.hwcprof:
+                asm.items = apply_hwcprof_padding(asm.items)
+            if self.prefetch_feedback or self.xprefetch:
+                asm.items = insert_prefetches(
+                    asm.items, self.prefetch_feedback, fn.name,
+                    match_all_struct_loads=self.xprefetch,
+                )
+            functions.append(asm)
+
+        globals_: list[GlobalVar] = []
+        for g in self.unit.globals:
+            ctype = g.symbol.ctype
+            size = ctype.size()
+            align = max(ctype.align(), 8)
+            init_words = None
+            if g.init is not None:
+                init_words = [g.init.value]
+            globals_.append(GlobalVar(g.name, (size + 7) & ~7, align, init_words))
+
+        structs = {
+            name: StructLayoutInfo(
+                name=name,
+                size=st.size(),
+                members=tuple(
+                    (f.name, f.offset, describe_for_profile(f.ctype))
+                    for f in st.fields
+                ),
+            )
+            for name, st in self.analyzer.structs.items()
+            if st.complete
+        }
+
+        return Module(
+            name=self.name,
+            functions=functions,
+            globals_=globals_,
+            strings=self.strings,
+            structs=structs,
+            hwcprof=self.hwcprof,
+            has_branch_info=self.hwcprof,
+            source=self.unit.source,
+            opt_fill_delay_slots=self.fill_delay_slots,
+        )
+
+
+def compile_module(
+    source: str,
+    name: str = "a",
+    hwcprof: bool = True,
+    fill_delay_slots: bool = True,
+    defines: Optional[dict] = None,
+    prefetch_feedback=None,
+    xprefetch: bool = False,
+    debug_format: str = "dwarf",
+) -> Module:
+    """Compile mini-C ``source`` into a relocatable :class:`Module`.
+
+    ``hwcprof=True`` is the paper's ``-xhwcprof -xdebugformat=dwarf``:
+    memop cross-references, branch-target info and padding are emitted.
+    ``prefetch_feedback`` takes :class:`~repro.analyze.feedback.PrefetchHint`
+    entries (the paper's §4 feedback file) and inserts prefetches for the
+    matching loads.  ``xprefetch=True`` is the blanket compiler-prefetch
+    mode of the paper's §2.1 — and, as §2.1 requires, ``hwcprof`` does not
+    suppress it: both flags compose.
+    """
+    if debug_format not in ("dwarf", "stabs"):
+        raise CodegenError(f"unknown debug format {debug_format!r}")
+    if hwcprof and debug_format != "dwarf":
+        # paper §2.1: "-xdebugformat=dwarf is used because DWARF symbol
+        # tables, but not the default STABS symbol tables, support memory
+        # profiling"
+        raise CodegenError(
+            "-xhwcprof requires -xdebugformat=dwarf (STABS symbol tables "
+            "cannot carry the data-space cross references)"
+        )
+    unit = parse(source, defines)
+    analyzer = Analyzer(unit)
+    analyzer.run()
+    return _ModuleGen(
+        name, analyzer, unit, hwcprof, fill_delay_slots, prefetch_feedback,
+        xprefetch,
+    ).generate()
+
+
+__all__ = [
+    "Label",
+    "AsmFunction",
+    "GlobalVar",
+    "Module",
+    "compile_module",
+    "LOCALS_BASE",
+    "SCRATCH_SAVE_BASE",
+    "CALLEE_SAVE_BASE",
+]

@@ -1,0 +1,75 @@
+"""DWARF-like debug information for data-space profiling.
+
+When a module is compiled with hwcprof (the paper's ``-xhwcprof
+-xdebugformat=dwarf``) every memory instruction carries a
+:class:`MemopInfo` cross-reference naming the data object it touches —
+this is the symbolic information the analyzer turns into the paper's
+``{structure:node -}{long orientation}`` annotations and the Figure 6/7
+data-object tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# categories
+STRUCT = "struct"       # a struct member access -> "structure:<name>"
+SCALAR = "scalar"       # a scalar through a pointer/array/global -> "<Scalars>"
+TEMPORARY = "temporary" # compiler temporary (spill/save slots) -> "(Unidentified)"
+LOCAL = "local"         # a named stack local -> "(Unidentified)"
+
+
+@dataclass(frozen=True)
+class MemopInfo:
+    """What one memory-reference instruction touches, statically."""
+
+    category: str
+    #: data-object class, e.g. "structure:node" (STRUCT) or "long" (SCALAR)
+    object_class: str = ""
+    #: member name within the struct (STRUCT only)
+    member: str = ""
+    #: member byte offset within the struct (STRUCT only)
+    offset: int = -1
+    #: member type, e.g. "long" or "pointer+structure:arc"
+    member_type: str = ""
+    #: True for stores, False for loads
+    is_store: bool = False
+
+    def annotation(self) -> str:
+        """The paper's Figure 4 style annotation string."""
+        if self.category == STRUCT:
+            return f"{{{self.object_class} -}}.{{{self.member_type} {self.member}}}"
+        if self.category == SCALAR:
+            return f"{{{self.object_class}}}"
+        return ""
+
+
+#: shared instance for saves/spills — the paper's "(Unidentified) ...
+#: most likely a compiler-temporary"
+TEMPORARY_MEMOP = MemopInfo(category=TEMPORARY)
+
+
+@dataclass(frozen=True)
+class StructLayoutInfo:
+    """Struct layout recorded in the executable for the analyzer (Fig 7)."""
+
+    name: str
+    size: int
+    #: (member name, byte offset, type string) in layout order
+    members: tuple
+
+    @property
+    def object_class(self) -> str:
+        """The profiling name, e.g. ``structure:node``."""
+        return f"structure:{self.name}"
+
+
+__all__ = [
+    "MemopInfo",
+    "StructLayoutInfo",
+    "TEMPORARY_MEMOP",
+    "STRUCT",
+    "SCALAR",
+    "TEMPORARY",
+    "LOCAL",
+]

@@ -1,0 +1,127 @@
+"""The hand-assembled runtime library ("libc").
+
+Built **without** hwcprof — exactly like the paper's ``libc.so.1`` — so
+memory events that trigger inside these functions cannot be attributed to
+a data object and surface as ``(Unascertainable)`` in the data-object
+profile (paper §3.2.5).
+
+Kernel services are reached through the ``ta`` (trap always) instruction;
+the trap codes here are the contract with :mod:`repro.kernel.process`.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import Instr, Op
+from ..isa.registers import REG_G0, REG_RA, reg_number
+from .codegen import AsmFunction, Label, Module
+
+# trap codes (the syscall ABI)
+TRAP_EXIT = 0
+TRAP_MALLOC = 1
+TRAP_FREE = 2
+TRAP_PRINT_LONG = 3
+TRAP_PRINT_CHAR = 4
+
+_O0 = reg_number("%o0")
+_O1 = reg_number("%o1")
+_O2 = reg_number("%o2")
+_G1 = reg_number("%g1")
+_G2 = reg_number("%g2")
+
+
+def _retl() -> list:
+    return [
+        Instr(Op.JMPL, REG_G0, REG_RA, imm=8),
+        Instr(Op.NOP),
+    ]
+
+
+def _trap_stub(name: str, code: int) -> AsmFunction:
+    return AsmFunction(name, [Instr(Op.TA, imm=code)] + _retl())
+
+
+def _zero_memory() -> AsmFunction:
+    """void zero_memory(char *p, long nbytes)  — nbytes multiple of 8."""
+    loop, end = "rt_zero.loop", "rt_zero.end"
+    items = [
+        Instr(Op.ADD, _G1, _O0, rs2=_O1),          # g1 = p + nbytes
+        Label(loop),
+        Instr(Op.CMP, rs1=_O0, rs2=_G1),
+        Instr(Op.BGE, target=end),
+        Instr(Op.NOP),
+        Instr(Op.STX, REG_G0, _O0, imm=0),         # *(long*)p = 0
+        Instr(Op.BA, target=loop),
+        Instr(Op.ADD, _O0, _O0, imm=8),            # delay slot: p += 8
+        Label(end),
+    ] + _retl()
+    return AsmFunction("zero_memory", items)
+
+
+def _copy_memory() -> AsmFunction:
+    """void copy_memory(char *dst, char *src, long nbytes) — multiple of 8."""
+    loop, end = "rt_copy.loop", "rt_copy.end"
+    items = [
+        Instr(Op.ADD, _G1, _O1, rs2=_O2),          # g1 = src + nbytes
+        Label(loop),
+        Instr(Op.CMP, rs1=_O1, rs2=_G1),
+        Instr(Op.BGE, target=end),
+        Instr(Op.NOP),
+        Instr(Op.LDX, _G2, _O1, imm=0),            # load in a delay-slot-free
+        Instr(Op.STX, _G2, _O0, imm=0),            #   block, no debug info
+        Instr(Op.ADD, _O1, _O1, imm=8),
+        Instr(Op.BA, target=loop),
+        Instr(Op.ADD, _O0, _O0, imm=8),            # delay slot
+        Label(end),
+    ] + _retl()
+    return AsmFunction("copy_memory", items)
+
+
+def _print_str() -> AsmFunction:
+    """void print_str(char *s)"""
+    loop, end = "rt_puts.loop", "rt_puts.end"
+    items = [
+        Instr(Op.MOV, _G1, _O0),                   # g1 = s
+        Label(loop),
+        Instr(Op.LDUB, _O0, _G1, imm=0),
+        Instr(Op.CMP, rs1=_O0, imm=0),
+        Instr(Op.BE, target=end),
+        Instr(Op.NOP),
+        Instr(Op.TA, imm=TRAP_PRINT_CHAR),
+        Instr(Op.BA, target=loop),
+        Instr(Op.ADD, _G1, _G1, imm=1),            # delay slot: s++
+        Label(end),
+    ] + _retl()
+    return AsmFunction("print_str", items)
+
+
+def runtime_module() -> Module:
+    """A fresh runtime-library module (fresh Instr objects each call)."""
+    return Module(
+        name="librt",
+        functions=[
+            _trap_stub("malloc", TRAP_MALLOC),
+            _trap_stub("free", TRAP_FREE),
+            _zero_memory(),
+            _copy_memory(),
+            _trap_stub("print_long", TRAP_PRINT_LONG),
+            _trap_stub("print_char", TRAP_PRINT_CHAR),
+            _print_str(),
+            _trap_stub("exit", TRAP_EXIT),
+        ],
+        globals_=[],
+        strings=[],
+        structs={},
+        hwcprof=False,
+        has_branch_info=False,
+        source="",
+    )
+
+
+__all__ = [
+    "runtime_module",
+    "TRAP_EXIT",
+    "TRAP_MALLOC",
+    "TRAP_FREE",
+    "TRAP_PRINT_LONG",
+    "TRAP_PRINT_CHAR",
+]

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so that callers can
+catch library failures without masking genuine Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IsaError(ReproError):
+    """Malformed instruction, register name, or operand."""
+
+
+class LexError(ReproError):
+    """Invalid token in mini-C source."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        super().__init__(f"{line}:{col}: {message}" if line else message)
+        self.line = line
+        self.col = col
+
+
+class ParseError(ReproError):
+    """Syntax error in mini-C source."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        super().__init__(f"{line}:{col}: {message}" if line else message)
+        self.line = line
+        self.col = col
+
+
+class TypeCheckError(ReproError):
+    """Semantic / type error in mini-C source."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+class CodegenError(ReproError):
+    """The compiler could not lower an AST construct."""
+
+
+class LinkError(ReproError):
+    """Symbol resolution or image layout failure."""
+
+
+class MachineError(ReproError):
+    """Runtime fault in the simulated machine."""
+
+
+class MemoryFault(MachineError):
+    """Access outside any mapped segment, or misaligned access."""
+
+    def __init__(self, address: int, message: str = "unmapped address") -> None:
+        super().__init__(f"{message}: 0x{address:x}")
+        self.address = address
+
+
+class IllegalInstruction(MachineError):
+    """Fetch from a non-text address or an undecodable word."""
+
+
+class DivisionByZero(MachineError):
+    """Integer division or modulo by zero in the simulated program."""
+
+
+class KernelError(ReproError):
+    """Loader, heap, or signal-dispatch failure."""
+
+
+class OutOfMemory(KernelError):
+    """The simulated heap or arena is exhausted."""
+
+
+class CollectError(ReproError):
+    """Bad collect configuration (counter names, intervals, limits)."""
+
+
+class ExperimentError(ReproError):
+    """Experiment directory is missing, corrupt, or incomplete."""
+
+
+class AnalysisError(ReproError):
+    """Data reduction or report generation failure."""
+
+
+class WorkloadError(ReproError):
+    """MCF instance generation or solution validation failure."""

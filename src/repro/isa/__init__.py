@@ -1,0 +1,63 @@
+"""A SPARC-flavoured 64-bit instruction set for the simulated machine.
+
+The ISA is deliberately close to the subset of SPARC V9 that appears in the
+paper's Figure 4 disassembly: ``ldx``/``stx`` with register+immediate
+addressing, three-operand ALU instructions, compare-and-branch with a branch
+delay slot, ``call``/``retl`` and ``nop``.  Instructions are represented as
+decoded Python objects (there is no binary encoding step; the "address" of an
+instruction is its 4-byte slot in the text segment, which keeps the paper's
+PC arithmetic — ``refresh_potential + 0x000000D0`` — meaningful).
+"""
+
+from .registers import (
+    NUM_REGS,
+    REG_G0,
+    REG_SP,
+    REG_FP,
+    REG_RA,
+    REG_NAMES,
+    reg_name,
+    reg_number,
+    ARG_REGS,
+    SCRATCH_REGS,
+    LOCAL_REGS,
+    RETURN_REG,
+)
+from .instructions import (
+    Op,
+    Instr,
+    is_load,
+    is_store,
+    is_mem,
+    is_branch,
+    is_control_transfer,
+    writes_register,
+    MemopKind,
+)
+from .disasm import disassemble, format_operand
+
+__all__ = [
+    "NUM_REGS",
+    "REG_G0",
+    "REG_SP",
+    "REG_FP",
+    "REG_RA",
+    "REG_NAMES",
+    "reg_name",
+    "reg_number",
+    "ARG_REGS",
+    "SCRATCH_REGS",
+    "LOCAL_REGS",
+    "RETURN_REG",
+    "Op",
+    "Instr",
+    "MemopKind",
+    "is_load",
+    "is_store",
+    "is_mem",
+    "is_branch",
+    "is_control_transfer",
+    "writes_register",
+    "disassemble",
+    "format_operand",
+]

@@ -1,0 +1,106 @@
+"""Disassembler producing text in the style of the paper's Figure 4.
+
+Examples::
+
+    ldx   [%o3 + 56], %o2
+    cmp   %o2, 1
+    bne   0x100003110
+    stx   %g2, [%o3 + 88]
+    call  0x100002000
+"""
+
+from __future__ import annotations
+
+from .instructions import Instr, Op
+from .registers import REG_G0, reg_name
+
+_ALU_MNEMONIC = {
+    Op.ADD: "add",
+    Op.SUB: "sub",
+    Op.MULX: "mulx",
+    Op.SDIVX: "sdivx",
+    Op.SMODX: "smodx",
+    Op.AND: "and",
+    Op.OR: "or",
+    Op.XOR: "xor",
+    Op.SLLX: "sllx",
+    Op.SRLX: "srlx",
+    Op.SRAX: "srax",
+}
+
+_BRANCH_MNEMONIC = {
+    Op.BA: "ba",
+    Op.BE: "be",
+    Op.BNE: "bne",
+    Op.BG: "bg",
+    Op.BGE: "bge",
+    Op.BL: "bl",
+    Op.BLE: "ble",
+}
+
+_LOAD_MNEMONIC = {Op.LDX: "ldx", Op.LDUB: "ldub"}
+_STORE_MNEMONIC = {Op.STX: "stx", Op.STB: "stb"}
+
+
+def format_operand(instr: Instr) -> str:
+    """Second source operand: register name or immediate."""
+    if instr.rs2 is not None:
+        return reg_name(instr.rs2)
+    return str(instr.imm)
+
+
+def _format_address(instr: Instr) -> str:
+    base = reg_name(instr.rs1)
+    if instr.rs2 is not None:
+        return f"[{base} + {reg_name(instr.rs2)}]"
+    if instr.imm == 0:
+        return f"[{base}]"
+    sign = "+" if instr.imm >= 0 else "-"
+    return f"[{base} {sign} {abs(instr.imm)}]"
+
+
+def _format_target(target) -> str:
+    if isinstance(target, int):
+        return f"0x{target:x}"
+    return str(target)
+
+
+def disassemble(instr: Instr) -> str:
+    """One-line text for ``instr`` (without its address)."""
+    op = instr.op
+    if op is Op.PREFETCH:
+        return f"prefetch {_format_address(instr)}"
+    if op in _LOAD_MNEMONIC:
+        return f"{_LOAD_MNEMONIC[op]:<6}{_format_address(instr)}, {reg_name(instr.rd)}"
+    if op in _STORE_MNEMONIC:
+        return f"{_STORE_MNEMONIC[op]:<6}{reg_name(instr.rd)}, {_format_address(instr)}"
+    if op in _ALU_MNEMONIC:
+        return (
+            f"{_ALU_MNEMONIC[op]:<6}{reg_name(instr.rs1)}, "
+            f"{format_operand(instr)}, {reg_name(instr.rd)}"
+        )
+    if op == Op.MOV:
+        return f"mov   {reg_name(instr.rs1)}, {reg_name(instr.rd)}"
+    if op == Op.SET:
+        return f"set   {instr.imm:#x}, {reg_name(instr.rd)}"
+    if op == Op.CMP:
+        return f"cmp   {reg_name(instr.rs1)}, {format_operand(instr)}"
+    if op in _BRANCH_MNEMONIC:
+        suffix = ",pn  %xcc," if op != Op.BA else "    "
+        return f"{_BRANCH_MNEMONIC[op]}{suffix} {_format_target(instr.target)}"
+    if op == Op.CALL:
+        return f"call  {_format_target(instr.target)}"
+    if op == Op.JMPL:
+        if instr.rd == REG_G0 and instr.rs1 == 15 and instr.imm == 8:
+            return "retl"
+        return f"jmpl  {reg_name(instr.rs1)} + {instr.imm}, {reg_name(instr.rd)}"
+    if op == Op.NOP:
+        return "nop"
+    if op == Op.TA:
+        return f"ta    {instr.imm}"
+    if op == Op.HALT:
+        return "halt"
+    return f"<op {op.name}>"  # pragma: no cover
+
+
+__all__ = ["disassemble", "format_operand"]

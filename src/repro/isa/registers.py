@@ -1,0 +1,87 @@
+"""Register file names and ABI roles.
+
+We use SPARC register *names* (%g0-%g7, %o0-%o7, %l0-%l7, %i0-%i7) but a
+flat 32-register file — no register windows.  The calling convention is
+therefore explicit save/restore:
+
+* ``%g0``  — hardwired zero.
+* ``%g1-%g5`` — expression scratch (caller-saved).
+* ``%o0-%o5`` — argument / return registers (caller-saved).
+* ``%o6``  — stack pointer (``%sp``).
+* ``%o7``  — return address written by ``call``.
+* ``%l0-%l7``, ``%i0-%i5`` — callee-saved locals (the compiler parks
+  long-lived locals here, which is what makes the paper's tight
+  ``ldx [%o3+56], %o2`` loops possible).
+* ``%i6``  — frame pointer (``%fp``), ``%i7`` — reserved.
+"""
+
+from __future__ import annotations
+
+from ..errors import IsaError
+
+NUM_REGS = 32
+
+_GROUPS = ("g", "o", "l", "i")
+
+REG_NAMES: tuple[str, ...] = tuple(
+    f"%{group}{i}" for group in _GROUPS for i in range(8)
+)
+
+_NAME_TO_NUM = {name: num for num, name in enumerate(REG_NAMES)}
+_NAME_TO_NUM["%sp"] = _NAME_TO_NUM["%o6"]
+_NAME_TO_NUM["%fp"] = _NAME_TO_NUM["%i6"]
+
+REG_G0 = _NAME_TO_NUM["%g0"]
+REG_SP = _NAME_TO_NUM["%o6"]
+REG_FP = _NAME_TO_NUM["%i6"]
+REG_RA = _NAME_TO_NUM["%o7"]
+RETURN_REG = _NAME_TO_NUM["%o0"]
+
+#: argument registers in order (%o0-%o5)
+ARG_REGS: tuple[int, ...] = tuple(_NAME_TO_NUM[f"%o{i}"] for i in range(6))
+
+#: caller-saved scratch used for expression temporaries (%i4/%i5 are
+#: borrowed from the callee-saved set: the code generator saves all live
+#: scratch around calls anyway, and callees that use them as locals
+#: save/restore them, so treating them as scratch is safe and gives deep
+#: expressions two more registers before spilling would be needed)
+SCRATCH_REGS: tuple[int, ...] = tuple(
+    _NAME_TO_NUM[name]
+    for name in ("%g1", "%g2", "%g3", "%g4", "%g5", "%g6", "%g7", "%i4", "%i5")
+)
+
+#: callee-saved registers the compiler assigns to long-lived locals
+LOCAL_REGS: tuple[int, ...] = tuple(
+    _NAME_TO_NUM[f"%l{i}"] for i in range(8)
+) + tuple(_NAME_TO_NUM[f"%i{i}"] for i in range(4))
+
+
+def reg_name(num: int) -> str:
+    """Printable name for register number ``num``."""
+    if not 0 <= num < NUM_REGS:
+        raise IsaError(f"register number out of range: {num}")
+    return REG_NAMES[num]
+
+
+def reg_number(name: str) -> int:
+    """Register number for a name like ``%o3`` (aliases %sp/%fp accepted)."""
+    try:
+        return _NAME_TO_NUM[name]
+    except KeyError:
+        raise IsaError(f"unknown register name: {name!r}") from None
+
+
+__all__ = [
+    "NUM_REGS",
+    "REG_NAMES",
+    "REG_G0",
+    "REG_SP",
+    "REG_FP",
+    "REG_RA",
+    "RETURN_REG",
+    "ARG_REGS",
+    "SCRATCH_REGS",
+    "LOCAL_REGS",
+    "reg_name",
+    "reg_number",
+]

@@ -1,0 +1,16 @@
+"""Minimal OS layer: loader, heap, signals, process abstraction."""
+
+from .heap import Heap
+from .loader import load_program, LoadedImage
+from .process import Process
+from .signals import SignalDispatcher, SIGEMT, SIGPROF
+
+__all__ = [
+    "Heap",
+    "load_program",
+    "LoadedImage",
+    "Process",
+    "SignalDispatcher",
+    "SIGEMT",
+    "SIGPROF",
+]

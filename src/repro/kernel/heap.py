@@ -1,0 +1,111 @@
+"""First-fit heap allocator over the process's heap segment.
+
+The heap segment's page size is configurable per process — the moral
+equivalent of relinking with ``-xpagesize_heap=512k`` (paper §3.3, the
+3.9% DTLB win).  Allocation granularity is 8 bytes with an 8-byte
+bookkeeping gap between blocks, so consecutive ``malloc(120)`` calls give
+addresses 128 bytes apart — which is exactly why 28% of the paper's
+120-byte ``node`` objects straddle 512-byte E$ lines before padding, a
+fraction :mod:`repro.layoutopt.advisor` recomputes.
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelError, OutOfMemory
+
+#: per-block bookkeeping overhead (a real malloc's boundary tag)
+HEADER_BYTES = 8
+
+
+class Heap:
+    """First-fit allocator with coalescing free."""
+
+    def __init__(self, base: int, size: int) -> None:
+        if base % 8 or size % 8:
+            raise KernelError("heap base/size must be 8-byte aligned")
+        self.base = base
+        self.size = size
+        #: sorted list of (addr, size) free extents
+        self.free_list: list[tuple[int, int]] = [(base, size)]
+        #: live allocations: user addr -> block size (including header)
+        self.live: dict[int, int] = {}
+        self.total_allocated = 0
+        self.peak_bytes = 0
+        self.current_bytes = 0
+
+    def alloc(self, nbytes: int, align: int = 8) -> int:
+        """Allocate ``nbytes``; returns the user address (8-aligned)."""
+        if nbytes <= 0:
+            raise KernelError(f"malloc of non-positive size {nbytes}")
+        if align & (align - 1):
+            raise KernelError(f"alignment must be a power of two: {align}")
+        align = max(align, 8)
+        need = HEADER_BYTES + ((nbytes + 7) & ~7)
+        for index, (addr, size) in enumerate(self.free_list):
+            user = addr + HEADER_BYTES
+            aligned_user = (user + align - 1) & ~(align - 1)
+            slack = aligned_user - user
+            if size >= need + slack:
+                block_addr = addr + slack
+                if slack:
+                    self.free_list[index] = (addr, slack)
+                    self.free_list.insert(index + 1, (block_addr + need, size - slack - need))
+                    if self.free_list[index + 1][1] == 0:
+                        self.free_list.pop(index + 1)
+                else:
+                    rest = size - need
+                    if rest:
+                        self.free_list[index] = (addr + need, rest)
+                    else:
+                        self.free_list.pop(index)
+                self.live[aligned_user] = need
+                self.total_allocated += nbytes
+                self.current_bytes += need
+                self.peak_bytes = max(self.peak_bytes, self.current_bytes)
+                return aligned_user
+        raise OutOfMemory(
+            f"heap exhausted: {nbytes} bytes requested, "
+            f"{sum(s for _, s in self.free_list)} free"
+        )
+
+    def free(self, user_addr: int) -> None:
+        """Release a block (or everything the heap knows about it)."""
+        if user_addr == 0:
+            return  # free(NULL) is a no-op, as in C
+        if user_addr not in self.live:
+            raise KernelError(f"free of unallocated address 0x{user_addr:x}")
+        size = self.live.pop(user_addr)
+        self.current_bytes -= size
+        addr = user_addr - HEADER_BYTES
+        self._insert_free(addr, size)
+
+    def _insert_free(self, addr: int, size: int) -> None:
+        # keep the free list sorted and coalesced
+        lo, hi = 0, len(self.free_list)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.free_list[mid][0] < addr:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.free_list.insert(lo, (addr, size))
+        # coalesce with next
+        if lo + 1 < len(self.free_list):
+            naddr, nsize = self.free_list[lo + 1]
+            if addr + size == naddr:
+                self.free_list[lo] = (addr, size + nsize)
+                self.free_list.pop(lo + 1)
+        # coalesce with previous
+        if lo > 0:
+            paddr, psize = self.free_list[lo - 1]
+            addr2, size2 = self.free_list[lo]
+            if paddr + psize == addr2:
+                self.free_list[lo - 1] = (paddr, psize + size2)
+                self.free_list.pop(lo)
+
+    def free_bytes(self) -> int:
+        """Total bytes currently on the free list."""
+        return sum(size for _, size in self.free_list)
+
+
+__all__ = ["Heap", "HEADER_BYTES"]

@@ -1,0 +1,111 @@
+"""Loader: place a linked Program into a machine's address space.
+
+Segment layout (all inside the arena starting at ``TEXT_BASE``)::
+
+    [ text | data | input | heap ............ | stack ]
+
+Each segment carries its own page size; ``heap_page_bytes`` is the
+``-xpagesize_heap`` knob from the paper's §3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compiler.program import Program
+from ..config import MachineConfig
+from ..errors import KernelError
+from ..machine.machine import Machine
+from .heap import Heap
+
+STACK_BYTES_DEFAULT = 1 << 20
+INPUT_RESERVE_MIN = 1 << 12
+
+
+@dataclass
+class LoadedImage:
+    """Everything the loader produced for one process."""
+    machine: Machine
+    program: Program
+    heap: Heap
+    input_base: int
+    input_count: int
+    stack_top: int
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+def load_program(
+    program: Program,
+    config: MachineConfig,
+    input_longs=(),
+    heap_page_bytes: int | None = None,
+    stack_bytes: int = STACK_BYTES_DEFAULT,
+    machine: Machine | None = None,
+) -> LoadedImage:
+    """Create a machine (unless given) and map the program into it."""
+    machine = machine or Machine(config)
+    memory = machine.memory
+    page = config.dtlb.default_page_bytes
+    heap_page = heap_page_bytes or page
+    if heap_page & (heap_page - 1):
+        raise KernelError(f"heap page size must be a power of two: {heap_page}")
+
+    arena_end = memory.base + memory.size
+
+    text_end = program.text_base + 4 * len(program.code)
+    text_size = _round_up(text_end - memory.base, page)
+    memory.add_segment("text", memory.base, text_size, page)
+
+    data_base = program.data_base
+    if data_base < memory.base + text_size:
+        raise KernelError("data segment overlaps text (image too large)")
+    data_size = _round_up(program.data_size, page)
+    memory.add_segment("data", data_base, data_size, page)
+
+    input_vals = list(input_longs)
+    input_base = _round_up(data_base + data_size, page)
+    input_size = _round_up(max(8 * len(input_vals), INPUT_RESERVE_MIN), page)
+    memory.add_segment("input", input_base, input_size, page)
+
+    stack_base = arena_end - _round_up(stack_bytes, page)
+    heap_base = _round_up(input_base + input_size, max(heap_page, page))
+    heap_size = stack_base - heap_base
+    if heap_size < heap_page:
+        raise KernelError("arena too small for a heap")
+    memory.add_segment("heap", heap_base, heap_size, heap_page)
+    memory.add_segment("stack", stack_base, arena_end - stack_base, page)
+
+    # populate data
+    for addr, words in program.data_image:
+        memory.write_longs(addr, words)
+    for addr, raw in program.data_bytes:
+        for offset, byte in enumerate(raw):
+            memory.store8(addr + offset, byte)
+    if input_vals:
+        memory.write_longs(input_base, input_vals)
+
+    # wire the CPU
+    cpu = machine.cpu
+    cpu.code = program.code
+    cpu.text_base = program.text_base
+    cpu.set_entry(program.entry)
+    stack_top = arena_end - 64
+    cpu.regs[14] = stack_top        # %sp = %o6
+    cpu.regs[8] = input_base        # %o0 = input pointer (main's first arg)
+    cpu.regs[9] = len(input_vals)   # %o1 = input length in longs
+
+    heap = Heap(heap_base, heap_size)
+    return LoadedImage(
+        machine=machine,
+        program=program,
+        heap=heap,
+        input_base=input_base,
+        input_count=len(input_vals),
+        stack_top=stack_top,
+    )
+
+
+__all__ = ["load_program", "LoadedImage", "STACK_BYTES_DEFAULT"]

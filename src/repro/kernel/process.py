@@ -1,0 +1,100 @@
+"""Process: one run of a Program on a Machine, with kernel services.
+
+Kernel services (the ``ta`` trap ABI shared with
+:mod:`repro.compiler.runtime`): exit, malloc, free, print_long,
+print_char.  Their cycle cost lands in the machine's ``system_cycles``,
+which becomes the tiny "System CPU Time" line of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..compiler.program import Program
+from ..compiler.runtime import (
+    TRAP_EXIT,
+    TRAP_FREE,
+    TRAP_MALLOC,
+    TRAP_PRINT_CHAR,
+    TRAP_PRINT_LONG,
+)
+from ..config import MachineConfig
+from ..errors import KernelError
+from ..machine.cpu import CPU
+from ..machine.machine import Machine
+from .loader import LoadedImage, load_program
+from .signals import SignalDispatcher
+
+
+class Process:
+    """A loaded program ready to run."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: MachineConfig,
+        input_longs=(),
+        heap_page_bytes: Optional[int] = None,
+        stack_bytes: int = 1 << 20,
+    ) -> None:
+        self.program = program
+        self.image: LoadedImage = load_program(
+            program,
+            config,
+            input_longs=input_longs,
+            heap_page_bytes=heap_page_bytes,
+            stack_bytes=stack_bytes,
+        )
+        self.machine: Machine = self.image.machine
+        self.heap = self.image.heap
+        self.stdout_parts: list[str] = []
+        #: allocation log for instance-level analysis (paper §4):
+        #: [addr, size, start_cycle, end_cycle (-1 while live), callsite_pc]
+        self.allocations: list[list] = []
+        self._live_alloc_index: dict[int, int] = {}
+        self.machine.cpu.kernel_service = self._service
+        self.signals = SignalDispatcher(self.machine.cpu)
+        self.finished = False
+
+    # ----------------------------------------------------------------- run
+
+    def run(self, max_instructions: Optional[int] = None) -> int:
+        """Run to completion (or budget); returns the exit code."""
+        self.machine.cpu.run(max_instructions=max_instructions)
+        self.finished = self.machine.cpu.halted
+        return self.machine.cpu.exit_code
+
+    @property
+    def stdout(self) -> str:
+        """Everything the program printed so far."""
+        return "".join(self.stdout_parts)
+
+    # ------------------------------------------------------------- services
+
+    def _service(self, cpu: CPU, code: int) -> None:
+        regs = cpu.regs
+        if code == TRAP_EXIT:
+            cpu.halted = True
+            cpu.exit_code = regs[8]
+        elif code == TRAP_MALLOC:
+            size = regs[8]
+            addr = self.heap.alloc(size)
+            regs[8] = addr
+            callsite = cpu.callstack[-1] if cpu.callstack else cpu.pc
+            self._live_alloc_index[addr] = len(self.allocations)
+            self.allocations.append([addr, size, cpu.cycles, -1, callsite])
+        elif code == TRAP_FREE:
+            addr = regs[8]
+            self.heap.free(addr)
+            index = self._live_alloc_index.pop(addr, None)
+            if index is not None:
+                self.allocations[index][3] = cpu.cycles
+        elif code == TRAP_PRINT_LONG:
+            self.stdout_parts.append(f"{regs[8]}\n")
+        elif code == TRAP_PRINT_CHAR:
+            self.stdout_parts.append(chr(regs[8] & 0xFF))
+        else:
+            raise KernelError(f"unknown trap code {code} at pc 0x{cpu.pc:x}")
+
+
+__all__ = ["Process"]

@@ -1,0 +1,64 @@
+"""Signal dispatch: the Solaris-style plumbing between hardware events and
+the profiling handlers.
+
+The UltraSPARC counter-overflow interrupt is translated by Solaris into a
+``SIGEMT`` delivered to the profiled process (paper §2.2.1); clock
+profiling rides ``SIGPROF``.  The collector registers handlers here; the
+dispatcher hooks them into the CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import KernelError
+from ..machine.counters import CounterSnapshot
+from ..machine.cpu import CPU
+
+SIGEMT = "SIGEMT"
+SIGPROF = "SIGPROF"
+
+
+class SignalDispatcher:
+    """Routes CPU-level events to registered signal handlers."""
+
+    def __init__(self, cpu: CPU) -> None:
+        self.cpu = cpu
+        self._emt_handler: Optional[Callable[[CounterSnapshot], None]] = None
+        self._prof_handler: Optional[Callable[[int, int, tuple], None]] = None
+        self.delivered: dict[str, int] = {SIGEMT: 0, SIGPROF: 0}
+
+    def register(self, signame: str, handler) -> None:
+        """Install a handler for a signal name."""
+        if signame == SIGEMT:
+            self._emt_handler = handler
+            self.cpu.overflow_handler = self._on_overflow
+        elif signame == SIGPROF:
+            self._prof_handler = handler
+            self.cpu.clock_handler = self._on_clock
+        else:
+            raise KernelError(f"unknown signal {signame!r}")
+
+    def unregister(self, signame: str) -> None:
+        """Remove the handler for a signal name."""
+        if signame == SIGEMT:
+            self._emt_handler = None
+            self.cpu.overflow_handler = None
+        elif signame == SIGPROF:
+            self._prof_handler = None
+            self.cpu.clock_handler = None
+        else:
+            raise KernelError(f"unknown signal {signame!r}")
+
+    def _on_overflow(self, snapshot: CounterSnapshot) -> None:
+        self.delivered[SIGEMT] += 1
+        if self._emt_handler is not None:
+            self._emt_handler(snapshot)
+
+    def _on_clock(self, pc: int, cycle: int, callstack: tuple) -> None:
+        self.delivered[SIGPROF] += 1
+        if self._prof_handler is not None:
+            self._prof_handler(pc, cycle, callstack)
+
+
+__all__ = ["SignalDispatcher", "SIGEMT", "SIGPROF"]

@@ -1,0 +1,35 @@
+"""Mini-C front end: the source language the MCF workload is written in.
+
+The language is the subset of C that SPEC ``181.mcf`` needs: ``long`` /
+``char`` scalars, pointers, structs, one-dimensional arrays, functions,
+the usual statements and operators, string literals, and a tiny
+``#define NAME <integer>`` preprocessor.
+"""
+
+from .lexer import tokenize
+from .parser import parse
+from .sema import analyze
+from .ctypes_ import (
+    CType,
+    LONG,
+    CHAR,
+    VOID,
+    PointerType,
+    StructType,
+    ArrayType,
+    FuncType,
+)
+
+__all__ = [
+    "tokenize",
+    "parse",
+    "analyze",
+    "CType",
+    "LONG",
+    "CHAR",
+    "VOID",
+    "PointerType",
+    "StructType",
+    "ArrayType",
+    "FuncType",
+]

@@ -1,0 +1,369 @@
+"""AST node classes for mini-C.
+
+Nodes are plain mutable classes; the semantic analyzer annotates expression
+nodes with ``ctype`` (their :class:`~repro.lang.ctypes_.CType`) and
+identifier nodes with ``symbol``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+# ---------------------------------------------------------------- type refs
+@dataclass
+class TypeRef:
+    """Unresolved type spelling: base name + pointer depth (+ array size)."""
+
+    base: str  # "long" | "char" | "void" | "struct <name>"
+    ptr_depth: int = 0
+    array_size: Optional[int] = None
+    line: int = 0
+
+
+# --------------------------------------------------------------- expressions
+class Expr:
+    """Base class of expression nodes."""
+    __slots__ = ("line", "ctype")
+
+    def __init__(self, line: int) -> None:
+        self.line = line
+        self.ctype = None
+
+
+class IntLit(Expr):
+    """Integer literal."""
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line: int) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class StrLit(Expr):
+    """String literal (lowered to a data symbol)."""
+    __slots__ = ("value",)
+
+    def __init__(self, value: str, line: int) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class Ident(Expr):
+    """A name use; sema attaches the symbol."""
+    __slots__ = ("name", "symbol")
+
+    def __init__(self, name: str, line: int) -> None:
+        super().__init__(line)
+        self.name = name
+        self.symbol = None
+
+
+class Unary(Expr):
+    """op in {'-', '!', '~', '*', '&'}"""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, line: int) -> None:
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    """op in {'+','-','*','/','%','&','|','^','<<','>>',
+    '<','<=','>','>=','==','!=','&&','||'}"""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr, line: int) -> None:
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Assign(Expr):
+    """op is '=' or a compound op like '+=' (normalized: op without '=')."""
+
+    __slots__ = ("op", "target", "value")
+
+    def __init__(self, op: str, target: Expr, value: Expr, line: int) -> None:
+        super().__init__(line)
+        self.op = op
+        self.target = target
+        self.value = value
+
+
+class IncDec(Expr):
+    """++/-- ; ``is_prefix`` selects value semantics."""
+
+    __slots__ = ("op", "target", "is_prefix")
+
+    def __init__(self, op: str, target: Expr, is_prefix: bool, line: int) -> None:
+        super().__init__(line)
+        self.op = op
+        self.target = target
+        self.is_prefix = is_prefix
+
+
+class Call(Expr):
+    """Direct call by name."""
+    __slots__ = ("name", "args", "symbol")
+
+    def __init__(self, name: str, args: list, line: int) -> None:
+        super().__init__(line)
+        self.name = name
+        self.args = args
+        self.symbol = None
+
+
+class Index(Expr):
+    """``base[index]``."""
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Expr, index: Expr, line: int) -> None:
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class Member(Expr):
+    """``base.name`` or ``base->name`` (arrow=True)."""
+
+    __slots__ = ("base", "name", "arrow", "struct_type", "field")
+
+    def __init__(self, base: Expr, name: str, arrow: bool, line: int) -> None:
+        super().__init__(line)
+        self.base = base
+        self.name = name
+        self.arrow = arrow
+        self.struct_type = None
+        self.field = None
+
+
+class Cast(Expr):
+    """``(type) operand``."""
+    __slots__ = ("type_ref", "operand")
+
+    def __init__(self, type_ref: TypeRef, operand: Expr, line: int) -> None:
+        super().__init__(line)
+        self.type_ref = type_ref
+        self.operand = operand
+
+
+class SizeofType(Expr):
+    """``sizeof(type)`` (a compile-time constant)."""
+    __slots__ = ("type_ref",)
+
+    def __init__(self, type_ref: TypeRef, line: int) -> None:
+        super().__init__(line)
+        self.type_ref = type_ref
+
+
+class Conditional(Expr):
+    """``cond ? then : other``"""
+
+    __slots__ = ("cond", "then", "other")
+
+    def __init__(self, cond: Expr, then: Expr, other: Expr, line: int) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.other = other
+
+
+# --------------------------------------------------------------- statements
+class Stmt:
+    """Base class of statement nodes."""
+    __slots__ = ("line",)
+
+    def __init__(self, line: int) -> None:
+        self.line = line
+
+
+class Block(Stmt):
+    """``{ ... }``."""
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: list, line: int) -> None:
+        super().__init__(line)
+        self.stmts = stmts
+
+
+class If(Stmt):
+    """``if/else``."""
+    __slots__ = ("cond", "then", "other")
+
+    def __init__(self, cond: Expr, then: Stmt, other: Optional[Stmt], line: int) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.other = other
+
+
+class While(Stmt):
+    """``while`` loop (top-tested)."""
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: Stmt, line: int) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Stmt):
+    """``do body while (cond);`` — body runs at least once."""
+
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: Stmt, line: int) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class For(Stmt):
+    """``for (init; cond; step)``."""
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init, cond, step, body: Stmt, line: int) -> None:
+        super().__init__(line)
+        self.init = init  # Expr | DeclStmt | None
+        self.cond = cond  # Expr | None
+        self.step = step  # Expr | None
+        self.body = body
+
+
+class Return(Stmt):
+    """``return [expr];``."""
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr], line: int) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Stmt):
+    """``break;``."""
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    """``continue;``."""
+    __slots__ = ()
+
+
+class ExprStmt(Stmt):
+    """An expression evaluated for effect."""
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, line: int) -> None:
+        super().__init__(line)
+        self.expr = expr
+
+
+class DeclStmt(Stmt):
+    """A local variable declaration, possibly with an initializer."""
+
+    __slots__ = ("type_ref", "name", "init", "symbol")
+
+    def __init__(self, type_ref: TypeRef, name: str, init: Optional[Expr], line: int) -> None:
+        super().__init__(line)
+        self.type_ref = type_ref
+        self.name = name
+        self.init = init
+        self.symbol = None
+
+
+# -------------------------------------------------------------- declarations
+@dataclass
+class StructDeclField:
+    """One parsed struct member."""
+    type_ref: TypeRef
+    name: str
+    line: int
+
+
+@dataclass
+class StructDecl:
+    """A parsed struct definition."""
+    name: str
+    fields: list
+    line: int
+
+
+@dataclass
+class GlobalDecl:
+    """A parsed global variable."""
+    type_ref: TypeRef
+    name: str
+    init: Optional[Expr]
+    line: int
+    symbol: object = None
+
+
+@dataclass
+class Param:
+    """A parsed function parameter."""
+    type_ref: TypeRef
+    name: str
+    line: int
+
+
+@dataclass
+class FuncDecl:
+    """A parsed function (body is None for prototypes)."""
+    ret_type: TypeRef
+    name: str
+    params: list
+    body: Optional[Block]  # None for a prototype
+    line: int
+    end_line: int = 0
+    symbol: object = None
+
+
+@dataclass
+class TranslationUnit:
+    """A whole parsed source file."""
+    structs: list
+    globals: list
+    functions: list
+    source: str = ""
+
+
+__all__ = [
+    "TypeRef",
+    "Expr",
+    "IntLit",
+    "StrLit",
+    "Ident",
+    "Unary",
+    "Binary",
+    "Assign",
+    "IncDec",
+    "Call",
+    "Index",
+    "Member",
+    "Cast",
+    "SizeofType",
+    "Conditional",
+    "Stmt",
+    "Block",
+    "If",
+    "While",
+    "DoWhile",
+    "For",
+    "Return",
+    "Break",
+    "Continue",
+    "ExprStmt",
+    "DeclStmt",
+    "StructDeclField",
+    "StructDecl",
+    "GlobalDecl",
+    "Param",
+    "FuncDecl",
+    "TranslationUnit",
+]

@@ -1,0 +1,310 @@
+"""The mini-C type system and struct layout.
+
+Layout rules (LP64, like the paper's SPARC V9 ABI):
+
+* ``char`` is 1 byte, ``long`` and all pointers are 8 bytes;
+* struct members are laid out in declaration order, each aligned to its
+  natural alignment; struct alignment is the max member alignment; struct
+  size rounds up to that alignment.
+
+These rules make the paper's ``structure:node`` exactly 120 bytes with
+``orientation`` at +56, ``child`` at +24 and ``potential`` at +88 — the
+offsets Figure 7 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TypeCheckError
+
+
+class CType:
+    """Base class for all types."""
+
+    def size(self) -> int:
+        """Size in bytes of a value of this type."""
+        raise NotImplementedError
+
+    def align(self) -> int:
+        """Natural alignment in bytes."""
+        raise NotImplementedError
+
+    @property
+    def is_scalar(self) -> bool:
+        """True for types that fit a register (integers, pointers)."""
+        return False
+
+    @property
+    def is_pointer(self) -> bool:
+        """True for pointer types."""
+        return False
+
+    @property
+    def is_integer(self) -> bool:
+        """True for integer types (long, char)."""
+        return False
+
+
+class LongType(CType):
+    """64-bit signed integer."""
+    def size(self) -> int:
+        """Size in bytes of a value of this type."""
+        return 8
+
+    def align(self) -> int:
+        """Natural alignment in bytes."""
+        return 8
+
+    @property
+    def is_scalar(self) -> bool:
+        """True for types that fit a register (integers, pointers)."""
+        return True
+
+    @property
+    def is_integer(self) -> bool:
+        """True for integer types (long, char)."""
+        return True
+
+    def __str__(self) -> str:
+        return "long"
+
+
+class CharType(CType):
+    """8-bit byte (loads zero-extend)."""
+    def size(self) -> int:
+        """Size in bytes of a value of this type."""
+        return 1
+
+    def align(self) -> int:
+        """Natural alignment in bytes."""
+        return 1
+
+    @property
+    def is_scalar(self) -> bool:
+        """True for types that fit a register (integers, pointers)."""
+        return True
+
+    @property
+    def is_integer(self) -> bool:
+        """True for integer types (long, char)."""
+        return True
+
+    def __str__(self) -> str:
+        return "char"
+
+
+class VoidType(CType):
+    """The absence of a value (function returns only)."""
+    def size(self) -> int:
+        """Size in bytes of a value of this type."""
+        raise TypeCheckError("void has no size")
+
+    def align(self) -> int:
+        """Natural alignment in bytes."""
+        raise TypeCheckError("void has no alignment")
+
+    def __str__(self) -> str:
+        return "void"
+
+
+LONG = LongType()
+CHAR = CharType()
+VOID = VoidType()
+
+
+class PointerType(CType):
+    """Pointer to a target type."""
+    def __init__(self, target: CType) -> None:
+        self.target = target
+
+    def size(self) -> int:
+        """Size in bytes of a value of this type."""
+        return 8
+
+    def align(self) -> int:
+        """Natural alignment in bytes."""
+        return 8
+
+    @property
+    def is_scalar(self) -> bool:
+        """True for types that fit a register (integers, pointers)."""
+        return True
+
+    @property
+    def is_pointer(self) -> bool:
+        """True for pointer types."""
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, PointerType) and _same(self.target, other.target)
+
+    def __hash__(self) -> int:
+        return hash(("ptr", str(self)))
+
+    def __str__(self) -> str:
+        return f"{self.target}*"
+
+
+@dataclass
+class Field:
+    """One struct member with its resolved offset."""
+    name: str
+    ctype: CType
+    offset: int = -1
+
+
+class StructType(CType):
+    """A named struct; fields may be resolved after creation (forward refs)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.fields: list[Field] = []
+        self._size = -1
+        self._align = -1
+        self.complete = False
+
+    def set_fields(self, fields: list[Field]) -> None:
+        """Lay the members out and complete the struct."""
+        if self.complete:
+            raise TypeCheckError(f"struct {self.name} redefined")
+        seen: set[str] = set()
+        offset = 0
+        max_align = 1
+        for f in fields:
+            if f.name in seen:
+                raise TypeCheckError(f"struct {self.name}: duplicate member {f.name}")
+            seen.add(f.name)
+            a = f.ctype.align()
+            max_align = max(max_align, a)
+            offset = (offset + a - 1) & ~(a - 1)
+            f.offset = offset
+            offset += f.ctype.size()
+        self.fields = fields
+        self._align = max_align
+        self._size = (offset + max_align - 1) & ~(max_align - 1)
+        self.complete = True
+
+    def field(self, name: str) -> Field:
+        """Look up a member by name."""
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise TypeCheckError(f"struct {self.name} has no member {name!r}")
+
+    def size(self) -> int:
+        """Size in bytes of a value of this type."""
+        if not self.complete:
+            raise TypeCheckError(f"struct {self.name} is incomplete")
+        return self._size
+
+    def align(self) -> int:
+        """Natural alignment in bytes."""
+        if not self.complete:
+            raise TypeCheckError(f"struct {self.name} is incomplete")
+        return self._align
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+
+class ArrayType(CType):
+    """Fixed-size one-dimensional array."""
+    def __init__(self, elem: CType, count: int) -> None:
+        if count <= 0:
+            raise TypeCheckError(f"array size must be positive, got {count}")
+        self.elem = elem
+        self.count = count
+
+    def size(self) -> int:
+        """Size in bytes of a value of this type."""
+        return self.elem.size() * self.count
+
+    def align(self) -> int:
+        """Natural alignment in bytes."""
+        return self.elem.align()
+
+    def __str__(self) -> str:
+        return f"{self.elem}[{self.count}]"
+
+
+class FuncType(CType):
+    """A function signature."""
+    def __init__(self, ret: CType, params: list[CType], variadic: bool = False) -> None:
+        self.ret = ret
+        self.params = params
+        self.variadic = variadic
+
+    def size(self) -> int:
+        """Size in bytes of a value of this type."""
+        raise TypeCheckError("function type has no size")
+
+    def align(self) -> int:
+        """Natural alignment in bytes."""
+        raise TypeCheckError("function type has no alignment")
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params) or "void"
+        return f"{self.ret}({params})"
+
+
+def _same(a: CType, b: CType) -> bool:
+    """Structural type equality (structs are nominal)."""
+    if a is b:
+        return True
+    if isinstance(a, PointerType) and isinstance(b, PointerType):
+        return _same(a.target, b.target)
+    if isinstance(a, StructType) and isinstance(b, StructType):
+        return a.name == b.name
+    return type(a) is type(b) and a.is_scalar and b.is_scalar
+
+
+def same_type(a: CType, b: CType) -> bool:
+    """Nominal/structural type equality used by the checker."""
+    return _same(a, b)
+
+
+def assignable(dst: CType, src: CType) -> bool:
+    """May a value of ``src`` be assigned to an lvalue of ``dst``?"""
+    if _same(dst, src):
+        return True
+    if dst.is_integer and src.is_integer:
+        return True
+    # integer constant 0 -> pointer is handled by the checker; a general
+    # integer-to-pointer assignment requires a cast
+    if dst.is_pointer and isinstance(src, PointerType):
+        # void*-like escape hatch: char* converts freely
+        return isinstance(src.target, (CharType, VoidType)) or isinstance(
+            dst.target, (CharType, VoidType)  # type: ignore[arg-type]
+        )
+    return False
+
+
+#: the data-object class name used by the profiling tools, e.g.
+#: "structure:node" / "long" / "pointer+structure:arc" (paper Figures 4-7)
+def describe_for_profile(ctype: CType) -> str:
+    """The data-object class string for a type."""
+    if isinstance(ctype, StructType):
+        return f"structure:{ctype.name}"
+    if isinstance(ctype, PointerType):
+        return f"pointer+{describe_for_profile(ctype.target)}"
+    return str(ctype)
+
+
+__all__ = [
+    "CType",
+    "LongType",
+    "CharType",
+    "VoidType",
+    "LONG",
+    "CHAR",
+    "VOID",
+    "PointerType",
+    "StructType",
+    "ArrayType",
+    "FuncType",
+    "Field",
+    "same_type",
+    "assignable",
+    "describe_for_profile",
+]

@@ -1,0 +1,177 @@
+"""Mini-C lexer with a one-line ``#define NAME <integer>`` preprocessor.
+
+``#define`` is textual constant substitution only (enough for ``UP``,
+``DOWN``, ``BASKET_SIZE``, ``NULL`` — which is predefined as 0).  Comments
+(``//`` and ``/* */``) are stripped.
+"""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .tokens import EOF, IDENT, INT, KEYWORD, KEYWORDS, PUNCT, PUNCTUATORS, STRING, Token
+
+_PREDEFINED = {"NULL": 0}
+
+
+def tokenize(source: str, defines: dict[str, int] | None = None) -> list[Token]:
+    """Tokenize ``source``; returns tokens ending with one EOF token."""
+    macros: dict[str, int] = dict(_PREDEFINED)
+    if defines:
+        macros.update(defines)
+
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def error(message: str) -> LexError:
+        return LexError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+
+        # line comment
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        # block comment
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            line += source.count("\n", i, end)
+            i = end + 2
+            col = 1
+            continue
+
+        # preprocessor: only "#define NAME value" at start of a line
+        if ch == "#":
+            eol = source.find("\n", i)
+            if eol < 0:
+                eol = n
+            directive = source[i:eol].split()
+            if len(directive) == 3 and directive[0] == "#define":
+                name, value_text = directive[1], directive[2]
+                try:
+                    value = int(value_text, 0)
+                except ValueError:
+                    if value_text in macros:
+                        value = macros[value_text]
+                    else:
+                        raise error(
+                            f"#define value must be an integer: {value_text!r}"
+                        ) from None
+                macros[name] = value
+                i = eol
+                continue
+            raise error(f"unsupported preprocessor directive: {source[i:eol]!r}")
+
+        # integer literal
+        if ch.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                value = int(source[start:i], 16)
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                value = int(source[start:i])
+            if i < n and (source[i].isalpha() or source[i] == "_"):
+                raise error(f"bad integer literal suffix: {source[start:i + 1]!r}")
+            tokens.append(Token(INT, value, line, col))
+            col += i - start
+            continue
+
+        # identifier / keyword / macro
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            if word in KEYWORDS:
+                tokens.append(Token(KEYWORD, word, line, col))
+            elif word in macros:
+                tokens.append(Token(INT, macros[word], line, col))
+            else:
+                tokens.append(Token(IDENT, word, line, col))
+            col += i - start
+            continue
+
+        # string literal
+        if ch == '"':
+            start_line, start_col = line, col
+            i += 1
+            col += 1
+            chars: list[str] = []
+            while i < n and source[i] != '"':
+                c = source[i]
+                if c == "\n":
+                    raise error("unterminated string literal")
+                if c == "\\":
+                    i += 1
+                    col += 1
+                    if i >= n:
+                        raise error("unterminated escape")
+                    escape = source[i]
+                    chars.append(
+                        {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", '"': '"'}.get(
+                            escape, escape
+                        )
+                    )
+                else:
+                    chars.append(c)
+                i += 1
+                col += 1
+            if i >= n:
+                raise error("unterminated string literal")
+            i += 1
+            col += 1
+            tokens.append(Token(STRING, "".join(chars), start_line, start_col))
+            continue
+
+        # character literal -> integer
+        if ch == "'":
+            if i + 2 < n and source[i + 2] == "'" and source[i + 1] != "\\":
+                tokens.append(Token(INT, ord(source[i + 1]), line, col))
+                i += 3
+                col += 3
+                continue
+            if i + 3 < n and source[i + 1] == "\\" and source[i + 3] == "'":
+                escape = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39}
+                if source[i + 2] not in escape:
+                    raise error(f"bad character escape: {source[i:i + 4]!r}")
+                tokens.append(Token(INT, escape[source[i + 2]], line, col))
+                i += 4
+                col += 4
+                continue
+            raise error("bad character literal")
+
+        # punctuator (greedy)
+        for punct in PUNCTUATORS:
+            if source.startswith(punct, i):
+                tokens.append(Token(PUNCT, punct, line, col))
+                i += len(punct)
+                col += len(punct)
+                break
+        else:
+            raise error(f"unexpected character: {ch!r}")
+
+    tokens.append(Token(EOF, None, line, col))
+    return tokens
+
+
+__all__ = ["tokenize"]

@@ -1,0 +1,453 @@
+"""Recursive-descent parser for mini-C."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ParseError
+from . import ast_nodes as A
+from .tokens import EOF, IDENT, INT, KEYWORD, PUNCT, STRING, Token
+
+_TYPE_KEYWORDS = ("long", "char", "void", "struct")
+
+#: binary operator precedence levels, loosest first
+_BINARY_LEVELS = (
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------- utilities
+
+    @property
+    def tok(self) -> Token:
+        """The current token."""
+        return self.tokens[self.pos]
+
+    def peek(self, ahead: int = 1) -> Token:
+        """Look ahead without consuming."""
+        idx = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def error(self, message: str) -> ParseError:
+        """A ParseError positioned at the current token."""
+        t = self.tok
+        shown = t.value if t.kind != EOF else "<eof>"
+        return ParseError(f"{message} (got {shown!r})", t.line, t.col)
+
+    def advance(self) -> Token:
+        """Consume and return the current token."""
+        t = self.tok
+        if t.kind != EOF:
+            self.pos += 1
+        return t
+
+    def at_punct(self, text: str) -> bool:
+        """Is the current token this punctuator?"""
+        return self.tok.kind == PUNCT and self.tok.value == text
+
+    def at_keyword(self, word: str) -> bool:
+        """Is the current token this keyword?"""
+        return self.tok.kind == KEYWORD and self.tok.value == word
+
+    def accept_punct(self, text: str) -> bool:
+        """Consume the punctuator if present; returns whether it was."""
+        if self.at_punct(text):
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, text: str) -> Token:
+        """Consume the punctuator or raise."""
+        if not self.at_punct(text):
+            raise self.error(f"expected {text!r}")
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        """Consume an identifier or raise."""
+        if self.tok.kind != IDENT:
+            raise self.error("expected identifier")
+        return self.advance()
+
+    def at_type_start(self) -> bool:
+        """Does a type spelling start here?"""
+        return self.tok.kind == KEYWORD and self.tok.value in _TYPE_KEYWORDS
+
+    # ----------------------------------------------------------------- types
+
+    def parse_type_spec(self) -> str:
+        """'long' | 'char' | 'void' | 'struct' IDENT -> base name."""
+        t = self.tok
+        if t.kind != KEYWORD or t.value not in _TYPE_KEYWORDS:
+            raise self.error("expected type")
+        self.advance()
+        if t.value == "struct":
+            name = self.expect_ident()
+            return f"struct {name.value}"
+        return t.value
+
+    def parse_type_ref(self) -> A.TypeRef:
+        """Parse ``type '*'*`` into a TypeRef."""
+        line = self.tok.line
+        base = self.parse_type_spec()
+        depth = 0
+        while self.accept_punct("*"):
+            depth += 1
+        return A.TypeRef(base, depth, None, line)
+
+    # ------------------------------------------------------------ top level
+
+    def parse_translation_unit(self) -> A.TranslationUnit:
+        """Parse a whole source file."""
+        structs: list[A.StructDecl] = []
+        globals_: list[A.GlobalDecl] = []
+        functions: list[A.FuncDecl] = []
+        while self.tok.kind != EOF:
+            if (
+                self.at_keyword("struct")
+                and self.peek().kind == IDENT
+                and self.peek(2).kind == PUNCT
+                and self.peek(2).value == "{"
+            ):
+                structs.append(self.parse_struct_decl())
+                continue
+            decl = self.parse_func_or_global()
+            if isinstance(decl, A.FuncDecl):
+                functions.append(decl)
+            else:
+                globals_.append(decl)
+        return A.TranslationUnit(structs, globals_, functions)
+
+    def parse_struct_decl(self) -> A.StructDecl:
+        """Parse ``struct name { fields };``."""
+        line = self.tok.line
+        self.advance()  # struct
+        name = self.expect_ident().value
+        self.expect_punct("{")
+        fields: list[A.StructDeclField] = []
+        while not self.at_punct("}"):
+            fline = self.tok.line
+            base = self.parse_type_spec()
+            while True:
+                depth = 0
+                while self.accept_punct("*"):
+                    depth += 1
+                fname = self.expect_ident().value
+                array_size = None
+                if self.accept_punct("["):
+                    size_tok = self.advance()
+                    if size_tok.kind != INT:
+                        raise self.error("array size must be an integer literal")
+                    array_size = size_tok.value
+                    self.expect_punct("]")
+                fields.append(
+                    A.StructDeclField(A.TypeRef(base, depth, array_size, fline), fname, fline)
+                )
+                if not self.accept_punct(","):
+                    break
+            self.expect_punct(";")
+        self.expect_punct("}")
+        self.expect_punct(";")
+        return A.StructDecl(name, fields, line)
+
+    def parse_func_or_global(self):
+        """Parse a top-level function or global variable."""
+        line = self.tok.line
+        type_ref = self.parse_type_ref()
+        name = self.expect_ident().value
+        if self.at_punct("("):
+            return self.parse_function(type_ref, name, line)
+        # global variable
+        if self.accept_punct("["):
+            size_tok = self.advance()
+            if size_tok.kind != INT:
+                raise self.error("array size must be an integer literal")
+            type_ref.array_size = size_tok.value
+            self.expect_punct("]")
+        init = None
+        if self.accept_punct("="):
+            init = self.parse_expr()
+        self.expect_punct(";")
+        return A.GlobalDecl(type_ref, name, init, line)
+
+    def parse_function(self, ret_type: A.TypeRef, name: str, line: int) -> A.FuncDecl:
+        """Parse a function definition or prototype."""
+        self.expect_punct("(")
+        params: list[A.Param] = []
+        if not self.at_punct(")"):
+            if self.at_keyword("void") and self.peek().kind == PUNCT and self.peek().value == ")":
+                self.advance()
+            else:
+                while True:
+                    pline = self.tok.line
+                    ptype = self.parse_type_ref()
+                    pname = self.expect_ident().value
+                    params.append(A.Param(ptype, pname, pline))
+                    if not self.accept_punct(","):
+                        break
+        self.expect_punct(")")
+        if self.accept_punct(";"):
+            return A.FuncDecl(ret_type, name, params, None, line)
+        body = self.parse_block()
+        end_line = self.tokens[self.pos - 1].line
+        return A.FuncDecl(ret_type, name, params, body, line, end_line)
+
+    # ------------------------------------------------------------ statements
+
+    def parse_block(self) -> A.Block:
+        """Parse ``{ statements }``."""
+        line = self.tok.line
+        self.expect_punct("{")
+        stmts: list[A.Stmt] = []
+        while not self.at_punct("}"):
+            stmts.append(self.parse_statement())
+        self.expect_punct("}")
+        return A.Block(stmts, line)
+
+    def parse_decl_stmt(self) -> A.DeclStmt:
+        """Parse a local declaration statement."""
+        line = self.tok.line
+        type_ref = self.parse_type_ref()
+        name = self.expect_ident().value
+        if self.accept_punct("["):
+            size_tok = self.advance()
+            if size_tok.kind != INT:
+                raise self.error("array size must be an integer literal")
+            type_ref.array_size = size_tok.value
+            self.expect_punct("]")
+        init = None
+        if self.accept_punct("="):
+            init = self.parse_assignment()
+        self.expect_punct(";")
+        return A.DeclStmt(type_ref, name, init, line)
+
+    def parse_statement(self) -> A.Stmt:
+        """Parse one statement."""
+        t = self.tok
+        line = t.line
+        if self.at_punct("{"):
+            return self.parse_block()
+        if self.at_type_start():
+            return self.parse_decl_stmt()
+        if t.kind == KEYWORD:
+            if t.value == "if":
+                self.advance()
+                self.expect_punct("(")
+                cond = self.parse_expr()
+                self.expect_punct(")")
+                then = self.parse_statement()
+                other = None
+                if self.at_keyword("else"):
+                    self.advance()
+                    other = self.parse_statement()
+                return A.If(cond, then, other, line)
+            if t.value == "while":
+                self.advance()
+                self.expect_punct("(")
+                cond = self.parse_expr()
+                self.expect_punct(")")
+                body = self.parse_statement()
+                return A.While(cond, body, line)
+            if t.value == "do":
+                self.advance()
+                body = self.parse_statement()
+                if not self.at_keyword("while"):
+                    raise self.error("expected 'while' after do-body")
+                self.advance()
+                self.expect_punct("(")
+                cond = self.parse_expr()
+                self.expect_punct(")")
+                self.expect_punct(";")
+                return A.DoWhile(cond, body, line)
+            if t.value == "for":
+                self.advance()
+                self.expect_punct("(")
+                init = None
+                if not self.at_punct(";"):
+                    if self.at_type_start():
+                        init = self.parse_decl_stmt()  # consumes ';'
+                    else:
+                        init = A.ExprStmt(self.parse_expr(), line)
+                        self.expect_punct(";")
+                else:
+                    self.advance()
+                cond = None if self.at_punct(";") else self.parse_expr()
+                self.expect_punct(";")
+                step = None if self.at_punct(")") else self.parse_expr()
+                self.expect_punct(")")
+                body = self.parse_statement()
+                return A.For(init, cond, step, body, line)
+            if t.value == "return":
+                self.advance()
+                value = None if self.at_punct(";") else self.parse_expr()
+                self.expect_punct(";")
+                return A.Return(value, line)
+            if t.value == "break":
+                self.advance()
+                self.expect_punct(";")
+                return A.Break(line)
+            if t.value == "continue":
+                self.advance()
+                self.expect_punct(";")
+                return A.Continue(line)
+        if self.accept_punct(";"):
+            return A.Block([], line)  # empty statement
+        expr = self.parse_expr()
+        self.expect_punct(";")
+        return A.ExprStmt(expr, line)
+
+    # ----------------------------------------------------------- expressions
+
+    def parse_expr(self) -> A.Expr:
+        """Parse a full expression (assignment level)."""
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> A.Expr:
+        """Parse assignment expressions (right associative)."""
+        left = self.parse_conditional()
+        if self.tok.kind == PUNCT and self.tok.value in _ASSIGN_OPS:
+            op_tok = self.advance()
+            value = self.parse_assignment()
+            op = op_tok.value
+            base_op = "=" if op == "=" else op[:-1]
+            return A.Assign(base_op, left, value, op_tok.line)
+        return left
+
+    def parse_conditional(self) -> A.Expr:
+        """Parse ``a ? b : c``."""
+        cond = self.parse_binary(0)
+        if self.at_punct("?"):
+            line = self.advance().line
+            then = self.parse_expr()
+            self.expect_punct(":")
+            other = self.parse_conditional()
+            return A.Conditional(cond, then, other, line)
+        return cond
+
+    def parse_binary(self, level: int) -> A.Expr:
+        """Precedence-climbing binary expression parser."""
+        if level >= len(_BINARY_LEVELS):
+            return self.parse_unary()
+        ops = _BINARY_LEVELS[level]
+        left = self.parse_binary(level + 1)
+        while self.tok.kind == PUNCT and self.tok.value in ops:
+            op_tok = self.advance()
+            right = self.parse_binary(level + 1)
+            left = A.Binary(op_tok.value, left, right, op_tok.line)
+        return left
+
+    def _looks_like_cast(self) -> bool:
+        """At '(' — is this '(type...)'?"""
+        if not self.at_punct("("):
+            return False
+        nxt = self.peek()
+        return nxt.kind == KEYWORD and nxt.value in _TYPE_KEYWORDS
+
+    def parse_unary(self) -> A.Expr:
+        """Parse prefix operators and casts."""
+        t = self.tok
+        if t.kind == PUNCT and t.value in ("-", "!", "~", "*", "&"):
+            self.advance()
+            operand = self.parse_unary()
+            return A.Unary(t.value, operand, t.line)
+        if t.kind == PUNCT and t.value in ("++", "--"):
+            self.advance()
+            target = self.parse_unary()
+            return A.IncDec(t.value, target, True, t.line)
+        if self._looks_like_cast():
+            line = self.tok.line
+            self.advance()  # (
+            type_ref = self.parse_type_ref()
+            self.expect_punct(")")
+            operand = self.parse_unary()
+            return A.Cast(type_ref, operand, line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> A.Expr:
+        """Parse calls, indexing, member access, ++/--."""
+        expr = self.parse_primary()
+        while True:
+            t = self.tok
+            if self.at_punct("("):
+                if not isinstance(expr, A.Ident):
+                    raise self.error("only direct calls by name are supported")
+                self.advance()
+                args: list[A.Expr] = []
+                if not self.at_punct(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept_punct(","):
+                            break
+                self.expect_punct(")")
+                expr = A.Call(expr.name, args, t.line)
+            elif self.at_punct("["):
+                self.advance()
+                index = self.parse_expr()
+                self.expect_punct("]")
+                expr = A.Index(expr, index, t.line)
+            elif self.at_punct("->"):
+                self.advance()
+                name = self.expect_ident().value
+                expr = A.Member(expr, name, True, t.line)
+            elif self.at_punct("."):
+                self.advance()
+                name = self.expect_ident().value
+                expr = A.Member(expr, name, False, t.line)
+            elif self.at_punct("++") or self.at_punct("--"):
+                self.advance()
+                expr = A.IncDec(t.value, expr, False, t.line)
+            else:
+                return expr
+
+    def parse_primary(self) -> A.Expr:
+        """Parse literals, identifiers, sizeof, parentheses."""
+        t = self.tok
+        if t.kind == INT:
+            self.advance()
+            return A.IntLit(t.value, t.line)
+        if t.kind == STRING:
+            self.advance()
+            return A.StrLit(t.value, t.line)
+        if t.kind == IDENT:
+            self.advance()
+            return A.Ident(t.value, t.line)
+        if self.at_keyword("sizeof"):
+            self.advance()
+            self.expect_punct("(")
+            if not self.at_type_start():
+                raise self.error("sizeof supports types only: sizeof(struct x)")
+            type_ref = self.parse_type_ref()
+            self.expect_punct(")")
+            return A.SizeofType(type_ref, t.line)
+        if self.accept_punct("("):
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        raise self.error("expected expression")
+
+
+def parse(source: str, defines: Optional[dict[str, int]] = None) -> A.TranslationUnit:
+    """Parse mini-C ``source`` into a :class:`TranslationUnit`."""
+    from .lexer import tokenize
+
+    unit = _Parser(tokenize(source, defines)).parse_translation_unit()
+    unit.source = source
+    return unit
+
+
+__all__ = ["parse"]

@@ -1,0 +1,614 @@
+"""Semantic analysis: symbol resolution, struct layout, type checking.
+
+``analyze`` annotates the AST in place:
+
+* each :class:`~repro.lang.ast_nodes.Ident` gets a ``symbol``
+  (:class:`VarSymbol`), each :class:`Call` a :class:`FuncSymbol`;
+* every expression node gets a ``ctype``;
+* each :class:`FuncDecl` gets ``all_locals`` — its params + locals in
+  declaration order (the compiler assigns callee-saved registers in that
+  order, which is what keeps the paper's hot loops register-resident);
+* locals whose address is taken (or that are arrays) are flagged
+  ``addr_taken`` so the compiler gives them stack homes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import TypeCheckError
+from . import ast_nodes as A
+from .ctypes_ import (
+    CHAR,
+    CType,
+    ArrayType,
+    Field,
+    FuncType,
+    LONG,
+    PointerType,
+    StructType,
+    VOID,
+    assignable,
+    same_type,
+)
+
+
+@dataclass
+class VarSymbol:
+    """A declared variable (global, local or parameter)."""
+    name: str
+    ctype: CType
+    kind: str  # "global" | "local" | "param"
+    line: int
+    addr_taken: bool = False
+    #: filled in by codegen: register number or stack offset
+    home: object = None
+
+    @property
+    def is_array(self) -> bool:
+        """True when the symbol's type is an array."""
+        return isinstance(self.ctype, ArrayType)
+
+
+@dataclass
+class FuncSymbol:
+    """A declared function."""
+    name: str
+    ftype: FuncType
+    defined: bool = False
+    is_runtime: bool = False
+    line: int = 0
+
+
+#: prototypes of the runtime library (built without hwcprof — paper §3.2.5's
+#: "(Unascertainable)" bucket comes from events landing in these)
+RUNTIME_PROTOTYPES: dict[str, FuncType] = {
+    "malloc": FuncType(PointerType(CHAR), [LONG]),
+    "free": FuncType(VOID, [PointerType(CHAR)]),
+    "zero_memory": FuncType(VOID, [PointerType(CHAR), LONG]),
+    "copy_memory": FuncType(VOID, [PointerType(CHAR), PointerType(CHAR), LONG]),
+    "print_long": FuncType(VOID, [LONG]),
+    "print_char": FuncType(VOID, [LONG]),
+    "print_str": FuncType(VOID, [PointerType(CHAR)]),
+    "exit": FuncType(VOID, [LONG]),
+}
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"]) -> None:
+        self.parent = parent
+        self.vars: dict[str, VarSymbol] = {}
+
+    def define(self, sym: VarSymbol) -> None:
+        """Bind a symbol in this scope (rejects redefinition)."""
+        if sym.name in self.vars:
+            raise TypeCheckError(f"redefinition of {sym.name!r}", sym.line)
+        self.vars[sym.name] = sym
+
+    def lookup(self, name: str) -> Optional[VarSymbol]:
+        """Resolve a name through enclosing scopes."""
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+
+def _is_zero_literal(expr: A.Expr) -> bool:
+    return isinstance(expr, A.IntLit) and expr.value == 0
+
+
+class Analyzer:
+    """One translation unit's semantic analysis."""
+
+    def __init__(self, unit: A.TranslationUnit) -> None:
+        self.unit = unit
+        self.structs: dict[str, StructType] = {}
+        self.globals: dict[str, VarSymbol] = {}
+        self.functions: dict[str, FuncSymbol] = {}
+        self.current_func: Optional[A.FuncDecl] = None
+        self.current_ret: CType = VOID
+        self.loop_depth = 0
+        self.string_literals: list[str] = []
+
+    # ------------------------------------------------------------- types
+
+    def resolve_type(self, ref: A.TypeRef) -> CType:
+        """Turn a parsed TypeRef into a CType."""
+        base_name = ref.base
+        if base_name == "long":
+            base: CType = LONG
+        elif base_name == "char":
+            base = CHAR
+        elif base_name == "void":
+            base = VOID
+        elif base_name.startswith("struct "):
+            struct_name = base_name.split(" ", 1)[1]
+            if struct_name not in self.structs:
+                # forward reference: create incomplete struct
+                self.structs[struct_name] = StructType(struct_name)
+            base = self.structs[struct_name]
+        else:  # pragma: no cover - parser restricts spellings
+            raise TypeCheckError(f"unknown type {base_name!r}", ref.line)
+        ctype: CType = base
+        for _ in range(ref.ptr_depth):
+            ctype = PointerType(ctype)
+        if ref.array_size is not None:
+            ctype = ArrayType(ctype, ref.array_size)
+        return ctype
+
+    def _check_complete(self, ctype: CType, line: int) -> None:
+        if isinstance(ctype, StructType) and not ctype.complete:
+            raise TypeCheckError(f"struct {ctype.name} is incomplete", line)
+        if isinstance(ctype, type(VOID)):
+            raise TypeCheckError("void is not an object type", line)
+
+    # ------------------------------------------------------------ top level
+
+    def run(self) -> A.TranslationUnit:
+        """Execute the pass over the whole unit and return the result."""
+        for sd in self.unit.structs:
+            if sd.name not in self.structs:
+                self.structs[sd.name] = StructType(sd.name)
+        for sd in self.unit.structs:
+            struct = self.structs[sd.name]
+            fields = []
+            for f in sd.fields:
+                ftype = self.resolve_type(f.type_ref)
+                if isinstance(ftype, StructType) and not ftype.complete:
+                    raise TypeCheckError(
+                        f"struct {sd.name}: member {f.name} has incomplete type "
+                        f"struct {ftype.name}",
+                        f.line,
+                    )
+                fields.append(Field(f.name, ftype))
+            struct.set_fields(fields)
+
+        for name, ftype in RUNTIME_PROTOTYPES.items():
+            self.functions[name] = FuncSymbol(name, ftype, defined=True, is_runtime=True)
+
+        for g in self.unit.globals:
+            ctype = self.resolve_type(g.type_ref)
+            self._check_complete(
+                ctype.elem if isinstance(ctype, ArrayType) else ctype, g.line
+            )
+            if g.name in self.globals or g.name in self.functions:
+                raise TypeCheckError(f"redefinition of {g.name!r}", g.line)
+            sym = VarSymbol(g.name, ctype, "global", g.line)
+            self.globals[g.name] = sym
+            g.symbol = sym
+            if g.init is not None:
+                value = self.fold_constant(g.init)
+                if value is None:
+                    raise TypeCheckError(
+                        f"global {g.name}: initializer must be a constant", g.line
+                    )
+                g.init = A.IntLit(value, g.line)
+                g.init.ctype = LONG
+
+        # declare all functions first (mutual recursion)
+        for fn in self.unit.functions:
+            ret = self.resolve_type(fn.ret_type)
+            if len(fn.params) > 6:
+                raise TypeCheckError(
+                    f"{fn.name}(): at most 6 parameters are supported "
+                    f"(the %o0-%o5 argument registers)",
+                    fn.line,
+                )
+            params = [self.resolve_type(p.type_ref) for p in fn.params]
+            for p, ptype in zip(fn.params, params):
+                if isinstance(ptype, (ArrayType, StructType)):
+                    raise TypeCheckError(
+                        f"parameter {p.name}: arrays/structs pass by pointer", p.line
+                    )
+            ftype = FuncType(ret, params)
+            existing = self.functions.get(fn.name)
+            if existing is not None:
+                if existing.defined and fn.body is not None and not existing.is_runtime:
+                    raise TypeCheckError(f"redefinition of {fn.name}()", fn.line)
+                if len(existing.ftype.params) != len(params):
+                    raise TypeCheckError(
+                        f"conflicting declarations of {fn.name}()", fn.line
+                    )
+            sym = existing or FuncSymbol(fn.name, ftype, line=fn.line)
+            if fn.body is not None:
+                sym.defined = True
+            self.functions[fn.name] = sym
+            fn.symbol = sym
+
+        for fn in self.unit.functions:
+            if fn.body is not None:
+                self.check_function(fn)
+        return self.unit
+
+    # ------------------------------------------------------------- functions
+
+    def check_function(self, fn: A.FuncDecl) -> None:
+        """Type-check one function body."""
+        self.current_func = fn
+        self.current_ret = self.resolve_type(fn.ret_type)
+        scope = _Scope(None)
+        all_locals: list[VarSymbol] = []
+        for p in fn.params:
+            sym = VarSymbol(p.name, self.resolve_type(p.type_ref), "param", p.line)
+            scope.define(sym)
+            all_locals.append(sym)
+        fn.all_locals = all_locals  # type: ignore[attr-defined]
+        self._locals_sink = all_locals
+        self.check_block(fn.body, _Scope(scope))
+        self.current_func = None
+
+    def check_block(self, block: A.Block, scope: _Scope) -> None:
+        """Type-check a block in a fresh scope."""
+        for stmt in block.stmts:
+            self.check_stmt(stmt, scope)
+
+    def check_stmt(self, stmt: A.Stmt, scope: _Scope) -> None:
+        """Type-check one statement."""
+        if isinstance(stmt, A.Block):
+            self.check_block(stmt, _Scope(scope))
+        elif isinstance(stmt, A.DeclStmt):
+            ctype = self.resolve_type(stmt.type_ref)
+            self._check_complete(
+                ctype.elem if isinstance(ctype, ArrayType) else ctype, stmt.line
+            )
+            if isinstance(ctype, StructType):
+                raise TypeCheckError(
+                    "struct locals are not supported; use pointers", stmt.line
+                )
+            sym = VarSymbol(stmt.name, ctype, "local", stmt.line)
+            if sym.is_array:
+                sym.addr_taken = True  # arrays live on the stack
+            scope.define(sym)
+            stmt.symbol = sym
+            self._locals_sink.append(sym)
+            if stmt.init is not None:
+                itype = self.check_expr(stmt.init, scope)
+                self._check_assignable(ctype, itype, stmt.init, stmt.line)
+        elif isinstance(stmt, A.If):
+            self._check_condition(stmt.cond, scope)
+            self.check_stmt(stmt.then, scope)
+            if stmt.other is not None:
+                self.check_stmt(stmt.other, scope)
+        elif isinstance(stmt, (A.While, A.DoWhile)):
+            self._check_condition(stmt.cond, scope)
+            self.loop_depth += 1
+            self.check_stmt(stmt.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(stmt, A.For):
+            inner = _Scope(scope)
+            if isinstance(stmt.init, A.DeclStmt):
+                self.check_stmt(stmt.init, inner)
+            elif isinstance(stmt.init, A.ExprStmt):
+                self.check_expr(stmt.init.expr, inner)
+            if stmt.cond is not None:
+                self._check_condition(stmt.cond, inner)
+            if stmt.step is not None:
+                self.check_expr(stmt.step, inner)
+            self.loop_depth += 1
+            self.check_stmt(stmt.body, inner)
+            self.loop_depth -= 1
+        elif isinstance(stmt, A.Return):
+            if stmt.value is not None:
+                vtype = self.check_expr(stmt.value, scope)
+                if isinstance(self.current_ret, type(VOID)):
+                    raise TypeCheckError("void function returns a value", stmt.line)
+                self._check_assignable(self.current_ret, vtype, stmt.value, stmt.line)
+            elif not isinstance(self.current_ret, type(VOID)):
+                raise TypeCheckError("non-void function returns nothing", stmt.line)
+        elif isinstance(stmt, (A.Break, A.Continue)):
+            if self.loop_depth == 0:
+                raise TypeCheckError("break/continue outside a loop", stmt.line)
+        elif isinstance(stmt, A.ExprStmt):
+            self.check_expr(stmt.expr, scope)
+        else:  # pragma: no cover
+            raise TypeCheckError(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    def _check_condition(self, expr: A.Expr, scope: _Scope) -> None:
+        ctype = self.check_expr(expr, scope)
+        if not (ctype.is_scalar or isinstance(ctype, ArrayType)):
+            raise TypeCheckError("condition must be scalar", expr.line)
+
+    def _check_assignable(self, dst: CType, src: CType, src_expr: A.Expr, line: int) -> None:
+        if assignable(dst, src):
+            return
+        if dst.is_pointer and src.is_integer and _is_zero_literal(src_expr):
+            return
+        if dst.is_pointer and isinstance(src, ArrayType) and assignable(
+            dst, PointerType(src.elem)
+        ):
+            return
+        if dst.is_pointer and isinstance(src, PointerType) and same_type(
+            dst.target, src.target  # type: ignore[attr-defined]
+        ):
+            return
+        raise TypeCheckError(f"cannot assign {src} to {dst}", line)
+
+    # ------------------------------------------------------------ expressions
+
+    def check_expr(self, expr: A.Expr, scope: _Scope) -> CType:
+        """Type-check an expression; annotates and returns its type."""
+        ctype = self._check_expr(expr, scope)
+        expr.ctype = ctype
+        return ctype
+
+    def _decay(self, ctype: CType) -> CType:
+        if isinstance(ctype, ArrayType):
+            return PointerType(ctype.elem)
+        return ctype
+
+    def _check_expr(self, expr: A.Expr, scope: _Scope) -> CType:
+        if isinstance(expr, A.IntLit):
+            return LONG
+        if isinstance(expr, A.StrLit):
+            self.string_literals.append(expr.value)
+            return PointerType(CHAR)
+        if isinstance(expr, A.Ident):
+            sym = scope.lookup(expr.name) or self.globals.get(expr.name)
+            if sym is None:
+                raise TypeCheckError(f"undeclared identifier {expr.name!r}", expr.line)
+            expr.symbol = sym
+            return sym.ctype
+        if isinstance(expr, A.SizeofType):
+            ctype = self.resolve_type(expr.type_ref)
+            self._check_complete(
+                ctype.elem if isinstance(ctype, ArrayType) else ctype, expr.line
+            )
+            return LONG
+        if isinstance(expr, A.Cast):
+            target = self.resolve_type(expr.type_ref)
+            operand = self.check_expr(expr.operand, scope)
+            if not target.is_scalar:
+                raise TypeCheckError(f"cannot cast to {target}", expr.line)
+            if not (operand.is_scalar or isinstance(operand, ArrayType)):
+                raise TypeCheckError(f"cannot cast from {operand}", expr.line)
+            return target
+        if isinstance(expr, A.Unary):
+            return self._check_unary(expr, scope)
+        if isinstance(expr, A.Binary):
+            return self._check_binary(expr, scope)
+        if isinstance(expr, A.Assign):
+            return self._check_assign(expr, scope)
+        if isinstance(expr, A.IncDec):
+            target = self.check_expr(expr.target, scope)
+            self._require_lvalue(expr.target)
+            if not target.is_scalar:
+                raise TypeCheckError("++/-- needs a scalar", expr.line)
+            return target
+        if isinstance(expr, A.Call):
+            return self._check_call(expr, scope)
+        if isinstance(expr, A.Index):
+            base = self._decay(self.check_expr(expr.base, scope))
+            if not isinstance(base, PointerType):
+                raise TypeCheckError("indexing a non-pointer", expr.line)
+            idx = self.check_expr(expr.index, scope)
+            if not idx.is_integer:
+                raise TypeCheckError("array index must be an integer", expr.line)
+            self._check_complete(base.target, expr.line)
+            return base.target
+        if isinstance(expr, A.Member):
+            base = self.check_expr(expr.base, scope)
+            if expr.arrow:
+                base = self._decay(base)
+                if not isinstance(base, PointerType) or not isinstance(
+                    base.target, StructType
+                ):
+                    raise TypeCheckError(f"-> on non-struct-pointer ({base})", expr.line)
+                struct = base.target
+            else:
+                if not isinstance(base, StructType):
+                    raise TypeCheckError(f". on non-struct ({base})", expr.line)
+                struct = base
+            if not struct.complete:
+                raise TypeCheckError(f"struct {struct.name} is incomplete", expr.line)
+            f = struct.field(expr.name)
+            expr.struct_type = struct
+            expr.field = f
+            return f.ctype
+        if isinstance(expr, A.Conditional):
+            self._check_condition(expr.cond, scope)
+            then = self._decay(self.check_expr(expr.then, scope))
+            other = self._decay(self.check_expr(expr.other, scope))
+            if same_type(then, other):
+                return then
+            if then.is_pointer and _is_zero_literal(expr.other):
+                return then
+            if other.is_pointer and _is_zero_literal(expr.then):
+                return other
+            if then.is_integer and other.is_integer:
+                return LONG
+            raise TypeCheckError(f"?: branches differ: {then} vs {other}", expr.line)
+        raise TypeCheckError(f"unknown expression {type(expr).__name__}", expr.line)
+
+    def _require_lvalue(self, expr: A.Expr) -> None:
+        if isinstance(expr, A.Ident):
+            return
+        if isinstance(expr, A.Unary) and expr.op == "*":
+            return
+        if isinstance(expr, (A.Member, A.Index)):
+            return
+        raise TypeCheckError("expression is not an lvalue", expr.line)
+
+    def _check_unary(self, expr: A.Unary, scope: _Scope) -> CType:
+        operand = self.check_expr(expr.operand, scope)
+        if expr.op == "*":
+            decayed = self._decay(operand)
+            if not isinstance(decayed, PointerType):
+                raise TypeCheckError("dereferencing a non-pointer", expr.line)
+            self._check_complete(decayed.target, expr.line)
+            return decayed.target
+        if expr.op == "&":
+            self._require_lvalue(expr.operand)
+            if isinstance(expr.operand, A.Ident):
+                sym = expr.operand.symbol
+                if sym is not None and sym.kind != "global":
+                    sym.addr_taken = True
+            if isinstance(operand, ArrayType):
+                return PointerType(operand.elem)
+            return PointerType(operand)
+        if expr.op in ("-", "~"):
+            if not operand.is_integer:
+                raise TypeCheckError(f"unary {expr.op} needs an integer", expr.line)
+            return LONG
+        if expr.op == "!":
+            if not (operand.is_scalar or isinstance(operand, ArrayType)):
+                raise TypeCheckError("! needs a scalar", expr.line)
+            return LONG
+        raise TypeCheckError(f"unknown unary {expr.op!r}", expr.line)  # pragma: no cover
+
+    def _check_binary(self, expr: A.Binary, scope: _Scope) -> CType:
+        op = expr.op
+        left = self._decay(self.check_expr(expr.left, scope))
+        right = self._decay(self.check_expr(expr.right, scope))
+        if op in ("&&", "||"):
+            for side, stype in ((expr.left, left), (expr.right, right)):
+                if not stype.is_scalar:
+                    raise TypeCheckError(f"{op} needs scalars", side.line)
+            return LONG
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if left.is_pointer or right.is_pointer:
+                ok = (
+                    (left.is_pointer and right.is_pointer)
+                    or (left.is_pointer and _is_zero_literal(expr.right))
+                    or (right.is_pointer and _is_zero_literal(expr.left))
+                )
+                if not ok:
+                    raise TypeCheckError(f"bad pointer comparison {left} {op} {right}", expr.line)
+            elif not (left.is_integer and right.is_integer):
+                raise TypeCheckError(f"bad comparison {left} {op} {right}", expr.line)
+            return LONG
+        if op == "+":
+            if left.is_pointer and right.is_integer:
+                self._check_complete(left.target, expr.line)  # type: ignore[attr-defined]
+                return left
+            if right.is_pointer and left.is_integer:
+                self._check_complete(right.target, expr.line)  # type: ignore[attr-defined]
+                return right
+        if op == "-":
+            if left.is_pointer and right.is_integer:
+                self._check_complete(left.target, expr.line)  # type: ignore[attr-defined]
+                return left
+            if left.is_pointer and right.is_pointer:
+                if not same_type(left, right):
+                    raise TypeCheckError("pointer difference of distinct types", expr.line)
+                return LONG
+        if not (left.is_integer and right.is_integer):
+            raise TypeCheckError(f"bad operands for {op!r}: {left}, {right}", expr.line)
+        return LONG
+
+    def _check_assign(self, expr: A.Assign, scope: _Scope) -> CType:
+        target = self.check_expr(expr.target, scope)
+        self._require_lvalue(expr.target)
+        value = self._decay(self.check_expr(expr.value, scope))
+        if expr.op == "=":
+            self._check_assignable(target, value, expr.value, expr.line)
+        else:
+            # compound: target OP= value behaves like target = target OP value
+            if target.is_pointer and expr.op in ("+", "-") and value.is_integer:
+                pass
+            elif not (target.is_integer and value.is_integer):
+                raise TypeCheckError(
+                    f"bad compound assignment {target} {expr.op}= {value}", expr.line
+                )
+        return target
+
+    def _check_call(self, expr: A.Call, scope: _Scope) -> CType:
+        sym = self.functions.get(expr.name)
+        if sym is None:
+            raise TypeCheckError(f"call to undeclared function {expr.name!r}", expr.line)
+        expr.symbol = sym
+        if len(expr.args) != len(sym.ftype.params):
+            raise TypeCheckError(
+                f"{expr.name}() expects {len(sym.ftype.params)} args, "
+                f"got {len(expr.args)}",
+                expr.line,
+            )
+        if len(expr.args) > 6:
+            raise TypeCheckError("at most 6 arguments are supported", expr.line)
+        for arg, ptype in zip(expr.args, sym.ftype.params):
+            atype = self.check_expr(arg, scope)
+            self._check_assignable(ptype, self._decay(atype), arg, arg.line)
+        return sym.ftype.ret
+
+    # ----------------------------------------------------------- const fold
+
+    def fold_constant(self, expr: A.Expr) -> Optional[int]:
+        """Evaluate a constant expression, or None if not constant."""
+        if isinstance(expr, A.IntLit):
+            return expr.value
+        if isinstance(expr, A.Unary):
+            inner = self.fold_constant(expr.operand)
+            if inner is None:
+                return None
+            if expr.op == "-":
+                return -inner
+            if expr.op == "~":
+                return ~inner
+            if expr.op == "!":
+                return int(not inner)
+            return None
+        if isinstance(expr, A.Binary):
+            left = self.fold_constant(expr.left)
+            right = self.fold_constant(expr.right)
+            if left is None or right is None:
+                return None
+            try:
+                return _fold_binop(expr.op, left, right)
+            except ZeroDivisionError:
+                raise TypeCheckError("division by zero in constant", expr.line) from None
+        if isinstance(expr, A.SizeofType):
+            return self.resolve_type(expr.type_ref).size()
+        return None
+
+
+def _fold_binop(op: str, a: int, b: int) -> int:
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        q = abs(a) // abs(b)
+        return -q if (a < 0) != (b < 0) else q
+    if op == "%":
+        q = abs(a) // abs(b)
+        q = -q if (a < 0) != (b < 0) else q
+        return a - q * b
+    if op == "<<":
+        return a << (b & 63)
+    if op == ">>":
+        return a >> (b & 63)
+    if op == "&":
+        return a & b
+    if op == "|":
+        return a | b
+    if op == "^":
+        return a ^ b
+    if op == "==":
+        return int(a == b)
+    if op == "!=":
+        return int(a != b)
+    if op == "<":
+        return int(a < b)
+    if op == "<=":
+        return int(a <= b)
+    if op == ">":
+        return int(a > b)
+    if op == ">=":
+        return int(a >= b)
+    if op == "&&":
+        return int(bool(a) and bool(b))
+    if op == "||":
+        return int(bool(a) or bool(b))
+    raise TypeCheckError(f"cannot fold {op!r}")
+
+
+def analyze(unit: A.TranslationUnit) -> A.TranslationUnit:
+    """Type-check and annotate ``unit`` in place; returns it."""
+    return Analyzer(unit).run()
+
+
+__all__ = ["analyze", "Analyzer", "VarSymbol", "FuncSymbol", "RUNTIME_PROTOTYPES"]

@@ -1,0 +1,105 @@
+"""Token definitions for the mini-C lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# token kinds
+IDENT = "ident"
+INT = "int"
+STRING = "string"
+KEYWORD = "keyword"
+PUNCT = "punct"
+EOF = "eof"
+
+KEYWORDS = frozenset(
+    {
+        "long",
+        "char",
+        "void",
+        "struct",
+        "if",
+        "else",
+        "while",
+        "do",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "sizeof",
+    }
+)
+
+#: multi-character punctuators, longest first so the lexer can greedy-match
+PUNCTUATORS = (
+    "<<=",
+    ">>=",
+    "->",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    ".",
+    "?",
+    ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+    kind: str
+    value: object
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.col})"
+
+
+__all__ = [
+    "Token",
+    "IDENT",
+    "INT",
+    "STRING",
+    "KEYWORD",
+    "PUNCT",
+    "EOF",
+    "KEYWORDS",
+    "PUNCTUATORS",
+]

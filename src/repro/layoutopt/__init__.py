@@ -1,0 +1,15 @@
+"""Structure-layout optimization advice from data-space profiles (§3.3)."""
+
+from .advisor import (
+    LayoutAdvisor,
+    StructAdvice,
+    PageSizeAdvice,
+    straddle_fraction,
+)
+
+__all__ = [
+    "LayoutAdvisor",
+    "StructAdvice",
+    "PageSizeAdvice",
+    "straddle_fraction",
+]

@@ -1,0 +1,244 @@
+"""Turn a data-object profile into concrete layout advice.
+
+This automates the reasoning of the paper's §3.2.5/§3.3:
+
+* rank a structure's members by their share of memory cost and propose a
+  reordering that packs the hottest members into one D$ line;
+* compute the fraction of array elements that straddle an E$ line (the
+  paper's "28% of these 120-byte data objects end up split this way") and
+  propose padding + alignment that eliminates the splits;
+* when DTLB misses cost a significant fraction of run time, recommend a
+  larger heap page size (the paper's ``-xpagesize_heap=512k``).
+
+The advisor only *reads* the reduced profile; applying the advice means
+recompiling with a new struct layout (for MCF:
+``LayoutVariant.OPT_LAYOUT``) — exactly the paper's workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import gcd
+from typing import Optional
+
+from ..analyze.model import ReducedData
+from ..errors import AnalysisError
+
+
+def straddle_fraction(elem_size: int, stride: int, line_bytes: int,
+                      base_offset: int = 0) -> float:
+    """Fraction of array elements (placed every ``stride`` bytes) whose
+    ``elem_size`` bytes cross a ``line_bytes`` boundary."""
+    if elem_size <= 0 or stride <= 0 or line_bytes <= 0:
+        raise AnalysisError("sizes must be positive")
+    if elem_size > line_bytes:
+        return 1.0
+    cycle = line_bytes // gcd(stride, line_bytes)
+    split = 0
+    for k in range(cycle):
+        offset = (base_offset + k * stride) % line_bytes
+        if offset + elem_size > line_bytes:
+            split += 1
+    return split / cycle
+
+
+@dataclass
+class MemberWeight:
+    """One struct member's measured share of memory cost."""
+    member: str
+    offset: int
+    member_type: str
+    weight: float       # combined share of the struct's memory cost
+    percent: float      # percent of <Total> for the ranking metric
+
+
+@dataclass
+class StructAdvice:
+    """The advisor's proposal for one structure."""
+    object_class: str
+    current_size: int
+    ranked_members: list
+    proposed_order: list         # member names, hottest first
+    proposed_size: int           # padded to eliminate E$-line straddling
+    hot_line_members: list       # members that fit the first D$ line
+    straddle_fraction_current: float
+    straddle_fraction_proposed: float
+    notes: list = field(default_factory=list)
+
+    def render_struct(self, name: Optional[str] = None) -> str:
+        """A C struct definition implementing the proposal."""
+        struct_name = name or self.object_class.split(":", 1)[-1]
+        lines = [f"struct {struct_name} {{"]
+        by_name = {m.member: m for m in self.ranked_members}
+        offset = 0
+        for member in self.proposed_order:
+            info = by_name[member]
+            ctype = info.member_type
+            if ctype.startswith("pointer+structure:"):
+                decl = f"struct {ctype.split(':', 1)[1]} *{member};"
+            elif ctype.startswith("pointer+"):
+                decl = f"{ctype.split('+', 1)[1]} *{member};"
+            else:
+                decl = f"{ctype} {member};"
+            lines.append(f"    {decl:<40} /* +{offset} */")
+            offset += 8
+        pad_words = (self.proposed_size - offset) // 8
+        for i in range(pad_words):
+            lines.append(f"    long pad{i};{'':<34} /* +{offset} */")
+            offset += 8
+        lines.append(f"}};  /* {self.proposed_size} bytes */")
+        return "\n".join(lines)
+
+
+@dataclass
+class PageSizeAdvice:
+    """The advisor's heap page-size recommendation."""
+    current_page_bytes: int
+    recommended_page_bytes: int
+    dtlb_cost_fraction: float
+    message: str
+
+
+class LayoutAdvisor:
+    """Reads a :class:`ReducedData` and produces §3.3-style advice."""
+
+    #: memory metrics blended into the member ranking, with weights —
+    #: stall cycles matter most (they are time), misses next
+    METRIC_WEIGHTS = {"ecstall": 1.0, "ecrm": 0.5, "dtlbm": 0.25, "ecref": 0.05}
+
+    def __init__(self, reduced: ReducedData,
+                 dcache_line: int = 32, ecache_line: int = 512,
+                 dtlb_cost_cycles: int = 100) -> None:
+        self.reduced = reduced
+        self.dcache_line = dcache_line
+        self.ecache_line = ecache_line
+        self.dtlb_cost_cycles = dtlb_cost_cycles
+
+    # ----------------------------------------------------------- structure
+
+    def _member_weights(self, object_class: str) -> list:
+        members: dict[str, MemberWeight] = {}
+        layout = self.reduced.program.structs.get(object_class.split(":", 1)[-1])
+        if layout is None:
+            raise AnalysisError(f"no layout recorded for {object_class!r}")
+        for name, offset, type_str in layout.members:
+            members[name] = MemberWeight(name, offset, type_str, 0.0, 0.0)
+        for key, vector in self.reduced.data_members.items():
+            if key.object_class != object_class or key.member not in members:
+                continue
+            weight = 0.0
+            for metric, factor in self.METRIC_WEIGHTS.items():
+                weight += factor * self.reduced.percent(metric, vector.get(metric, 0.0))
+            members[key.member].weight += weight
+            members[key.member].percent += self.reduced.percent(
+                "ecstall", vector.get("ecstall", 0.0)
+            )
+        ranked = sorted(members.values(), key=lambda m: m.weight, reverse=True)
+        return ranked
+
+    def advise_struct(self, object_class: str) -> StructAdvice:
+        """Produce reorder/pad/align advice for one structure."""
+        layout = self.reduced.program.structs.get(object_class.split(":", 1)[-1])
+        if layout is None:
+            raise AnalysisError(f"no layout recorded for {object_class!r}")
+        ranked = self._member_weights(object_class)
+        proposed_order = [m.member for m in ranked]
+        # pad the struct so elements pack an integral number per E$ line
+        size = layout.size
+        proposed = size
+        while self.ecache_line % proposed and proposed < 2 * size:
+            proposed += 8
+        if self.ecache_line % proposed:
+            proposed = size  # no reasonable padding exists
+        hot_line = []
+        used = 0
+        for m in ranked:
+            if used + 8 <= self.dcache_line and m.weight > 0:
+                hot_line.append(m.member)
+                used += 8
+        current_straddle = straddle_fraction(size, size, self.ecache_line)
+        proposed_straddle = straddle_fraction(proposed, proposed, self.ecache_line)
+        notes = []
+        if hot_line:
+            notes.append(
+                f"pack {', '.join(hot_line)} into the first {self.dcache_line}-byte "
+                f"D$ line (they carry {sum(m.percent for m in ranked if m.member in hot_line):.0f}% "
+                f"of E$ stall)"
+            )
+        if proposed != size:
+            notes.append(
+                f"pad {size} -> {proposed} bytes and align allocations so whole "
+                f"objects map into {self.ecache_line}-byte E$ lines "
+                f"(currently {current_straddle:.0%} of array elements straddle)"
+            )
+        return StructAdvice(
+            object_class=object_class,
+            current_size=size,
+            ranked_members=ranked,
+            proposed_order=proposed_order,
+            proposed_size=proposed,
+            hot_line_members=hot_line,
+            straddle_fraction_current=current_straddle,
+            straddle_fraction_proposed=proposed_straddle,
+            notes=notes,
+        )
+
+    # ----------------------------------------------------------- page size
+
+    def advise_page_size(self, threshold: float = 0.02,
+                         factor: int = 64) -> Optional[PageSizeAdvice]:
+        """Recommend larger heap pages when DTLB misses cost > threshold."""
+        totals = self.reduced.machine_totals
+        cycles = totals.get("cycles", 0)
+        dtlbm = self.reduced.total.get("dtlbm", 0.0)
+        if not cycles or not dtlbm:
+            return None
+        fraction = dtlbm * self.dtlb_cost_cycles / cycles
+        current = 8192
+        for name, _base, _size, page in self.reduced.segments:
+            if name == "heap":
+                current = page
+        if fraction < threshold:
+            return None
+        recommended = current * factor
+        return PageSizeAdvice(
+            current_page_bytes=current,
+            recommended_page_bytes=recommended,
+            dtlb_cost_fraction=fraction,
+            message=(
+                f"DTLB misses cost ~{fraction:.1%} of run time; rebuild with "
+                f"-xpagesize_heap={recommended // 1024}k to cover the heap "
+                f"with {factor}x fewer TLB entries"
+            ),
+        )
+
+    # ------------------------------------------------------------- summary
+
+    def report(self, object_classes) -> str:
+        """Render the advice for several structures as text."""
+        lines = ["Layout advice", "============="]
+        for object_class in object_classes:
+            advice = self.advise_struct(object_class)
+            lines.append("")
+            lines.append(f"{object_class} ({advice.current_size} bytes):")
+            for note in advice.notes:
+                lines.append(f"  - {note}")
+            top = [m for m in advice.ranked_members if m.weight > 0][:5]
+            for m in top:
+                lines.append(
+                    f"    {m.member:<14} +{m.offset:<4} weight {m.weight:6.1f}"
+                )
+        page = self.advise_page_size()
+        if page is not None:
+            lines.append("")
+            lines.append(f"Heap pages: {page.message}")
+        return "\n".join(lines)
+
+
+__all__ = [
+    "LayoutAdvisor",
+    "StructAdvice",
+    "PageSizeAdvice",
+    "MemberWeight",
+    "straddle_fraction",
+]

@@ -1,0 +1,95 @@
+"""Set-associative LRU cache model with event counters.
+
+Only hit/miss behaviour and event counts are modelled (no data storage —
+the arena is always authoritative).  Each set is a small list of tags in
+MRU-first order; with associativities of 2-4 the list operations are cheap.
+"""
+
+from __future__ import annotations
+
+from ..config import CacheConfig
+
+
+class Cache:
+    """One cache level."""
+
+    __slots__ = (
+        "config",
+        "line_shift",
+        "set_mask",
+        "sets",
+        "read_refs",
+        "write_refs",
+        "read_misses",
+        "write_misses",
+    )
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.line_shift = config.line_bytes.bit_length() - 1
+        self.set_mask = config.num_sets - 1
+        self.sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+        self.read_refs = 0
+        self.write_refs = 0
+        self.read_misses = 0
+        self.write_misses = 0
+
+    def reset_state(self) -> None:
+        """Flush all lines and zero the counters."""
+        for entry in self.sets:
+            entry.clear()
+        self.read_refs = 0
+        self.write_refs = 0
+        self.read_misses = 0
+        self.write_misses = 0
+
+    def access(self, addr: int, is_write: bool) -> bool:
+        """Reference the line containing ``addr``; returns True on hit.
+
+        Misses allocate (write-allocate policy for stores, like the
+        UltraSPARC-III's W$-backed hierarchy at the granularity we model).
+        """
+        line = addr >> self.line_shift
+        entry = self.sets[line & self.set_mask]
+        tag = line >> 0  # full line number doubles as the tag
+        if is_write:
+            self.write_refs += 1
+        else:
+            self.read_refs += 1
+        try:
+            pos = entry.index(tag)
+        except ValueError:
+            if is_write:
+                self.write_misses += 1
+            else:
+                self.read_misses += 1
+            entry.insert(0, tag)
+            if len(entry) > self.config.associativity:
+                entry.pop()
+            return False
+        if pos:
+            entry.insert(0, entry.pop(pos))
+        return True
+
+    def contains(self, addr: int) -> bool:
+        """Non-perturbing lookup (no LRU update, no counters)."""
+        line = addr >> self.line_shift
+        return line in self.sets[line & self.set_mask]
+
+    @property
+    def refs(self) -> int:
+        """Total references (reads + writes)."""
+        return self.read_refs + self.write_refs
+
+    @property
+    def misses(self) -> int:
+        """Total misses (reads + writes)."""
+        return self.read_misses + self.write_misses
+
+    def miss_rate(self) -> float:
+        """Misses divided by references (0.0 when unused)."""
+        refs = self.refs
+        return self.misses / refs if refs else 0.0
+
+
+__all__ = ["Cache"]

@@ -1,0 +1,224 @@
+"""Hardware performance counters with an imprecise-trap (skid) model.
+
+The UltraSPARC-III has two counter registers (PIC0/PIC1), each able to
+count one event from a register-specific menu.  A counter can be preloaded
+so that it overflows after *interval* events; the overflow trap is **not
+precise** — it is delivered some instructions after the trigger, with only
+the next-to-issue PC and the live register set (paper §2.2.2).
+
+We reproduce that information loss exactly:
+
+* each event type has a *precision class* — ``dtlbm`` is precise, ``ecrm``
+  and ``ecstall`` skid a little, ``ecref`` skids a lot (paper §3.2.5);
+* the delivered :class:`CounterSnapshot` carries only ``trap_pc`` (next
+  instruction to issue), the register values at delivery time, and the
+  callstack — never the triggering instruction or its data address.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import CollectError
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """Static description of one countable event."""
+
+    name: str
+    description: str
+    #: True when the counter accumulates cycles rather than occurrences
+    counts_cycles: bool
+    #: registers (PIC numbers) able to count this event
+    registers: tuple[int, ...]
+    #: trap skid in completed instructions, inclusive range
+    skid_min: int
+    skid_max: int
+    #: which instruction kinds can trigger the event: "load", "loadstore",
+    #: or None for events not tied to a memory instruction
+    memop_class: Optional[str]
+    #: probability that the trap lands at skid_min (long-stall events are
+    #: delivered while the trigger still blocks the pipeline, so they are
+    #: mostly precise; non-stalling events spread uniformly)
+    skid_bias: float = 0.0
+
+    @property
+    def precise(self) -> bool:
+        """True when the trap never skids."""
+        return self.skid_min == 0 and self.skid_max == 0
+
+
+#: the counter menu, in the spirit of the US-III PCR event lists
+EVENTS: dict[str, EventSpec] = {
+    spec.name: spec
+    for spec in (
+        EventSpec("cycles", "Cycle count", True, (0, 1), 1, 4, None),
+        EventSpec("insts", "Instructions completed", False, (0, 1), 1, 4, None),
+        EventSpec("icm", "I$ misses", False, (1,), 1, 4, None),
+        # The long-stall events (D$/E$ read misses, E$ stall) deliver their
+        # trap while the triggering load is still stalling the pipeline, so
+        # at most one further instruction completes — this is why the paper
+        # finds backtracking ~100% effective for them (§3.2.5).  E$
+        # references do not stall, so their trap skids much further and
+        # only ~94% of them stay attributable.
+        EventSpec("dcrm", "D$ read misses", False, (0,), 0, 1, "load", 0.85),
+        EventSpec("dtlbm", "DTLB misses", False, (1,), 0, 0, "loadstore"),
+        EventSpec("ecref", "E$ references", False, (0,), 2, 5, "loadstore"),
+        EventSpec("ecrm", "E$ read misses", False, (1,), 0, 1, "load", 0.85),
+        EventSpec("ecstall", "E$ stall cycles", True, (0,), 0, 1, "load", 0.85),
+    )
+}
+
+#: named overflow intervals (prime, per paper §2.2, "to reduce the
+#: probability of correlations").  These are simulation-scale: a scaled MCF
+#: run completes ~10M instructions, so "on" yields a few thousand samples.
+_EVENT_INTERVALS = {"hi": 499, "on": 2003, "lo": 20011}
+_CYCLE_INTERVALS = {"hi": 4999, "on": 20011, "lo": 200003}
+
+
+def overflow_interval(event: EventSpec, setting) -> int:
+    """Resolve 'hi'/'on'/'lo' or a numeric setting to an interval."""
+    if isinstance(setting, int):
+        if setting <= 0:
+            raise CollectError(f"overflow interval must be positive: {setting}")
+        return setting
+    table = _CYCLE_INTERVALS if event.counts_cycles else _EVENT_INTERVALS
+    try:
+        return table[setting]
+    except KeyError:
+        raise CollectError(
+            f"bad overflow setting {setting!r} (want hi/on/lo or an integer)"
+        ) from None
+
+
+@dataclass(frozen=True)
+class CounterSpec:
+    """One configured counter: event + interval + backtracking request."""
+
+    event: EventSpec
+    interval: int
+    backtrack: bool
+    register: int
+
+    @classmethod
+    def parse(cls, text: str, register: int) -> "CounterSpec":
+        """Parse ``[+]name[,interval]`` as in ``collect -h +ecstall,lo``."""
+        backtrack = text.startswith("+")
+        if backtrack:
+            text = text[1:]
+        name, _, interval_text = text.partition(",")
+        try:
+            event = EVENTS[name]
+        except KeyError:
+            raise CollectError(f"unknown counter name: {name!r}") from None
+        if backtrack and event.memop_class is None:
+            raise CollectError(
+                f"+{name}: backtracking applies only to memory-related counters"
+            )
+        setting: object = interval_text or "on"
+        if isinstance(setting, str) and setting.lstrip("-").isdigit():
+            setting = int(setting)
+        return cls(event, overflow_interval(event, setting), backtrack, register)
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Everything the hardware/OS hands the profiling signal handler."""
+
+    counter_index: int
+    event: EventSpec
+    #: PC of the next instruction to issue at delivery time (paper §2.2.2)
+    trap_pc: int
+    #: register file at delivery time (tuple of 32 ints)
+    regs: tuple
+    #: return-address chain, innermost last (call-site PCs)
+    callstack: tuple
+    cycle: int
+    instr_count: int
+    #: how many instructions the trap skidded past the trigger (diagnostic
+    #: only — a real tool never sees this; tests use it)
+    true_skid: int
+    #: the PC of the instruction that actually raised the event
+    #: (diagnostic only — real hardware does not report it, and the
+    #: collector must never read it; accuracy tests compare it against
+    #: the backtracking result)
+    true_trigger_pc: int = 0
+
+
+class CounterUnit:
+    """The two PIC registers plus overflow bookkeeping.
+
+    The CPU drives this: it calls :meth:`record` when an event occurs; a
+    positive return value is the number of *further completed instructions*
+    after which the trap must be delivered.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.specs: list[Optional[CounterSpec]] = [None, None]
+        self.remaining: list[int] = [0, 0]
+        self.totals: list[int] = [0, 0]
+        self.overflows: list[int] = [0, 0]
+        #: event name -> counter index, for the CPU's fast lookup
+        self.watching: dict[str, int] = {}
+
+    def configure(self, specs: list[CounterSpec]) -> None:
+        """Install up to two counter specs on the PIC registers."""
+        if len(specs) > 2:
+            raise CollectError("at most two HW counters (two PIC registers)")
+        registers = [spec.register for spec in specs]
+        if len(set(registers)) != len(registers):
+            raise CollectError("counters must be on different registers")
+        for spec in specs:
+            if spec.register not in spec.event.registers:
+                raise CollectError(
+                    f"event {spec.event.name} cannot be counted on PIC{spec.register}"
+                )
+        self.specs = [None, None]
+        self.remaining = [0, 0]
+        self.totals = [0, 0]
+        self.overflows = [0, 0]
+        self.watching = {}
+        for spec in specs:
+            self.specs[spec.register] = spec
+            self.remaining[spec.register] = spec.interval
+            if spec.event.name in self.watching:
+                raise CollectError(f"event {spec.event.name} requested twice")
+            self.watching[spec.event.name] = spec.register
+
+    def record(self, register: int, amount: int) -> int:
+        """Count ``amount`` events on PIC ``register``.
+
+        Returns -1 normally, or the skid (in instructions) when the counter
+        overflowed and a trap must be armed.
+        """
+        self.totals[register] += amount
+        self.remaining[register] -= amount
+        if self.remaining[register] > 0:
+            return -1
+        spec = self.specs[register]
+        assert spec is not None
+        self.overflows[register] += 1
+        self.remaining[register] += spec.interval
+        if self.remaining[register] <= 0:  # huge amount: skip whole intervals
+            skipped = (-self.remaining[register]) // spec.interval + 1
+            self.remaining[register] += skipped * spec.interval
+        event = spec.event
+        if event.skid_max == 0:
+            return 0
+        if event.skid_bias and self.rng.random() < event.skid_bias:
+            return event.skid_min
+        return self.rng.randint(event.skid_min, event.skid_max)
+
+
+__all__ = [
+    "EventSpec",
+    "EVENTS",
+    "overflow_interval",
+    "CounterSpec",
+    "CounterSnapshot",
+    "CounterUnit",
+]

@@ -1,0 +1,513 @@
+"""The CPU: fetch/execute loop with delay slots, cycle accounting and
+imprecise counter-overflow traps.
+
+The interpreter models what the paper's technique depends on:
+
+* **pc/npc semantics with one branch delay slot** — the instruction after a
+  taken branch executes before control transfers, so the compiler's
+  "no loads/stores in delay slots" rule (§2.1) is meaningful;
+* **counter overflow skid** — when a watched event overflows its counter,
+  the trap is delivered ``skid`` completed instructions later, carrying the
+  *next-to-issue* PC and the register file at delivery time (§2.2.2);
+* **cycle penalties** for D$ misses, E$ misses and DTLB misses, with E$
+  read-miss penalties accumulated on the ``ecstall`` event.
+
+The hot loop is one large method with locals bound up front; this is the
+standard Python-interpreter idiom for a ~10x win over naive dispatch.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from ..errors import (
+    DivisionByZero,
+    IllegalInstruction,
+    MachineError,
+    MemoryFault,
+)
+from ..isa.instructions import Instr, Op
+from ..isa.registers import NUM_REGS, REG_G0, REG_RA
+from .cache import Cache
+from .counters import CounterSnapshot, CounterUnit
+from .memory import Memory
+from .tlb import TLB
+
+_U64 = 1 << 64
+_S64_MAX = (1 << 63) - 1
+_S64_MIN = -(1 << 63)
+
+#: cycles charged for a kernel service trap (the paper's tiny System CPU time)
+TRAP_CYCLES = 40
+
+
+class CpuExit(MachineError):
+    """Raised internally when the instruction budget is exhausted."""
+
+
+class CPU:
+    """Execution engine bound to one machine's memory system."""
+
+    def __init__(
+        self,
+        memory: Memory,
+        dcache: Cache,
+        ecache: Cache,
+        dtlb: TLB,
+        counters: CounterUnit,
+        rng: random.Random,
+        base_cycles: int = 1,
+        dtlb_miss_cycles: int = 100,
+        store_stall_cycles: int = 0,
+    ) -> None:
+        self.memory = memory
+        self.dcache = dcache
+        self.ecache = ecache
+        self.dtlb = dtlb
+        self.counters = counters
+        self.rng = rng
+        self.base_cycles = base_cycles
+        self.dtlb_miss_cycles = dtlb_miss_cycles
+        self.store_stall_cycles = store_stall_cycles
+
+        self.regs: list[int] = [0] * NUM_REGS
+        self.pc = 0
+        self.npc = 0
+        self.cycles = 0
+        self.system_cycles = 0
+        self.instr_count = 0
+        self.ecstall_cycles = 0
+        self.halted = False
+        self.exit_code = 0
+
+        #: call-site PCs, innermost last (shadow stack for profiling unwinds)
+        self.callstack: list[int] = []
+
+        #: decoded text segment; set by the loader
+        self.code: list[Instr] = []
+        self.text_base = 0
+
+        #: E$ lines being fetched by software prefetch: line -> ready cycle
+        self.inflight_prefetches: dict[int, int] = {}
+
+        #: armed-but-undelivered overflow traps: [remaining, register, skid]
+        self.pending_traps: list[list[int]] = []
+        self.overflow_handler: Optional[Callable[[CounterSnapshot], None]] = None
+
+        #: clock profiling (SIGPROF equivalent)
+        self.clock_interval_cycles = 0
+        self.next_clock_tick = 0
+        self.clock_handler: Optional[Callable[[int, int, tuple], None]] = None
+
+        #: kernel service dispatcher for the TA instruction
+        self.kernel_service: Optional[Callable[["CPU", int], None]] = None
+
+    # ------------------------------------------------------------------ API
+
+    def set_entry(self, pc: int) -> None:
+        """Point the CPU at the program entry."""
+        self.pc = pc
+        self.npc = pc + 4
+
+    def enable_clock_profiling(self, interval_cycles: int) -> None:
+        """Arm SIGPROF-style ticks every N cycles."""
+        self.clock_interval_cycles = interval_cycles
+        self.next_clock_tick = self.cycles + interval_cycles
+
+    def snapshot(self, register: int, true_skid: int,
+                 true_trigger_pc: int = 0) -> CounterSnapshot:
+        """Build the signal-delivery view of the CPU state."""
+        spec = self.counters.specs[register]
+        assert spec is not None
+        return CounterSnapshot(
+            counter_index=register,
+            event=spec.event,
+            trap_pc=self.pc,
+            regs=tuple(self.regs),
+            callstack=tuple(self.callstack),
+            cycle=self.cycles,
+            instr_count=self.instr_count,
+            true_skid=true_skid,
+            true_trigger_pc=true_trigger_pc,
+        )
+
+    def step(self) -> None:
+        """Execute exactly one instruction (test/debug convenience)."""
+        self.run(max_instructions=1)
+
+    # ------------------------------------------------------------- main loop
+
+    def run(self, max_instructions: Optional[int] = None) -> int:
+        """Run until HALT (or the budget); returns instructions executed."""
+        # Bind everything hot to locals.
+        regs = self.regs
+        memory = self.memory
+        words = memory.words
+        mem_base = memory.base
+        nwords = len(words)
+        dcache = self.dcache
+        ecache = self.ecache
+        dtlb = self.dtlb
+        counters = self.counters
+        watching = counters.watching
+        record = counters.record
+        pending = self.pending_traps
+        callstack = self.callstack
+        code = self.code
+        text_base = self.text_base
+        ncode = len(code)
+        base_cycles = self.base_cycles
+        ec_hit_cycles = ecache.config.hit_cycles
+        ec_miss_cycles = ecache.config.miss_cycles
+        dtlb_miss_cycles = self.dtlb_miss_cycles
+        store_stall_cycles = self.store_stall_cycles
+        inflight = self.inflight_prefetches
+        ec_line_shift = ecache.line_shift
+
+        w_cycles = watching.get("cycles")
+        w_insts = watching.get("insts")
+        w_dcrm = watching.get("dcrm")
+        w_dtlbm = watching.get("dtlbm")
+        w_ecref = watching.get("ecref")
+        w_ecrm = watching.get("ecrm")
+        w_ecstall = watching.get("ecstall")
+
+        pc = self.pc
+        npc = self.npc
+        cycles = self.cycles
+        instr_count = self.instr_count
+        ecstall_total = self.ecstall_cycles
+
+        O = Op
+        LDX, LDUB, STX, STB = O.LDX, O.LDUB, O.STX, O.STB
+        PREFETCH = O.PREFETCH
+        ADD, SUB, MULX, SDIVX, SMODX = O.ADD, O.SUB, O.MULX, O.SDIVX, O.SMODX
+        AND_, OR_, XOR_ = O.AND, O.OR, O.XOR
+        SLLX, SRLX, SRAX = O.SLLX, O.SRLX, O.SRAX
+        MOV, SET, CMP = O.MOV, O.SET, O.CMP
+        BA, BE, BNE, BG, BGE, BL, BLE = O.BA, O.BE, O.BNE, O.BG, O.BGE, O.BL, O.BLE
+        CALL, JMPL, NOP, TA, HALT = O.CALL, O.JMPL, O.NOP, O.TA, O.HALT
+
+        cc = getattr(self, "_cc", 0)
+        executed = 0
+        budget = max_instructions if max_instructions is not None else -1
+
+        while not self.halted:
+            if budget == 0:
+                break
+            budget -= 1
+
+            idx = (pc - text_base) >> 2
+            if idx < 0 or idx >= ncode or pc & 3:
+                raise IllegalInstruction(f"fetch from 0x{pc:x}")
+            instr = code[idx]
+            op = instr.op
+            npc2 = npc + 4
+            extra = 0
+
+            if op is LDX or op is LDUB:
+                rs2 = instr.rs2
+                ea = regs[instr.rs1] + (instr.imm if rs2 is None else regs[rs2])
+                # DTLB
+                if not dtlb.lookup(ea, memory):
+                    extra += dtlb_miss_cycles
+                    if w_dtlbm is not None:
+                        skid = record(w_dtlbm, 1)
+                        if skid >= 0:
+                            pending.append([skid, w_dtlbm, skid, pc])
+                # D$
+                full_miss = False
+                if not dcache.access(ea, False):
+                    if w_dcrm is not None:
+                        skid = record(w_dcrm, 1)
+                        if skid >= 0:
+                            pending.append([skid, w_dcrm, skid, pc])
+                    extra += ec_hit_cycles
+                    if w_ecref is not None:
+                        skid = record(w_ecref, 1)
+                        if skid >= 0:
+                            pending.append([skid, w_ecref, skid, pc])
+                    if not ecache.access(ea, False):
+                        full_miss = True
+                        extra += ec_miss_cycles
+                        ecstall_total += ec_miss_cycles
+                        if w_ecrm is not None:
+                            skid = record(w_ecrm, 1)
+                            if skid >= 0:
+                                pending.append([skid, w_ecrm, skid, pc])
+                        if w_ecstall is not None:
+                            skid = record(w_ecstall, ec_miss_cycles)
+                            if skid >= 0:
+                                pending.append([skid, w_ecstall, skid, pc])
+                if inflight:
+                    # a software prefetch may still be fetching this line:
+                    # the demand load waits for the remainder
+                    ready = inflight.pop(ea >> ec_line_shift, None)
+                    if ready is not None and not full_miss and ready > cycles:
+                        wait = ready - cycles
+                        extra += wait
+                        ecstall_total += wait
+                # data
+                if op is LDX:
+                    if ea & 7:
+                        raise MemoryFault(ea, "misaligned 8-byte load")
+                    widx = (ea - mem_base) >> 3
+                    if widx < 0 or widx >= nwords:
+                        raise MemoryFault(ea)
+                    value = words[widx]
+                else:
+                    widx = (ea - mem_base) >> 3
+                    if widx < 0 or widx >= nwords:
+                        raise MemoryFault(ea)
+                    value = (words[widx] >> ((ea & 7) << 3)) & 0xFF
+                rd = instr.rd
+                if rd:
+                    regs[rd] = value
+
+            elif op is STX or op is STB:
+                rs2 = instr.rs2
+                ea = regs[instr.rs1] + (instr.imm if rs2 is None else regs[rs2])
+                if not dtlb.lookup(ea, memory):
+                    extra += dtlb_miss_cycles
+                    if w_dtlbm is not None:
+                        skid = record(w_dtlbm, 1)
+                        if skid >= 0:
+                            pending.append([skid, w_dtlbm, skid, pc])
+                if not dcache.access(ea, True):
+                    # write-allocate through E$; the write buffer hides most
+                    # of the latency (configurable residual stall)
+                    extra += store_stall_cycles
+                    if w_ecref is not None:
+                        skid = record(w_ecref, 1)
+                        if skid >= 0:
+                            pending.append([skid, w_ecref, skid, pc])
+                    ecache.access(ea, True)
+                if op is STX:
+                    if ea & 7:
+                        raise MemoryFault(ea, "misaligned 8-byte store")
+                    widx = (ea - mem_base) >> 3
+                    if widx < 0 or widx >= nwords:
+                        raise MemoryFault(ea)
+                    value = regs[instr.rd]
+                    words[widx] = value
+                else:
+                    widx = (ea - mem_base) >> 3
+                    if widx < 0 or widx >= nwords:
+                        raise MemoryFault(ea)
+                    shift = (ea & 7) << 3
+                    word = words[widx] & (_U64 - 1)
+                    word = (word & ~(0xFF << shift)) | (
+                        (regs[instr.rd] & 0xFF) << shift
+                    )
+                    if word > _S64_MAX:
+                        word -= _U64
+                    words[widx] = word
+
+            elif op is PREFETCH:
+                rs2 = instr.rs2
+                ea = regs[instr.rs1] + (instr.imm if rs2 is None else regs[rs2])
+                # dropped on a DTLB miss or an unmapped address; raises no
+                # counter events (demand accesses only on the PICs)
+                try:
+                    translated = dtlb.peek(ea, memory)
+                except MemoryFault:
+                    translated = False
+                if translated and not dcache.access(ea, False):
+                    if not ecache.access(ea, False):
+                        inflight[ea >> ec_line_shift] = cycles + ec_miss_cycles
+            elif op is ADD:
+                rs2 = instr.rs2
+                value = regs[instr.rs1] + (instr.imm if rs2 is None else regs[rs2])
+                if value > _S64_MAX or value < _S64_MIN:
+                    value = ((value - _S64_MIN) & (_U64 - 1)) + _S64_MIN
+                rd = instr.rd
+                if rd:
+                    regs[rd] = value
+            elif op is SUB:
+                rs2 = instr.rs2
+                value = regs[instr.rs1] - (instr.imm if rs2 is None else regs[rs2])
+                if value > _S64_MAX or value < _S64_MIN:
+                    value = ((value - _S64_MIN) & (_U64 - 1)) + _S64_MIN
+                rd = instr.rd
+                if rd:
+                    regs[rd] = value
+            elif op is CMP:
+                rs2 = instr.rs2
+                cc = regs[instr.rs1] - (instr.imm if rs2 is None else regs[rs2])
+            elif op is MOV:
+                rd = instr.rd
+                if rd:
+                    regs[rd] = regs[instr.rs1]
+            elif op is SET:
+                rd = instr.rd
+                if rd:
+                    regs[rd] = instr.imm
+            elif op is NOP:
+                pass
+            elif op is BE:
+                if cc == 0:
+                    npc2 = instr.target
+            elif op is BNE:
+                if cc != 0:
+                    npc2 = instr.target
+            elif op is BG:
+                if cc > 0:
+                    npc2 = instr.target
+            elif op is BGE:
+                if cc >= 0:
+                    npc2 = instr.target
+            elif op is BL:
+                if cc < 0:
+                    npc2 = instr.target
+            elif op is BLE:
+                if cc <= 0:
+                    npc2 = instr.target
+            elif op is BA:
+                npc2 = instr.target
+            elif op is MULX:
+                rs2 = instr.rs2
+                value = regs[instr.rs1] * (instr.imm if rs2 is None else regs[rs2])
+                if value > _S64_MAX or value < _S64_MIN:
+                    value = ((value - _S64_MIN) & (_U64 - 1)) + _S64_MIN
+                rd = instr.rd
+                if rd:
+                    regs[rd] = value
+            elif op is SDIVX or op is SMODX:
+                rs2 = instr.rs2
+                a = regs[instr.rs1]
+                b = instr.imm if rs2 is None else regs[rs2]
+                if b == 0:
+                    raise DivisionByZero(f"at pc 0x{pc:x}")
+                q = abs(a) // abs(b)
+                if (a < 0) != (b < 0):
+                    q = -q
+                value = q if op is SDIVX else a - q * b
+                rd = instr.rd
+                if rd:
+                    regs[rd] = value
+            elif op is AND_:
+                rs2 = instr.rs2
+                value = regs[instr.rs1] & (instr.imm if rs2 is None else regs[rs2])
+                rd = instr.rd
+                if rd:
+                    regs[rd] = value
+            elif op is OR_:
+                rs2 = instr.rs2
+                value = regs[instr.rs1] | (instr.imm if rs2 is None else regs[rs2])
+                rd = instr.rd
+                if rd:
+                    regs[rd] = value
+            elif op is XOR_:
+                rs2 = instr.rs2
+                value = regs[instr.rs1] ^ (instr.imm if rs2 is None else regs[rs2])
+                rd = instr.rd
+                if rd:
+                    regs[rd] = value
+            elif op is SLLX:
+                rs2 = instr.rs2
+                sh = (instr.imm if rs2 is None else regs[rs2]) & 63
+                value = regs[instr.rs1] << sh
+                if value > _S64_MAX or value < _S64_MIN:
+                    value = ((value - _S64_MIN) & (_U64 - 1)) + _S64_MIN
+                rd = instr.rd
+                if rd:
+                    regs[rd] = value
+            elif op is SRLX:
+                rs2 = instr.rs2
+                sh = (instr.imm if rs2 is None else regs[rs2]) & 63
+                value = (regs[instr.rs1] & (_U64 - 1)) >> sh
+                if value > _S64_MAX:
+                    value -= _U64
+                rd = instr.rd
+                if rd:
+                    regs[rd] = value
+            elif op is SRAX:
+                rs2 = instr.rs2
+                sh = (instr.imm if rs2 is None else regs[rs2]) & 63
+                rd = instr.rd
+                if rd:
+                    regs[rd] = regs[instr.rs1] >> sh
+            elif op is CALL:
+                regs[REG_RA] = pc
+                npc2 = instr.target
+                callstack.append(pc)
+            elif op is JMPL:
+                rd = instr.rd
+                if rd:
+                    regs[rd] = pc
+                npc2 = regs[instr.rs1] + instr.imm
+                if rd == REG_G0 and instr.rs1 == REG_RA and callstack:
+                    callstack.pop()
+            elif op is TA:
+                service = self.kernel_service
+                if service is None:
+                    raise MachineError(f"trap {instr.imm} with no kernel")
+                # sync state out so the kernel sees a consistent CPU
+                self.pc, self.npc = pc, npc
+                self.cycles, self.instr_count = cycles, instr_count
+                service(self, instr.imm)
+                extra += TRAP_CYCLES
+                self.system_cycles += TRAP_CYCLES
+            elif op is HALT:
+                self.halted = True
+                self.exit_code = regs[8]  # %o0
+            else:  # pragma: no cover
+                raise IllegalInstruction(f"unknown op {op!r} at 0x{pc:x}")
+
+            # -- retire ------------------------------------------------------
+            instr_count += 1
+            executed += 1
+            step_cycles = base_cycles + extra
+            cycles += step_cycles
+            pc = npc
+            npc = npc2
+
+            if w_insts is not None:
+                skid = record(w_insts, 1)
+                if skid >= 0:
+                    pending.append([skid, w_insts, skid, pc])
+            if w_cycles is not None:
+                skid = record(w_cycles, step_cycles)
+                if skid >= 0:
+                    pending.append([skid, w_cycles, skid, pc])
+
+            if pending:
+                due = None
+                for trap in pending:
+                    trap[0] -= 1
+                    if trap[0] < 0:
+                        if due is None:
+                            due = []
+                        due.append(trap)
+                if due:
+                    handler = self.overflow_handler
+                    # sync state so snapshot sees the next-to-issue PC
+                    self.pc, self.npc = pc, npc
+                    self.cycles, self.instr_count = cycles, instr_count
+                    self.ecstall_cycles = ecstall_total
+                    for trap in due:
+                        pending.remove(trap)
+                        if handler is not None:
+                            handler(self.snapshot(trap[1], trap[2], trap[3]))
+
+            if self.clock_interval_cycles and cycles >= self.next_clock_tick:
+                handler2 = self.clock_handler
+                self.pc, self.npc = pc, npc
+                self.cycles, self.instr_count = cycles, instr_count
+                self.ecstall_cycles = ecstall_total
+                while self.next_clock_tick <= cycles:
+                    self.next_clock_tick += self.clock_interval_cycles
+                    if handler2 is not None:
+                        handler2(pc, cycles, tuple(callstack))
+
+        self.pc = pc
+        self.npc = npc
+        self.cycles = cycles
+        self.instr_count = instr_count
+        self.ecstall_cycles = ecstall_total
+        self._cc = cc
+        return executed
+
+
+__all__ = ["CPU", "CpuExit", "TRAP_CYCLES"]

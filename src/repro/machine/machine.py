@@ -1,0 +1,110 @@
+"""Wiring of memory, caches, TLB, counters and CPU into one machine."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..config import ARENA_BASE, MachineConfig
+from .cache import Cache
+from .counters import CounterSpec, CounterUnit
+from .cpu import CPU
+from .memory import Memory
+from .tlb import TLB
+
+
+@dataclass(frozen=True)
+class MachineStats:
+    """Aggregate hardware statistics for one run (ground truth, not samples)."""
+
+    cycles: int
+    system_cycles: int
+    instructions: int
+    dc_read_refs: int
+    dc_write_refs: int
+    dc_read_misses: int
+    dc_write_misses: int
+    ec_refs: int
+    ec_read_misses: int
+    ec_write_misses: int
+    ec_stall_cycles: int
+    dtlb_refs: int
+    dtlb_misses: int
+    clock_hz: float
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock seconds at the configured clock rate."""
+        return self.cycles / self.clock_hz
+
+    @property
+    def user_seconds(self) -> float:
+        """Seconds excluding kernel-service time."""
+        return (self.cycles - self.system_cycles) / self.clock_hz
+
+    @property
+    def system_seconds(self) -> float:
+        """Seconds spent in kernel services."""
+        return self.system_cycles / self.clock_hz
+
+    @property
+    def ec_stall_seconds(self) -> float:
+        """E$ stall cycles expressed as seconds."""
+        return self.ec_stall_cycles / self.clock_hz
+
+    @property
+    def ec_read_miss_rate(self) -> float:
+        """E$ read misses per E$ reference."""
+        return self.ec_read_misses / self.ec_refs if self.ec_refs else 0.0
+
+
+class Machine:
+    """One simulated machine instance."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.memory = Memory(config.arena_bytes, base=ARENA_BASE)
+        self.dcache = Cache(config.dcache)
+        self.ecache = Cache(config.ecache)
+        self.dtlb = TLB(config.dtlb)
+        self.counters = CounterUnit(self.rng)
+        self.cpu = CPU(
+            self.memory,
+            self.dcache,
+            self.ecache,
+            self.dtlb,
+            self.counters,
+            self.rng,
+            base_cycles=config.base_cycles_per_instr,
+            dtlb_miss_cycles=config.dtlb.miss_cycles,
+            store_stall_cycles=config.store_stall_cycles,
+        )
+
+    def configure_counters(self, specs: list[CounterSpec]) -> None:
+        """Program the two PIC registers."""
+        self.counters.configure(specs)
+
+    def stats(self) -> MachineStats:
+        """Snapshot the ground-truth hardware statistics."""
+        dc = self.dcache
+        ec = self.ecache
+        return MachineStats(
+            cycles=self.cpu.cycles,
+            system_cycles=self.cpu.system_cycles,
+            instructions=self.cpu.instr_count,
+            dc_read_refs=dc.read_refs,
+            dc_write_refs=dc.write_refs,
+            dc_read_misses=dc.read_misses,
+            dc_write_misses=dc.write_misses,
+            ec_refs=ec.refs,
+            ec_read_misses=ec.read_misses,
+            ec_write_misses=ec.write_misses,
+            ec_stall_cycles=self.cpu.ecstall_cycles,
+            dtlb_refs=self.dtlb.refs,
+            dtlb_misses=self.dtlb.misses,
+            clock_hz=self.config.clock_hz,
+        )
+
+
+__all__ = ["Machine", "MachineStats"]

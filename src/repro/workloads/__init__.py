@@ -1,0 +1,11 @@
+"""Additional mini-C workloads beyond MCF.
+
+The paper validates its backtracking-effectiveness numbers "on a large
+commercial application" (§3.2.5); :mod:`repro.workloads.commercial`
+provides an order-processing workload with that flavour (hash index,
+linked detail records, aggregation sweeps) for the same cross-check.
+"""
+
+from .commercial import build_commercial, commercial_input, COMMERCIAL_SOURCE
+
+__all__ = ["build_commercial", "commercial_input", "COMMERCIAL_SOURCE"]

@@ -1,0 +1,190 @@
+"""An order-processing workload ("the large commercial application").
+
+Paper §3.2.5: "We have found approximately the same effectiveness for
+these in experiments on a large commercial application."  This workload
+has that flavour rather than MCF's numeric-kernel flavour:
+
+* a customer table indexed by an open-hash bucket array;
+* per-customer linked lists of order records (pointer chasing);
+* report queries sweeping the order table (streaming);
+* updates touching scattered customers (random writes).
+
+Input encoding (longs): ``[n_customers, n_orders, n_queries, seed]``;
+the program generates its own synthetic data with a Lehmer RNG so the
+whole dataset lives on the simulated heap.
+"""
+
+from __future__ import annotations
+
+from ..compiler.program import Program, build_executable
+
+COMMERCIAL_SOURCE = """
+#define HASH_BUCKETS 1024
+
+struct customer {
+    long id;
+    long balance;
+    long order_count;
+    long region;
+    struct customer *hash_next;
+    struct order *orders;
+    long pad1;
+    long pad2;
+};
+
+struct order {
+    long id;
+    long amount;
+    long status;
+    struct customer *owner;
+    struct order *next;
+    long pad1;
+    long pad2;
+    long pad3;
+};
+
+struct customer *customers;
+struct order *orders;
+struct customer *buckets[1024];
+long n_customers;
+long n_orders;
+long rng_state;
+
+long rng_next(void) {
+    rng_state = (rng_state * 48271) % 2147483647;
+    return rng_state;
+}
+
+long hash_id(long id) {
+    return ((id * 2654435761) >> 8) & (HASH_BUCKETS - 1);
+}
+
+struct customer *lookup(long id) {
+    struct customer *c;
+    c = buckets[hash_id(id)];
+    while (c) {
+        if (c->id == id)
+            return c;
+        c = c->hash_next;
+    }
+    return (struct customer *) 0;
+}
+
+void build_tables(void) {
+    long i;
+    long h;
+    struct customer *c;
+    struct order *o;
+    customers = (struct customer *) malloc(n_customers * sizeof(struct customer));
+    orders = (struct order *) malloc(n_orders * sizeof(struct order));
+    zero_memory((char *) customers, n_customers * sizeof(struct customer));
+    zero_memory((char *) orders, n_orders * sizeof(struct order));
+    for (i = 0; i < n_customers; i++) {
+        c = customers + i;
+        c->id = i * 7 + 1;
+        c->region = rng_next() % 16;
+        h = hash_id(c->id);
+        c->hash_next = buckets[h];
+        buckets[h] = c;
+    }
+    for (i = 0; i < n_orders; i++) {
+        o = orders + i;
+        o->id = i;
+        o->amount = rng_next() % 1000;
+        o->status = rng_next() % 3;
+        c = customers + rng_next() % n_customers;
+        o->owner = c;
+        o->next = c->orders;
+        c->orders = o;
+        c->order_count++;
+    }
+}
+
+long query_customer_total(long id) {
+    struct customer *c;
+    struct order *o;
+    long total;
+    c = lookup(id);
+    if (c == NULL)
+        return 0;
+    total = 0;
+    o = c->orders;
+    while (o) {
+        if (o->status != 2)
+            total = total + o->amount;
+        o = o->next;
+    }
+    return total;
+}
+
+long report_by_region(long region) {
+    long i;
+    long total;
+    long shipped;
+    long pending;
+    long biggest;
+    struct order *o;
+    total = 0;
+    shipped = 0;
+    pending = 0;
+    biggest = 0;
+    for (i = 0; i < n_orders; i++) {
+        o = orders + i;
+        if (o->owner->region == region) {
+            total = total + o->amount;
+            if (o->status == 0)
+                shipped = shipped + 1;
+            if (o->status == 1)
+                pending = pending + o->amount;
+            if (o->amount > biggest)
+                biggest = o->amount;
+        }
+    }
+    return total + shipped + pending % 7 + biggest;
+}
+
+void apply_payment(long id, long amount) {
+    struct customer *c;
+    c = lookup(id);
+    if (c)
+        c->balance = c->balance + amount;
+}
+
+long main(long *input, long len) {
+    long n_queries;
+    long q;
+    long checksum;
+    long id;
+    n_customers = input[0];
+    n_orders = input[1];
+    n_queries = input[2];
+    rng_state = input[3];
+    build_tables();
+    checksum = 0;
+    for (q = 0; q < n_queries; q++) {
+        id = (rng_next() % n_customers) * 7 + 1;
+        checksum = checksum + query_customer_total(id);
+        apply_payment(id, q % 97);
+        if (q % 64 == 0)
+            checksum = checksum + report_by_region(q % 16);
+    }
+    print_long(checksum);
+    return 0;
+}
+"""
+
+
+def build_commercial(hwcprof: bool = True) -> Program:
+    """Compile and link the workload."""
+    return build_executable(COMMERCIAL_SOURCE, name="commercial", hwcprof=hwcprof)
+
+
+def commercial_input(customers: int = 3000, orders: int = 12000,
+                     queries: int = 2500, seed: int = 12345) -> list:
+    """The input longs for one run."""
+    if customers < 1 or orders < 1 or queries < 0 or seed <= 0:
+        raise ValueError("bad workload parameters")
+    return [customers, orders, queries, seed]
+
+
+__all__ = ["COMMERCIAL_SOURCE", "build_commercial", "commercial_input"]

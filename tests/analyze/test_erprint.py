@@ -1,0 +1,100 @@
+"""Tests for the er_print-style CLI."""
+
+import pytest
+
+from repro import build_executable, tiny_config
+from repro.analyze.erprint import main, run_command
+from repro.analyze.reduce import reduce_experiment
+from repro.collect.collector import CollectConfig, collect
+from repro.errors import ReproError
+
+SRC = """
+struct rec { long a; long b; long c; long d; };
+long main(long *input, long n) {
+    struct rec *arr;
+    long i; long j; long s;
+    arr = (struct rec *) malloc(1024 * sizeof(struct rec));
+    s = 0;
+    for (j = 0; j < 3; j++) {
+        for (i = 0; i < 1024; i++) arr[i].a = i;
+        for (i = 0; i < 1024; i++) s = s + arr[i].c;
+    }
+    return s & 255;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def experiment_dir(tmp_path_factory):
+    program = build_executable(SRC)
+    cfg = CollectConfig(clock_profiling=True, clock_interval=211,
+                        counters=["+ecstall,59", "+ecrm,13"])
+    exp = collect(program, tiny_config(), cfg)
+    path = tmp_path_factory.mktemp("exps") / "run"
+    return str(exp.save(path))
+
+
+@pytest.fixture(scope="module")
+def reduced():
+    program = build_executable(SRC)
+    cfg = CollectConfig(clock_profiling=True, clock_interval=211,
+                        counters=["+ecstall,59", "+ecrm,13"])
+    return reduce_experiment(collect(program, tiny_config(), cfg))
+
+
+class TestRunCommand:
+    @pytest.mark.parametrize("command,args,needle", [
+        ("overview", [], "Exclusive"),
+        ("functions", [], "<Total>"),
+        ("source", ["main"], "arr[i].c"),
+        ("disasm", ["main"], "ldx"),
+        ("pcs", ["ecrm"], "main + 0x"),
+        ("data_objects", [], "structure:rec"),
+        ("data_single", ["structure:rec"], "+16"),
+        ("callers-callees", ["main"], "*main"),
+        ("segments", ["ecrm"], "heap"),
+        ("lines", ["ecrm"], "line 0x"),
+    ])
+    def test_commands_produce_output(self, reduced, command, args, needle):
+        assert needle in run_command(reduced, command, args)
+
+    def test_unknown_command(self, reduced):
+        with pytest.raises(ReproError):
+            run_command(reduced, "bogus", [])
+
+    def test_missing_argument(self, reduced):
+        with pytest.raises(ReproError):
+            run_command(reduced, "source", [])
+
+
+class TestMain:
+    def test_full_cli_roundtrip(self, experiment_dir, capsys):
+        assert main([experiment_dir, "functions"]) == 0
+        out = capsys.readouterr().out
+        assert "<Total>" in out
+
+    def test_overview_via_cli(self, experiment_dir, capsys):
+        assert main([experiment_dir, "overview"]) == 0
+        assert "E$ stall fraction" in capsys.readouterr().out
+
+    def test_no_experiment_is_error(self, capsys):
+        assert main(["functions"]) == 2
+
+    def test_no_command_is_error(self, experiment_dir, capsys):
+        assert main([experiment_dir]) == 2
+
+    def test_bad_directory_is_error(self, capsys):
+        assert main(["/nonexistent/exp.er", "functions"]) == 1
+
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        assert "er_print" in capsys.readouterr().out
+
+
+class TestHeader:
+    def test_header_command(self, reduced):
+        from repro.analyze.erprint import run_command
+
+        text = run_command(reduced, "header", [])
+        assert "HW counter: +ecstall" in text
+        assert "segment heap" in text

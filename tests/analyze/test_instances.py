@@ -1,0 +1,106 @@
+"""Tests for instance-level aggregation (§4 future work, implemented)."""
+
+import pytest
+
+from repro import build_executable, tiny_config
+from repro.analyze import reports
+from repro.analyze.reduce import reduce_experiment
+from repro.collect.collector import CollectConfig, collect
+from repro.errors import AnalysisError
+
+SRC = """
+struct rec { long a; long b; long c; long d; };
+long sumup(struct rec *arr, long n) {
+    long i; long s; s = 0;
+    for (i = 0; i < n; i++) s = s + arr[i].c;
+    return s;
+}
+long main(long *input, long n) {
+    struct rec *hot; struct rec *cold; long j; long s;
+    hot = (struct rec *) malloc(1024 * sizeof(struct rec));
+    cold = (struct rec *) malloc(1024 * sizeof(struct rec));
+    s = sumup(cold, 1024);
+    for (j = 0; j < 6; j++) s = s + sumup(hot, 1024);
+    free(cold);
+    return s & 255;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def reduced():
+    program = build_executable(SRC)
+    cfg = CollectConfig(clock_profiling=False, counters=["+ecrm,13"])
+    return reduce_experiment(collect(program, tiny_config(), cfg))
+
+
+class TestAllocationLog:
+    def test_allocations_recorded(self, reduced):
+        assert len(reduced.allocations) == 2
+        sizes = sorted(size for _a, size, _s, _e, _c in reduced.allocations)
+        assert sizes == [32768, 32768]
+
+    def test_free_closes_lifetime(self, reduced):
+        ends = sorted(end for _a, _s, _st, end, _c in reduced.allocations)
+        assert ends[0] == -1     # hot still live at exit
+        assert ends[1] > 0       # cold was freed
+
+    def test_callsite_is_main(self, reduced):
+        for _addr, _size, _start, _end, callsite in reduced.allocations:
+            func = reduced.program.function_at(callsite)
+            assert func is not None and func.name == "main"
+
+
+class TestInstanceReport:
+    def test_hot_instance_dominates(self, reduced):
+        text = reports.instance_report(reduced, "ecrm")
+        print(text)
+        lines = [l for l in text.splitlines()[1:] if "instance" in l]
+        assert len(lines) == 2
+        # 6 passes over hot vs 1 over cold: the first row is the hot one
+        first_pct = float(lines[0].split()[1])
+        second_pct = float(lines[1].split()[1])
+        assert first_pct > 3 * second_pct
+
+    def test_report_mentions_allocation_site(self, reduced):
+        text = reports.instance_report(reduced, "ecrm")
+        assert "allocated in main" in text
+
+    def test_freed_flag_rendered(self, reduced):
+        text = reports.instance_report(reduced, "ecrm")
+        assert "freed" in text
+
+    def test_missing_metric_rejected(self, reduced):
+        with pytest.raises(AnalysisError):
+            reports.instance_report(reduced, "user_cpu")
+
+    def test_erprint_instances_command(self, reduced):
+        from repro.analyze.erprint import run_command
+
+        assert "instance 0x" in run_command(reduced, "instances", ["ecrm"])
+
+    def test_roundtrip_through_experiment_dir(self, tmp_path):
+        from repro.collect.experiment import Experiment
+
+        program = build_executable(SRC)
+        cfg = CollectConfig(clock_profiling=False, counters=["+ecrm,13"])
+        experiment = collect(program, tiny_config(), cfg)
+        path = experiment.save(tmp_path / "inst")
+        loaded = Experiment.open(path)
+        assert loaded.info.allocations == experiment.info.allocations
+        again = reduce_experiment(loaded)
+        assert reports.instance_report(again, "ecrm")
+
+
+class TestHeapReport:
+    def test_heap_report(self, reduced):
+        from repro.analyze import reports
+
+        text = reports.heap_report(reduced)
+        assert "<Total>" in text
+        assert "main" in text
+
+    def test_heap_command(self, reduced):
+        from repro.analyze.erprint import run_command
+
+        assert "Allocs" in run_command(reduced, "heap", [])

@@ -1,0 +1,101 @@
+"""Unit tests for the reduced-data model (MetricVector, merging,
+effectiveness math)."""
+
+import pytest
+
+from repro import build_executable
+from repro.analyze.model import (
+    MetricVector,
+    PCRecord,
+    ReducedData,
+    UNASCERTAINABLE,
+    UNRESOLVABLE,
+)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_executable("long main(long *i, long n) { return 0; }")
+
+
+class TestMetricVector:
+    def test_defaults_to_zero(self):
+        v = MetricVector()
+        assert v["anything"] == 0.0
+
+    def test_add(self):
+        v = MetricVector()
+        v.add("ecrm", 5)
+        v.add("ecrm", 2)
+        assert v["ecrm"] == 7
+
+    def test_merged_with_is_pure(self):
+        a = MetricVector()
+        a.add("x", 1)
+        b = MetricVector()
+        b.add("x", 2)
+        b.add("y", 3)
+        merged = a.merged_with(b)
+        assert merged["x"] == 3 and merged["y"] == 3
+        assert a["x"] == 1 and b["x"] == 2  # inputs untouched
+
+
+class TestReducedData:
+    def test_percent_of_zero_total(self, program):
+        reduced = ReducedData(program, 1e8)
+        assert reduced.percent("ecrm", 10) == 0.0
+
+    def test_seconds_conversion(self, program):
+        reduced = ReducedData(program, 1e8)
+        assert reduced.seconds("ecstall", 1e8) == pytest.approx(1.0)
+
+    def test_record_pc_idempotent(self, program):
+        reduced = ReducedData(program, 1e8)
+        a = reduced.record_pc(0x1000)
+        b = reduced.record_pc(0x1000)
+        assert a is b and isinstance(a, PCRecord)
+
+    def test_effectiveness_math(self, program):
+        reduced = ReducedData(program, 1e8)
+        reduced.total.add("ecrm", 100)
+        reduced.data_objects[UNRESOLVABLE].add("ecrm", 3)
+        reduced.data_objects[UNASCERTAINABLE].add("ecrm", 2)
+        assert reduced.backtrack_effectiveness("ecrm") == pytest.approx(95.0)
+
+    def test_effectiveness_empty_metric(self, program):
+        reduced = ReducedData(program, 1e8)
+        assert reduced.backtrack_effectiveness("ecrm") == 0.0
+
+    def test_unknown_total_sums_kinds(self, program):
+        reduced = ReducedData(program, 1e8)
+        reduced.data_objects[UNRESOLVABLE].add("ecrm", 3)
+        reduced.data_objects[UNASCERTAINABLE].add("ecref", 4)
+        unknown = reduced.unknown_total()
+        assert unknown["ecrm"] == 3 and unknown["ecref"] == 4
+
+    def test_merge_combines_everything(self, program):
+        a = ReducedData(program, 1e8)
+        b = ReducedData(program, 1e8)
+        a.metric_ids = ["user_cpu"]
+        b.metric_ids = ["ecrm"]
+        a.total.add("user_cpu", 10)
+        b.total.add("ecrm", 5)
+        a.functions["f"].add("user_cpu", 10)
+        b.functions["f"].add("ecrm", 5)
+        a.record_pc(0x10).metrics.add("user_cpu", 10)
+        b.record_pc(0x10).metrics.add("ecrm", 5)
+        b.address_samples["ecrm"].append((0x2000, 5))
+        merged = a.merged_with(b)
+        assert merged.metric_ids == ["user_cpu", "ecrm"]
+        assert merged.total["user_cpu"] == 10 and merged.total["ecrm"] == 5
+        assert merged.functions["f"]["ecrm"] == 5
+        assert merged.pcs[0x10].metrics["user_cpu"] == 10
+        assert merged.address_samples["ecrm"] == [(0x2000, 5)]
+
+    def test_merge_keeps_branch_target_flag(self, program):
+        a = ReducedData(program, 1e8)
+        b = ReducedData(program, 1e8)
+        a.record_pc(0x10)
+        b.record_pc(0x10).is_branch_target_artifact = True
+        merged = a.merged_with(b)
+        assert merged.pcs[0x10].is_branch_target_artifact

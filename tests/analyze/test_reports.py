@@ -1,0 +1,216 @@
+"""Tests for the report generators (Figures 1-7 + extensions)."""
+
+import pytest
+
+from repro import build_executable, tiny_config
+from repro.analyze import reports
+from repro.analyze.reduce import reduce_experiments
+from repro.collect.collector import CollectConfig, collect
+from repro.errors import AnalysisError
+
+SRC = """
+struct rec { long a; long b; long pad1; long pad2; };
+long reader(struct rec *arr, long n) {
+    long i; long s;
+    s = 0;
+    for (i = 0; i < n; i++)
+        s = s + arr[i].b;
+    return s;
+}
+long main(long *input, long n) {
+    struct rec *arr;
+    long i; long j; long s;
+    arr = (struct rec *) malloc(2048 * sizeof(struct rec));
+    s = 0;
+    for (j = 0; j < 3; j++) {
+        for (i = 0; i < 2048; i++) arr[i].a = i;
+        s = s + reader(arr, 2048);
+    }
+    return s & 255;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def reduced():
+    program = build_executable(SRC)
+    exp1 = collect(
+        program, tiny_config(),
+        CollectConfig(clock_profiling=True, clock_interval=211,
+                      counters=["+ecstall,59", "+ecrm,13"]),
+    )
+    exp2 = collect(
+        program, tiny_config(),
+        CollectConfig(clock_profiling=False, counters=["+ecref,31", "+dtlbm,7"]),
+    )
+    return reduce_experiments([exp1, exp2])
+
+
+class TestOverview:
+    def test_figure1_lines_present(self, reduced):
+        text = reports.overview(reduced)
+        for needle in (
+            "Exclusive Total LWP Time",
+            "Exclusive User CPU Time",
+            "Exclusive System CPU Time",
+            "Exclusive E$ Stall Cycles",
+            "Exclusive E$ Read Misses",
+            "Exclusive E$ Refs",
+            "Exclusive DTLB Misses",
+        ):
+            assert needle in text
+
+    def test_overview_analysis_fields(self, reduced):
+        analysis = reports.overview_analysis(reduced)
+        assert 0 < analysis["stall_fraction"] < 1
+        assert 0 < analysis["ec_read_miss_rate"] < 1
+        assert analysis["total_seconds"] > 0
+
+
+class TestFunctionList:
+    def test_total_row_first_and_100_percent(self, reduced):
+        lines = reports.function_list(reduced).splitlines()
+        assert "<Total>" in lines[1]
+        assert "100.0" in lines[1]
+
+    def test_functions_sorted_by_first_metric(self, reduced):
+        text = reports.function_list(reduced)
+        assert text.index("<Total>") < text.index("reader") or text.index(
+            "<Total>"
+        ) < text.index("main")
+
+    def test_top_limits_rows(self, reduced):
+        lines = reports.function_list(reduced, top=2).splitlines()
+        assert len(lines) == 1 + 1 + 2  # header, <Total>, two functions
+
+    def test_machine_readable_table(self, reduced):
+        table = reports.function_table(reduced)
+        assert "reader" in table
+        raw, pct = table["reader"]["ecrm"]
+        assert raw > 0 and 0 < pct <= 100
+
+    def test_missing_metrics_rejected(self, reduced):
+        with pytest.raises(AnalysisError):
+            reports.function_list(reduced, columns=(("icm", "pct"),))
+
+
+class TestAnnotatedViews:
+    def test_source_shows_hot_line(self, reduced):
+        text = reports.annotated_source(reduced, "reader")
+        assert "arr[i].b" in text
+        hot_lines = [l for l in text.splitlines() if l.startswith("##")]
+        assert hot_lines, "the loop body must be marked hot"
+        assert any("arr[i].b" in l for l in hot_lines)
+
+    def test_source_has_line_numbers(self, reduced):
+        text = reports.annotated_source(reduced, "reader")
+        func = reduced.program.function("reader")
+        assert f"{func.line:4d}." in text
+
+    def test_disasm_contains_annotated_loads(self, reduced):
+        text = reports.annotated_disassembly(reduced, "reader")
+        assert "ldx" in text
+        assert "{structure:rec -}.{long b}" in text
+
+    def test_disasm_addresses_are_hex_pcs(self, reduced):
+        func = reduced.program.function("reader")
+        text = reports.annotated_disassembly(reduced, "reader")
+        assert f"{func.start:x}:" in text
+
+    def test_disasm_branch_target_lines(self, reduced):
+        text = reports.annotated_disassembly(reduced, "reader")
+        assert "<branch target>" in text
+
+    def test_unknown_function_rejected(self, reduced):
+        from repro.errors import LinkError
+
+        with pytest.raises(LinkError):
+            reports.annotated_disassembly(reduced, "nope")
+
+
+class TestPcList:
+    def test_figure5_format(self, reduced):
+        text = reports.pc_list(reduced, sort_by="ecrm", top=5)
+        assert "<Total>" in text
+        assert "+ 0x" in text  # function + offset format
+        assert "{structure:rec -}" in text
+
+    def test_top_pc_is_the_b_load(self, reduced):
+        lines = reports.pc_list(reduced, sort_by="ecrm", top=1).splitlines()
+        assert "reader" in lines[2]
+
+    def test_unknown_metric_rejected(self, reduced):
+        with pytest.raises(AnalysisError):
+            reports.pc_list(reduced, sort_by="icm")
+
+
+class TestDataObjects:
+    def test_figure6_rows(self, reduced):
+        text = reports.data_objects(reduced)
+        assert "{structure:rec-}" in text
+        assert "<Total>" in text
+
+    def test_unknown_breakdown_indented(self, reduced):
+        text = reports.data_objects(reduced)
+        if "<Unknown>" in text:
+            after = text[text.index("<Unknown>"):]
+            assert "(Un" in after
+
+    def test_machine_readable(self, reduced):
+        table = reports.data_object_table(reduced)
+        assert table["structure:rec"]["ecrm"] > 90
+
+    def test_figure7_expansion_layout_order(self, reduced):
+        import re
+
+        text = reports.data_object_expand(reduced, "structure:rec")
+        offsets = re.findall(r"\+(\d+) \.", text)
+        assert offsets == ["0", "8", "16", "24"]
+        assert ".{long b}" in text
+
+    def test_figure7_unknown_struct_rejected(self, reduced):
+        with pytest.raises(AnalysisError):
+            reports.data_object_expand(reduced, "structure:nope")
+
+    def test_member_percentages(self, reduced):
+        rows = reports.member_percentages(reduced, "structure:rec", "ecrm")
+        assert rows["b"] > rows.get("a", 0)
+
+
+class TestExtensions:
+    def test_segment_report(self, reduced):
+        text = reports.segment_report(reduced, "ecrm")
+        assert "heap" in text
+
+    def test_page_report(self, reduced):
+        text = reports.page_report(reduced, "dtlbm")
+        assert "page" in text
+
+    def test_cache_line_report(self, reduced):
+        text = reports.cache_line_report(reduced, "ecrm", line_bytes=128)
+        assert "line 0x" in text
+
+    def test_callers_callees_report(self, reduced):
+        text = reports.callers_callees(reduced, "reader", "ecrm")
+        assert "main" in text
+        assert "*reader" in text
+
+    def test_missing_addresses_rejected(self, reduced):
+        with pytest.raises(AnalysisError):
+            reports.segment_report(reduced, "user_cpu")
+
+
+class TestCompare:
+    def test_compare_functions(self, reduced):
+        from repro.analyze import reports
+
+        text = reports.compare_functions(reduced, reduced, "ecrm")
+        assert "<Total>" in text
+        assert "+0%" in text or "+0.000" in text
+
+    def test_compare_missing_metric_rejected(self, reduced):
+        from repro.analyze import reports
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            reports.compare_functions(reduced, reduced, "icm")

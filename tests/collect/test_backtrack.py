@@ -1,0 +1,163 @@
+"""Unit tests for the apropos backtracking search."""
+
+import pytest
+
+from repro.collect.backtrack import (
+    FOUND,
+    MAX_BACKTRACK_INSTRS,
+    NOT_FOUND,
+    apropos_backtrack,
+)
+from repro.isa.instructions import Instr, Op
+from repro.machine.counters import EVENTS
+
+TEXT = 0x1_0000_3000
+
+LOAD_EVENT = EVENTS["ecrm"]       # memop_class == "load"
+LOADSTORE_EVENT = EVENTS["ecref"]  # memop_class == "loadstore"
+CYCLES_EVENT = EVENTS["cycles"]    # memop_class is None
+
+
+def code_of(*instrs):
+    code = list(instrs)
+    for index, instr in enumerate(code):
+        instr.addr = TEXT + 4 * index
+    return code
+
+
+def regs_with(**values):
+    regs = [0] * 32
+    for name, value in values.items():
+        regs[int(name[1:])] = value
+    return regs
+
+
+class TestSearch:
+    def test_finds_immediately_preceding_load(self):
+        code = code_of(
+            Instr(Op.LDX, rd=2, rs1=3, imm=56),
+            Instr(Op.NOP),
+            Instr(Op.NOP),
+        )
+        result = apropos_backtrack(code, TEXT, TEXT + 8, LOAD_EVENT, regs_with(r3=0x1000))
+        assert result.status == FOUND
+        assert result.candidate_pc == TEXT
+        assert result.effective_address == 0x1000 + 56
+
+    def test_walks_past_non_memory_instructions(self):
+        code = code_of(
+            Instr(Op.LDX, rd=2, rs1=3, imm=8),
+            Instr(Op.ADD, rd=4, rs1=4, imm=1),
+            Instr(Op.CMP, rs1=4, imm=0),
+            Instr(Op.NOP),
+        )
+        result = apropos_backtrack(code, TEXT, TEXT + 12, LOAD_EVENT, regs_with(r3=64))
+        assert result.candidate_pc == TEXT
+
+    def test_load_event_skips_stores(self):
+        code = code_of(
+            Instr(Op.LDX, rd=2, rs1=3, imm=0),
+            Instr(Op.STX, rd=2, rs1=5, imm=0),
+            Instr(Op.NOP),
+        )
+        result = apropos_backtrack(code, TEXT, TEXT + 8, LOAD_EVENT, regs_with(r3=96))
+        assert result.candidate_pc == TEXT  # the store is not a candidate
+
+    def test_loadstore_event_accepts_stores(self):
+        code = code_of(
+            Instr(Op.LDX, rd=2, rs1=3, imm=0),
+            Instr(Op.STX, rd=2, rs1=5, imm=16),
+            Instr(Op.NOP),
+        )
+        result = apropos_backtrack(
+            code, TEXT, TEXT + 8, LOADSTORE_EVENT, regs_with(r5=0x2000)
+        )
+        assert result.candidate_pc == TEXT + 4
+        assert result.effective_address == 0x2000 + 16
+
+    def test_not_found_when_no_memop_in_window(self):
+        code = code_of(*(Instr(Op.NOP) for _ in range(20)))
+        result = apropos_backtrack(code, TEXT, TEXT + 40, LOAD_EVENT, [0] * 32)
+        assert result.status == NOT_FOUND
+        assert result.candidate_pc is None
+
+    def test_window_limit_respected(self):
+        instrs = [Instr(Op.LDX, rd=2, rs1=3, imm=0)]
+        instrs += [Instr(Op.NOP) for _ in range(MAX_BACKTRACK_INSTRS + 2)]
+        code = code_of(*instrs)
+        trap_pc = TEXT + 4 * (MAX_BACKTRACK_INSTRS + 2)
+        result = apropos_backtrack(code, TEXT, trap_pc, LOAD_EVENT, [0] * 32)
+        assert result.status == NOT_FOUND
+
+    def test_non_memory_event_never_matches(self):
+        code = code_of(Instr(Op.LDX, rd=2, rs1=3, imm=0), Instr(Op.NOP))
+        result = apropos_backtrack(code, TEXT, TEXT + 8, CYCLES_EVENT, [0] * 32)
+        assert result.status == NOT_FOUND
+
+    def test_trap_at_text_start(self):
+        code = code_of(Instr(Op.NOP))
+        result = apropos_backtrack(code, TEXT, TEXT, LOAD_EVENT, [0] * 32)
+        assert result.status == NOT_FOUND
+
+
+class TestEffectiveAddress:
+    def test_register_plus_register(self):
+        code = code_of(
+            Instr(Op.LDX, rd=2, rs1=3, rs2=4),
+            Instr(Op.NOP),
+        )
+        result = apropos_backtrack(
+            code, TEXT, TEXT + 8, LOAD_EVENT, regs_with(r3=0x100, r4=0x20)
+        )
+        assert result.effective_address == 0x120
+
+    def test_clobbered_base_reported_unknown(self):
+        """The skid window overwrote the base register: the collector
+        'either reports a putative effective address, or indicates that
+        the address could not be determined' (§2.2.3)."""
+        code = code_of(
+            Instr(Op.LDX, rd=2, rs1=3, imm=0),
+            Instr(Op.ADD, rd=3, rs1=3, imm=8),  # clobbers %r3
+            Instr(Op.NOP),
+        )
+        result = apropos_backtrack(code, TEXT, TEXT + 12, LOAD_EVENT, regs_with(r3=64))
+        assert result.status == FOUND
+        assert result.effective_address is None
+        assert result.ea_reason == "clobbered"
+
+    def test_self_clobbering_load(self):
+        code = code_of(
+            Instr(Op.LDX, rd=3, rs1=3, imm=0),  # ldx [%r3], %r3
+            Instr(Op.NOP),
+        )
+        result = apropos_backtrack(code, TEXT, TEXT + 8, LOAD_EVENT, regs_with(r3=64))
+        assert result.effective_address is None
+
+    def test_unrelated_write_keeps_ea(self):
+        code = code_of(
+            Instr(Op.LDX, rd=2, rs1=3, imm=8),
+            Instr(Op.ADD, rd=5, rs1=5, imm=1),
+            Instr(Op.NOP),
+        )
+        result = apropos_backtrack(code, TEXT, TEXT + 12, LOAD_EVENT, regs_with(r3=0x40))
+        assert result.effective_address == 0x48
+
+    def test_index_register_clobber_detected(self):
+        code = code_of(
+            Instr(Op.LDX, rd=2, rs1=3, rs2=4),
+            Instr(Op.SET, rd=4, imm=0),
+            Instr(Op.NOP),
+        )
+        result = apropos_backtrack(code, TEXT, TEXT + 12, LOAD_EVENT, regs_with(r3=8, r4=8))
+        assert result.effective_address is None
+
+    def test_call_clobbers_o7(self):
+        from repro.isa.registers import REG_RA
+
+        code = code_of(
+            Instr(Op.LDX, rd=2, rs1=REG_RA, imm=0),
+            Instr(Op.CALL, target=TEXT),
+            Instr(Op.NOP),
+        )
+        result = apropos_backtrack(code, TEXT, TEXT + 12, LOAD_EVENT, [0] * 32)
+        assert result.effective_address is None

@@ -1,0 +1,119 @@
+"""Tests for the experiment directory format (save/open round-trip)."""
+
+import json
+
+import pytest
+
+from repro import build_executable, tiny_config
+from repro.collect.collector import CollectConfig, collect
+from repro.collect.experiment import ClockEvent, Experiment, HwcEvent
+from repro.errors import ExperimentError
+
+SRC = """
+long main(long *input, long n) {
+    long *a; long i; long s;
+    a = (long *) malloc(4096);
+    s = 0;
+    for (i = 0; i < 512; i++) a[i] = i;
+    for (i = 0; i < 512; i++) s = s + a[i];
+    return s & 255;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    program = build_executable(SRC)
+    cfg = CollectConfig(
+        clock_profiling=True, clock_interval=211, counters=["+ecrm,13", "+ecstall,59"]
+    )
+    return collect(program, tiny_config(), cfg)
+
+
+class TestEventSerialization:
+    def test_hwc_event_roundtrip(self):
+        event = HwcEvent(
+            counter=1, event="ecrm", weight=13, trap_pc=0x100003000,
+            candidate_pc=0x100002FF8, effective_address=0x100400020,
+            status="found", ea_reason="", cycle=123456, callstack=(1, 2, 3),
+        )
+        assert HwcEvent.from_json(event.to_json()) == event
+
+    def test_hwc_event_with_nones(self):
+        event = HwcEvent(
+            counter=0, event="ecref", weight=7, trap_pc=16,
+            candidate_pc=None, effective_address=None,
+            status="not_found", ea_reason="no_candidate", cycle=1, callstack=(),
+        )
+        assert HwcEvent.from_json(event.to_json()) == event
+
+    def test_clock_event_roundtrip(self):
+        event = ClockEvent(pc=0x100003210, cycle=999, callstack=(0x100003000,))
+        assert ClockEvent.from_json(event.to_json()) == event
+
+
+class TestDirectoryFormat:
+    def test_save_creates_er_directory(self, experiment, tmp_path):
+        path = experiment.save(tmp_path / "run1")
+        assert path.name == "run1.er"
+        for name in ("log.txt", "info.json", "program.pkl", "clock.jsonl"):
+            assert (path / name).exists()
+        assert (path / "hwc0.jsonl").exists()
+        assert (path / "hwc1.jsonl").exists()
+
+    def test_info_json_is_valid(self, experiment, tmp_path):
+        path = experiment.save(tmp_path / "run2")
+        info = json.loads((path / "info.json").read_text())
+        assert info["totals"]["cycles"] > 0
+        assert len(info["counters"]) == 2
+
+    def test_roundtrip_preserves_events(self, experiment, tmp_path):
+        path = experiment.save(tmp_path / "run3")
+        loaded = Experiment.open(path)
+        assert len(loaded.hwc_events) == len(experiment.hwc_events)
+        assert len(loaded.clock_events) == len(experiment.clock_events)
+        assert sorted(loaded.hwc_events, key=lambda e: (e.cycle, e.counter)) == sorted(
+            experiment.hwc_events, key=lambda e: (e.cycle, e.counter)
+        )
+        assert loaded.info.totals == experiment.info.totals
+
+    def test_roundtrip_preserves_program(self, experiment, tmp_path):
+        path = experiment.save(tmp_path / "run4")
+        loaded = Experiment.open(path)
+        assert len(loaded.program.code) == len(experiment.program.code)
+        assert loaded.program.function("main").start == (
+            experiment.program.function("main").start
+        )
+
+    def test_reduction_works_on_reloaded_experiment(self, experiment, tmp_path):
+        from repro.analyze.reduce import reduce_experiment
+
+        path = experiment.save(tmp_path / "run5")
+        loaded = Experiment.open(path)
+        reduced = reduce_experiment(loaded)
+        direct = reduce_experiment(experiment)
+        assert dict(reduced.total) == pytest.approx(dict(direct.total))
+
+    def test_open_missing_directory(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            Experiment.open(tmp_path / "nope.er")
+
+    def test_open_rejects_incomplete_directory(self, tmp_path):
+        bad = tmp_path / "bad.er"
+        bad.mkdir()
+        with pytest.raises(ExperimentError):
+            Experiment.open(bad)
+
+    def test_save_requires_program(self, tmp_path):
+        exp = Experiment("empty")
+        with pytest.raises(ExperimentError):
+            exp.save(tmp_path / "empty")
+
+
+class TestMapFile:
+    def test_map_txt_written(self, experiment, tmp_path):
+        path = experiment.save(tmp_path / "mapped")
+        text = (path / "map.txt").read_text()
+        assert "main" in text
+        assert "librt" in text       # runtime module present
+        assert "hwcprof" in text     # user module flagged

@@ -1,0 +1,106 @@
+"""Integration tests of the end-to-end skid/backtracking behaviour.
+
+These pin the properties the reproduction's §3.2.5 numbers rest on:
+stall events resolve ~always; the skiddy E$ References counter loses a
+visible share to (Unresolvable); clock events land on next-to-issue PCs
+and cannot be corrected.
+"""
+
+import pytest
+
+from repro import build_executable, tiny_config
+from repro.analyze.model import UNRESOLVABLE
+from repro.analyze.reduce import reduce_experiment
+from repro.collect.collector import CollectConfig, collect
+from repro.isa.instructions import is_load
+
+SRC = """
+struct cell { long v; long pad1; long pad2; long pad3; };
+long scan(struct cell *arr, long n) {
+    long i; long s;
+    s = 0;
+    for (i = 0; i < n; i++)
+        s = s + arr[i].v;
+    return s;
+}
+long main(long *input, long n) {
+    struct cell *arr;
+    long j; long s;
+    arr = (struct cell *) malloc(4096 * sizeof(struct cell));
+    s = 0;
+    for (j = 0; j < 4; j++)
+        s = s + scan(arr, 4096);
+    return s & 255;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_executable(SRC)
+
+
+def _reduced(program, counters):
+    cfg = CollectConfig(clock_profiling=False, counters=counters)
+    return reduce_experiment(collect(program, tiny_config(), cfg))
+
+
+class TestStallEventsResolve:
+    def test_ecstall_lands_on_the_load(self, program):
+        reduced = _reduced(program, ["+ecstall,59"])
+        assert reduced.backtrack_effectiveness("ecstall") > 99.0
+        # and the attributed PCs are loads
+        for pc, record in reduced.pcs.items():
+            if record.metrics.get("ecstall") and not record.is_branch_target_artifact:
+                instr = program.instr_at(pc)
+                assert instr is not None and is_load(instr)
+
+    def test_hot_pc_is_the_scan_load(self, program):
+        reduced = _reduced(program, ["+ecrm,13"])
+        top_pc = max(reduced.pcs.values(),
+                     key=lambda r: r.metrics.get("ecrm", 0.0))
+        func = program.function_at(top_pc.pc)
+        assert func.name == "scan"
+        assert top_pc.data_object == "structure:cell"
+
+
+class TestSkiddyEventsLoseSome:
+    def test_ecref_less_effective_than_ecrm(self, program):
+        refs = _reduced(program, ["+ecref,31"])
+        misses = _reduced(program, ["+ecrm,13"])
+        assert (
+            refs.backtrack_effectiveness("ecref")
+            <= misses.backtrack_effectiveness("ecrm")
+        )
+
+    def test_ecref_unresolvable_share_visible_but_bounded(self, program):
+        # this loop body is only ~6 instructions, so the 2-5 instruction
+        # ecref skid crosses the loop-back join often; even here a majority
+        # of events must stay attributable (real workloads do much better:
+        # the MCF case study resolves ~90%)
+        reduced = _reduced(program, ["+ecref,31"])
+        unresolvable = reduced.data_objects.get(UNRESOLVABLE)
+        share = (
+            reduced.percent("ecref", unresolvable.get("ecref", 0.0))
+            if unresolvable
+            else 0.0
+        )
+        assert 0.0 < share < 60.0
+
+
+class TestClockCannotBeCorrected:
+    def test_clock_hits_non_loads(self, program):
+        cfg = CollectConfig(clock_profiling=True, clock_interval=101, counters=[])
+        reduced = reduce_experiment(collect(program, tiny_config(), cfg))
+        non_load = 0.0
+        on_load = 0.0
+        for pc, record in reduced.pcs.items():
+            cpu = record.metrics.get("user_cpu", 0.0)
+            instr = program.instr_at(pc)
+            if instr is None or not cpu:
+                continue
+            if is_load(instr):
+                on_load += cpu
+            else:
+                non_load += cpu
+        assert non_load > 0

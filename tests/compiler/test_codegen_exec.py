@@ -1,0 +1,587 @@
+"""Behavioral tests: compile mini-C and execute on the simulated machine.
+
+Each test checks an observable result (exit code or stdout) of a complete
+compile-link-load-run cycle, which exercises codegen, the linker, the
+loader, the CPU and the runtime library together.
+"""
+
+import pytest
+
+from tests.conftest import run_main, run_source
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("1 + 2", 3),
+            ("10 - 4", 6),
+            ("6 * 7", 42),
+            ("100 / 7", 14),
+            ("100 % 7", 2),
+            ("-100 / 7", -15 + 1),   # C truncation: -14
+            ("-100 % 7", -2),
+            ("1 << 10", 1024),
+            ("-8 >> 1", -4),
+            ("0xF0 & 0x1F", 0x10),
+            ("0xF0 | 0x0F", 0xFF),
+            ("0xFF ^ 0x0F", 0xF0),
+            ("~0 & 0xFF", 0xFF),
+            ("-(5 - 12)", 7),
+            ("(1 + 2) * (3 + 4)", 21),
+        ],
+    )
+    def test_expression(self, expr, expected):
+        # route through a volatile-ish parameter so nothing constant-folds
+        code = run_main(
+            f"long main(long *input, long n) {{ long a; a = {expr}; return a & 255; }}"
+        )
+        assert code == expected & 255
+
+    def test_large_constants(self):
+        src = """
+        long main(long *input, long n) {
+            long big;
+            big = 1099511627776;     /* 2^40 */
+            return (big >> 32) & 255;
+        }
+        """
+        assert run_main(src) == 256 & 255
+
+    def test_comparison_values(self):
+        src = """
+        long main(long *input, long n) {
+            long a; long b;
+            a = 5; b = 7;
+            return (a < b) + (a > b) * 2 + (a == 5) * 4 + (b != 7) * 8;
+        }
+        """
+        assert run_main(src) == 1 + 4
+
+    def test_logical_short_circuit(self):
+        src = """
+        long hits;
+        long bump(void) { hits = hits + 1; return 1; }
+        long main(long *input, long n) {
+            long r;
+            hits = 0;
+            r = 0 && bump();
+            r = r + (1 || bump());
+            return hits * 10 + r;
+        }
+        """
+        assert run_main(src) == 1  # bump never called, r == 1
+
+    def test_conditional_operator(self):
+        src = """
+        long main(long *input, long n) {
+            long a;
+            a = 10;
+            return (a > 5 ? 100 : 200) + (a < 5 ? 1 : 2);
+        }
+        """
+        assert run_main(src) == 102
+
+    def test_not_operator(self):
+        src = """
+        long main(long *input, long n) {
+            return !0 * 10 + !42;
+        }
+        """
+        assert run_main(src) == 10
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        src = """
+        long main(long *input, long n) {
+            long i; long s;
+            i = 0; s = 0;
+            while (i < 10) { s = s + i; i = i + 1; }
+            return s;
+        }
+        """
+        assert run_main(src) == 45
+
+    def test_for_loop_with_break_continue(self):
+        src = """
+        long main(long *input, long n) {
+            long s;
+            s = 0;
+            for (long i = 0; i < 100; i++) {
+                if (i % 2 == 0) continue;
+                if (i > 10) break;
+                s = s + i;
+            }
+            return s;   /* 1+3+5+7+9 */
+        }
+        """
+        assert run_main(src) == 25
+
+    def test_nested_loops(self):
+        src = """
+        long main(long *input, long n) {
+            long total;
+            total = 0;
+            for (long i = 0; i < 5; i++)
+                for (long j = 0; j < 5; j++)
+                    if (i != j)
+                        total++;
+            return total;
+        }
+        """
+        assert run_main(src) == 20
+
+    def test_early_return(self):
+        src = """
+        long classify(long x) {
+            if (x < 0) return 1;
+            if (x == 0) return 2;
+            return 3;
+        }
+        long main(long *input, long n) {
+            return classify(-5) * 100 + classify(0) * 10 + classify(9);
+        }
+        """
+        assert run_main(src) == 123
+
+    def test_empty_statement_and_blocks(self):
+        assert run_main("long main(long *input, long n) { ; { ; } return 7; }") == 7
+
+
+class TestFunctions:
+    def test_six_arguments(self):
+        src = """
+        long f(long a, long b, long c, long d, long e, long f) {
+            return a + b * 2 + c * 4 + d * 8 + e * 16 + f * 32;
+        }
+        long main(long *input, long n) { return f(1, 1, 1, 1, 1, 1); }
+        """
+        assert run_main(src) == 63
+
+    def test_recursion_factorial(self):
+        src = """
+        long fact(long n) {
+            if (n <= 1) return 1;
+            return n * fact(n - 1);
+        }
+        long main(long *input, long n) { return fact(6) & 255; }
+        """
+        assert run_main(src) == 720 & 255
+
+    def test_deep_recursion_fibonacci(self):
+        src = """
+        long fib(long n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        long main(long *input, long n) { return fib(12); }
+        """
+        assert run_main(src) == 144
+
+    def test_mutual_recursion(self):
+        src = """
+        long is_odd(long n);
+        long is_even(long n) { if (n == 0) return 1; return is_odd(n - 1); }
+        long is_odd(long n) { if (n == 0) return 0; return is_even(n - 1); }
+        long main(long *input, long n) { return is_even(10) * 2 + is_odd(7); }
+        """
+        assert run_main(src) == 3
+
+    def test_call_preserves_caller_locals(self):
+        # callee clobbers scratch; caller's register-resident locals survive
+        src = """
+        long noisy(void) {
+            long a; long b; long c;
+            a = 111; b = 222; c = 333;
+            return a + b + c;
+        }
+        long main(long *input, long n) {
+            long x; long y;
+            x = 5; y = 6;
+            noisy();
+            return x * 10 + y;
+        }
+        """
+        assert run_main(src) == 56
+
+    def test_call_in_expression_preserves_partial_results(self):
+        src = """
+        long seven(void) { return 7; }
+        long main(long *input, long n) {
+            long a;
+            a = 100;
+            return a + seven() * 2;
+        }
+        """
+        assert run_main(src) == 114
+
+    def test_nested_calls_as_arguments(self):
+        src = """
+        long add(long a, long b) { return a + b; }
+        long main(long *input, long n) {
+            return add(add(1, 2), add(3, add(4, 5)));
+        }
+        """
+        assert run_main(src) == 15
+
+    def test_void_function(self):
+        src = """
+        long flag;
+        void set_flag(long v) { flag = v; }
+        long main(long *input, long n) { set_flag(9); return flag; }
+        """
+        assert run_main(src) == 9
+
+    def test_more_locals_than_registers(self):
+        decls = "\n".join(f"long v{i};" for i in range(20))
+        inits = "\n".join(f"v{i} = {i};" for i in range(20))
+        total = " + ".join(f"v{i}" for i in range(20))
+        src = f"""
+        long main(long *input, long n) {{
+            {decls}
+            {inits}
+            return {total};
+        }}
+        """
+        assert run_main(src) == sum(range(20))
+
+
+class TestPointersAndStructs:
+    STRUCTS = """
+    struct pt { long x; long y; };
+    struct box { struct pt *min; struct pt *max; long tag; };
+    """
+
+    def test_malloc_and_member_access(self):
+        src = self.STRUCTS + """
+        long main(long *input, long n) {
+            struct pt *p;
+            p = (struct pt *) malloc(sizeof(struct pt));
+            p->x = 30;
+            p->y = 12;
+            return p->x + p->y;
+        }
+        """
+        assert run_main(src) == 42
+
+    def test_pointer_chain(self):
+        src = self.STRUCTS + """
+        long main(long *input, long n) {
+            struct box *b;
+            b = (struct box *) malloc(sizeof(struct box));
+            b->min = (struct pt *) malloc(sizeof(struct pt));
+            b->min->x = 77;
+            return b->min->x;
+        }
+        """
+        assert run_main(src) == 77
+
+    def test_array_of_structs(self):
+        src = self.STRUCTS + """
+        long main(long *input, long n) {
+            struct pt *arr;
+            long i;
+            arr = (struct pt *) malloc(10 * sizeof(struct pt));
+            for (i = 0; i < 10; i++) { arr[i].x = i; arr[i].y = i * i; }
+            return arr[7].y + arr[3].x;
+        }
+        """
+        assert run_main(src) == 52
+
+    def test_pointer_arithmetic_scales(self):
+        src = self.STRUCTS + """
+        long main(long *input, long n) {
+            struct pt *arr;
+            struct pt *p;
+            arr = (struct pt *) malloc(4 * sizeof(struct pt));
+            arr[2].x = 5;
+            p = arr + 2;
+            return p->x + (p - arr) * 10;
+        }
+        """
+        assert run_main(src) == 25
+
+    def test_address_of_local(self):
+        src = """
+        void bump(long *p) { *p = *p + 1; }
+        long main(long *input, long n) {
+            long x;
+            x = 41;
+            bump(&x);
+            return x;
+        }
+        """
+        assert run_main(src) == 42
+
+    def test_local_array(self):
+        src = """
+        long main(long *input, long n) {
+            long buf[8];
+            long i; long s;
+            for (i = 0; i < 8; i++) buf[i] = i * 2;
+            s = 0;
+            for (i = 0; i < 8; i++) s = s + buf[i];
+            return s;
+        }
+        """
+        assert run_main(src) == 56
+
+    def test_global_array_and_scalar(self):
+        src = """
+        long table[5];
+        long total;
+        long main(long *input, long n) {
+            long i;
+            for (i = 0; i < 5; i++) table[i] = i + 1;
+            total = 0;
+            for (i = 0; i < 5; i++) total = total + table[i];
+            return total;
+        }
+        """
+        assert run_main(src) == 15
+
+    def test_global_initializer(self):
+        src = """
+        long seed = 123;
+        long main(long *input, long n) { return seed; }
+        """
+        assert run_main(src) == 123
+
+    def test_char_pointer_bytes(self):
+        src = """
+        long main(long *input, long n) {
+            char *buf;
+            buf = malloc(16);
+            buf[0] = 65;
+            buf[1] = 200;
+            return buf[0] + buf[1];   /* ldub zero-extends: 65 + 200 */
+        }
+        """
+        assert run_main(src) == 265
+
+    def test_null_checks(self):
+        src = """
+        struct pt { long x; long y; };
+        long main(long *input, long n) {
+            struct pt *p;
+            p = 0;
+            if (p) return 1;
+            if (p == NULL) return 2;
+            return 3;
+        }
+        """
+        assert run_main(src) == 2
+
+    def test_free_then_realloc(self):
+        src = """
+        long main(long *input, long n) {
+            char *a; char *b;
+            a = malloc(64);
+            free(a);
+            b = malloc(64);
+            b[0] = 1;
+            return b[0];
+        }
+        """
+        assert run_main(src) == 1
+
+    def test_incdec_on_memory(self):
+        src = """
+        long counter;
+        long main(long *input, long n) {
+            long old;
+            counter = 10;
+            old = counter++;
+            ++counter;
+            counter--;
+            return counter * 10 + old;
+        }
+        """
+        assert run_main(src) == 11 * 10 + 10
+
+    def test_incdec_on_pointer(self):
+        src = """
+        long main(long *input, long n) {
+            long *p;
+            long *q;
+            p = (long *) malloc(32);
+            q = p;
+            q++;
+            return (q - p) * 10 + (q > p);
+        }
+        """
+        assert run_main(src) == 11
+
+    def test_compound_assignment_on_member(self):
+        src = """
+        struct pt { long x; long y; };
+        long main(long *input, long n) {
+            struct pt *p;
+            p = (struct pt *) malloc(sizeof(struct pt));
+            p->x = 5;
+            p->x += 10;
+            p->x *= 2;
+            return p->x;
+        }
+        """
+        assert run_main(src) == 30
+
+
+class TestInputOutput:
+    def test_input_array_passed_to_main(self):
+        src = """
+        long main(long *input, long n) {
+            long s; long i;
+            s = 0;
+            for (i = 0; i < n; i++) s = s + input[i];
+            return s;
+        }
+        """
+        assert run_main(src, input_longs=[5, 10, 15]) == 30
+
+    def test_print_long(self):
+        src = """
+        long main(long *input, long n) {
+            print_long(42);
+            print_long(0 - 7);
+            return 0;
+        }
+        """
+        assert run_source(src).stdout == "42\n-7\n"
+
+    def test_print_str(self):
+        src = """
+        long main(long *input, long n) {
+            print_str("hello\\n");
+            return 0;
+        }
+        """
+        assert run_source(src).stdout == "hello\n"
+
+    def test_print_char(self):
+        src = """
+        long main(long *input, long n) {
+            print_char(72); print_char(73);
+            return 0;
+        }
+        """
+        assert run_source(src).stdout == "HI"
+
+    def test_exit_runtime_call(self):
+        src = """
+        long main(long *input, long n) {
+            exit(33);
+            return 0;   /* not reached */
+        }
+        """
+        assert run_main(src) == 33
+
+    def test_zero_and_copy_memory(self):
+        src = """
+        long main(long *input, long n) {
+            long *a; long *b; long i; long s;
+            a = (long *) malloc(64);
+            b = (long *) malloc(64);
+            for (i = 0; i < 8; i++) a[i] = i + 1;
+            copy_memory((char *) b, (char *) a, 64);
+            zero_memory((char *) a, 64);
+            s = 0;
+            for (i = 0; i < 8; i++) s = s + a[i] * 100 + b[i];
+            return s;
+        }
+        """
+        assert run_main(src) == 36
+
+
+class TestDefinesAndSizeof:
+    def test_defines_in_program(self):
+        src = """
+        #define LIMIT 12
+        #define STEP 3
+        long main(long *input, long n) {
+            long s; long i;
+            s = 0;
+            for (i = 0; i < LIMIT; i += STEP) s = s + i;
+            return s;
+        }
+        """
+        assert run_main(src) == 0 + 3 + 6 + 9
+
+    def test_sizeof_values(self):
+        src = """
+        struct pt { long x; long y; };
+        struct odd { char c; long v; };
+        long main(long *input, long n) {
+            return sizeof(struct pt) + sizeof(struct odd) * 100 + sizeof(long) * 10;
+        }
+        """
+        assert run_main(src) == 16 + 16 * 100 + 8 * 10  # odd: char pads to 16
+
+    def test_sizeof_in_malloc(self):
+        src = """
+        struct wide { long a; long b; long c; long d; };
+        long main(long *input, long n) {
+            struct wide *w;
+            w = (struct wide *) malloc(3 * sizeof(struct wide));
+            w[2].d = 99;
+            return w[2].d;
+        }
+        """
+        assert run_main(src) == 99
+
+
+
+class TestDoWhile:
+    def test_runs_at_least_once(self):
+        src = """
+        long main(long *input, long n) {
+            long x;
+            x = 0;
+            do x = x + 7; while (0);
+            return x;
+        }
+        """
+        assert run_main(src) == 7
+
+    def test_loops_until_condition_fails(self):
+        src = """
+        long main(long *input, long n) {
+            long i; long s;
+            i = 0; s = 0;
+            do { s = s + i; i++; } while (i < 5);
+            return s;
+        }
+        """
+        assert run_main(src) == 10
+
+    def test_break_and_continue(self):
+        src = """
+        long main(long *input, long n) {
+            long i; long s;
+            i = 0; s = 0;
+            do {
+                i++;
+                if (i % 2 == 0) continue;
+                if (i > 9) break;
+                s = s + i;
+            } while (i < 100);
+            return s;   /* 1+3+5+7+9 */
+        }
+        """
+        assert run_main(src) == 25
+
+    def test_nested_do_while(self):
+        src = """
+        long main(long *input, long n) {
+            long i; long j; long c;
+            c = 0; i = 0;
+            do {
+                j = 0;
+                do { c++; j++; } while (j < 3);
+                i++;
+            } while (i < 4);
+            return c;
+        }
+        """
+        assert run_main(src) == 12

@@ -1,0 +1,144 @@
+"""Structural (non-behavioural) codegen tests: frame layout, register
+assignment, immediate folding, call sequences."""
+
+import pytest
+
+from repro.compiler.codegen import (
+    CALLEE_SAVE_BASE,
+    IMM_MAX,
+    LOCALS_BASE,
+    SCRATCH_SAVE_BASE,
+    compile_module,
+)
+from repro.errors import CodegenError
+from repro.isa.disasm import disassemble
+from repro.isa.instructions import Instr, Op
+from repro.isa.registers import LOCAL_REGS, REG_RA, REG_SP, SCRATCH_REGS
+
+
+def instrs(source, name):
+    module = compile_module(source, hwcprof=True)
+    for func in module.functions:
+        if func.name == name:
+            return [i for i in func.items if isinstance(i, Instr)]
+    raise AssertionError(name)
+
+
+class TestFrame:
+    def test_frame_areas_do_not_overlap(self):
+        assert 0 < CALLEE_SAVE_BASE < SCRATCH_SAVE_BASE < LOCALS_BASE
+        assert SCRATCH_SAVE_BASE - CALLEE_SAVE_BASE == 8 * len(LOCAL_REGS)
+        assert LOCALS_BASE - SCRATCH_SAVE_BASE == 8 * len(SCRATCH_REGS)
+
+    def test_leaf_function_skips_ra_save(self):
+        body = instrs("long f(long a) { return a + 1; }", "f")
+        saves_ra = any(
+            i.op is Op.STX and i.rd == REG_RA and i.rs1 == REG_SP for i in body
+        )
+        assert not saves_ra
+
+    def test_nonleaf_saves_and_restores_ra(self):
+        src = "long g(long a) { return a; } long f(long a) { return g(a); }"
+        body = instrs(src, "f")
+        assert any(i.op is Op.STX and i.rd == REG_RA for i in body)
+        assert any(i.op is Op.LDX and i.rd == REG_RA for i in body)
+
+    def test_prologue_epilogue_balance_sp(self):
+        body = instrs("long f(long a) { long b; b = a * 2; return b; }", "f")
+        subs = [i for i in body if i.op is Op.SUB and i.rd == REG_SP]
+        adds = [i for i in body if i.op is Op.ADD and i.rd == REG_SP and i.rs1 == REG_SP]
+        assert len(subs) == 1 and len(adds) == 1
+        assert subs[0].imm == adds[0].imm
+        assert subs[0].imm % 16 == 0
+
+    def test_used_callee_saved_registers_saved(self):
+        body = instrs("long f(long a, long b) { return a + b; }", "f")
+        saved = {i.rd for i in body if i.op is Op.STX and i.rs1 == REG_SP
+                 and CALLEE_SAVE_BASE <= i.imm < SCRATCH_SAVE_BASE}
+        restored = {i.rd for i in body if i.op is Op.LDX and i.rs1 == REG_SP
+                    and CALLEE_SAVE_BASE <= i.imm < SCRATCH_SAVE_BASE}
+        assert saved == restored
+        assert len(saved) == 2  # the two parameter homes
+
+
+class TestInstructionSelection:
+    def test_member_offset_folded_into_load(self):
+        src = """
+        struct node { long a; long b; long c; };
+        long f(struct node *p) { return p->c; }
+        """
+        body = instrs(src, "f")
+        loads = [i for i in body if i.op is Op.LDX and i.imm == 16]
+        assert loads, "member offset must be an immediate, not an add"
+
+    def test_small_constant_folded_into_alu(self):
+        body = instrs("long f(long a) { return a + 9; }", "f")
+        assert any(i.op is Op.ADD and i.imm == 9 and i.rs2 is None for i in body)
+
+    def test_large_constant_uses_set(self):
+        big = IMM_MAX + 1000
+        body = instrs(f"long f(long a) {{ return a + {big}; }}", "f")
+        assert any(i.op is Op.SET and i.imm == big for i in body)
+        assert not any(i.imm == big and i.op is Op.ADD for i in body)
+
+    def test_pointer_index_scales_with_shift(self):
+        src = """
+        long f(long *p, long i) { return p[i]; }
+        """
+        body = instrs(src, "f")
+        assert any(i.op is Op.SLLX and i.imm == 3 for i in body)
+
+    def test_struct_index_scales_with_multiply(self):
+        src = """
+        struct odd { long a; long b; long c; };  /* 24 bytes: not a power of 2 */
+        long f(struct odd *p, long i) { return p[i].a; }
+        """
+        body = instrs(src, "f")
+        assert any(i.op is Op.MULX for i in body)
+
+    def test_division_by_power_of_two_still_sdivx(self):
+        # (we do not strength-reduce: C semantics for negatives differ)
+        body = instrs("long f(long a) { return a / 4; }", "f")
+        assert any(i.op is Op.SDIVX for i in body)
+
+    def test_comparison_against_immediate(self):
+        body = instrs("long f(long a) { if (a == 7) return 1; return 0; }", "f")
+        assert any(i.op is Op.CMP and i.imm == 7 for i in body)
+
+
+class TestCalls:
+    def test_args_marshalled_into_o_registers(self):
+        src = """
+        long g(long a, long b, long c) { return a; }
+        long f(void) { return g(1, 2, 3); }
+        """
+        body = instrs(src, "f")
+        from repro.isa.registers import ARG_REGS
+
+        call_index = next(k for k, i in enumerate(body) if i.op is Op.CALL)
+        # the last arg move may legally sit in the call's delay slot
+        window = body[: call_index + 2]
+        movs = {i.rd for i in window if i.op is Op.MOV}
+        assert set(ARG_REGS[:3]) <= movs
+
+    def test_live_scratch_saved_around_nested_call(self):
+        src = """
+        long g(long a) { return a; }
+        long f(long a) { return g(a) + g(a + 1); }
+        """
+        body = instrs(src, "f")
+        scratch_saves = [
+            i for i in body
+            if i.op is Op.STX and i.rs1 == REG_SP
+            and SCRATCH_SAVE_BASE <= i.imm < LOCALS_BASE
+        ]
+        assert scratch_saves, "the partial sum must be protected across the call"
+
+    def test_too_many_args_rejected_at_sema(self):
+        from repro.errors import TypeCheckError
+
+        with pytest.raises(TypeCheckError):
+            compile_module(
+                "long g(long a, long b, long c, long d, long e, long f, long h)"
+                "{ return 0; }"
+            )

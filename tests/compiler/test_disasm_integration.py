@@ -1,0 +1,60 @@
+"""Integration: the compiled MCF binary disassembles into the paper's
+Figure 4 vocabulary."""
+
+import re
+
+import pytest
+
+from repro.isa.disasm import disassemble
+from repro.isa.instructions import Op, is_load
+from repro.mcf.sources import LayoutVariant
+from repro.mcf.workload import build_mcf
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_mcf(LayoutVariant.BASELINE)
+
+
+class TestRefreshPotentialDisasm:
+    def test_paper_member_offsets_appear_in_loads(self, program):
+        """Figure 4 shows `ldx [%o3 + 56]` (orientation), `+ 24` (child),
+        `+ 88` (potential), `[%g4 + 32]`-style (arc cost)."""
+        texts = [disassemble(i) for i in program.function_instrs("refresh_potential")]
+        joined = "\n".join(texts)
+        assert re.search(r"ldx   \[%\w\d \+ 56\]", joined)   # orientation
+        assert re.search(r"ldx   \[%\w\d \+ 24\]", joined)   # child
+        assert re.search(r"ldx   \[%\w\d \+ 32\]", joined)   # arc cost
+        assert re.search(r"stx   %\w\d, \[%\w\d \+ 88\]", joined)  # potential
+
+    def test_memops_annotated_with_members(self, program):
+        instrs = program.function_instrs("refresh_potential")
+        annotated = {
+            i.memop.member
+            for i in instrs
+            if is_load(i) and i.memop is not None and i.memop.category == "struct"
+        }
+        assert {"orientation", "child", "pred", "basic_arc", "cost"} <= annotated
+
+    def test_loop_contains_nops_from_padding(self, program):
+        """Figure 4 shows compiler-inserted nops inside the critical loop."""
+        ops = [i.op for i in program.function_instrs("refresh_potential")]
+        assert Op.NOP in ops
+
+    def test_branch_targets_inside_function(self, program):
+        func = program.function("refresh_potential")
+        inside = [t for t in program.branch_targets if func.start <= t < func.end]
+        assert len(inside) >= 4  # the nested loops' labels
+
+    def test_no_load_or_store_in_delay_slots(self, program):
+        from repro.compiler.hwcprof import _is_transfer
+        from repro.isa.instructions import is_mem
+
+        instrs = program.function_instrs("refresh_potential")
+        for prev, slot in zip(instrs, instrs[1:]):
+            if _is_transfer(prev):
+                assert not is_mem(slot)
+
+    def test_every_instruction_disassembles(self, program):
+        for instr in program.code:
+            assert disassemble(instr)

@@ -1,0 +1,266 @@
+"""Tests for the -xhwcprof instruction-stream passes and debug info."""
+
+import pytest
+
+from repro.compiler.codegen import Label, compile_module
+from repro.compiler.hwcprof import (
+    PAD_BEFORE_LABEL,
+    PAD_BEFORE_TRANSFER,
+    apply_hwcprof_padding,
+    fill_delay_slots,
+)
+from repro.isa.instructions import Instr, Op, is_load, is_mem
+
+LOOP_SRC = """
+struct node { long a; long b; };
+long walk(struct node *arr, long n) {
+    long i; long s;
+    s = 0;
+    for (i = 0; i < n; i++)
+        s = s + arr[i].a;
+    return s;
+}
+"""
+
+
+def instrs_of(module, name):
+    for fn in module.functions:
+        if fn.name == name:
+            return fn.items
+    raise AssertionError(f"no function {name}")
+
+
+class TestPaddingPass:
+    def _slack_after_loads(self, items):
+        """Minimum straight-line slack following each load."""
+        slacks = []
+        for index, item in enumerate(items):
+            if not (isinstance(item, Instr) and is_load(item)):
+                continue
+            slack = 0
+            j = index + 1
+            need = PAD_BEFORE_TRANSFER
+            while j < len(items):
+                nxt = items[j]
+                if isinstance(nxt, Label):
+                    need = PAD_BEFORE_LABEL
+                    break
+                from repro.compiler.hwcprof import _is_transfer
+
+                if _is_transfer(nxt):
+                    need = PAD_BEFORE_TRANSFER
+                    break
+                slack += 1
+                j += 1
+                if slack >= PAD_BEFORE_LABEL:
+                    break
+            slacks.append((slack, need))
+        return slacks
+
+    def test_hwcprof_guarantees_slack(self):
+        module = compile_module(LOOP_SRC, hwcprof=True)
+        items = instrs_of(module, "walk")
+        for slack, need in self._slack_after_loads(items):
+            assert slack >= need
+
+    def test_padding_adds_nops(self):
+        module_plain = compile_module(LOOP_SRC, hwcprof=False)
+        module_prof = compile_module(LOOP_SRC, hwcprof=True)
+        count = lambda m: sum(
+            1
+            for item in instrs_of(m, "walk")
+            if isinstance(item, Instr) and item.op is Op.NOP
+        )
+        assert count(module_prof) > count(module_plain)
+
+    def test_pad_pass_idempotent(self):
+        module = compile_module(LOOP_SRC, hwcprof=True)
+        items = instrs_of(module, "walk")
+        assert apply_hwcprof_padding(items) == items
+
+    def test_padding_preserves_semantics(self):
+        from tests.conftest import run_main
+
+        src = LOOP_SRC + """
+        long main(long *input, long n) {
+            struct node *arr;
+            long i;
+            arr = (struct node *) malloc(8 * sizeof(struct node));
+            for (i = 0; i < 8; i++) arr[i].a = i;
+            return walk(arr, 8);
+        }
+        """
+        assert run_main(src, hwcprof=True) == 28
+        assert run_main(src, hwcprof=False) == 28
+
+
+class TestDelaySlotFill:
+    def test_no_memops_in_delay_slots_with_hwcprof(self):
+        module = compile_module(LOOP_SRC, hwcprof=True)
+        items = instrs_of(module, "walk")
+        from repro.compiler.hwcprof import _is_transfer
+
+        for index, item in enumerate(items[:-1]):
+            if isinstance(item, Instr) and _is_transfer(item):
+                slot = items[index + 1]
+                if isinstance(slot, Instr):
+                    assert not is_mem(slot), f"memop in delay slot at {index}"
+
+    def test_memops_allowed_without_hwcprof(self):
+        # the fill pass moves something into at least one slot
+        module = compile_module(LOOP_SRC, hwcprof=False, fill_delay_slots=True)
+        unfilled = compile_module(LOOP_SRC, hwcprof=False, fill_delay_slots=False)
+        n_instr = lambda m: sum(
+            1 for i in instrs_of(m, "walk") if isinstance(i, Instr)
+        )
+        assert n_instr(module) <= n_instr(unfilled)
+
+    def test_fill_never_moves_cmp(self):
+        items = [
+            Instr(Op.CMP, rs1=1, imm=0),
+            Instr(Op.BE, target="L"),
+            Instr(Op.NOP),
+            Label("L"),
+        ]
+        out = fill_delay_slots(items, allow_mem=True)
+        assert out[0].op is Op.CMP
+        assert out[2].op is Op.NOP
+
+    def test_fill_moves_alu_into_slot(self):
+        items = [
+            Instr(Op.ADD, rd=1, rs1=1, imm=8),
+            Instr(Op.BA, target="L"),
+            Instr(Op.NOP),
+            Label("L"),
+        ]
+        out = fill_delay_slots(items, allow_mem=True)
+        assert out[0].op is Op.BA
+        assert out[1].op is Op.ADD
+        assert len(out) == 3
+
+    def test_fill_respects_mem_restriction(self):
+        items = [
+            Instr(Op.LDX, rd=1, rs1=2, imm=0),
+            Instr(Op.BA, target="L"),
+            Instr(Op.NOP),
+            Label("L"),
+        ]
+        assert fill_delay_slots(items, allow_mem=False)[0].op is Op.LDX
+        assert fill_delay_slots(items, allow_mem=True)[0].op is Op.BA
+
+    def test_fill_skips_candidate_in_previous_slot(self):
+        items = [
+            Instr(Op.BA, target="L"),
+            Instr(Op.ADD, rd=1, rs1=1, imm=1),  # delay slot of first BA
+            Instr(Op.BA, target="L"),
+            Instr(Op.NOP),
+            Label("L"),
+        ]
+        out = fill_delay_slots(items, allow_mem=True)
+        # second BA must not steal the first one's delay slot
+        assert out[1].op is Op.ADD
+        assert out[3].op is Op.NOP
+
+    def test_fill_skips_label_boundary(self):
+        items = [
+            Label("top"),
+            Instr(Op.BA, target="top"),
+            Instr(Op.NOP),
+        ]
+        out = fill_delay_slots(items, allow_mem=True)
+        assert isinstance(out[0], Label)
+        assert out[2].op is Op.NOP
+
+
+class TestMemopInfo:
+    def test_struct_member_annotation(self):
+        module = compile_module(LOOP_SRC, hwcprof=True)
+        loads = [
+            item
+            for item in instrs_of(module, "walk")
+            if isinstance(item, Instr) and is_load(item) and item.memop is not None
+        ]
+        struct_loads = [i for i in loads if i.memop.category == "struct"]
+        assert struct_loads
+        memop = struct_loads[0].memop
+        assert memop.object_class == "structure:node"
+        assert memop.member == "a"
+        assert memop.offset == 0
+        assert memop.member_type == "long"
+
+    def test_no_memop_info_without_hwcprof(self):
+        module = compile_module(LOOP_SRC, hwcprof=False)
+        for item in instrs_of(module, "walk"):
+            if isinstance(item, Instr):
+                assert item.memop is None
+
+    def test_store_flag(self):
+        src = """
+        struct node { long a; };
+        void f(struct node *p) { p->a = 1; }
+        """
+        module = compile_module(src, hwcprof=True)
+        stores = [
+            item
+            for item in instrs_of(module, "f")
+            if isinstance(item, Instr) and item.op is Op.STX and item.memop
+            and item.memop.category == "struct"
+        ]
+        assert stores and all(s.memop.is_store for s in stores)
+
+    def test_scalar_annotation_for_global(self):
+        src = "long g; long f(void) { return g; }"
+        module = compile_module(src, hwcprof=True)
+        loads = [
+            i for i in instrs_of(module, "f")
+            if isinstance(i, Instr) and is_load(i) and i.memop
+        ]
+        assert loads[0].memop.category == "scalar"
+        assert loads[0].memop.object_class == "long"
+
+    def test_temporaries_marked(self):
+        src = """
+        long g(long a) { return a; }
+        long f(long a) { return g(a) + g(a); }
+        """
+        module = compile_module(src, hwcprof=True)
+        cats = {
+            i.memop.category
+            for i in instrs_of(module, "f")
+            if isinstance(i, Instr) and is_mem(i) and i.memop
+        }
+        assert "temporary" in cats
+
+    def test_struct_layouts_recorded(self):
+        module = compile_module(LOOP_SRC, hwcprof=True)
+        assert "node" in module.structs
+        layout = module.structs["node"]
+        assert layout.size == 16
+        assert layout.members == (("a", 0, "long"), ("b", 8, "long"))
+
+    def test_line_numbers_on_instructions(self):
+        module = compile_module(LOOP_SRC, hwcprof=True)
+        lines = {
+            i.line for i in instrs_of(module, "walk") if isinstance(i, Instr)
+        }
+        assert any(line >= 3 for line in lines)
+
+
+class TestDebugFormat:
+    """Paper §2.1: hwcprof needs DWARF; STABS cannot carry memop info."""
+
+    def test_stabs_with_hwcprof_rejected(self):
+        from repro.errors import CodegenError
+
+        with pytest.raises(CodegenError):
+            compile_module(LOOP_SRC, hwcprof=True, debug_format="stabs")
+
+    def test_stabs_without_hwcprof_allowed(self):
+        module = compile_module(LOOP_SRC, hwcprof=False, debug_format="stabs")
+        assert not module.hwcprof
+
+    def test_unknown_format_rejected(self):
+        from repro.errors import CodegenError
+
+        with pytest.raises(CodegenError):
+            compile_module(LOOP_SRC, debug_format="coff")

@@ -1,0 +1,254 @@
+"""Tests for §4 prefetch support: the op, the insertion pass, the CPU
+in-flight model, and the feedback module."""
+
+import pytest
+
+from repro import build_executable, tiny_config
+from repro.analyze.feedback import (
+    PrefetchHint,
+    load_feedback,
+    make_prefetch_feedback,
+    save_feedback,
+)
+from repro.compiler.codegen import Label, compile_module
+from repro.compiler.hwcprof import insert_prefetches
+from repro.errors import AnalysisError
+from repro.isa.disasm import disassemble
+from repro.isa.instructions import Instr, Op, is_load, is_mem, writes_register
+from repro.kernel.process import Process
+
+SRC = """
+struct node { long key; long pad1; long pad2; long pad3; struct node *next; long pad4; long pad5; long pad6; };
+long chase(struct node *p, long n) {
+    long i; long s;
+    s = 0;
+    for (i = 0; i < n; i++) {
+        s = s + p->key;
+        p = p->next;
+    }
+    return s;
+}
+long main(long *input, long n) {
+    struct node *arr;
+    struct node *p;
+    long i; long s;
+    arr = (struct node *) malloc(4096 * sizeof(struct node));
+    for (i = 0; i < 4096; i++) {
+        arr[i].key = i;
+        arr[i].next = arr + ((i + 97) % 4096);
+    }
+    s = chase(arr, 20000);
+    return s & 255;
+}
+"""
+
+HINT = PrefetchHint("chase", "structure:node", "key", 10.0)
+
+
+class TestInsertPass:
+    def _compiled_items(self, hints):
+        module = compile_module(SRC, hwcprof=True, prefetch_feedback=hints)
+        for fn in module.functions:
+            if fn.name == "chase":
+                return fn.items
+        raise AssertionError("no chase()")
+
+    def test_prefetch_inserted_for_matching_load(self):
+        items = self._compiled_items([HINT])
+        prefetches = [i for i in items if isinstance(i, Instr) and i.op is Op.PREFETCH]
+        assert prefetches
+
+    def test_no_prefetch_without_feedback(self):
+        items = self._compiled_items([])
+        assert not any(
+            isinstance(i, Instr) and i.op is Op.PREFETCH for i in items
+        )
+
+    def test_prefetch_address_matches_load(self):
+        items = self._compiled_items([HINT])
+        instrs = [i for i in items if isinstance(i, Instr)]
+        for idx, instr in enumerate(instrs):
+            if instr.op is Op.PREFETCH:
+                later_loads = [
+                    l for l in instrs[idx:]
+                    if is_load(l) and l.rs1 == instr.rs1 and l.imm == instr.imm
+                ]
+                assert later_loads, "prefetch must precede its load"
+
+    def test_prefetch_hoisted_with_lead(self):
+        """The prefetch sits strictly before its load with intervening
+        work when the block allows it."""
+        items = self._compiled_items([HINT])
+        instrs = [i for i in items if isinstance(i, Instr)]
+        positions = {
+            "prefetch": [k for k, i in enumerate(instrs) if i.op is Op.PREFETCH],
+        }
+        assert positions["prefetch"]
+
+    def test_prefetch_never_displaces_delay_slot(self):
+        items = [
+            Instr(Op.BA, target="L"),
+            Instr(Op.ADD, rd=3, rs1=3, imm=8),       # delay slot defines %r3
+            Instr(Op.LDX, rd=4, rs1=3, imm=0,
+                  memop=None),
+            Label("L"),
+        ]
+        # build a fake memop matching the hint
+        from repro.compiler.debuginfo import MemopInfo
+
+        items[2].memop = MemopInfo(category="struct", object_class="structure:node",
+                                   member="key", offset=0, member_type="long")
+        out = insert_prefetches(items, [HINT], "chase")
+        # the delay slot must remain immediately after the branch
+        assert out[0].op is Op.BA
+        assert out[1].op is Op.ADD
+        assert any(i.op is Op.PREFETCH for i in out if isinstance(i, Instr))
+
+    def test_store_loads_not_prefetched(self):
+        hint = PrefetchHint("chase", "structure:node", "key", 1.0)
+        module = compile_module(
+            "struct node { long key; };\n"
+            "void chase(struct node *p) { p->key = 1; }",
+            hwcprof=True, prefetch_feedback=[hint],
+        )
+        items = module.functions[0].items
+        assert not any(
+            isinstance(i, Instr) and i.op is Op.PREFETCH for i in items
+        )
+
+
+class TestCpuSemantics:
+    def test_prefetch_disassembles(self):
+        text = disassemble(Instr(Op.PREFETCH, rs1=3, imm=32))
+        assert text.startswith("prefetch")
+
+    def test_prefetch_is_not_a_memop_for_backtracking(self):
+        instr = Instr(Op.PREFETCH, rs1=3, imm=0)
+        assert not is_mem(instr)
+        assert not is_load(instr)
+        assert writes_register(instr) is None
+
+    def test_program_with_prefetch_runs_correctly(self):
+        program = build_executable(SRC, prefetch_feedback=[HINT])
+        plain = build_executable(SRC)
+        p1 = Process(program, tiny_config())
+        p2 = Process(plain, tiny_config())
+        assert p1.run(max_instructions=20_000_000) == p2.run(
+            max_instructions=20_000_000
+        )
+
+    def test_prefetch_reduces_cycles_on_pointer_chase(self):
+        program = build_executable(SRC, prefetch_feedback=[HINT])
+        plain = build_executable(SRC)
+        from repro.config import scaled_config
+
+        p1 = Process(program, scaled_config())
+        p2 = Process(plain, scaled_config())
+        p1.run(max_instructions=50_000_000)
+        p2.run(max_instructions=50_000_000)
+        assert p1.machine.cpu.cycles < p2.machine.cpu.cycles
+
+    def test_prefetch_to_bad_address_is_dropped(self):
+        src = """
+        long main(long *input, long n) {
+            return 7;
+        }
+        """
+        # hand-build: prefetch of a wild address must not fault
+        from repro.compiler.codegen import AsmFunction, Module
+        from repro.compiler.program import link
+        from repro.compiler.runtime import runtime_module
+        from repro.isa.registers import reg_number
+
+        O0 = reg_number("%o0")
+        items = [
+            Instr(Op.SET, O0, imm=0x7FFF_FFF0_0000),
+            Instr(Op.PREFETCH, rs1=O0, imm=0),
+            Instr(Op.SET, O0, imm=7),
+            Instr(Op.HALT),
+        ]
+        module = Module("m", [AsmFunction("main", items)], [], [], {},
+                        False, False, "")
+        program = link([module, runtime_module()])
+        process = Process(program, tiny_config())
+        assert process.run(max_instructions=100) == 7
+
+
+class TestFeedbackModule:
+    @pytest.fixture(scope="class")
+    def reduced(self):
+        from repro.analyze.reduce import reduce_experiment
+        from repro.collect.collector import CollectConfig, collect
+
+        program = build_executable(SRC)
+        cfg = CollectConfig(clock_profiling=False,
+                            counters=["+ecstall,59", "+ecrm,13"])
+        return reduce_experiment(collect(program, tiny_config(), cfg))
+
+    def test_hints_target_hot_member(self, reduced):
+        hints = make_prefetch_feedback(reduced, min_percent=1.0)
+        assert hints
+        assert hints[0].object_class == "structure:node"
+        assert hints[0].member in ("key", "next")
+
+    def test_hints_sorted_by_weight(self, reduced):
+        hints = make_prefetch_feedback(reduced, min_percent=0.0)
+        percents = [h.percent for h in hints]
+        assert percents == sorted(percents, reverse=True)
+
+    def test_min_percent_filters(self, reduced):
+        all_hints = make_prefetch_feedback(reduced, min_percent=0.0)
+        strict = make_prefetch_feedback(reduced, min_percent=40.0)
+        assert len(strict) <= len(all_hints)
+
+    def test_unknown_metric_rejected(self, reduced):
+        with pytest.raises(AnalysisError):
+            make_prefetch_feedback(reduced, metric="icm")
+
+    def test_save_load_roundtrip(self, reduced, tmp_path):
+        hints = make_prefetch_feedback(reduced, min_percent=1.0)
+        path = save_feedback(hints, tmp_path / "fb.json")
+        assert load_feedback(path) == hints
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            load_feedback(tmp_path / "nope.json")
+
+
+class TestXprefetch:
+    """Paper §2.1: -xhwcprof must not suppress -xprefetch optimizations."""
+
+    def test_xprefetch_inserts_blanket_prefetches(self):
+        module = compile_module(SRC, hwcprof=True, xprefetch=True)
+        count = sum(
+            1
+            for fn in module.functions
+            for i in fn.items
+            if isinstance(i, Instr) and i.op is Op.PREFETCH
+        )
+        assert count > 0
+
+    def test_flags_compose(self):
+        """With both flags: prefetches present AND memop info present AND
+        padding nops present — hwcprof suppresses nothing."""
+        module = compile_module(SRC, hwcprof=True, xprefetch=True)
+        items = [i for fn in module.functions for i in fn.items
+                 if isinstance(i, Instr)]
+        assert any(i.op is Op.PREFETCH for i in items)
+        assert any(i.memop is not None for i in items)
+        assert any(i.op is Op.NOP for i in items)
+
+    def test_xprefetch_preserves_semantics(self):
+        from repro.compiler.program import build_executable as _be
+        from repro.config import tiny_config
+        from repro.kernel.process import Process
+        from repro.compiler.program import link
+        from repro.compiler.runtime import runtime_module
+
+        plain = link([compile_module(SRC, name="p"), runtime_module()])
+        pf = link([compile_module(SRC, name="q", xprefetch=True), runtime_module()])
+        r1 = Process(plain, tiny_config(), input_longs=[1, 2, 3])
+        r2 = Process(pf, tiny_config(), input_longs=[1, 2, 3])
+        assert r1.run(max_instructions=20_000_000) == r2.run(
+            max_instructions=20_000_000
+        )

@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_executable, tiny_config
+from repro.kernel.process import Process
+
+
+def run_source(
+    source: str,
+    input_longs=(),
+    config=None,
+    max_instructions: int = 5_000_000,
+    hwcprof: bool = True,
+    heap_page_bytes=None,
+):
+    """Compile mini-C, run it, return the finished Process."""
+    program = build_executable(source, name="t", hwcprof=hwcprof)
+    process = Process(
+        program,
+        config or tiny_config(),
+        input_longs=input_longs,
+        heap_page_bytes=heap_page_bytes,
+    )
+    process.run(max_instructions=max_instructions)
+    assert process.finished, "program did not halt within the budget"
+    return process
+
+
+def run_main(source: str, input_longs=(), **kwargs) -> int:
+    """Compile+run, return main's exit code."""
+    return run_source(source, input_longs, **kwargs).machine.cpu.exit_code
+
+
+@pytest.fixture
+def tiny():
+    return tiny_config()
+
+
+@pytest.fixture
+def runner():
+    return run_source

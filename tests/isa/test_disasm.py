@@ -1,0 +1,79 @@
+"""Unit tests for the disassembler (Figure 4 text style)."""
+
+from repro.isa.disasm import disassemble
+from repro.isa.instructions import Instr, Op
+from repro.isa.registers import REG_G0, REG_RA, reg_number
+
+O3 = reg_number("%o3")
+O2 = reg_number("%o2")
+G2 = reg_number("%g2")
+G4 = reg_number("%g4")
+
+
+class TestMemory:
+    def test_paper_style_load(self):
+        """The paper's `ldx [%o3 + 56], %o2`."""
+        text = disassemble(Instr(Op.LDX, rd=O2, rs1=O3, imm=56))
+        assert text == "ldx   [%o3 + 56], %o2"
+
+    def test_store(self):
+        text = disassemble(Instr(Op.STX, rd=G2, rs1=O3, imm=88))
+        assert text == "stx   %g2, [%o3 + 88]"
+
+    def test_zero_offset_omitted(self):
+        assert disassemble(Instr(Op.LDX, rd=O2, rs1=O3, imm=0)) == "ldx   [%o3], %o2"
+
+    def test_negative_offset(self):
+        assert "[%o3 - 8]" in disassemble(Instr(Op.LDX, rd=O2, rs1=O3, imm=-8))
+
+    def test_reg_plus_reg(self):
+        text = disassemble(Instr(Op.LDX, rd=O2, rs1=O3, rs2=G4))
+        assert text == "ldx   [%o3 + %g4], %o2"
+
+    def test_byte_ops(self):
+        assert disassemble(Instr(Op.LDUB, rd=O2, rs1=O3, imm=1)).startswith("ldub")
+        assert disassemble(Instr(Op.STB, rd=O2, rs1=O3, imm=1)).startswith("stb")
+
+
+class TestAluAndBranch:
+    def test_add_imm(self):
+        assert disassemble(Instr(Op.ADD, rd=O2, rs1=O3, imm=8)) == "add   %o3, 8, %o2"
+
+    def test_add_reg(self):
+        text = disassemble(Instr(Op.ADD, rd=O2, rs1=O3, rs2=G4))
+        assert text == "add   %o3, %g4, %o2"
+
+    def test_cmp(self):
+        assert disassemble(Instr(Op.CMP, rs1=O2, imm=1)) == "cmp   %o2, 1"
+
+    def test_conditional_branch_with_hint(self):
+        text = disassemble(Instr(Op.BNE, target=0x100003110))
+        assert text == "bne,pn  %xcc, 0x100003110"
+
+    def test_unconditional_branch(self):
+        assert disassemble(Instr(Op.BA, target=0x100003218)).startswith("ba")
+
+    def test_symbolic_target_before_link(self):
+        assert "mylabel" in disassemble(Instr(Op.BE, target="mylabel"))
+
+    def test_call(self):
+        assert disassemble(Instr(Op.CALL, target=0x100002000)) == "call  0x100002000"
+
+    def test_retl(self):
+        assert disassemble(Instr(Op.JMPL, rd=REG_G0, rs1=REG_RA, imm=8)) == "retl"
+
+    def test_generic_jmpl(self):
+        text = disassemble(Instr(Op.JMPL, rd=O2, rs1=O3, imm=0))
+        assert text.startswith("jmpl")
+
+    def test_mov_set_nop_ta_halt(self):
+        assert disassemble(Instr(Op.MOV, rd=O2, rs1=O3)) == "mov   %o3, %o2"
+        assert disassemble(Instr(Op.SET, rd=O2, imm=255)) == "set   0xff, %o2"
+        assert disassemble(Instr(Op.NOP)) == "nop"
+        assert disassemble(Instr(Op.TA, imm=3)) == "ta    3"
+        assert disassemble(Instr(Op.HALT)) == "halt"
+
+    def test_every_opcode_disassembles(self):
+        for op in Op:
+            text = disassemble(Instr(op, rd=1, rs1=2, imm=4, target=0x1000))
+            assert isinstance(text, str) and text

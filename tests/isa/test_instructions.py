@@ -1,0 +1,123 @@
+"""Unit tests for instruction classification and register metadata."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.instructions import (
+    Instr,
+    MemopKind,
+    Op,
+    is_branch,
+    is_control_transfer,
+    is_load,
+    is_mem,
+    is_store,
+    memop_kind,
+    writes_register,
+)
+from repro.isa.registers import (
+    ARG_REGS,
+    LOCAL_REGS,
+    NUM_REGS,
+    REG_G0,
+    REG_RA,
+    REG_SP,
+    SCRATCH_REGS,
+    reg_name,
+    reg_number,
+)
+
+
+class TestRegisters:
+    def test_32_registers(self):
+        assert NUM_REGS == 32
+
+    def test_g0_is_zero_register(self):
+        assert reg_name(REG_G0) == "%g0"
+
+    def test_name_roundtrip(self):
+        for num in range(NUM_REGS):
+            assert reg_number(reg_name(num)) == num
+
+    def test_aliases(self):
+        assert reg_number("%sp") == reg_number("%o6") == REG_SP
+        assert reg_number("%fp") == reg_number("%i6")
+
+    def test_return_address_is_o7(self):
+        assert reg_name(REG_RA) == "%o7"
+
+    def test_pools_are_disjoint(self):
+        assert not set(ARG_REGS) & set(SCRATCH_REGS)
+        assert not set(ARG_REGS) & set(LOCAL_REGS)
+        assert not set(SCRATCH_REGS) & set(LOCAL_REGS)
+        assert REG_G0 not in ARG_REGS + SCRATCH_REGS + LOCAL_REGS
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(IsaError):
+            reg_number("%x5")
+        with pytest.raises(IsaError):
+            reg_name(32)
+
+
+class TestClassification:
+    def test_loads(self):
+        assert is_load(Instr(Op.LDX)) and is_load(Instr(Op.LDUB))
+        assert not is_load(Instr(Op.STX))
+
+    def test_stores(self):
+        assert is_store(Instr(Op.STX)) and is_store(Instr(Op.STB))
+        assert not is_store(Instr(Op.LDX))
+
+    def test_mem(self):
+        for op in (Op.LDX, Op.LDUB, Op.STX, Op.STB):
+            assert is_mem(Instr(op))
+        for op in (Op.ADD, Op.NOP, Op.BA, Op.CALL):
+            assert not is_mem(Instr(op))
+
+    def test_memop_kind(self):
+        assert memop_kind(Instr(Op.LDX)) == MemopKind.LOAD8
+        assert memop_kind(Instr(Op.STB)) == MemopKind.STORE1
+        with pytest.raises(IsaError):
+            memop_kind(Instr(Op.ADD))
+
+    def test_branches(self):
+        for op in (Op.BA, Op.BE, Op.BNE, Op.BG, Op.BGE, Op.BL, Op.BLE):
+            assert is_branch(Instr(op))
+            assert is_control_transfer(Instr(op))
+        assert not is_branch(Instr(Op.CALL))
+        assert is_control_transfer(Instr(Op.CALL))
+        assert is_control_transfer(Instr(Op.JMPL))
+
+
+class TestWritesRegister:
+    def test_load_writes_rd(self):
+        assert writes_register(Instr(Op.LDX, rd=5)) == 5
+
+    def test_store_writes_nothing(self):
+        assert writes_register(Instr(Op.STX, rd=5)) is None
+
+    def test_alu_writes_rd(self):
+        assert writes_register(Instr(Op.ADD, rd=7)) == 7
+        assert writes_register(Instr(Op.SET, rd=9)) == 9
+
+    def test_write_to_g0_is_no_write(self):
+        assert writes_register(Instr(Op.ADD, rd=REG_G0)) is None
+
+    def test_call_writes_ra(self):
+        assert writes_register(Instr(Op.CALL)) == REG_RA
+
+    def test_branch_writes_nothing(self):
+        assert writes_register(Instr(Op.BNE)) is None
+
+    def test_cmp_writes_nothing(self):
+        assert writes_register(Instr(Op.CMP, rs1=3, imm=0)) is None
+
+
+class TestCopy:
+    def test_copy_preserves_fields(self):
+        instr = Instr(Op.LDX, rd=2, rs1=3, imm=56, line=84, memop="m")
+        instr.addr = 0x1000
+        copy = instr.copy()
+        assert copy is not instr
+        assert (copy.op, copy.rd, copy.rs1, copy.imm) == (Op.LDX, 2, 3, 56)
+        assert copy.addr == 0x1000 and copy.line == 84 and copy.memop == "m"

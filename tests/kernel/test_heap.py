@@ -1,0 +1,115 @@
+"""Unit tests for the heap allocator."""
+
+import pytest
+
+from repro.errors import KernelError, OutOfMemory
+from repro.kernel.heap import HEADER_BYTES, Heap
+
+BASE = 0x1000_0000
+
+
+@pytest.fixture
+def heap():
+    return Heap(BASE, 64 * 1024)
+
+
+class TestAlloc:
+    def test_returns_aligned_addresses(self, heap):
+        for _ in range(10):
+            assert heap.alloc(24) % 8 == 0
+
+    def test_allocations_do_not_overlap(self, heap):
+        blocks = [(heap.alloc(56), 56) for _ in range(50)]
+        blocks.sort()
+        for (a, size), (b, _) in zip(blocks, blocks[1:]):
+            assert a + size <= b
+
+    def test_node_stride_is_size_plus_header(self, heap):
+        """Consecutive 120-byte mallocs sit 128 bytes apart — the layout
+        fact behind the paper's E$-line straddle analysis."""
+        a = heap.alloc(120)
+        b = heap.alloc(120)
+        assert b - a == 120 + HEADER_BYTES
+
+    def test_alignment_honored(self, heap):
+        addr = heap.alloc(100, align=128)
+        assert addr % 128 == 0
+
+    def test_zero_or_negative_rejected(self, heap):
+        with pytest.raises(KernelError):
+            heap.alloc(0)
+        with pytest.raises(KernelError):
+            heap.alloc(-8)
+
+    def test_non_power_of_two_alignment_rejected(self, heap):
+        with pytest.raises(KernelError):
+            heap.alloc(8, align=24)
+
+    def test_exhaustion_raises(self):
+        heap = Heap(BASE, 1024)
+        with pytest.raises(OutOfMemory):
+            for _ in range(100):
+                heap.alloc(64)
+
+    def test_stats_track_usage(self, heap):
+        heap.alloc(100)
+        heap.alloc(200)
+        assert heap.total_allocated == 300
+        assert heap.peak_bytes == heap.current_bytes > 300
+
+
+class TestFree:
+    def test_free_null_is_noop(self, heap):
+        heap.free(0)
+
+    def test_free_returns_space(self):
+        heap = Heap(BASE, 1024)
+        addrs = []
+        with pytest.raises(OutOfMemory):
+            while True:
+                addrs.append(heap.alloc(56))
+        for addr in addrs:
+            heap.free(addr)
+        assert heap.free_bytes() == 1024
+        assert heap.alloc(512) is not None
+
+    def test_double_free_rejected(self, heap):
+        addr = heap.alloc(64)
+        heap.free(addr)
+        with pytest.raises(KernelError):
+            heap.free(addr)
+
+    def test_free_unallocated_rejected(self, heap):
+        with pytest.raises(KernelError):
+            heap.free(BASE + 512)
+
+    def test_coalescing_enables_large_alloc(self):
+        heap = Heap(BASE, 4096)
+        a = heap.alloc(1000)
+        b = heap.alloc(1000)
+        c = heap.alloc(1000)
+        heap.free(b)
+        heap.free(a)  # coalesces with b's block
+        heap.free(c)
+        assert heap.free_bytes() == 4096
+        big = heap.alloc(3500)
+        assert big
+
+    def test_free_list_stays_sorted_and_coalesced(self, heap):
+        import random
+
+        rng = random.Random(42)
+        live = [heap.alloc(rng.randrange(8, 256)) for _ in range(100)]
+        rng.shuffle(live)
+        for addr in live:
+            heap.free(addr)
+        starts = [addr for addr, _ in heap.free_list]
+        assert starts == sorted(starts)
+        for (a, sa), (b, _sb) in zip(heap.free_list, heap.free_list[1:]):
+            assert a + sa < b, "adjacent free blocks must coalesce"
+
+
+class TestConstruction:
+    def test_misaligned_base_rejected(self):
+        with pytest.raises(KernelError):
+            Heap(BASE + 4, 1024)

@@ -1,0 +1,106 @@
+"""Unit tests for the type system."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.lang.ctypes_ import (
+    ArrayType,
+    CHAR,
+    Field,
+    FuncType,
+    LONG,
+    PointerType,
+    StructType,
+    VOID,
+    assignable,
+    describe_for_profile,
+    same_type,
+)
+
+
+class TestScalars:
+    def test_sizes(self):
+        assert LONG.size() == 8 and LONG.align() == 8
+        assert CHAR.size() == 1 and CHAR.align() == 1
+        assert PointerType(LONG).size() == 8
+
+    def test_flags(self):
+        assert LONG.is_integer and LONG.is_scalar and not LONG.is_pointer
+        assert CHAR.is_integer
+        assert PointerType(LONG).is_pointer and PointerType(LONG).is_scalar
+        assert not PointerType(LONG).is_integer
+
+    def test_void_has_no_size(self):
+        with pytest.raises(TypeCheckError):
+            VOID.size()
+
+
+class TestArrays:
+    def test_size_is_product(self):
+        assert ArrayType(LONG, 10).size() == 80
+        assert ArrayType(CHAR, 10).size() == 10
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(TypeCheckError):
+            ArrayType(LONG, 0)
+
+
+class TestStructs:
+    def test_incomplete_struct_raises(self):
+        s = StructType("s")
+        with pytest.raises(TypeCheckError):
+            s.size()
+
+    def test_redefinition_rejected(self):
+        s = StructType("s")
+        s.set_fields([Field("x", LONG)])
+        with pytest.raises(TypeCheckError):
+            s.set_fields([Field("y", LONG)])
+
+    def test_missing_field(self):
+        s = StructType("s")
+        s.set_fields([Field("x", LONG)])
+        with pytest.raises(TypeCheckError):
+            s.field("y")
+
+    def test_empty_struct(self):
+        s = StructType("s")
+        s.set_fields([])
+        assert s.size() == 0
+
+
+class TestCompatibility:
+    def test_same_type_structural_pointers(self):
+        a = StructType("n")
+        assert same_type(PointerType(a), PointerType(a))
+        b = StructType("n")  # same name, nominal equality
+        assert same_type(PointerType(a), PointerType(b))
+        c = StructType("m")
+        assert not same_type(PointerType(a), PointerType(c))
+
+    def test_integers_assignable(self):
+        assert assignable(LONG, CHAR)
+        assert assignable(CHAR, LONG)
+
+    def test_pointer_rules(self):
+        node = StructType("node")
+        assert assignable(PointerType(node), PointerType(node))
+        assert not assignable(PointerType(node), LONG)
+        assert assignable(PointerType(CHAR), PointerType(node))  # char* escape
+        assert assignable(PointerType(node), PointerType(CHAR))
+
+
+class TestProfileDescriptions:
+    def test_formats(self):
+        node = StructType("node")
+        assert describe_for_profile(node) == "structure:node"
+        assert describe_for_profile(PointerType(node)) == "pointer+structure:node"
+        assert describe_for_profile(PointerType(PointerType(LONG))) == (
+            "pointer+pointer+long"
+        )
+        assert describe_for_profile(CHAR) == "char"
+
+    def test_functype_str(self):
+        f = FuncType(LONG, [LONG, PointerType(CHAR)])
+        assert str(f) == "long(long, char*)"
+        assert str(FuncType(VOID, [])) == "void(void)"

@@ -1,0 +1,113 @@
+"""Unit tests for the mini-C lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import EOF, IDENT, INT, KEYWORD, PUNCT, STRING
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)][:-1]
+
+
+class TestBasics:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == EOF
+
+    def test_identifier(self):
+        tokens = tokenize("foo_bar2")
+        assert tokens[0].kind == IDENT and tokens[0].value == "foo_bar2"
+
+    def test_keywords_recognized(self):
+        assert kinds("long while struct") == [KEYWORD] * 3
+
+    def test_decimal_integer(self):
+        assert values("42") == [42]
+
+    def test_hex_integer(self):
+        assert values("0xFF 0x10") == [255, 16]
+
+    def test_char_literal(self):
+        assert values("'a' '\\n' '\\0'") == [97, 10, 0]
+
+    def test_string_literal(self):
+        tokens = tokenize('"hi\\n"')
+        assert tokens[0].kind == STRING and tokens[0].value == "hi\n"
+
+    def test_punctuators_greedy(self):
+        assert values("->++>=>><<=") == ["->", "++", ">=", ">>", "<<="]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+
+class TestComments:
+    def test_line_comment_stripped(self):
+        assert values("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment_stripped(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_block_comment_tracks_lines(self):
+        tokens = tokenize("/* one\ntwo */ x")
+        assert tokens[0].line == 2
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+
+class TestDefines:
+    def test_define_substitutes_integer(self):
+        assert values("#define N 7\nN + N") == [7, "+", 7]
+
+    def test_define_hex_value(self):
+        assert values("#define M 0x10\nM") == [16]
+
+    def test_define_referencing_earlier_define(self):
+        assert values("#define A 3\n#define B A\nB") == [3]
+
+    def test_null_predefined(self):
+        assert values("NULL") == [0]
+
+    def test_external_defines_dict(self):
+        assert tokenize("K", defines={"K": 9})[0].value == 9
+
+    def test_bad_directive_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("#include <stdio.h>")
+
+    def test_non_integer_define_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("#define X hello")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_bad_integer_suffix(self):
+        with pytest.raises(LexError):
+            tokenize("123abc")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"open')
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            tokenize('"a\nb"')
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as info:
+            tokenize("x\n  $")
+        assert info.value.line == 2

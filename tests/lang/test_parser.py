@@ -1,0 +1,223 @@
+"""Unit tests for the mini-C parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse
+
+
+def parse_expr(text):
+    unit = parse(f"long f(void) {{ return {text}; }}")
+    return unit.functions[0].body.stmts[0].value
+
+
+def parse_stmts(body):
+    unit = parse(f"void f(void) {{ {body} }}")
+    return unit.functions[0].body.stmts
+
+
+class TestTopLevel:
+    def test_struct_declaration(self):
+        unit = parse("struct p { long x; long y; };")
+        assert unit.structs[0].name == "p"
+        assert [f.name for f in unit.structs[0].fields] == ["x", "y"]
+
+    def test_struct_multiple_declarators_per_line(self):
+        unit = parse("struct p { long x, y; struct p *next; };")
+        assert [f.name for f in unit.structs[0].fields] == ["x", "y", "next"]
+
+    def test_global_scalar(self):
+        unit = parse("long g;")
+        assert unit.globals[0].name == "g"
+
+    def test_global_with_initializer(self):
+        unit = parse("long g = 42;")
+        assert isinstance(unit.globals[0].init, A.IntLit)
+
+    def test_global_array(self):
+        unit = parse("long table[10];")
+        assert unit.globals[0].type_ref.array_size == 10
+
+    def test_global_pointer(self):
+        unit = parse("struct n { long x; }; struct n *head;")
+        assert unit.globals[0].type_ref.ptr_depth == 1
+
+    def test_function_with_params(self):
+        unit = parse("long add(long a, long b) { return a + b; }")
+        fn = unit.functions[0]
+        assert fn.name == "add"
+        assert [p.name for p in fn.params] == ["a", "b"]
+
+    def test_prototype(self):
+        unit = parse("long f(long a);")
+        assert unit.functions[0].body is None
+
+    def test_void_param_list(self):
+        unit = parse("void f(void) { }")
+        assert unit.functions[0].params == []
+
+    def test_function_end_line_recorded(self):
+        unit = parse("void f(void)\n{\n}\n")
+        assert unit.functions[0].end_line >= unit.functions[0].line
+
+
+class TestStatements:
+    def test_if_else(self):
+        (stmt,) = parse_stmts("if (1) ; else ;")
+        assert isinstance(stmt, A.If) and stmt.other is not None
+
+    def test_dangling_else_binds_inner(self):
+        (stmt,) = parse_stmts("if (1) if (2) ; else ;")
+        assert stmt.other is None
+        assert isinstance(stmt.then, A.If) and stmt.then.other is not None
+
+    def test_while(self):
+        (stmt,) = parse_stmts("while (1) ;")
+        assert isinstance(stmt, A.While)
+
+    def test_for_full(self):
+        (stmt,) = parse_stmts("for (long i = 0; i < 10; i++) ;")
+        assert isinstance(stmt.init, A.DeclStmt)
+        assert stmt.cond is not None and stmt.step is not None
+
+    def test_for_empty_clauses(self):
+        (stmt,) = parse_stmts("for (;;) break;")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_local_decl_with_init(self):
+        (stmt,) = parse_stmts("long x = 5;")
+        assert isinstance(stmt, A.DeclStmt) and isinstance(stmt.init, A.IntLit)
+
+    def test_local_array(self):
+        (stmt,) = parse_stmts("long buf[8];")
+        assert stmt.type_ref.array_size == 8
+
+    def test_return_void(self):
+        (stmt,) = parse_stmts("return;")
+        assert stmt.value is None
+
+    def test_break_continue(self):
+        stmts = parse_stmts("while (1) { break; continue; }")
+        inner = stmts[0].body.stmts
+        assert isinstance(inner[0], A.Break) and isinstance(inner[1], A.Continue)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        e = parse_expr("1 << 2 < 3")
+        assert e.op == "<" and e.left.op == "<<"
+
+    def test_left_associativity(self):
+        e = parse_expr("10 - 4 - 3")
+        assert e.op == "-" and e.left.op == "-"
+
+    def test_parentheses(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_logical_chain(self):
+        e = parse_expr("1 && 2 || 3")
+        assert e.op == "||" and e.left.op == "&&"
+
+    def test_assignment_right_associative(self):
+        unit = parse("void f(void) { long a; long b; a = b = 1; }")
+        stmt = unit.functions[0].body.stmts[2]
+        assert isinstance(stmt.expr, A.Assign)
+        assert isinstance(stmt.expr.value, A.Assign)
+
+    def test_compound_assignment_normalized(self):
+        unit = parse("void f(void) { long a; a += 2; }")
+        assign = unit.functions[0].body.stmts[1].expr
+        assert assign.op == "+"
+
+    def test_arrow_chain(self):
+        unit = parse(
+            "struct n { struct n *next; long v; };"
+            "long f(struct n *p) { return p->next->v; }"
+        )
+        e = unit.functions[0].body.stmts[0].value
+        assert isinstance(e, A.Member) and isinstance(e.base, A.Member)
+
+    def test_index_and_member(self):
+        unit = parse(
+            "struct n { long v; };"
+            "long f(struct n *p) { return p[3].v; }"
+        )
+        e = unit.functions[0].body.stmts[0].value
+        assert isinstance(e, A.Member) and not e.arrow
+        assert isinstance(e.base, A.Index)
+
+    def test_cast(self):
+        unit = parse("struct n { long v; }; void f(long x) { (struct n *) x; }")
+        e = unit.functions[0].body.stmts[0].expr
+        assert isinstance(e, A.Cast) and e.type_ref.ptr_depth == 1
+
+    def test_cast_vs_parenthesized_expr(self):
+        e = parse_expr("(1) + 2")
+        assert isinstance(e, A.Binary) and e.op == "+"
+
+    def test_sizeof_type(self):
+        unit = parse("struct n { long v; }; long f(void) { return sizeof(struct n); }")
+        e = unit.functions[0].body.stmts[0].value
+        assert isinstance(e, A.SizeofType)
+
+    def test_prefix_and_postfix_incdec(self):
+        e = parse_expr("++x")
+        assert isinstance(e, A.IncDec) and e.is_prefix
+        e = parse_expr("x--")
+        assert isinstance(e, A.IncDec) and not e.is_prefix and e.op == "--"
+
+    def test_unary_operators(self):
+        for op in ("-", "!", "~", "*", "&"):
+            e = parse_expr(f"{op}x")
+            assert isinstance(e, A.Unary) and e.op == op
+
+    def test_conditional(self):
+        e = parse_expr("a ? b : c")
+        assert isinstance(e, A.Conditional)
+
+    def test_call_with_args(self):
+        e = parse_expr("f(1, 2, 3)")
+        assert isinstance(e, A.Call) and len(e.args) == 3
+
+    def test_call_through_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse("void f(long *x) { x[0](); }")
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("long f(void) { return 1 }")
+
+    def test_unbalanced_brace(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { if (1) { }")
+
+    def test_bad_array_size(self):
+        with pytest.raises(ParseError):
+            parse("long a[x];")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as info:
+            parse("void f(void) {\n  return *;\n}")
+        assert info.value.line == 2
+
+
+class TestDoWhileParsing:
+    def test_do_while(self):
+        (stmt,) = parse_stmts("do ; while (1);")
+        assert isinstance(stmt, A.DoWhile)
+
+    def test_missing_while_rejected(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { do ; until (1); }")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { do ; while (1) }")

@@ -1,0 +1,245 @@
+"""Unit tests for semantic analysis: struct layout, typing, diagnostics."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.lang.parser import parse
+from repro.lang.sema import Analyzer
+from repro.lang.ctypes_ import (
+    ArrayType,
+    LONG,
+    PointerType,
+    StructType,
+    describe_for_profile,
+)
+
+
+def analyze(source):
+    analyzer = Analyzer(parse(source))
+    analyzer.run()
+    return analyzer
+
+
+PAPER_NODE = """
+struct arc { struct node *tail; struct node *head; struct arc *nextout;
+             struct arc *nextin; long cost; long flow; long ident; long cap; };
+struct node {
+    long number; char *ident; struct node *pred; struct node *child;
+    struct node *sibling; struct node *sibling_prev; long depth;
+    long orientation; struct arc *basic_arc; struct arc *firstout;
+    struct arc *firstin; long potential; long flow; long mark; long time;
+};
+"""
+
+
+class TestStructLayout:
+    def test_paper_node_layout(self):
+        """The offsets of the paper's Figure 7 must come out exactly."""
+        analyzer = analyze(PAPER_NODE)
+        node = analyzer.structs["node"]
+        assert node.size() == 120
+        expected = {
+            "number": 0, "ident": 8, "pred": 16, "child": 24, "sibling": 32,
+            "sibling_prev": 40, "depth": 48, "orientation": 56,
+            "basic_arc": 64, "firstout": 72, "firstin": 80, "potential": 88,
+            "flow": 96, "mark": 104, "time": 112,
+        }
+        assert {f.name: f.offset for f in node.fields} == expected
+
+    def test_arc_cost_at_offset_32(self):
+        """Figure 4/5 show arc.cost loaded at [reg + 32]."""
+        analyzer = analyze(PAPER_NODE)
+        assert analyzer.structs["arc"].field("cost").offset == 32
+
+    def test_char_packing_and_tail_padding(self):
+        analyzer = analyze("struct s { char c; long v; char d; };")
+        s = analyzer.structs["s"]
+        assert s.field("v").offset == 8
+        assert s.field("d").offset == 16
+        assert s.size() == 24  # padded to 8-byte alignment
+
+    def test_chars_pack_densely(self):
+        analyzer = analyze("struct s { char a; char b; char c; };")
+        s = analyzer.structs["s"]
+        assert [f.offset for f in s.fields] == [0, 1, 2]
+        assert s.size() == 3
+
+    def test_forward_reference_via_pointer(self):
+        analyzer = analyze("struct a { struct b *link; }; struct b { long v; };")
+        assert analyzer.structs["a"].complete
+
+    def test_incomplete_member_rejected(self):
+        with pytest.raises(TypeCheckError):
+            analyze("struct a { struct b inner; };")
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(TypeCheckError):
+            analyze("struct s { long x; long x; };")
+
+    def test_profile_type_descriptions(self):
+        analyzer = analyze(PAPER_NODE)
+        node = analyzer.structs["node"]
+        assert describe_for_profile(node) == "structure:node"
+        assert describe_for_profile(node.field("child").ctype) == (
+            "pointer+structure:node"
+        )
+        assert describe_for_profile(LONG) == "long"
+
+
+class TestTyping:
+    def test_pointer_arithmetic_result_type(self):
+        analyzer = analyze(
+            PAPER_NODE + "struct node *f(struct node *p) { return p + 3; }"
+        )
+        fn = analyzer.unit.functions[0]
+        assert isinstance(fn.body.stmts[0].value.ctype, PointerType)
+
+    def test_pointer_difference_is_long(self):
+        analyzer = analyze(
+            PAPER_NODE + "long f(struct node *p, struct node *q) { return p - q; }"
+        )
+        assert analyzer.unit.functions[0].body.stmts[0].value.ctype is LONG
+
+    def test_member_annotations(self):
+        analyzer = analyze(
+            PAPER_NODE + "long f(struct node *p) { return p->potential; }"
+        )
+        member = analyzer.unit.functions[0].body.stmts[0].value
+        assert member.struct_type.name == "node"
+        assert member.field.offset == 88
+
+    def test_array_decays_in_assignment(self):
+        analyze("long tab[4]; long *f(void) { return tab; }")
+
+    def test_zero_assignable_to_pointer(self):
+        analyze(PAPER_NODE + "void f(struct node *p) { p = 0; }")
+
+    def test_nonzero_int_to_pointer_rejected(self):
+        with pytest.raises(TypeCheckError):
+            analyze(PAPER_NODE + "void f(struct node *p) { p = 5; }")
+
+    def test_cast_enables_int_to_pointer(self):
+        analyze(PAPER_NODE + "void f(long x) { struct node *p; p = (struct node *) x; }")
+
+    def test_incompatible_pointer_assignment_rejected(self):
+        with pytest.raises(TypeCheckError):
+            analyze(PAPER_NODE + "void f(struct node *p, struct arc *a) { p = a; }")
+
+    def test_char_pointer_is_escape_hatch(self):
+        analyze(PAPER_NODE + "char *f(struct node *p) { return (char *) p; }")
+
+    def test_sizeof_constant_folds_in_globals(self):
+        analyzer = analyze(PAPER_NODE + "long size = sizeof(struct node);")
+        assert analyzer.unit.globals[0].init.value == 120
+
+    def test_addr_taken_local_flagged(self):
+        analyzer = analyze("void g(long *p); void f(void) { long x; g(&x); }")
+        fn = analyzer.unit.functions[1]
+        sym = next(s for s in fn.all_locals if s.name == "x")
+        assert sym.addr_taken
+
+    def test_arrays_always_addressed(self):
+        analyzer = analyze("void f(void) { long buf[4]; buf[0] = 1; }")
+        sym = analyzer.unit.functions[0].all_locals[0]
+        assert sym.addr_taken and isinstance(sym.ctype, ArrayType)
+
+
+class TestDiagnostics:
+    def test_undeclared_identifier(self):
+        with pytest.raises(TypeCheckError):
+            analyze("long f(void) { return nope; }")
+
+    def test_undeclared_function(self):
+        with pytest.raises(TypeCheckError):
+            analyze("void f(void) { g(); }")
+
+    def test_wrong_arg_count(self):
+        with pytest.raises(TypeCheckError):
+            analyze("long g(long a) { return a; } void f(void) { g(1, 2); }")
+
+    def test_too_many_args(self):
+        params = ", ".join(f"long a{i}" for i in range(7))
+        args = ", ".join("1" for _ in range(7))
+        with pytest.raises(TypeCheckError):
+            analyze(f"long g({params}) {{ return 0; }} void f(void) {{ g({args}); }}")
+
+    def test_redefinition_of_global(self):
+        with pytest.raises(TypeCheckError):
+            analyze("long x; long x;")
+
+    def test_redefinition_of_function(self):
+        with pytest.raises(TypeCheckError):
+            analyze("void f(void) { } void f(void) { }")
+
+    def test_redefinition_of_local_in_scope(self):
+        with pytest.raises(TypeCheckError):
+            analyze("void f(void) { long x; long x; }")
+
+    def test_shadowing_in_inner_block_allowed(self):
+        analyze("void f(void) { long x; { long x; x = 1; } }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(TypeCheckError):
+            analyze("void f(void) { break; }")
+
+    def test_void_function_returning_value(self):
+        with pytest.raises(TypeCheckError):
+            analyze("void f(void) { return 1; }")
+
+    def test_value_function_returning_nothing(self):
+        with pytest.raises(TypeCheckError):
+            analyze("long f(void) { return; }")
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(TypeCheckError):
+            analyze("void f(long x) { *x; }")
+
+    def test_arrow_on_non_struct_pointer(self):
+        with pytest.raises(TypeCheckError):
+            analyze("void f(long *p) { p->x; }")
+
+    def test_unknown_member(self):
+        with pytest.raises(TypeCheckError):
+            analyze(PAPER_NODE + "long f(struct node *p) { return p->nope; }")
+
+    def test_assign_to_rvalue(self):
+        with pytest.raises(TypeCheckError):
+            analyze("void f(void) { 1 = 2; }")
+
+    def test_struct_local_rejected(self):
+        with pytest.raises(TypeCheckError):
+            analyze(PAPER_NODE + "void f(void) { struct node n; }")
+
+    def test_division_by_zero_constant(self):
+        with pytest.raises(TypeCheckError):
+            analyze("long x = 1 / 0;")
+
+    def test_global_initializer_must_be_constant(self):
+        with pytest.raises(TypeCheckError):
+            analyze("long g(void) { return 1; } long x = g();")
+
+    def test_runtime_prototypes_available(self):
+        analyze("void f(void) { print_long(1); }")
+        analyze("char *f2(void) { return malloc(8); }")
+
+
+class TestConstantFolding:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("(1 << 10) - 1", 1023),
+            ("-7 / 2", -3),
+            ("-7 % 2", -1),
+            ("1 == 1", 1),
+            ("3 > 4", 0),
+            ("1 && 0", 0),
+            ("0 || 2", 1),
+            ("~0", -1),
+            ("!5", 0),
+            ("0xFF & 0x0F", 15),
+        ],
+    )
+    def test_fold(self, text, expected):
+        analyzer = analyze(f"long x = {text};")
+        assert analyzer.unit.globals[0].init.value == expected

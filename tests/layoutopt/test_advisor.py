@@ -1,0 +1,109 @@
+"""Tests for the layout advisor (§3.3 automation)."""
+
+import pytest
+
+from repro import build_executable, tiny_config
+from repro.analyze.reduce import reduce_experiments
+from repro.collect.collector import CollectConfig, collect
+from repro.errors import AnalysisError
+from repro.layoutopt.advisor import LayoutAdvisor, straddle_fraction
+
+SRC = """
+struct thing {
+    long cold1; long cold2; long hotkey; long cold3;
+    long cold4; long cold5; long cold6; long hotval;
+    long cold7; long cold8; long cold9; long cold10;
+    long cold11; long cold12; long cold13;
+};
+long main(long *input, long n) {
+    struct thing *arr;
+    long i; long j; long s;
+    arr = (struct thing *) malloc(1024 * sizeof(struct thing));
+    s = 0;
+    for (j = 0; j < 4; j++)
+        for (i = 0; i < 1024; i++)
+            s = s + arr[i].hotkey + arr[i].hotval;
+    return s & 255;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def reduced():
+    program = build_executable(SRC)
+    exp1 = collect(
+        program, tiny_config(),
+        CollectConfig(clock_profiling=True, clock_interval=211,
+                      counters=["+ecstall,59", "+ecrm,13"]),
+    )
+    exp2 = collect(
+        program, tiny_config(),
+        CollectConfig(clock_profiling=False, counters=["+ecref,31", "+dtlbm,7"]),
+    )
+    return reduce_experiments([exp1, exp2])
+
+
+class TestStructAdvice:
+    def test_hot_members_ranked_first(self, reduced):
+        advisor = LayoutAdvisor(reduced)
+        advice = advisor.advise_struct("structure:thing")
+        top_two = set(advice.proposed_order[:2])
+        assert top_two == {"hotkey", "hotval"}
+
+    def test_hot_line_packs_hot_members(self, reduced):
+        advisor = LayoutAdvisor(reduced)
+        advice = advisor.advise_struct("structure:thing")
+        assert "hotkey" in advice.hot_line_members
+        assert "hotval" in advice.hot_line_members
+
+    def test_padding_proposal_divides_line(self, reduced):
+        advisor = LayoutAdvisor(reduced)
+        advice = advisor.advise_struct("structure:thing")
+        assert advice.current_size == 120
+        assert advice.proposed_size == 128
+        assert 512 % advice.proposed_size == 0
+        assert advice.straddle_fraction_proposed == 0.0
+        assert advice.straddle_fraction_current > 0.2
+
+    def test_render_struct_emits_c(self, reduced):
+        advisor = LayoutAdvisor(reduced)
+        advice = advisor.advise_struct("structure:thing")
+        text = advice.render_struct()
+        assert text.startswith("struct thing {")
+        assert "hotkey" in text.splitlines()[1] or "hotval" in text.splitlines()[1]
+        assert "/* 128 bytes */" in text
+
+    def test_unknown_struct_rejected(self, reduced):
+        with pytest.raises(AnalysisError):
+            LayoutAdvisor(reduced).advise_struct("structure:missing")
+
+    def test_report_mentions_advice(self, reduced):
+        advisor = LayoutAdvisor(reduced)
+        text = advisor.report(["structure:thing"])
+        assert "structure:thing" in text
+        assert "pad 120 -> 128" in text
+
+
+class TestPageAdvice:
+    def test_advice_triggers_on_high_dtlb_cost(self, reduced):
+        advisor = LayoutAdvisor(reduced)
+        advice = advisor.advise_page_size(threshold=0.0001)
+        assert advice is not None
+        assert advice.recommended_page_bytes > advice.current_page_bytes
+        assert "xpagesize_heap" in advice.message
+
+    def test_no_advice_below_threshold(self, reduced):
+        advisor = LayoutAdvisor(reduced)
+        assert advisor.advise_page_size(threshold=0.99) is None
+
+
+class TestStraddleFraction:
+    def test_aligned_never_straddles(self):
+        assert straddle_fraction(64, 64, 512) == 0.0
+
+    def test_element_bigger_than_line(self):
+        assert straddle_fraction(1024, 1024, 512) == 1.0
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(AnalysisError):
+            straddle_fraction(0, 8, 512)

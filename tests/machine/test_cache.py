@@ -1,0 +1,114 @@
+"""Unit tests for the set-associative LRU cache model."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.errors import ReproError
+from repro.machine.cache import Cache
+
+
+def make_cache(size=1024, line=32, assoc=2, hit=1, miss=10):
+    return Cache(CacheConfig("T$", size, line, assoc, hit, miss))
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        cache = make_cache(size=1024, line=32, assoc=2)
+        assert cache.config.num_sets == 16
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ReproError):
+            CacheConfig("T$", 1000, 32, 2, 1, 10)
+
+    def test_size_not_divisible_rejected(self):
+        with pytest.raises(ReproError):
+            CacheConfig("T$", 1024, 32, 3, 1, 10)
+
+
+class TestHitMiss:
+    def test_first_access_misses(self):
+        cache = make_cache()
+        assert cache.access(0x1000, False) is False
+
+    def test_second_access_hits(self):
+        cache = make_cache()
+        cache.access(0x1000, False)
+        assert cache.access(0x1000, False) is True
+
+    def test_same_line_different_offset_hits(self):
+        cache = make_cache(line=32)
+        cache.access(0x1000, False)
+        assert cache.access(0x101F, False) is True
+
+    def test_adjacent_line_misses(self):
+        cache = make_cache(line=32)
+        cache.access(0x1000, False)
+        assert cache.access(0x1020, False) is False
+
+    def test_counters_split_reads_writes(self):
+        cache = make_cache()
+        cache.access(0x0, False)
+        cache.access(0x0, True)
+        cache.access(0x40, True)
+        assert cache.read_refs == 1
+        assert cache.write_refs == 2
+        assert cache.read_misses == 1
+        assert cache.write_misses == 1
+
+    def test_miss_rate(self):
+        cache = make_cache()
+        cache.access(0, False)
+        cache.access(0, False)
+        assert cache.miss_rate() == pytest.approx(0.5)
+
+    def test_contains_does_not_perturb(self):
+        cache = make_cache()
+        refs_before = cache.refs
+        assert cache.contains(0x1234) is False
+        cache.access(0x1234, False)
+        assert cache.contains(0x1234) is True
+        assert cache.refs == refs_before + 1
+
+
+class TestLRU:
+    def test_eviction_order_is_lru(self):
+        # 2-way: fill a set with A, B; touch A; insert C -> B evicted
+        cache = make_cache(size=64, line=32, assoc=2)  # 1 set
+        A, B, C = 0x0, 0x40, 0x80
+        cache.access(A, False)
+        cache.access(B, False)
+        cache.access(A, False)          # A becomes MRU
+        cache.access(C, False)          # evicts B
+        assert cache.contains(A)
+        assert cache.contains(C)
+        assert not cache.contains(B)
+
+    def test_associativity_limit(self):
+        cache = make_cache(size=64, line=32, assoc=2)
+        for i in range(3):
+            cache.access(i * 0x40, False)
+        assert sum(len(s) for s in cache.sets) == 2
+
+    def test_set_indexing_avoids_conflicts(self):
+        # lines mapping to different sets never evict each other
+        cache = make_cache(size=1024, line=32, assoc=2)  # 16 sets
+        for i in range(16):
+            cache.access(i * 32, False)
+        for i in range(16):
+            assert cache.contains(i * 32)
+
+    def test_direct_mapped_conflict(self):
+        cache = make_cache(size=64, line=32, assoc=1)  # 2 sets
+        cache.access(0x00, False)
+        cache.access(0x40, False)  # same set, evicts
+        assert not cache.contains(0x00)
+
+
+class TestReset:
+    def test_reset_clears_lines_and_counters(self):
+        cache = make_cache()
+        cache.access(0x100, True)
+        cache.reset_state()
+        assert cache.refs == 0
+        assert cache.misses == 0
+        assert not cache.contains(0x100)

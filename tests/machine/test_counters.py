@@ -1,0 +1,174 @@
+"""Unit tests for the counter unit: event menu, intervals, overflow, skid."""
+
+import random
+
+import pytest
+
+from repro.errors import CollectError
+from repro.machine.counters import (
+    CounterSpec,
+    CounterUnit,
+    EVENTS,
+    overflow_interval,
+)
+
+
+def make_unit(seed=1):
+    return CounterUnit(random.Random(seed))
+
+
+class TestEventMenu:
+    def test_paper_counters_exist(self):
+        for name in ("cycles", "insts", "ecref", "ecrm", "ecstall", "dtlbm", "dcrm"):
+            assert name in EVENTS
+
+    def test_dtlbm_is_precise(self):
+        assert EVENTS["dtlbm"].precise
+
+    def test_ecref_has_largest_skid(self):
+        assert EVENTS["ecref"].skid_max > EVENTS["ecrm"].skid_max
+        assert EVENTS["ecref"].skid_max > EVENTS["ecstall"].skid_max
+
+    def test_cycle_counting_events(self):
+        assert EVENTS["ecstall"].counts_cycles
+        assert EVENTS["cycles"].counts_cycles
+        assert not EVENTS["ecrm"].counts_cycles
+
+    def test_paper_pairs_map_to_distinct_registers(self):
+        # the two experiments of §3.1 must be schedulable
+        assert set(EVENTS["ecstall"].registers) & {0}
+        assert set(EVENTS["ecrm"].registers) & {1}
+        assert set(EVENTS["ecref"].registers) & {0}
+        assert set(EVENTS["dtlbm"].registers) & {1}
+
+
+class TestIntervals:
+    def test_named_intervals_resolve(self):
+        event = EVENTS["ecrm"]
+        hi = overflow_interval(event, "hi")
+        on = overflow_interval(event, "on")
+        lo = overflow_interval(event, "lo")
+        assert hi < on < lo
+
+    def test_intervals_are_prime(self):
+        def is_prime(n):
+            return n > 1 and all(n % d for d in range(2, int(n**0.5) + 1))
+
+        for event in (EVENTS["ecrm"], EVENTS["cycles"]):
+            for setting in ("hi", "on", "lo"):
+                assert is_prime(overflow_interval(event, setting))
+
+    def test_numeric_interval(self):
+        assert overflow_interval(EVENTS["ecrm"], 1234) == 1234
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(CollectError):
+            overflow_interval(EVENTS["ecrm"], "sometimes")
+        with pytest.raises(CollectError):
+            overflow_interval(EVENTS["ecrm"], 0)
+
+
+class TestSpecParse:
+    def test_plus_requests_backtracking(self):
+        spec = CounterSpec.parse("+ecstall,lo", register=0)
+        assert spec.backtrack and spec.event.name == "ecstall"
+
+    def test_no_plus_no_backtracking(self):
+        assert CounterSpec.parse("ecrm,on", register=1).backtrack is False
+
+    def test_default_interval_is_on(self):
+        spec = CounterSpec.parse("ecrm", register=1)
+        assert spec.interval == overflow_interval(EVENTS["ecrm"], "on")
+
+    def test_numeric_interval_in_text(self):
+        assert CounterSpec.parse("ecrm,977", register=1).interval == 977
+
+    def test_unknown_name(self):
+        with pytest.raises(CollectError):
+            CounterSpec.parse("+nosuch,on", register=0)
+
+    def test_backtracking_memory_counters_only(self):
+        with pytest.raises(CollectError):
+            CounterSpec.parse("+cycles,on", register=0)
+
+
+class TestConfigure:
+    def test_two_counters_different_registers(self):
+        unit = make_unit()
+        unit.configure([
+            CounterSpec.parse("+ecstall,97", 0),
+            CounterSpec.parse("+ecrm,97", 1),
+        ])
+        assert unit.watching == {"ecstall": 0, "ecrm": 1}
+
+    def test_same_register_rejected(self):
+        unit = make_unit()
+        with pytest.raises(CollectError):
+            unit.configure([
+                CounterSpec.parse("ecstall,97", 0),
+                CounterSpec.parse("ecref,97", 0),
+            ])
+
+    def test_register_constraint_enforced(self):
+        unit = make_unit()
+        with pytest.raises(CollectError):
+            unit.configure([CounterSpec.parse("ecstall,97", 1)])  # PIC0-only
+
+    def test_three_counters_rejected(self):
+        unit = make_unit()
+        with pytest.raises(CollectError):
+            unit.configure([
+                CounterSpec.parse("cycles,97", 0),
+                CounterSpec.parse("insts,97", 1),
+                CounterSpec.parse("ecrm,97", 1),
+            ])
+
+
+class TestOverflow:
+    def test_no_overflow_below_interval(self):
+        unit = make_unit()
+        unit.configure([CounterSpec.parse("ecrm,10", 1)])
+        for _ in range(9):
+            assert unit.record(1, 1) == -1
+
+    def test_overflow_at_interval(self):
+        unit = make_unit()
+        unit.configure([CounterSpec.parse("ecrm,10", 1)])
+        for _ in range(9):
+            unit.record(1, 1)
+        assert unit.record(1, 1) >= 0
+
+    def test_counter_reloads_after_overflow(self):
+        unit = make_unit()
+        unit.configure([CounterSpec.parse("ecrm,5", 1)])
+        overflows = sum(1 for _ in range(50) if unit.record(1, 1) >= 0)
+        assert overflows == 10
+
+    def test_large_amount_skips_whole_intervals(self):
+        unit = make_unit()
+        unit.configure([CounterSpec.parse("ecstall,10", 0)])
+        assert unit.record(0, 35) >= 0
+        assert unit.remaining[0] > 0
+        assert unit.totals[0] == 35
+
+    def test_precise_event_has_zero_skid(self):
+        unit = make_unit()
+        unit.configure([CounterSpec.parse("dtlbm,3", 1)])
+        skids = [unit.record(1, 1) for _ in range(30)]
+        fired = [s for s in skids if s >= 0]
+        assert fired and all(s == 0 for s in fired)
+
+    def test_skid_within_event_range(self):
+        unit = make_unit()
+        unit.configure([CounterSpec.parse("ecref,2", 0)])
+        event = EVENTS["ecref"]
+        fired = [s for s in (unit.record(0, 1) for _ in range(200)) if s >= 0]
+        assert fired
+        assert all(event.skid_min <= s <= event.skid_max for s in fired)
+
+    def test_skid_bias_concentrates_at_min(self):
+        unit = make_unit()
+        unit.configure([CounterSpec.parse("ecrm,1", 1)])
+        fired = [unit.record(1, 1) for _ in range(1000)]
+        at_min = sum(1 for s in fired if s == EVENTS["ecrm"].skid_min)
+        assert at_min / len(fired) > 0.7  # bias 0.85 plus uniform share

@@ -1,0 +1,85 @@
+"""Tests for the Machine wiring and MachineStats."""
+
+import pytest
+
+from repro import build_executable, paper_config, scaled_config, tiny_config
+from repro.kernel.process import Process
+from repro.machine.machine import Machine
+
+SRC = """
+long main(long *input, long n) {
+    long *a; long i; long s;
+    a = (long *) malloc(8192);
+    s = 0;
+    for (i = 0; i < 1024; i++) a[i] = i;
+    for (i = 0; i < 1024; i++) s = s + a[i];
+    print_long(s);
+    return 0;
+}
+"""
+
+
+def run_stats(config):
+    process = Process(build_executable(SRC), config)
+    process.run(max_instructions=5_000_000)
+    return process.machine.stats()
+
+
+class TestStats:
+    def test_derived_seconds(self):
+        stats = run_stats(tiny_config())
+        assert stats.seconds == pytest.approx(stats.cycles / stats.clock_hz)
+        assert stats.user_seconds + stats.system_seconds == pytest.approx(
+            stats.seconds
+        )
+        assert stats.ec_stall_seconds <= stats.seconds
+
+    def test_ec_read_miss_rate_bounds(self):
+        stats = run_stats(tiny_config())
+        assert 0.0 <= stats.ec_read_miss_rate <= 1.0
+
+    def test_counts_are_consistent(self):
+        stats = run_stats(tiny_config())
+        assert stats.dc_read_misses <= stats.dc_read_refs
+        assert stats.ec_read_misses <= stats.ec_refs
+        assert stats.dtlb_misses <= stats.dtlb_refs
+        # every D$ miss produces an E$ ref (plus prefetches, absent here)
+        assert stats.ec_refs == stats.dc_read_misses + stats.dc_write_misses
+
+    def test_instructions_positive(self):
+        stats = run_stats(tiny_config())
+        assert stats.instructions > 2000
+
+
+class TestConfigs:
+    def test_paper_config_has_us3_geometry(self):
+        config = paper_config()
+        assert config.dcache.size_bytes == 64 * 1024
+        assert config.dcache.line_bytes == 32
+        assert config.dcache.associativity == 4
+        assert config.ecache.size_bytes == 8 * 1024 * 1024
+        assert config.ecache.line_bytes == 512
+        assert config.ecache.associativity == 2
+        assert config.dtlb.default_page_bytes == 8192
+        assert config.clock_hz == 900e6
+
+    def test_scaled_config_keeps_line_geometry(self):
+        paper, scaled = paper_config(), scaled_config()
+        assert scaled.dcache.line_bytes == paper.dcache.line_bytes
+        assert scaled.ecache.line_bytes == paper.ecache.line_bytes
+        assert scaled.dcache.associativity == paper.dcache.associativity
+        assert scaled.ecache.associativity == paper.ecache.associativity
+        assert scaled.ecache.size_bytes < paper.ecache.size_bytes
+
+    def test_paper_config_runs_fewer_misses(self):
+        # the paper-size caches swallow this small working set
+        paper_stats = run_stats(paper_config())
+        scaled_stats = run_stats(tiny_config())
+        assert paper_stats.ec_read_misses < scaled_stats.ec_read_misses
+
+    def test_machine_seeded_rng(self):
+        a = Machine(tiny_config(seed=3))
+        b = Machine(tiny_config(seed=3))
+        assert [a.rng.random() for _ in range(5)] == [
+            b.rng.random() for _ in range(5)
+        ]

@@ -1,0 +1,137 @@
+"""Unit tests for the memory arena and segment map."""
+
+import pytest
+
+from repro.config import ARENA_BASE
+from repro.errors import MemoryFault, ReproError
+from repro.machine.memory import Memory, to_signed64
+
+S64_MAX = (1 << 63) - 1
+S64_MIN = -(1 << 63)
+
+
+@pytest.fixture
+def mem():
+    return Memory(1 << 16)
+
+
+class TestSigned64:
+    def test_identity_in_range(self):
+        for v in (0, 1, -1, S64_MAX, S64_MIN, 12345, -98765):
+            assert to_signed64(v) == v
+
+    def test_wraps_positive_overflow(self):
+        assert to_signed64(S64_MAX + 1) == S64_MIN
+
+    def test_wraps_negative_overflow(self):
+        assert to_signed64(S64_MIN - 1) == S64_MAX
+
+    def test_wraps_unsigned_representation(self):
+        assert to_signed64((1 << 64) - 1) == -1
+
+    def test_large_multiple_wraps(self):
+        assert to_signed64((1 << 64) * 3 + 5) == 5
+
+
+class TestWordAccess:
+    def test_store_load_roundtrip(self, mem):
+        mem.store64(ARENA_BASE + 8, 0x1234_5678)
+        assert mem.load64(ARENA_BASE + 8) == 0x1234_5678
+
+    def test_negative_values(self, mem):
+        mem.store64(ARENA_BASE, -42)
+        assert mem.load64(ARENA_BASE) == -42
+
+    def test_store_wraps_to_64_bits(self, mem):
+        mem.store64(ARENA_BASE, S64_MAX + 1)
+        assert mem.load64(ARENA_BASE) == S64_MIN
+
+    def test_misaligned_load_faults(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.load64(ARENA_BASE + 4)
+
+    def test_misaligned_store_faults(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.store64(ARENA_BASE + 1, 0)
+
+    def test_out_of_arena_faults(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.load64(ARENA_BASE + (1 << 16))
+        with pytest.raises(MemoryFault):
+            mem.load64(ARENA_BASE - 8)
+
+
+class TestByteAccess:
+    def test_store8_load8(self, mem):
+        mem.store8(ARENA_BASE + 3, 0xAB)
+        assert mem.load8(ARENA_BASE + 3) == 0xAB
+
+    def test_bytes_within_word_little_endian(self, mem):
+        mem.store64(ARENA_BASE, 0x0807060504030201)
+        assert [mem.load8(ARENA_BASE + i) for i in range(8)] == list(range(1, 9))
+
+    def test_store8_preserves_other_bytes(self, mem):
+        mem.store64(ARENA_BASE, -1)
+        mem.store8(ARENA_BASE + 2, 0)
+        value = mem.load64(ARENA_BASE) & ((1 << 64) - 1)
+        assert value == 0xFFFF_FFFF_FF00_FFFF
+
+    def test_store8_masks_to_byte(self, mem):
+        mem.store8(ARENA_BASE, 0x1FF)
+        assert mem.load8(ARENA_BASE) == 0xFF
+
+
+class TestBulk:
+    def test_write_read_longs(self, mem):
+        values = [1, -2, 3, -4, 5]
+        mem.write_longs(ARENA_BASE + 64, values)
+        assert mem.read_longs(ARENA_BASE + 64, 5) == values
+
+    def test_bulk_write_out_of_range(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.write_longs(ARENA_BASE + (1 << 16) - 8, [1, 2, 3])
+
+    def test_bulk_misaligned(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.write_longs(ARENA_BASE + 4, [1])
+
+
+class TestSegments:
+    def test_add_and_find(self, mem):
+        seg = mem.add_segment("heap", ARENA_BASE + 0x1000, 0x2000, 1024)
+        assert mem.segment_for(ARENA_BASE + 0x1800) is seg
+        assert mem.find_segment("heap") is seg
+
+    def test_segment_ids_are_sequential(self, mem):
+        a = mem.add_segment("a", ARENA_BASE, 0x1000, 1024)
+        b = mem.add_segment("b", ARENA_BASE + 0x1000, 0x1000, 1024)
+        assert (a.seg_id, b.seg_id) == (0, 1)
+
+    def test_overlap_rejected(self, mem):
+        mem.add_segment("a", ARENA_BASE, 0x1000, 1024)
+        with pytest.raises(ReproError):
+            mem.add_segment("b", ARENA_BASE + 0x800, 0x1000, 1024)
+
+    def test_unmapped_address_faults(self, mem):
+        mem.add_segment("a", ARENA_BASE, 0x1000, 1024)
+        with pytest.raises(MemoryFault):
+            mem.segment_for(ARENA_BASE + 0x4000)
+
+    def test_outside_arena_rejected(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.add_segment("big", ARENA_BASE, 1 << 20, 1024)
+
+    def test_unknown_name(self, mem):
+        with pytest.raises(ReproError):
+            mem.find_segment("nope")
+
+    def test_contains_boundaries(self, mem):
+        seg = mem.add_segment("a", ARENA_BASE, 0x1000, 1024)
+        assert seg.contains(ARENA_BASE)
+        assert seg.contains(ARENA_BASE + 0xFFF)
+        assert not seg.contains(ARENA_BASE + 0x1000)
+
+
+def test_arena_size_must_be_multiple_of_8():
+    with pytest.raises(ReproError):
+        Memory(1 << 16 | 4)

@@ -1,0 +1,112 @@
+"""CPU-level unit tests for the prefetch in-flight model."""
+
+import pytest
+
+from repro.config import ARENA_BASE, tiny_config
+from repro.isa.instructions import Instr, Op
+from repro.isa.registers import reg_number
+from repro.machine.machine import Machine
+
+O0 = reg_number("%o0")
+G1 = reg_number("%g1")
+
+TEXT = ARENA_BASE + 0x1000
+DATA = ARENA_BASE + 0x8000
+
+
+def run(code, warm=None):
+    machine = Machine(tiny_config())
+    machine.memory.add_segment("text", ARENA_BASE, 0x8000, 1024)
+    machine.memory.add_segment("data", DATA, 0x8000, 1024)
+    cpu = machine.cpu
+    cpu.code = list(code) + [Instr(Op.HALT)]
+    for index, instr in enumerate(cpu.code):
+        instr.addr = TEXT + 4 * index
+    cpu.text_base = TEXT
+    cpu.set_entry(TEXT)
+    if warm:
+        warm(machine)
+    cpu.run(max_instructions=10_000)
+    return machine
+
+
+def _warm_tlb(machine):
+    # touch the data page so prefetches are not dropped on a TLB miss
+    machine.dtlb.lookup(DATA, machine.memory)
+
+
+class TestPrefetchSemantics:
+    def test_prefetch_with_lead_hides_miss_latency(self):
+        filler = [Instr(Op.ADD, G1, G1, imm=1) for _ in range(100)]
+        with_pf = run(
+            [Instr(Op.SET, O0, imm=DATA), Instr(Op.PREFETCH, rs1=O0, imm=0)]
+            + filler + [Instr(Op.LDX, rd=G1, rs1=O0, imm=0)],
+            warm=_warm_tlb,
+        )
+        without = run(
+            [Instr(Op.SET, O0, imm=DATA), Instr(Op.NOP)]
+            + filler + [Instr(Op.LDX, rd=G1, rs1=O0, imm=0)],
+            warm=_warm_tlb,
+        )
+        assert with_pf.cpu.cycles < without.cpu.cycles
+        # with enough lead the whole E$ miss penalty is hidden
+        saved = without.cpu.cycles - with_pf.cpu.cycles
+        assert saved >= tiny_config().ecache.miss_cycles - 1
+
+    def test_prefetch_with_no_lead_still_waits(self):
+        with_pf = run(
+            [Instr(Op.SET, O0, imm=DATA),
+             Instr(Op.PREFETCH, rs1=O0, imm=0),
+             Instr(Op.LDX, rd=G1, rs1=O0, imm=0)],
+            warm=_warm_tlb,
+        )
+        without = run(
+            [Instr(Op.SET, O0, imm=DATA),
+             Instr(Op.NOP),
+             Instr(Op.LDX, rd=G1, rs1=O0, imm=0)],
+            warm=_warm_tlb,
+        )
+        # back-to-back prefetch+load cannot hide the memory latency: the
+        # load waits out nearly the whole in-flight window (it saves at
+        # most the D$-fill hop plus the one instruction of progress)
+        saved = without.cpu.cycles - with_pf.cpu.cycles
+        assert 0 <= saved <= tiny_config().ecache.hit_cycles + 2
+
+    def test_prefetch_dropped_on_tlb_miss(self):
+        machine = run([
+            Instr(Op.SET, O0, imm=DATA),
+            Instr(Op.PREFETCH, rs1=O0, imm=0),  # cold TLB: dropped
+        ])
+        assert not machine.cpu.inflight_prefetches
+        assert machine.dcache.refs == 0
+
+    def test_prefetch_raises_no_counter_events(self):
+        from repro.machine.counters import CounterSpec
+
+        machine = Machine(tiny_config())
+        machine.memory.add_segment("text", ARENA_BASE, 0x8000, 1024)
+        machine.memory.add_segment("data", DATA, 0x8000, 1024)
+        cpu = machine.cpu
+        code = [Instr(Op.SET, O0, imm=DATA)] + [
+            Instr(Op.PREFETCH, rs1=O0, imm=64 * i) for i in range(20)
+        ] + [Instr(Op.HALT)]
+        cpu.code = code
+        for index, instr in enumerate(code):
+            instr.addr = TEXT + 4 * index
+        cpu.text_base = TEXT
+        cpu.set_entry(TEXT)
+        machine.dtlb.lookup(DATA, machine.memory)
+        machine.configure_counters([CounterSpec.parse("+ecref,1", 0)])
+        events = []
+        cpu.overflow_handler = events.append
+        cpu.run(max_instructions=100)
+        assert not events
+
+    def test_inflight_entry_cleared_after_wait(self):
+        machine = run(
+            [Instr(Op.SET, O0, imm=DATA),
+             Instr(Op.PREFETCH, rs1=O0, imm=0),
+             Instr(Op.LDX, rd=G1, rs1=O0, imm=0)],
+            warm=_warm_tlb,
+        )
+        assert not machine.cpu.inflight_prefetches

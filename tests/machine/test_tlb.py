@@ -1,0 +1,93 @@
+"""Unit tests for the DTLB model (per-segment page sizes)."""
+
+import pytest
+
+from repro.config import ARENA_BASE, TLBConfig
+from repro.machine.memory import Memory
+from repro.machine.tlb import TLB
+
+
+@pytest.fixture
+def mem():
+    memory = Memory(1 << 20)
+    memory.add_segment("small", ARENA_BASE, 0x10000, 1024)
+    memory.add_segment("large", ARENA_BASE + 0x10000, 0x40000, 8192)
+    return memory
+
+
+def make_tlb(entries=4, page=1024, miss=50):
+    return TLB(TLBConfig(entries, page, miss))
+
+
+class TestBasics:
+    def test_first_access_misses(self, mem):
+        tlb = make_tlb()
+        assert tlb.lookup(ARENA_BASE, mem) is False
+
+    def test_same_page_hits(self, mem):
+        tlb = make_tlb()
+        tlb.lookup(ARENA_BASE, mem)
+        assert tlb.lookup(ARENA_BASE + 1000, mem) is True
+
+    def test_next_page_misses(self, mem):
+        tlb = make_tlb()
+        tlb.lookup(ARENA_BASE, mem)
+        assert tlb.lookup(ARENA_BASE + 1024, mem) is False
+
+    def test_page_size_is_per_segment(self, mem):
+        tlb = make_tlb()
+        base = ARENA_BASE + 0x10000
+        tlb.lookup(base, mem)
+        # 8 KB pages in the "large" segment: +4 KB is still the same page
+        assert tlb.lookup(base + 4096, mem) is True
+        assert tlb.lookup(base + 8192, mem) is False
+
+    def test_counts(self, mem):
+        tlb = make_tlb()
+        tlb.lookup(ARENA_BASE, mem)
+        tlb.lookup(ARENA_BASE + 8, mem)
+        tlb.lookup(ARENA_BASE + 2048, mem)
+        assert tlb.refs == 3
+        assert tlb.misses == 2
+        assert tlb.miss_rate() == pytest.approx(2 / 3)
+
+
+class TestLRU:
+    def test_capacity_eviction(self, mem):
+        tlb = make_tlb(entries=2)
+        pages = [ARENA_BASE + i * 1024 for i in range(3)]
+        for addr in pages:
+            tlb.lookup(addr, mem)
+        # page 0 was least recently used -> evicted
+        assert tlb.lookup(pages[0], mem) is False
+
+    def test_touch_refreshes_entry(self, mem):
+        tlb = make_tlb(entries=2)
+        p0, p1, p2 = (ARENA_BASE + i * 1024 for i in range(3))
+        tlb.lookup(p0, mem)
+        tlb.lookup(p1, mem)
+        tlb.lookup(p0, mem)  # refresh p0
+        tlb.lookup(p2, mem)  # evicts p1
+        assert tlb.lookup(p0, mem) is True
+        assert tlb.lookup(p1, mem) is False
+
+    def test_entries_never_exceed_capacity(self, mem):
+        tlb = make_tlb(entries=3)
+        for i in range(10):
+            tlb.lookup(ARENA_BASE + i * 1024, mem)
+        assert len(tlb.entries) == 3
+
+
+class TestSegmentCache:
+    def test_crossing_segments_works(self, mem):
+        tlb = make_tlb(entries=8)
+        tlb.lookup(ARENA_BASE, mem)
+        tlb.lookup(ARENA_BASE + 0x10000, mem)
+        assert tlb.lookup(ARENA_BASE + 100, mem) is True
+
+    def test_reset(self, mem):
+        tlb = make_tlb()
+        tlb.lookup(ARENA_BASE, mem)
+        tlb.reset_state()
+        assert tlb.refs == 0 and tlb.misses == 0
+        assert tlb.lookup(ARENA_BASE, mem) is False

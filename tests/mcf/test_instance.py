@@ -1,0 +1,99 @@
+"""Tests for MCF instance generation and encoding."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.mcf.instance import (
+    McfInstance,
+    decode_instance,
+    encode_instance,
+    generate_instance,
+    reference_optimal_cost,
+    to_networkx,
+)
+
+
+class TestGeneration:
+    def test_balanced_supplies(self):
+        inst = generate_instance(trips=50, seed=1)
+        assert sum(inst.supplies) == 0
+
+    def test_every_trip_has_a_pull_in(self):
+        inst = generate_instance(trips=50, seed=2)
+        depot = inst.n
+        tails_to_depot = {t for t, h, _c, _w in inst.arcs if h == depot}
+        assert tails_to_depot == set(range(1, inst.n))
+
+    def test_deadheads_respect_time_order(self):
+        # the generator connects trip i only to trips starting after i ends;
+        # with sorted start times this forbids 2-cycles
+        inst = generate_instance(trips=60, seed=3)
+        pairs = {(t, h) for t, h, _c, _w in inst.arcs if h != inst.n}
+        assert not any((h, t) in pairs for (t, h) in pairs)
+
+    def test_deterministic_per_seed(self):
+        a = generate_instance(trips=40, seed=9)
+        b = generate_instance(trips=40, seed=9)
+        assert a.arcs == b.arcs and a.supplies == b.supplies
+
+    def test_different_seeds_differ(self):
+        a = generate_instance(trips=40, seed=1)
+        b = generate_instance(trips=40, seed=2)
+        assert a.arcs != b.arcs
+
+    def test_feasible_for_networkx(self):
+        inst = generate_instance(trips=30, seed=4)
+        assert reference_optimal_cost(inst) > 0
+
+    def test_too_few_trips_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_instance(trips=1)
+
+
+class TestValidation:
+    def test_unbalanced_supplies_rejected(self):
+        with pytest.raises(WorkloadError):
+            McfInstance(n=2, supplies=[1, 1], arcs=[(1, 2, 1, 1)])
+
+    def test_out_of_range_arc_rejected(self):
+        with pytest.raises(WorkloadError):
+            McfInstance(n=2, supplies=[1, -1], arcs=[(1, 3, 1, 1)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(WorkloadError):
+            McfInstance(n=2, supplies=[1, -1], arcs=[(1, 1, 1, 1)])
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(WorkloadError):
+            McfInstance(n=2, supplies=[1, -1], arcs=[(1, 2, 0, 1)])
+
+
+class TestEncoding:
+    def test_layout(self):
+        inst = McfInstance(n=2, supplies=[1, -1], arcs=[(1, 2, 5, 9)])
+        data = encode_instance(inst)
+        assert data == [2, 1, 1, -1, 1, 2, 5, 9]
+
+    def test_roundtrip(self):
+        inst = generate_instance(trips=25, seed=5)
+        again = decode_instance(encode_instance(inst))
+        assert again.n == inst.n
+        assert again.supplies == inst.supplies
+        assert again.arcs == inst.arcs
+
+    def test_decode_rejects_truncated(self):
+        inst = generate_instance(trips=10, seed=6)
+        data = encode_instance(inst)
+        with pytest.raises(WorkloadError):
+            decode_instance(data[:-1])
+        with pytest.raises(WorkloadError):
+            decode_instance([5])
+
+
+class TestNetworkx:
+    def test_graph_shape(self):
+        inst = generate_instance(trips=20, seed=7)
+        graph = to_networkx(inst)
+        assert graph.number_of_nodes() == inst.n
+        # node demand convention: depot absorbs all trips
+        assert graph.nodes[inst.n]["demand"] == 20

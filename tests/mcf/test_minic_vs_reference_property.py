@@ -1,0 +1,29 @@
+"""Property test: the simulated mini-C MCF and the Python reference agree
+with networkx on random instances."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import scaled_config
+from repro.mcf.instance import generate_instance, reference_optimal_cost
+from repro.mcf.reference import solve_reference
+from repro.mcf.sources import LayoutVariant
+from repro.mcf.workload import build_mcf, run_mcf
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    trips=st.integers(min_value=5, max_value=25),
+    connections=st.integers(min_value=2, max_value=6),
+)
+def test_three_solvers_agree(seed, trips, connections):
+    instance = generate_instance(trips=trips, seed=seed,
+                                 connections_per_trip=connections)
+    expected = reference_optimal_cost(instance)
+    assert solve_reference(instance) == expected
+    run = run_mcf(build_mcf(LayoutVariant.BASELINE), instance, scaled_config(),
+                  max_instructions=20_000_000)
+    assert run.flow_cost == expected
+    assert run.solved_optimally

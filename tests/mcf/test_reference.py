@@ -1,0 +1,149 @@
+"""Tests for the pure-Python network simplex (the golden model)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.mcf.instance import McfInstance, generate_instance, reference_optimal_cost
+from repro.mcf.reference import (
+    AT_LOWER,
+    AT_UPPER,
+    BASIC,
+    DOWN,
+    NetworkSimplex,
+    UP,
+    solve_reference,
+)
+
+
+class TestTinyInstances:
+    def test_single_path(self):
+        inst = McfInstance(n=2, supplies=[3, -3], arcs=[(1, 2, 5, 7)])
+        assert solve_reference(inst) == 21
+
+    def test_chooses_cheap_path(self):
+        inst = McfInstance(
+            n=3, supplies=[1, 0, -1],
+            arcs=[(1, 2, 5, 1), (2, 3, 5, 1), (1, 3, 5, 10)],
+        )
+        assert solve_reference(inst) == 2
+
+    def test_capacity_forces_split(self):
+        inst = McfInstance(
+            n=3, supplies=[4, 0, -4],
+            arcs=[(1, 2, 2, 1), (2, 3, 10, 1), (1, 3, 10, 5)],
+        )
+        # 2 units via 1-2-3 (cost 4), 2 units direct (cost 10)
+        assert solve_reference(inst) == 14
+
+    def test_upper_bound_flip(self):
+        # cheap arc saturates; remainder takes the expensive one
+        inst = McfInstance(
+            n=2, supplies=[5, -5], arcs=[(1, 2, 3, 1), (1, 2, 10, 4)],
+        )
+        assert solve_reference(inst) == 3 + 8
+
+    def test_zero_cost_network(self):
+        inst = McfInstance(n=2, supplies=[1, -1], arcs=[(1, 2, 1, 0)])
+        assert solve_reference(inst) == 0
+
+    def test_infeasible_detected(self):
+        inst = McfInstance(n=3, supplies=[1, 0, -1], arcs=[(2, 3, 5, 1)])
+        with pytest.raises(WorkloadError):
+            solve_reference(inst)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_instances(self, seed):
+        inst = generate_instance(trips=40, seed=seed, connections_per_trip=5)
+        simplex = NetworkSimplex(inst)
+        cost = simplex.solve()
+        assert cost == reference_optimal_cost(inst)
+        assert simplex.artificial_flow() == 0
+        assert simplex.flows_conserve()
+        assert simplex.dual_feasible()
+
+    def test_larger_instance(self):
+        inst = generate_instance(trips=120, seed=99, connections_per_trip=7)
+        assert solve_reference(inst) == reference_optimal_cost(inst)
+
+    @pytest.mark.parametrize("refresh_every,price_out_every", [(1, 8), (2, 4), (1, 0)])
+    def test_parameterizations_agree(self, refresh_every, price_out_every):
+        inst = generate_instance(trips=35, seed=11, connections_per_trip=5)
+        cost = solve_reference(
+            inst, refresh_every=refresh_every, price_out_every=price_out_every
+        )
+        assert cost == reference_optimal_cost(inst)
+
+
+class TestTreeInvariants:
+    def _check_tree(self, simplex):
+        for node in simplex.nodes[1:]:
+            arc = node.basic_arc
+            assert arc.ident == BASIC
+            endpoints = {id(arc.tail), id(arc.head)}
+            assert endpoints == {id(node), id(node.pred)}
+            expected = UP if arc.tail is node else DOWN
+            assert node.orientation == expected
+            assert node.depth == node.pred.depth + 1
+            # node must be in its parent's child list
+            child = node.pred.child
+            seen = False
+            while child is not None:
+                if child is node:
+                    seen = True
+                child = child.sibling
+            assert seen
+            # sibling list back-links consistent
+            if node.sibling is not None:
+                assert node.sibling.sibling_prev is node
+
+    def test_invariants_hold_through_pivots(self):
+        inst = generate_instance(trips=30, seed=21, connections_per_trip=5)
+        simplex = NetworkSimplex(inst)
+        self._check_tree(simplex)
+        # drive the solve manually, checking after every pivot
+        for _ in range(2000):
+            entering = simplex.primal_bea_mpp() or simplex.price_out_impl()
+            if entering is None:
+                break
+            delta, leaving, on_from = simplex.primal_iminus(entering)
+            simplex._apply_flow(entering, delta)
+            if leaving is None:
+                entering.ident = AT_UPPER if entering.ident == AT_LOWER else AT_LOWER
+            else:
+                leaving_arc = leaving.basic_arc
+                leaving_arc.ident = AT_LOWER if leaving_arc.flow == 0 else AT_UPPER
+                if entering.ident == AT_LOWER:
+                    from_node, to_node = entering.tail, entering.head
+                else:
+                    from_node, to_node = entering.head, entering.tail
+                q = from_node if on_from else to_node
+                h = to_node if on_from else from_node
+                entering.ident = BASIC
+                simplex.update_tree(entering, leaving, q, h)
+            simplex.refresh_potential()
+            self._check_tree(simplex)
+            assert simplex.flows_conserve()
+        else:
+            pytest.fail("did not converge")
+
+    def test_refresh_potential_checksum_counts_down_nodes(self):
+        inst = generate_instance(trips=20, seed=3, connections_per_trip=4)
+        simplex = NetworkSimplex(inst)
+        down = sum(1 for node in simplex.nodes[1:] if node.orientation == DOWN)
+        assert simplex.refresh_potential() == down
+
+    def test_potentials_satisfy_basic_arcs(self):
+        inst = generate_instance(trips=25, seed=13, connections_per_trip=5)
+        simplex = NetworkSimplex(inst)
+        simplex.solve()
+        simplex.refresh_potential()
+        for node in simplex.nodes[1:]:
+            assert NetworkSimplex.red_cost(node.basic_arc) == 0
+
+    def test_iteration_limit_raises(self):
+        inst = generate_instance(trips=30, seed=2, connections_per_trip=5)
+        simplex = NetworkSimplex(inst)
+        with pytest.raises(WorkloadError):
+            simplex.solve(max_iterations=2)

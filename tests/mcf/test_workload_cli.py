@@ -1,0 +1,34 @@
+"""Tests for the repro-mcf CLI and the workload layer."""
+
+import pytest
+
+from repro.mcf.workload import main
+
+
+class TestCli:
+    def test_default_run_solves(self, capsys):
+        assert main(["--trips", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "flow cost:" in out
+        assert "artificial flow:  0" in out
+        assert "dual violations:  0" in out
+
+    def test_optimized_layout_flag(self, capsys):
+        assert main(["--trips", "20", "--layout", "opt_layout"]) == 0
+
+    def test_no_hwcprof_flag(self, capsys):
+        assert main(["--trips", "20", "--no-hwcprof"]) == 0
+
+    def test_heap_page_flag(self, capsys):
+        assert main(["--trips", "20", "--heap-page-bytes", "65536"]) == 0
+        out = capsys.readouterr().out
+        assert "DTLB misses:" in out
+
+    def test_seed_changes_instance(self, capsys):
+        main(["--trips", "20", "--seed", "1"])
+        out1 = capsys.readouterr().out
+        main(["--trips", "20", "--seed", "2"])
+        out2 = capsys.readouterr().out
+        cost1 = [l for l in out1.splitlines() if "flow cost" in l]
+        cost2 = [l for l in out2.splitlines() if "flow cost" in l]
+        assert cost1 != cost2

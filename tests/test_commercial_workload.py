@@ -1,0 +1,96 @@
+"""Unit tests for the commercial-style workload."""
+
+import pytest
+
+from repro.config import scaled_config, tiny_config
+from repro.kernel.process import Process
+from repro.workloads import build_commercial, commercial_input
+
+
+def run(customers=200, orders=800, queries=50, seed=99, hwcprof=True):
+    process = Process(
+        build_commercial(hwcprof=hwcprof),
+        scaled_config(),
+        input_longs=commercial_input(customers, orders, queries, seed),
+    )
+    process.run(max_instructions=50_000_000)
+    assert process.finished
+    return process
+
+
+class TestCorrectness:
+    def test_produces_a_checksum(self):
+        process = run()
+        assert int(process.stdout.strip()) != 0
+
+    def test_deterministic_per_seed(self):
+        assert run(seed=5).stdout == run(seed=5).stdout
+
+    def test_different_seeds_differ(self):
+        assert run(seed=5).stdout != run(seed=6).stdout
+
+    def test_checksum_independent_of_hwcprof(self):
+        assert run(hwcprof=True).stdout == run(hwcprof=False).stdout
+
+    def test_python_cross_check(self):
+        """Replicate the workload's logic in Python and compare checksums."""
+        customers, orders, queries, seed = 120, 500, 40, 77
+
+        state = seed
+
+        def rng():
+            nonlocal state
+            state = (state * 48271) % 2147483647
+            return state
+
+        cust = [{"id": i * 7 + 1, "balance": 0, "region": 0, "orders": []}
+                for i in range(customers)]
+        for c in cust:
+            c["region"] = rng() % 16
+        order_list = []
+        for i in range(orders):
+            o = {"id": i, "amount": rng() % 1000, "status": rng() % 3}
+            owner = cust[rng() % customers]
+            o["owner"] = owner
+            owner["orders"].insert(0, o)
+            order_list.append(o)
+
+        by_id = {c["id"]: c for c in cust}
+
+        def query_total(cid):
+            c = by_id.get(cid)
+            if c is None:
+                return 0
+            return sum(o["amount"] for o in c["orders"] if o["status"] != 2)
+
+        def report(region):
+            total = shipped = pending = biggest = 0
+            for o in order_list:
+                if o["owner"]["region"] == region:
+                    total += o["amount"]
+                    if o["status"] == 0:
+                        shipped += 1
+                    if o["status"] == 1:
+                        pending += o["amount"]
+                    if o["amount"] > biggest:
+                        biggest = o["amount"]
+            return total + shipped + pending % 7 + biggest
+
+        checksum = 0
+        for q in range(queries):
+            cid = (rng() % customers) * 7 + 1
+            checksum += query_total(cid)
+            c = by_id.get(cid)
+            if c is not None:
+                c["balance"] += q % 97
+            if q % 64 == 0:
+                checksum += report(q % 16)
+
+        process = run(customers, orders, queries, seed)
+        assert int(process.stdout.strip()) == checksum
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            commercial_input(customers=0)
+        with pytest.raises(ValueError):
+            commercial_input(seed=0)

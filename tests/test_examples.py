@@ -1,0 +1,59 @@
+"""Smoke tests: every example script must run end to end.
+
+The MCF examples are invoked with a tiny instance (--trips 30) so the
+whole file stays in unit-test time; their full-size behaviour is covered
+by the benchmarks.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, argv, capsys):
+    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES / name)
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run_example("quickstart.py", [], capsys)
+    assert "Function list" in out
+    assert "structure:particle" in out
+    assert "integrate" in out
+
+
+def test_mcf_case_study(capsys):
+    out = _run_example("mcf_case_study.py", ["--trips", "30"], capsys)
+    assert "Figure 1" in out and "Figure 7" in out
+    assert "refresh_potential" in out
+    assert "structure:node" in out
+
+
+def test_structure_layout_tuning(capsys):
+    out = _run_example("structure_layout_tuning.py", ["--trips", "30"], capsys)
+    assert "Layout advice" in out
+    assert "baseline:" in out and "optimized:" in out
+
+
+def test_pagesize_tuning(capsys):
+    out = _run_example("pagesize_tuning.py", ["--trips", "30"], capsys)
+    assert "DTLB" in out
+    assert "8k pages:" in out
+
+
+def test_prefetch_feedback(capsys):
+    out = _run_example("prefetch_feedback.py", ["--trips", "30"], capsys)
+    assert "feedback" in out
+    assert "improvement" in out
