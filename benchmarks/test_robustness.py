@@ -1,0 +1,71 @@
+"""Engineering benchmarks: cost of the crash-safety machinery.
+
+Not a paper figure — these bound the overhead of journaled (streamed)
+recording against plain in-memory collection, and of the watchdog
+deadline checks in the interpreter hot loop.
+"""
+
+import time
+
+from repro import build_executable, scaled_config
+from repro.collect.collector import CollectConfig, collect
+
+MEMWALK = """
+long main(long *input, long n) {
+    long *a; long i; long j; long s;
+    a = (long *) malloc(262144);
+    s = 0;
+    for (j = 0; j < 8; j++)
+        for (i = 0; i < 32768; i = i + 8)
+            s = s + a[i];
+    return s & 255;
+}
+"""
+
+
+def _config(**kwargs):
+    return CollectConfig(clock_profiling=True, clock_interval=4999,
+                         counters=["+ecstall,997", "+ecrm,97"], **kwargs)
+
+
+def test_journaled_collect_overhead(benchmark, tmp_path):
+    """Streaming every event to disk must not slow collection by more
+    than ~2x over the in-memory path."""
+    program = build_executable(MEMWALK)
+
+    start = time.perf_counter()
+    baseline = collect(program, scaled_config(), _config())
+    in_memory_seconds = time.perf_counter() - start
+
+    runs = iter(range(1000))
+
+    def journaled():
+        target = tmp_path / f"bench{next(runs)}"
+        return collect(program, scaled_config(), _config(), save_to=target)
+
+    start = time.perf_counter()
+    experiment = benchmark.pedantic(journaled, rounds=2, iterations=1)
+    journaled_seconds = (time.perf_counter() - start) / 2
+    assert experiment.hwc_events == baseline.hwc_events
+    assert journaled_seconds < max(in_memory_seconds, 0.05) * 3
+
+
+def test_watchdog_checks_overhead(benchmark):
+    """Arming the cycle/instruction deadlines must cost (almost) nothing
+    relative to an unguarded run."""
+    program = build_executable(MEMWALK)
+
+    start = time.perf_counter()
+    collect(program, scaled_config(), _config())
+    unguarded_seconds = time.perf_counter() - start
+
+    def guarded():
+        return collect(program, scaled_config(),
+                       _config(watchdog_cycles=10_000_000_000,
+                               watchdog_instructions=10_000_000_000))
+
+    start = time.perf_counter()
+    experiment = benchmark.pedantic(guarded, rounds=2, iterations=1)
+    guarded_seconds = (time.perf_counter() - start) / 2
+    assert experiment.info.exit_code == 0
+    assert guarded_seconds < max(unguarded_seconds, 0.05) * 2

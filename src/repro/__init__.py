@@ -26,6 +26,7 @@ from .config import (
     tiny_config,
 )
 from .compiler import build_executable, compile_module, link, Program
+from .faults import FaultPlan
 from .kernel import Process
 
 from .collect.collector import Collector, CollectConfig, collect
@@ -50,6 +51,7 @@ __all__ = [
     "CollectConfig",
     "collect",
     "Experiment",
+    "FaultPlan",
     "reduce_experiment",
     "reduce_experiments",
     "__version__",

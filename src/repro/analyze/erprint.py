@@ -18,6 +18,12 @@ Commands (er_print-style):
 * ``instances [metric]``    events by heap-allocation instance (§4)
 * ``header``                collection parameters + run facts
 * ``heap``                  allocation/deallocation summary by site (§2.2)
+* ``fsck``                  validate the directory against its manifest and
+                            report how much data is salvageable
+
+Experiments are opened in salvage mode by default: damaged files are
+skipped with a warning and reports carry an ``(Incomplete)`` header.
+Pass ``--strict`` to fail loudly on any corruption instead.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ import sys
 from ..collect.experiment import Experiment
 from ..errors import ReproError
 from . import reports
+from .fsck import fsck_experiment
 from .reduce import reduce_experiments
 
 _COMMANDS = (
@@ -44,11 +51,20 @@ _COMMANDS = (
     "instances",
     "header",
     "heap",
+    "fsck",
 )
 
 
 def run_command(reduced, command: str, args: list) -> str:
     """Execute one er_print command against a reduction."""
+    output = _run_command(reduced, command, args)
+    if getattr(reduced, "incomplete", False):
+        reason = reduced.incomplete_reason or "partial data"
+        output = f"(Incomplete) profile from a partial run — {reason}\n\n" + output
+    return output
+
+
+def _run_command(reduced, command: str, args: list) -> str:
     if command == "overview":
         analysis = reports.overview_analysis(reduced)
         return (
@@ -119,6 +135,8 @@ def main(argv=None) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         return 0
+    strict = "--strict" in argv
+    argv = [arg for arg in argv if arg != "--strict"]
     directories: list[str] = []
     while argv and argv[0] not in _COMMANDS:
         directories.append(argv.pop(0))
@@ -129,8 +147,24 @@ def main(argv=None) -> int:
         print("error: no command given", file=sys.stderr)
         return 2
     command, args = argv[0], argv[1:]
+    if command == "fsck":
+        code = 0
+        for directory in directories:
+            text, status = fsck_experiment(directory)
+            print(text)
+            code = max(code, status)
+        return code
     try:
-        experiments = [Experiment.open(d) for d in directories]
+        experiments = []
+        for directory in directories:
+            exp = Experiment.open(directory, strict=strict)
+            if exp.salvage is not None and not exp.salvage.clean:
+                print(
+                    f"warning: {directory}: salvaged with damage:\n"
+                    f"{exp.salvage.summary()}",
+                    file=sys.stderr,
+                )
+            experiments.append(exp)
         reduced = reduce_experiments(experiments)
         print(run_command(reduced, command, args))
     except ReproError as error:

@@ -1,0 +1,124 @@
+"""``repro-erprint <exp> fsck`` — experiment directory checker.
+
+Validates a saved experiment against its ``manifest.json`` (per-file
+SHA-256 checksums and line counts), then attempts a salvage-mode open to
+find out how much of the data is usable.  Never raises on damage — the
+whole point is to run against directories other tools refuse to load.
+
+Exit codes: 0 = healthy or salvageable (possibly partial), 1 =
+unrecoverable (no analyzable data), 2 = not an experiment directory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..collect.experiment import (
+    Experiment,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    _count_lines,
+    _sha256_file,
+)
+from ..errors import ExperimentError
+
+FSCK_OK = 0
+FSCK_UNRECOVERABLE = 1
+FSCK_NO_EXPERIMENT = 2
+
+
+def fsck_experiment(directory) -> tuple[str, int]:
+    """Check one experiment directory; returns (report text, exit code)."""
+    path = Path(directory)
+    lines = [f"fsck {path}:"]
+    if not path.is_dir():
+        lines.append("  not an experiment directory")
+        return "\n".join(lines), FSCK_NO_EXPERIMENT
+
+    damage = 0
+    manifest = Experiment.read_manifest(path)
+    if manifest is None:
+        if (path / MANIFEST_NAME).exists():
+            lines.append("  manifest: UNREADABLE")
+        else:
+            lines.append("  manifest: missing (unclean shutdown or pre-v1 save)")
+        damage += 1
+    else:
+        version = manifest.get("format_version", 0)
+        complete = manifest.get("complete", True)
+        note = "" if complete else f" — recorded as incomplete ({manifest.get('fault', 'unknown fault')})"
+        lines.append(
+            f"  manifest: ok (format v{version}, "
+            f"{len(manifest['files'])} files){note}"
+        )
+        if version > FORMAT_VERSION:
+            lines.append(
+                f"  manifest: format v{version} is newer than this tool (v{FORMAT_VERSION})"
+            )
+            damage += 1
+        for name, entry in sorted(manifest["files"].items()):
+            file = path / name
+            if not file.exists():
+                lines.append(f"  {name}: MISSING")
+                damage += 1
+                continue
+            if not isinstance(entry, dict):
+                lines.append(f"  {name}: bad manifest entry")
+                damage += 1
+                continue
+            problems = []
+            size = file.stat().st_size
+            if entry.get("bytes") is not None and size != entry["bytes"]:
+                problems.append(f"size {size} != {entry['bytes']}")
+            if entry.get("sha256") and _sha256_file(file) != entry["sha256"]:
+                problems.append("checksum mismatch")
+            if entry.get("lines") is not None:
+                found = _count_lines(file)
+                if found != entry["lines"]:
+                    problems.append(f"{found} lines != {entry['lines']}")
+            if problems:
+                lines.append(f"  {name}: DAMAGED ({', '.join(problems)})")
+                damage += 1
+            else:
+                detail = (
+                    f"{entry['lines']} lines, " if entry.get("lines") is not None else ""
+                )
+                lines.append(f"  {name}: ok ({detail}checksum ok)")
+
+    # strays the manifest does not cover
+    known = set(manifest["files"]) if manifest else set()
+    for file in sorted(path.iterdir()):
+        if file.is_file() and file.name != MANIFEST_NAME and file.name not in known:
+            if manifest is not None:
+                lines.append(f"  {file.name}: not in manifest")
+
+    # the real question: can the analyzer load it?
+    try:
+        exp = Experiment.open(path, strict=False)
+    except ExperimentError as error:
+        lines.append(f"  salvage: FAILED ({error})")
+        lines.append("  status: unrecoverable")
+        return "\n".join(lines), FSCK_UNRECOVERABLE
+
+    lines.append(
+        f"  salvage: {len(exp.clock_events)} clock events, "
+        f"{len(exp.hwc_events)} HWC events recovered"
+    )
+    assert exp.salvage is not None
+    for name, stats in sorted(exp.salvage.files.items()):
+        if stats.lines_skipped:
+            lines.append(
+                f"  salvage: {name}: skipped {stats.lines_skipped}/"
+                f"{stats.lines_read} lines ({stats.first_error})"
+            )
+    if exp.incomplete:
+        reason = exp.incomplete_reason() or "damage detected"
+        lines.append(f"  status: salvageable (partial: {reason})")
+    elif damage:
+        lines.append("  status: salvageable (with warnings)")
+    else:
+        lines.append("  status: healthy")
+    return "\n".join(lines), FSCK_OK
+
+
+__all__ = ["fsck_experiment", "FSCK_OK", "FSCK_UNRECOVERABLE", "FSCK_NO_EXPERIMENT"]

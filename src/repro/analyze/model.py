@@ -110,6 +110,10 @@ class ReducedData:
         self.allocations: list[tuple] = []
         #: counter configs that produced the data
         self.counter_info: list[dict] = []
+        #: True when the underlying experiment was partial (crashed run or
+        #: salvaged damage); reports carry an ``(Incomplete)`` header
+        self.incomplete: bool = False
+        self.incomplete_reason: str = ""
 
     # ------------------------------------------------------------- helpers
 
@@ -193,6 +197,12 @@ class ReducedData:
             out.counter_info.extend(source.counter_info)
         out.segments = self.segments or other.segments
         out.allocations = self.allocations or other.allocations
+        out.incomplete = self.incomplete or other.incomplete
+        out.incomplete_reason = "; ".join(
+            filter(None, dict.fromkeys(
+                [self.incomplete_reason, other.incomplete_reason]
+            ))
+        )
         return out
 
 

@@ -141,6 +141,8 @@ class _Reducer:
         reduced.segments = [tuple(seg) for seg in info.segments]
         reduced.allocations = [tuple(a) for a in info.allocations]
         reduced.counter_info = list(info.counters)
+        reduced.incomplete = self.experiment.incomplete
+        reduced.incomplete_reason = self.experiment.incomplete_reason()
 
         for event in self.experiment.clock_events:
             self._attribute("user_cpu", info.clock_interval_cycles, event.pc,

@@ -16,7 +16,8 @@ import argparse
 import sys
 
 from ..config import scaled_config
-from ..errors import ReproError
+from ..errors import KernelError, MachineError, ReproError, WatchdogExpired
+from ..faults import FaultPlan
 from ..machine.counters import EVENTS
 from .collector import CollectConfig, collect
 
@@ -95,25 +96,46 @@ def main(argv=None) -> int:
     parser.add_argument("--layout", default="baseline",
                         choices=["baseline", "opt_layout"])
     parser.add_argument("--heap-page-bytes", type=int, default=None)
+    parser.add_argument("--watchdog-cycles", type=int, default=None,
+                        help="abort runaway runs after this many cycles")
+    parser.add_argument("--watchdog-instructions", type=int, default=None,
+                        help="abort runaway runs after this many instructions")
+    parser.add_argument("--fault-plan", default=None, metavar="SPEC",
+                        help="inject deterministic faults, e.g. "
+                             "'seed=7,kill_at=120000,drop_trap=0.25'")
     parser.add_argument("--help", action="help")
     parser.prefix_chars = "-"
     args = parser.parse_args(argv)
 
-    counter_requests = _parse_counter_list(args.counters) if args.counters else []
+    try:
+        counter_requests = _parse_counter_list(args.counters) if args.counters else []
+        fault_plan = FaultPlan.parse(args.fault_plan) if args.fault_plan else None
+    except ReproError as error:
+        print(f"collect: {error}", file=sys.stderr)
+        return 2
     program, input_longs = build_workload(args)
     config = CollectConfig(
         clock_profiling=args.clock == "on",
         counters=counter_requests,
         name=args.outdir,
+        watchdog_cycles=args.watchdog_cycles,
+        watchdog_instructions=args.watchdog_instructions,
     )
-    experiment = collect(
-        program,
-        scaled_config(),
-        config,
-        input_longs=input_longs,
-        heap_page_bytes=args.heap_page_bytes,
-        save_to=args.outdir,
-    )
+    try:
+        experiment = collect(
+            program,
+            scaled_config(),
+            config,
+            input_longs=input_longs,
+            heap_page_bytes=args.heap_page_bytes,
+            save_to=args.outdir,
+            fault_plan=fault_plan,
+        )
+    except (MachineError, KernelError, WatchdogExpired) as error:
+        print(f"collect: run died: {error}", file=sys.stderr)
+        print(f"partial experiment written: {args.outdir}", file=sys.stderr)
+        print(f"  (inspect with: repro-erprint {args.outdir} fsck)", file=sys.stderr)
+        return 3
     print(f"experiment written: {args.outdir}")
     print(f"  {len(experiment.hwc_events)} HW counter events, "
           f"{len(experiment.clock_events)} clock ticks")

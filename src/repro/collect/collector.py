@@ -22,12 +22,17 @@ from typing import Optional, Sequence
 
 from ..compiler.program import Program
 from ..config import MachineConfig
-from ..errors import CollectError
+from ..errors import CollectError, KernelError, MachineError
 from ..kernel.process import Process
 from ..kernel.signals import SIGEMT, SIGPROF
 from ..machine.counters import EVENTS, CounterSnapshot, CounterSpec
 from .backtrack import apropos_backtrack
 from .experiment import ClockEvent, Experiment, HwcEvent
+
+#: failures the collector survives by finalizing a partial experiment:
+#: simulated-program faults (MemoryFault, SimulatedCrash, ...), kernel
+#: faults (OutOfMemory, ...), watchdog expiry, and a user interrupt
+RECOVERABLE_FAULTS = (MachineError, KernelError, CollectError, KeyboardInterrupt)
 
 #: default clock-profiling tick, in cycles (prime, as the paper prescribes)
 CLOCK_INTERVAL_CYCLES = {"hi": 4999, "on": 20011, "lo": 200003}
@@ -43,6 +48,10 @@ class CollectConfig:
     counters: Sequence[str] = field(default_factory=tuple)
     name: str = "experiment"
     max_instructions: Optional[int] = None
+    #: loud runaway-run deadlines (WatchdogExpired), unlike the graceful
+    #: ``max_instructions`` budget
+    watchdog_cycles: Optional[int] = None
+    watchdog_instructions: Optional[int] = None
 
     def resolve_clock_interval(self) -> int:
         """Map hi/on/lo (or cycles) to a tick interval."""
@@ -102,23 +111,31 @@ class Collector:
         collect_config: CollectConfig,
         input_longs: Sequence[int] = (),
         heap_page_bytes: Optional[int] = None,
+        fault_plan=None,
+        journal_to=None,
     ) -> None:
         self.program = program
         self.machine_config = machine_config
         self.config = collect_config
+        self.fault_plan = fault_plan
         self.process = Process(
             program,
             machine_config,
             input_longs=input_longs,
             heap_page_bytes=heap_page_bytes,
+            fault_plan=fault_plan,
         )
         self.experiment = Experiment(collect_config.name)
         self.experiment.program = program
         self.experiment.info.heap_page_bytes = (
             heap_page_bytes or machine_config.dtlb.default_page_bytes
         )
+        # validate the counter requests before the journal touches disk
         self.specs = parse_counter_requests(collect_config.counters)
         self._spec_by_register = {spec.register: spec for spec in self.specs}
+        if journal_to is not None:
+            path = self.experiment.start_journal(journal_to)
+            self.experiment.log(f"collect: journaling to {path}")
 
     # ------------------------------------------------------------- handlers
 
@@ -189,10 +206,36 @@ class Collector:
             [seg.name, seg.base, seg.size, seg.page_bytes]
             for seg in machine.memory.segments
         ]
-        exit_code = self.process.run(max_instructions=self.config.max_instructions)
+        if self.fault_plan is not None:
+            experiment.log(f"collect: fault plan {self.fault_plan.describe()}")
+        try:
+            exit_code = self.process.run(
+                max_instructions=self.config.max_instructions,
+                max_cycles=self.config.watchdog_cycles,
+                watchdog_instructions=self.config.watchdog_instructions,
+            )
+        except RECOVERABLE_FAULTS as error:
+            # the run died, the profile need not: finalize what we have as
+            # a partial but valid experiment, then let the fault propagate
+            self._finalize(exit_code=-1, error=error)
+            raise
+        self._finalize(exit_code=exit_code)
+        return experiment
+
+    def _finalize(self, exit_code: int, error: Optional[BaseException] = None) -> None:
+        """Record end-of-run (or point-of-death) ground truth."""
+        experiment = self.experiment
+        machine = self.process.machine
         experiment.info.allocations = [list(a) for a in self.process.allocations]
         experiment.info.exit_code = exit_code
-        experiment.log(f"collect: target exited with {exit_code}")
+        if error is not None:
+            experiment.info.incomplete = True
+            experiment.info.fault = f"{type(error).__name__}: {error}"
+            experiment.log(f"collect: run aborted by {experiment.info.fault}")
+        else:
+            experiment.info.incomplete = False
+            experiment.info.fault = ""
+            experiment.log(f"collect: target exited with {exit_code}")
 
         stats = machine.stats()
         experiment.info.instructions = stats.instructions
@@ -206,11 +249,18 @@ class Collector:
             "ec_stall_cycles": stats.ec_stall_cycles,
             "dtlb_misses": stats.dtlb_misses,
         }
+        if self.fault_plan is not None:
+            fault_stats = self.fault_plan.stats
+            experiment.log(
+                f"collect: injected faults: {fault_stats['dropped_traps']} traps "
+                f"dropped, {fault_stats['delayed_traps']} delayed, "
+                f"{fault_stats['corrupted_snapshots']} snapshots corrupted"
+            )
         experiment.log(
             f"collect: {len(experiment.hwc_events)} HWC events, "
             f"{len(experiment.clock_events)} clock ticks"
         )
-        return experiment
+        experiment.flush_journal()
 
 
 def collect(
@@ -220,15 +270,32 @@ def collect(
     input_longs: Sequence[int] = (),
     heap_page_bytes: Optional[int] = None,
     save_to=None,
+    fault_plan=None,
 ) -> Experiment:
-    """One-call version of the ``collect`` command."""
+    """One-call version of the ``collect`` command.
+
+    With ``save_to``, events are journaled to the experiment directory as
+    they arrive; if the run dies mid-flight the partial experiment is
+    still finalized (valid manifest, ``incomplete`` flag set) before the
+    fault propagates.
+    """
     collector = Collector(
         program, machine_config, collect_config,
         input_longs=input_longs, heap_page_bytes=heap_page_bytes,
+        fault_plan=fault_plan, journal_to=save_to,
     )
-    experiment = collector.run()
+    try:
+        experiment = collector.run()
+    except RECOVERABLE_FAULTS:
+        if save_to is not None:
+            path = collector.experiment.save()
+            if fault_plan is not None:
+                fault_plan.corrupt_saved(path)
+        raise
     if save_to is not None:
-        experiment.save(save_to)
+        path = experiment.save()
+        if fault_plan is not None:
+            fault_plan.corrupt_saved(path)
     return experiment
 
 

@@ -10,22 +10,87 @@ Layout::
       program.pkl    the executable image (plays the role of a.out + DWARF)
       clock.jsonl    one clock-profile event per line
       hwc<k>.jsonl   one counter-overflow event per line, per PIC register
+      manifest.json  per-file line counts + SHA-256 checksums + format version
 
 Experiments also work fully in memory (``save=None``) so tests and quick
 analyses avoid disk I/O; ``Experiment.open`` reads a saved directory back.
+
+Crash safety
+------------
+
+A collect run that writes to disk *journals* as it goes
+(:meth:`Experiment.start_journal`): events are appended to their JSONL
+files with periodic flushes, and the program image plus a provisional
+``info.json`` are persisted up front — so a crash at any cycle leaves a
+partial but salvageable directory.  ``save()`` then *finalizes*: the
+metadata files are rewritten atomically (tmp + rename) and
+``manifest.json`` is written last, sealing the directory with checksums.
+
+``Experiment.open(strict=False)`` is the salvage path: it tolerates a
+missing manifest and missing optional files, skips malformed or
+truncated JSONL lines, and reports everything it skipped in
+:attr:`Experiment.salvage` so the analyzer can flag the profile as
+``(Incomplete)`` instead of refusing to load it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import shutil
 import time
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Optional
 
 from ..compiler.program import Program
-from ..errors import ExperimentError
+from ..errors import ExperimentCorrupt, ExperimentError
 
+#: version stamp of the on-disk experiment format
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+#: journal flush cadence, in recorded lines (bounds data lost to a crash)
+JOURNAL_FLUSH_LINES = 256
+
+#: files the analyzer can do without (their loss degrades, not kills)
+OPTIONAL_FILES = ("log.txt", "map.txt")
+
+
+# ---------------------------------------------------------------- helpers
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write via tmp + rename so readers never see a half-written file."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as stream:
+        for chunk in iter(lambda: stream.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _count_lines(path: Path) -> int:
+    count = 0
+    with open(path, "rb") as stream:
+        for chunk in iter(lambda: stream.read(1 << 16), b""):
+            count += chunk.count(b"\n")
+    return count
+
+
+def _normalize_dir(directory) -> Path:
+    path = Path(directory)
+    if path.suffix != ".er":
+        path = path.with_suffix(".er")
+    return path
+
+
+# ----------------------------------------------------------------- events
 
 @dataclass(frozen=True)
 class HwcEvent:
@@ -49,11 +114,21 @@ class HwcEvent:
         return json.dumps(record, separators=(",", ":"))
 
     @staticmethod
-    def from_json(line: str) -> "HwcEvent":
-        """Parse one JSON line back into an event."""
-        record = json.loads(line)
-        record["callstack"] = tuple(record["callstack"])
-        return HwcEvent(**record)
+    def from_json(line: str, source: str = "", lineno: int = 0) -> "HwcEvent":
+        """Parse one JSON line back into an event.
+
+        Malformed input (bad JSON, missing keys, wrong shapes) raises
+        :class:`ExperimentCorrupt` carrying ``source``/``lineno`` context
+        instead of leaking raw json/KeyError/TypeError.
+        """
+        try:
+            record = json.loads(line)
+            record["callstack"] = tuple(record["callstack"])
+            return HwcEvent(**record)
+        except (ValueError, KeyError, TypeError, AttributeError) as error:
+            raise ExperimentCorrupt(
+                f"bad HWC event: {error}", file=source, line=lineno
+            ) from error
 
 
 @dataclass(frozen=True)
@@ -72,10 +147,17 @@ class ClockEvent:
         )
 
     @staticmethod
-    def from_json(line: str) -> "ClockEvent":
-        """Parse one JSON line back into an event."""
-        record = json.loads(line)
-        return ClockEvent(record["pc"], record["cycle"], tuple(record["callstack"]))
+    def from_json(line: str, source: str = "", lineno: int = 0) -> "ClockEvent":
+        """Parse one JSON line back into an event (see HwcEvent.from_json)."""
+        try:
+            record = json.loads(line)
+            return ClockEvent(
+                record["pc"], record["cycle"], tuple(record["callstack"])
+            )
+        except (ValueError, KeyError, TypeError, AttributeError) as error:
+            raise ExperimentCorrupt(
+                f"bad clock event: {error}", file=source, line=lineno
+            ) from error
 
 
 @dataclass
@@ -95,6 +177,62 @@ class ExperimentInfo:
     #: [addr, size, start_cycle, end_cycle(-1 if live), callsite_pc] per
     #: heap allocation (instance-level analysis, paper §4)
     allocations: list = field(default_factory=list)
+    #: True when the run did not finish (crash, watchdog, interrupt)
+    incomplete: bool = False
+    #: what ended an incomplete run, e.g. "SimulatedCrash: ..."
+    fault: str = ""
+
+
+# ---------------------------------------------------------------- salvage
+
+@dataclass
+class FileSalvage:
+    """Per-file outcome of a salvage-mode read."""
+
+    lines_read: int = 0
+    lines_kept: int = 0
+    lines_skipped: int = 0
+    first_error: str = ""
+
+
+@dataclass
+class SalvageReport:
+    """Everything ``open(strict=False)`` skipped, aggregated or defaulted."""
+
+    files: dict = field(default_factory=dict)   # name -> FileSalvage
+    missing: list = field(default_factory=list)
+    damage: list = field(default_factory=list)  # free-form notes
+
+    def file(self, name: str) -> FileSalvage:
+        stats = self.files.get(name)
+        if stats is None:
+            stats = FileSalvage()
+            self.files[name] = stats
+        return stats
+
+    def note(self, message: str) -> None:
+        self.damage.append(message)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was skipped, missing, or defaulted."""
+        return (
+            not self.missing
+            and not self.damage
+            and all(s.lines_skipped == 0 for s in self.files.values())
+        )
+
+    def summary(self) -> str:
+        """One line per problem, empty string when clean."""
+        lines = list(self.damage)
+        lines.extend(f"missing file: {name}" for name in self.missing)
+        for name, stats in sorted(self.files.items()):
+            if stats.lines_skipped:
+                lines.append(
+                    f"{name}: skipped {stats.lines_skipped}/{stats.lines_read} "
+                    f"lines ({stats.first_error})"
+                )
+        return "\n".join(lines)
 
 
 class Experiment:
@@ -107,96 +245,394 @@ class Experiment:
         self.hwc_events: list[HwcEvent] = []
         self.clock_events: list[ClockEvent] = []
         self.log_lines: list[str] = []
+        #: set by ``open(strict=False)``; None for in-memory experiments
+        self.salvage: Optional[SalvageReport] = None
+        # journal state (crash-safe incremental recording)
+        self._journal_dir: Optional[Path] = None
+        self._streams: dict[str, object] = {}
+        self._unflushed = 0
+
+    # ------------------------------------------------------------ status
+
+    @property
+    def incomplete(self) -> bool:
+        """True when the profile is known to be partial (crashed run or
+        salvaged damage)."""
+        return self.info.incomplete or (
+            self.salvage is not None and not self.salvage.clean
+        )
+
+    def incomplete_reason(self) -> str:
+        """Human-readable cause of incompleteness ('' when complete)."""
+        reasons = []
+        if self.info.incomplete:
+            reasons.append(self.info.fault or "run did not finish")
+        if self.salvage is not None and not self.salvage.clean:
+            reasons.append(self.salvage.summary().replace("\n", "; "))
+        return "; ".join(reasons)
 
     # -------------------------------------------------------------- logging
 
     def log(self, message: str) -> None:
         """Append a timestamped line to the experiment log."""
-        self.log_lines.append(f"{time.time():.6f} {message}")
+        line = f"{time.time():.6f} {message}"
+        self.log_lines.append(line)
+        if self._journal_dir is not None:
+            self._journal_write("log.txt", line)
 
     # -------------------------------------------------------------- record
 
     def record_hwc(self, event: HwcEvent) -> None:
         """Record one counter-overflow event."""
         self.hwc_events.append(event)
+        if self._journal_dir is not None:
+            self._journal_write(f"hwc{event.counter}.jsonl", event.to_json())
 
     def record_clock(self, event: ClockEvent) -> None:
         """Record one clock-profiling tick."""
         self.clock_events.append(event)
+        if self._journal_dir is not None:
+            self._journal_write("clock.jsonl", event.to_json())
+
+    # ------------------------------------------------------------- journal
+
+    def start_journal(self, directory) -> Path:
+        """Stream events to ``directory`` as they arrive.
+
+        The directory immediately receives the program image and a
+        provisional ``info.json`` (marked incomplete), so a crash at any
+        later point — even a hard process kill — leaves a directory the
+        salvage tooling can analyze.
+        """
+        if self.program is None:
+            raise ExperimentError("cannot journal without a program image")
+        path = _normalize_dir(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        # drop stale event data from a previous run into the same directory
+        for stale in list(path.iterdir()):
+            if stale.name == MANIFEST_NAME or stale.suffix in (".jsonl", ".tmp"):
+                stale.unlink()
+        self._journal_dir = path
+        self._write_program(path)
+        provisional = asdict(self.info)
+        provisional["incomplete"] = True
+        provisional["fault"] = provisional["fault"] or "collection in progress"
+        _atomic_write_text(path / "info.json", json.dumps(provisional, indent=2))
+        # replay anything recorded before journaling started
+        for line in self.log_lines:
+            self._journal_write("log.txt", line)
+        for clock_event in self.clock_events:
+            self._journal_write("clock.jsonl", clock_event.to_json())
+        for hwc_event in self.hwc_events:
+            self._journal_write(f"hwc{hwc_event.counter}.jsonl", hwc_event.to_json())
+        return path
+
+    @property
+    def journal_dir(self) -> Optional[Path]:
+        """Where the journal streams to (None when in-memory)."""
+        return self._journal_dir
+
+    def _journal_write(self, filename: str, line: str) -> None:
+        stream = self._streams.get(filename)
+        if stream is None:
+            assert self._journal_dir is not None
+            stream = open(self._journal_dir / filename, "w")
+            self._streams[filename] = stream
+        stream.write(line + "\n")
+        self._unflushed += 1
+        if self._unflushed >= JOURNAL_FLUSH_LINES:
+            self.flush_journal()
+
+    def flush_journal(self) -> None:
+        """Push buffered journal lines to the OS."""
+        for stream in self._streams.values():
+            stream.flush()
+        self._unflushed = 0
+
+    def _close_journal_streams(self) -> None:
+        for stream in self._streams.values():
+            stream.close()
+        self._streams = {}
+        self._unflushed = 0
 
     # ---------------------------------------------------------------- save
 
-    def save(self, directory) -> Path:
-        """Write to disk; returns the path written."""
-        path = Path(directory)
-        if path.suffix != ".er":
-            path = path.with_suffix(".er")
-        path.mkdir(parents=True, exist_ok=True)
-        (path / "log.txt").write_text("\n".join(self.log_lines) + "\n")
-        if self.program is not None:
-            map_lines = ["# loadobjects map: module, function, start, end"]
-            for func in self.program.functions:
-                hwcprof, branch_info = self.program.module_flags.get(
-                    func.module, (False, False)
-                )
-                flags = ("hwcprof" if hwcprof else "-") + (
-                    ",btinfo" if branch_info else ""
-                )
-                map_lines.append(
-                    f"{func.module:<12} {func.name:<24} "
-                    f"0x{func.start:x} 0x{func.end:x} {flags}"
-                )
-            (path / "map.txt").write_text("\n".join(map_lines) + "\n")
-        info = asdict(self.info)
-        (path / "info.json").write_text(json.dumps(info, indent=2))
+    def save(self, directory=None) -> Path:
+        """Write to disk; returns the path written.
+
+        With an active journal and no ``directory`` (or the journal's own
+        directory), this *finalizes* the journal: metadata is rewritten
+        atomically and ``manifest.json`` seals the result.  Otherwise the
+        whole in-memory experiment is written out.
+        """
         if self.program is None:
+            # validate before touching the filesystem: a failed save must
+            # not leave a corrupt half-directory behind
             raise ExperimentError("experiment has no program image")
-        self.program.save(path / "program.pkl")
-        with open(path / "clock.jsonl", "w") as stream:
-            for event in self.clock_events:
-                stream.write(event.to_json() + "\n")
+        if directory is None:
+            if self._journal_dir is None:
+                raise ExperimentError("save: no directory given and no journal")
+            path = self._journal_dir
+        else:
+            path = _normalize_dir(directory)
+        if self._journal_dir is not None and path == self._journal_dir:
+            return self._finalize_journal()
+
+        created = not path.exists()
+        path.mkdir(parents=True, exist_ok=True)
+        try:
+            self._write_events(path)
+            self._write_metadata(path)
+            self._write_manifest(path)
+        except BaseException:
+            if created:
+                shutil.rmtree(path, ignore_errors=True)
+            raise
+        return path
+
+    def _finalize_journal(self) -> Path:
+        path = self._journal_dir
+        assert path is not None
+        self.flush_journal()
+        self._close_journal_streams()
+        # parity with the full-write layout: clock.jsonl always exists
+        clock_file = path / "clock.jsonl"
+        if not clock_file.exists():
+            clock_file.touch()
+        self._write_metadata(path)
+        self._write_manifest(path)
+        return path
+
+    # ------------------------------------------------------------- writers
+
+    def _write_program(self, path: Path) -> None:
+        tmp = path / "program.pkl.tmp"
+        self.program.save(tmp)
+        os.replace(tmp, path / "program.pkl")
+
+    def _map_lines(self) -> list[str]:
+        map_lines = ["# loadobjects map: module, function, start, end"]
+        for func in self.program.functions:
+            hwcprof, branch_info = self.program.module_flags.get(
+                func.module, (False, False)
+            )
+            flags = ("hwcprof" if hwcprof else "-") + (
+                ",btinfo" if branch_info else ""
+            )
+            map_lines.append(
+                f"{func.module:<12} {func.name:<24} "
+                f"0x{func.start:x} 0x{func.end:x} {flags}"
+            )
+        return map_lines
+
+    def _write_metadata(self, path: Path) -> None:
+        _atomic_write_text(path / "log.txt", "\n".join(self.log_lines) + "\n")
+        _atomic_write_text(path / "map.txt", "\n".join(self._map_lines()) + "\n")
+        _atomic_write_text(
+            path / "info.json", json.dumps(asdict(self.info), indent=2)
+        )
+        self._write_program(path)
+
+    def _write_events(self, path: Path) -> None:
+        tmp = path / "clock.jsonl.tmp"
+        with open(tmp, "w") as stream:
+            for clock_event in self.clock_events:
+                stream.write(clock_event.to_json() + "\n")
+        os.replace(tmp, path / "clock.jsonl")
         counters = {event.counter for event in self.hwc_events}
-        for counter in sorted(counters) or []:
-            with open(path / f"hwc{counter}.jsonl", "w") as stream:
+        for counter in sorted(counters):
+            tmp = path / f"hwc{counter}.jsonl.tmp"
+            with open(tmp, "w") as stream:
                 for event in self.hwc_events:
                     if event.counter == counter:
                         stream.write(event.to_json() + "\n")
-        return path
+            os.replace(tmp, path / f"hwc{counter}.jsonl")
+
+    def _write_manifest(self, path: Path) -> None:
+        files = {}
+        for file in sorted(path.iterdir()):
+            if file.name == MANIFEST_NAME or file.suffix == ".tmp":
+                continue
+            if not file.is_file():
+                continue
+            entry = {
+                "bytes": file.stat().st_size,
+                "sha256": _sha256_file(file),
+            }
+            if file.suffix in (".jsonl", ".txt"):
+                entry["lines"] = _count_lines(file)
+            files[file.name] = entry
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "name": self.name,
+            "complete": not self.info.incomplete,
+            "fault": self.info.fault,
+            "files": files,
+        }
+        _atomic_write_text(path / MANIFEST_NAME, json.dumps(manifest, indent=2))
 
     # ---------------------------------------------------------------- load
 
     @staticmethod
-    def open(directory) -> "Experiment":
-        """Read a saved experiment directory back into memory."""
+    def read_manifest(directory) -> Optional[dict]:
+        """The parsed manifest, or None when absent/unreadable."""
+        path = Path(directory) / MANIFEST_NAME
+        if not path.exists():
+            return None
+        try:
+            manifest = json.loads(path.read_text(errors="replace"))
+        except ValueError:
+            return None
+        if not isinstance(manifest, dict) or not isinstance(
+            manifest.get("files"), dict
+        ):
+            return None
+        return manifest
+
+    @staticmethod
+    def open(directory, strict: bool = True) -> "Experiment":
+        """Read a saved experiment directory back into memory.
+
+        ``strict=True`` (the default) raises :class:`ExperimentCorrupt`
+        on any damage — a checksum mismatch, a malformed event line, a
+        file the manifest promises but the disk lacks.  ``strict=False``
+        is salvage mode: optional files may be missing, malformed lines
+        are skipped and tallied, and the result carries a
+        :class:`SalvageReport` in :attr:`Experiment.salvage`.
+        """
         path = Path(directory)
         if not path.is_dir():
             raise ExperimentError(f"no experiment directory at {path}")
         exp = Experiment(name=path.stem)
+        salvage = SalvageReport()
+        exp.salvage = salvage
+
+        manifest = Experiment.read_manifest(path)
+        if manifest is None:
+            if (path / MANIFEST_NAME).exists():
+                if strict:
+                    raise ExperimentCorrupt(
+                        "manifest unreadable", file=MANIFEST_NAME
+                    )
+                salvage.note("manifest.json unreadable")
+            elif not strict:
+                salvage.note("manifest.json missing (unclean shutdown?)")
+        else:
+            version = manifest.get("format_version", 0)
+            if version > FORMAT_VERSION:
+                message = f"experiment format v{version} is newer than v{FORMAT_VERSION}"
+                if strict:
+                    raise ExperimentCorrupt(message, file=MANIFEST_NAME)
+                salvage.note(message)
+            Experiment._check_manifest(path, manifest, strict, salvage)
+
+        # info.json — defaults are salvageable
         info_file = path / "info.json"
-        if not info_file.exists():
-            raise ExperimentError(f"{path} has no info.json")
-        info_record = json.loads(info_file.read_text())
-        known = {f.name for f in fields(ExperimentInfo)}
-        exp.info = ExperimentInfo(
-            **{k: v for k, v in info_record.items() if k in known}
-        )
+        if info_file.exists():
+            try:
+                record = json.loads(info_file.read_text(errors="replace"))
+                known = {f.name for f in fields(ExperimentInfo)}
+                exp.info = ExperimentInfo(
+                    **{k: v for k, v in record.items() if k in known}
+                )
+            except (ValueError, TypeError) as error:
+                if strict:
+                    raise ExperimentCorrupt(
+                        f"bad info.json: {error}", file="info.json"
+                    ) from error
+                salvage.note(f"info.json corrupt ({error}); using defaults")
+        else:
+            if strict:
+                raise ExperimentError(f"{path} has no info.json")
+            salvage.missing.append("info.json")
+            salvage.note("info.json missing; using defaults")
+
+        # program.pkl — required even for salvage (nothing to attribute
+        # events to without the image)
         program_file = path / "program.pkl"
         if not program_file.exists():
             raise ExperimentError(f"{path} has no program image")
-        exp.program = Program.load(program_file)
+        try:
+            exp.program = Program.load(program_file)
+        except Exception as error:
+            raise ExperimentCorrupt(
+                f"program image unreadable: {error}", file="program.pkl"
+            ) from error
+
         log_file = path / "log.txt"
         if log_file.exists():
-            exp.log_lines = log_file.read_text().splitlines()
+            exp.log_lines = log_file.read_text(errors="replace").splitlines()
+        elif not strict:
+            salvage.missing.append("log.txt")
+
         clock_file = path / "clock.jsonl"
         if clock_file.exists():
-            with open(clock_file) as stream:
-                exp.clock_events = [ClockEvent.from_json(line) for line in stream if line.strip()]
+            Experiment._read_jsonl(
+                clock_file, ClockEvent.from_json, exp.clock_events.append,
+                strict, salvage,
+            )
         for hwc_file in sorted(path.glob("hwc*.jsonl")):
-            with open(hwc_file) as stream:
-                exp.hwc_events.extend(
-                    HwcEvent.from_json(line) for line in stream if line.strip()
-                )
+            Experiment._read_jsonl(
+                hwc_file, HwcEvent.from_json, exp.hwc_events.append,
+                strict, salvage,
+            )
         return exp
 
+    @staticmethod
+    def _check_manifest(path: Path, manifest: dict, strict: bool,
+                        salvage: SalvageReport) -> None:
+        """Verify checksums/sizes of everything the manifest promises."""
+        for name, entry in manifest["files"].items():
+            file = path / name
+            if not file.exists():
+                if strict and name not in OPTIONAL_FILES:
+                    raise ExperimentCorrupt("file missing", file=name)
+                salvage.missing.append(name)
+                continue
+            if not isinstance(entry, dict):
+                salvage.note(f"{name}: bad manifest entry")
+                continue
+            expected = entry.get("sha256")
+            if expected and _sha256_file(file) != expected:
+                if strict:
+                    raise ExperimentCorrupt("checksum mismatch", file=name)
+                expected_lines = entry.get("lines")
+                found = _count_lines(file) if expected_lines is not None else None
+                detail = (
+                    f" (manifest {expected_lines} lines, found {found})"
+                    if expected_lines is not None and expected_lines != found
+                    else ""
+                )
+                salvage.note(f"{name}: checksum mismatch{detail}")
 
-__all__ = ["Experiment", "ExperimentInfo", "HwcEvent", "ClockEvent"]
+    @staticmethod
+    def _read_jsonl(file: Path, parse, sink, strict: bool,
+                    salvage: SalvageReport) -> None:
+        stats = salvage.file(file.name)
+        with open(file, errors="replace") as stream:
+            for lineno, line in enumerate(stream, 1):
+                if not line.strip():
+                    continue
+                stats.lines_read += 1
+                try:
+                    sink(parse(line, source=file.name, lineno=lineno))
+                except ExperimentCorrupt as error:
+                    if strict:
+                        raise
+                    stats.lines_skipped += 1
+                    if not stats.first_error:
+                        stats.first_error = str(error)
+                else:
+                    stats.lines_kept += 1
+
+
+__all__ = [
+    "Experiment",
+    "ExperimentInfo",
+    "HwcEvent",
+    "ClockEvent",
+    "SalvageReport",
+    "FileSalvage",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+]

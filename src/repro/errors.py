@@ -69,6 +69,10 @@ class DivisionByZero(MachineError):
     """Integer division or modulo by zero in the simulated program."""
 
 
+class SimulatedCrash(MachineError):
+    """The run was killed mid-flight by an injected fault (FaultPlan)."""
+
+
 class KernelError(ReproError):
     """Loader, heap, or signal-dispatch failure."""
 
@@ -81,8 +85,26 @@ class CollectError(ReproError):
     """Bad collect configuration (counter names, intervals, limits)."""
 
 
+class WatchdogExpired(CollectError):
+    """A runaway run blew through the configured cycle/instruction deadline."""
+
+
 class ExperimentError(ReproError):
     """Experiment directory is missing, corrupt, or incomplete."""
+
+
+class ExperimentCorrupt(ExperimentError):
+    """Experiment data failed validation (bad manifest, malformed events).
+
+    Carries the offending file and line when known so salvage tooling can
+    point at the damage.
+    """
+
+    def __init__(self, message: str, file: str = "", line: int = 0) -> None:
+        where = f"{file}:{line}: " if file and line else (f"{file}: " if file else "")
+        super().__init__(f"{where}{message}")
+        self.file = file
+        self.line = line
 
 
 class AnalysisError(ReproError):

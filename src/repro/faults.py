@@ -1,0 +1,210 @@
+"""Deterministic fault injection for the collection pipeline.
+
+The paper's collector survives real-world messiness — imprecise traps,
+clobbered registers, modules without metadata.  A :class:`FaultPlan`
+lets tests manufacture that messiness (and worse) on demand, with a
+seeded RNG in the same style as the skid model, so every degradation
+path is reproducible end to end:
+
+* **drop or delay overflow traps** — models lost SIGEMTs and extra skid
+  beyond the hardware's own imprecision (applied in
+  :class:`repro.machine.counters.CounterUnit`);
+* **corrupt register snapshots** — models clobbered register windows at
+  signal delivery, before the apropos backtracking search reads them
+  (applied in :class:`repro.kernel.signals.SignalDispatcher`);
+* **kill the simulated run at a chosen cycle** — models a crash of the
+  profiled process mid-collection (raises
+  :class:`repro.errors.SimulatedCrash` from the CPU loop);
+* **truncate / bit-flip / delete experiment files on save** — models a
+  torn write or disk corruption after the collector finalized
+  (applied by :func:`repro.collect.collector.collect` after
+  ``Experiment.save``).
+
+Plans parse from compact CLI specs (``repro-collect --fault-plan``)::
+
+    seed=7,kill_at=120000,drop_trap=0.25,delay_trap=0.5,delay_instrs=8,
+    corrupt_regs=0.1,truncate=clock.jsonl:0.5,bitflip=hwc1.jsonl:16,
+    delete=map.txt
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Optional
+
+from .errors import CollectError
+
+_U64 = 1 << 64
+_S64_MAX = (1 << 63) - 1
+
+
+@dataclass
+class FaultPlan:
+    """One seeded, reproducible schedule of injected faults."""
+
+    seed: int = 0
+    #: probability that a counter-overflow trap is silently lost
+    drop_trap_prob: float = 0.0
+    #: probability that a delivered trap skids ``delay_trap_instrs`` further
+    delay_trap_prob: float = 0.0
+    delay_trap_instrs: int = 8
+    #: probability that a snapshot's register file is clobbered pre-backtrack
+    corrupt_regs_prob: float = 0.0
+    #: kill the simulated run once the cycle counter reaches this value
+    kill_at_cycle: Optional[int] = None
+    #: file name -> fraction of bytes kept (torn write on save)
+    truncate: dict = field(default_factory=dict)
+    #: file name -> number of bit flips (disk corruption on save)
+    bitflip: dict = field(default_factory=dict)
+    #: file names removed after save
+    delete: tuple = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_trap_prob", "delay_trap_prob", "corrupt_regs_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise CollectError(f"fault plan: {name} must be in [0, 1]: {value}")
+        if self.delay_trap_instrs < 0:
+            raise CollectError("fault plan: delay_instrs must be >= 0")
+        if self.kill_at_cycle is not None and self.kill_at_cycle < 0:
+            raise CollectError("fault plan: kill_at must be >= 0")
+        self.rng = random.Random(self.seed)
+        #: what actually fired, for logs and tests
+        self.stats = {
+            "dropped_traps": 0,
+            "delayed_traps": 0,
+            "corrupted_snapshots": 0,
+            "file_faults": [],
+        }
+
+    # ------------------------------------------------------- trap delivery
+
+    def filter_trap(self, skid: int) -> Optional[int]:
+        """Mangle one armed trap: ``None`` drops it, else the (possibly
+        lengthened) skid."""
+        if self.drop_trap_prob and self.rng.random() < self.drop_trap_prob:
+            self.stats["dropped_traps"] += 1
+            return None
+        if self.delay_trap_prob and self.rng.random() < self.delay_trap_prob:
+            self.stats["delayed_traps"] += 1
+            return skid + self.delay_trap_instrs
+        return skid
+
+    # --------------------------------------------------------- OS delivery
+
+    def mangle_snapshot(self, snapshot):
+        """Maybe clobber the register file the signal handler will see."""
+        if not self.corrupt_regs_prob or self.rng.random() >= self.corrupt_regs_prob:
+            return snapshot
+        self.stats["corrupted_snapshots"] += 1
+        regs = list(snapshot.regs)
+        for _ in range(self.rng.randint(1, 4)):
+            index = self.rng.randrange(1, len(regs))  # %g0 stays hardwired
+            value = regs[index] ^ self.rng.getrandbits(64)
+            if value > _S64_MAX:
+                value -= _U64
+            regs[index] = value
+        return replace(snapshot, regs=tuple(regs))
+
+    # ---------------------------------------------------------- save-time
+
+    def corrupt_saved(self, directory) -> list:
+        """Apply the configured file faults to a saved experiment.
+
+        Returns a list of human-readable actions taken (also accumulated
+        in ``stats['file_faults']``).
+        """
+        path = Path(directory)
+        actions: list = []
+        for name, keep in self.truncate.items():
+            target = path / name
+            if not target.exists():
+                continue
+            data = target.read_bytes()
+            kept = int(len(data) * max(0.0, min(1.0, float(keep))))
+            target.write_bytes(data[:kept])
+            actions.append(f"truncated {name} to {kept}/{len(data)} bytes")
+        for name, flips in self.bitflip.items():
+            target = path / name
+            if not target.exists():
+                continue
+            data = bytearray(target.read_bytes())
+            if data:
+                for _ in range(int(flips)):
+                    offset = self.rng.randrange(len(data))
+                    data[offset] ^= 1 << self.rng.randrange(8)
+                target.write_bytes(bytes(data))
+                actions.append(f"flipped {flips} bit(s) in {name}")
+        for name in self.delete:
+            target = path / name
+            if target.exists():
+                target.unlink()
+                actions.append(f"deleted {name}")
+        self.stats["file_faults"].extend(actions)
+        return actions
+
+    # ------------------------------------------------------------- parsing
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a ``key=value,...`` CLI spec into a plan."""
+        kwargs: dict = {"truncate": {}, "bitflip": {}, "delete": []}
+        for item in filter(None, (part.strip() for part in text.split(","))):
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise CollectError(f"fault plan: expected key=value, got {item!r}")
+            try:
+                if key == "seed":
+                    kwargs["seed"] = int(value)
+                elif key == "drop_trap":
+                    kwargs["drop_trap_prob"] = float(value)
+                elif key == "delay_trap":
+                    kwargs["delay_trap_prob"] = float(value)
+                elif key == "delay_instrs":
+                    kwargs["delay_trap_instrs"] = int(value)
+                elif key == "corrupt_regs":
+                    kwargs["corrupt_regs_prob"] = float(value)
+                elif key == "kill_at":
+                    kwargs["kill_at_cycle"] = int(value)
+                elif key == "truncate":
+                    name, _, keep = value.partition(":")
+                    kwargs["truncate"][name] = float(keep) if keep else 0.5
+                elif key == "bitflip":
+                    name, _, count = value.partition(":")
+                    kwargs["bitflip"][name] = int(count) if count else 1
+                elif key == "delete":
+                    kwargs["delete"].append(value)
+                else:
+                    raise CollectError(f"fault plan: unknown key {key!r}")
+            except ValueError as error:
+                raise CollectError(
+                    f"fault plan: bad value for {key!r}: {value!r}"
+                ) from error
+        kwargs["delete"] = tuple(kwargs["delete"])
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        """Compact one-line summary for experiment logs."""
+        parts = [f"seed={self.seed}"]
+        if self.drop_trap_prob:
+            parts.append(f"drop_trap={self.drop_trap_prob}")
+        if self.delay_trap_prob:
+            parts.append(
+                f"delay_trap={self.delay_trap_prob}x{self.delay_trap_instrs}"
+            )
+        if self.corrupt_regs_prob:
+            parts.append(f"corrupt_regs={self.corrupt_regs_prob}")
+        if self.kill_at_cycle is not None:
+            parts.append(f"kill_at={self.kill_at_cycle}")
+        for name, keep in self.truncate.items():
+            parts.append(f"truncate={name}:{keep}")
+        for name, flips in self.bitflip.items():
+            parts.append(f"bitflip={name}:{flips}")
+        for name in self.delete:
+            parts.append(f"delete={name}")
+        return ",".join(parts)
+
+
+__all__ = ["FaultPlan"]

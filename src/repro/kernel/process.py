@@ -36,6 +36,7 @@ class Process:
         input_longs=(),
         heap_page_bytes: Optional[int] = None,
         stack_bytes: int = 1 << 20,
+        fault_plan=None,
     ) -> None:
         self.program = program
         self.image: LoadedImage = load_program(
@@ -44,6 +45,7 @@ class Process:
             input_longs=input_longs,
             heap_page_bytes=heap_page_bytes,
             stack_bytes=stack_bytes,
+            machine=Machine(config, fault_plan=fault_plan),
         )
         self.machine: Machine = self.image.machine
         self.heap = self.image.heap
@@ -53,15 +55,30 @@ class Process:
         self.allocations: list[list] = []
         self._live_alloc_index: dict[int, int] = {}
         self.machine.cpu.kernel_service = self._service
-        self.signals = SignalDispatcher(self.machine.cpu)
+        self.signals = SignalDispatcher(self.machine.cpu, fault_plan=fault_plan)
         self.finished = False
 
     # ----------------------------------------------------------------- run
 
-    def run(self, max_instructions: Optional[int] = None) -> int:
-        """Run to completion (or budget); returns the exit code."""
-        self.machine.cpu.run(max_instructions=max_instructions)
-        self.finished = self.machine.cpu.halted
+    def run(
+        self,
+        max_instructions: Optional[int] = None,
+        max_cycles: Optional[int] = None,
+        watchdog_instructions: Optional[int] = None,
+    ) -> int:
+        """Run to completion (or budget); returns the exit code.
+
+        The optional cycle/instruction watchdogs raise
+        :class:`repro.errors.WatchdogExpired` on runaway runs.
+        """
+        try:
+            self.machine.cpu.run(
+                max_instructions=max_instructions,
+                max_cycles=max_cycles,
+                watchdog_instructions=watchdog_instructions,
+            )
+        finally:
+            self.finished = self.machine.cpu.halted
         return self.machine.cpu.exit_code
 
     @property

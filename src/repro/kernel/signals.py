@@ -22,8 +22,12 @@ SIGPROF = "SIGPROF"
 class SignalDispatcher:
     """Routes CPU-level events to registered signal handlers."""
 
-    def __init__(self, cpu: CPU) -> None:
+    def __init__(self, cpu: CPU, fault_plan=None) -> None:
         self.cpu = cpu
+        #: optional FaultPlan that may clobber register snapshots in flight
+        #: (models register windows trashed between trap and handler, before
+        #: the apropos backtracking search reads them)
+        self.fault_plan = fault_plan
         self._emt_handler: Optional[Callable[[CounterSnapshot], None]] = None
         self._prof_handler: Optional[Callable[[int, int, tuple], None]] = None
         self.delivered: dict[str, int] = {SIGEMT: 0, SIGPROF: 0}
@@ -52,6 +56,8 @@ class SignalDispatcher:
 
     def _on_overflow(self, snapshot: CounterSnapshot) -> None:
         self.delivered[SIGEMT] += 1
+        if self.fault_plan is not None:
+            snapshot = self.fault_plan.mangle_snapshot(snapshot)
         if self._emt_handler is not None:
             self._emt_handler(snapshot)
 

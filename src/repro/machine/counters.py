@@ -156,8 +156,10 @@ class CounterUnit:
     after which the trap must be delivered.
     """
 
-    def __init__(self, rng: random.Random) -> None:
+    def __init__(self, rng: random.Random, fault_plan=None) -> None:
         self.rng = rng
+        #: optional FaultPlan that may drop or further delay armed traps
+        self.fault_plan = fault_plan
         self.specs: list[Optional[CounterSpec]] = [None, None]
         self.remaining: list[int] = [0, 0]
         self.totals: list[int] = [0, 0]
@@ -208,10 +210,17 @@ class CounterUnit:
             self.remaining[register] += skipped * spec.interval
         event = spec.event
         if event.skid_max == 0:
-            return 0
-        if event.skid_bias and self.rng.random() < event.skid_bias:
-            return event.skid_min
-        return self.rng.randint(event.skid_min, event.skid_max)
+            skid = 0
+        elif event.skid_bias and self.rng.random() < event.skid_bias:
+            skid = event.skid_min
+        else:
+            skid = self.rng.randint(event.skid_min, event.skid_max)
+        if self.fault_plan is not None:
+            mangled = self.fault_plan.filter_trap(skid)
+            if mangled is None:
+                return -1  # trap lost in delivery
+            skid = mangled
+        return skid
 
 
 __all__ = [

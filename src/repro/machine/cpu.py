@@ -26,6 +26,8 @@ from ..errors import (
     IllegalInstruction,
     MachineError,
     MemoryFault,
+    SimulatedCrash,
+    WatchdogExpired,
 )
 from ..isa.instructions import Instr, Op
 from ..isa.registers import NUM_REGS, REG_G0, REG_RA
@@ -103,6 +105,10 @@ class CPU:
         #: kernel service dispatcher for the TA instruction
         self.kernel_service: Optional[Callable[["CPU", int], None]] = None
 
+        #: injected-fault kill point (FaultPlan.kill_at_cycle); the run
+        #: raises SimulatedCrash once the cycle counter reaches it
+        self.kill_at_cycle: Optional[int] = None
+
     # ------------------------------------------------------------------ API
 
     def set_entry(self, pc: int) -> None:
@@ -138,8 +144,18 @@ class CPU:
 
     # ------------------------------------------------------------- main loop
 
-    def run(self, max_instructions: Optional[int] = None) -> int:
-        """Run until HALT (or the budget); returns instructions executed."""
+    def run(
+        self,
+        max_instructions: Optional[int] = None,
+        max_cycles: Optional[int] = None,
+        watchdog_instructions: Optional[int] = None,
+    ) -> int:
+        """Run until HALT (or the budget); returns instructions executed.
+
+        ``max_instructions`` stops gracefully; ``max_cycles`` and
+        ``watchdog_instructions`` are *loud* deadlines that raise
+        :class:`WatchdogExpired` — the collector's runaway-run guard.
+        """
         # Bind everything hot to locals.
         regs = self.regs
         memory = self.memory
@@ -193,320 +209,351 @@ class CPU:
         executed = 0
         budget = max_instructions if max_instructions is not None else -1
 
-        while not self.halted:
-            if budget == 0:
-                break
-            budget -= 1
+        kill_at = self.kill_at_cycle
+        # single guard bool keeps the common (no-deadline) hot path at one test
+        deadlines = (
+            max_cycles is not None
+            or watchdog_instructions is not None
+            or kill_at is not None
+        )
 
-            idx = (pc - text_base) >> 2
-            if idx < 0 or idx >= ncode or pc & 3:
-                raise IllegalInstruction(f"fetch from 0x{pc:x}")
-            instr = code[idx]
-            op = instr.op
-            npc2 = npc + 4
-            extra = 0
+        try:
+            while not self.halted:
+                if budget == 0:
+                    break
+                budget -= 1
 
-            if op is LDX or op is LDUB:
-                rs2 = instr.rs2
-                ea = regs[instr.rs1] + (instr.imm if rs2 is None else regs[rs2])
-                # DTLB
-                if not dtlb.lookup(ea, memory):
-                    extra += dtlb_miss_cycles
-                    if w_dtlbm is not None:
-                        skid = record(w_dtlbm, 1)
-                        if skid >= 0:
-                            pending.append([skid, w_dtlbm, skid, pc])
-                # D$
-                full_miss = False
-                if not dcache.access(ea, False):
-                    if w_dcrm is not None:
-                        skid = record(w_dcrm, 1)
-                        if skid >= 0:
-                            pending.append([skid, w_dcrm, skid, pc])
-                    extra += ec_hit_cycles
-                    if w_ecref is not None:
-                        skid = record(w_ecref, 1)
-                        if skid >= 0:
-                            pending.append([skid, w_ecref, skid, pc])
-                    if not ecache.access(ea, False):
-                        full_miss = True
-                        extra += ec_miss_cycles
-                        ecstall_total += ec_miss_cycles
-                        if w_ecrm is not None:
-                            skid = record(w_ecrm, 1)
+                idx = (pc - text_base) >> 2
+                if idx < 0 or idx >= ncode or pc & 3:
+                    raise IllegalInstruction(f"fetch from 0x{pc:x}")
+                instr = code[idx]
+                op = instr.op
+                npc2 = npc + 4
+                extra = 0
+
+                if op is LDX or op is LDUB:
+                    rs2 = instr.rs2
+                    ea = regs[instr.rs1] + (instr.imm if rs2 is None else regs[rs2])
+                    # DTLB
+                    if not dtlb.lookup(ea, memory):
+                        extra += dtlb_miss_cycles
+                        if w_dtlbm is not None:
+                            skid = record(w_dtlbm, 1)
                             if skid >= 0:
-                                pending.append([skid, w_ecrm, skid, pc])
-                        if w_ecstall is not None:
-                            skid = record(w_ecstall, ec_miss_cycles)
+                                pending.append([skid, w_dtlbm, skid, pc])
+                    # D$
+                    full_miss = False
+                    if not dcache.access(ea, False):
+                        if w_dcrm is not None:
+                            skid = record(w_dcrm, 1)
                             if skid >= 0:
-                                pending.append([skid, w_ecstall, skid, pc])
-                if inflight:
-                    # a software prefetch may still be fetching this line:
-                    # the demand load waits for the remainder
-                    ready = inflight.pop(ea >> ec_line_shift, None)
-                    if ready is not None and not full_miss and ready > cycles:
-                        wait = ready - cycles
-                        extra += wait
-                        ecstall_total += wait
-                # data
-                if op is LDX:
-                    if ea & 7:
-                        raise MemoryFault(ea, "misaligned 8-byte load")
-                    widx = (ea - mem_base) >> 3
-                    if widx < 0 or widx >= nwords:
-                        raise MemoryFault(ea)
-                    value = words[widx]
-                else:
-                    widx = (ea - mem_base) >> 3
-                    if widx < 0 or widx >= nwords:
-                        raise MemoryFault(ea)
-                    value = (words[widx] >> ((ea & 7) << 3)) & 0xFF
-                rd = instr.rd
-                if rd:
-                    regs[rd] = value
+                                pending.append([skid, w_dcrm, skid, pc])
+                        extra += ec_hit_cycles
+                        if w_ecref is not None:
+                            skid = record(w_ecref, 1)
+                            if skid >= 0:
+                                pending.append([skid, w_ecref, skid, pc])
+                        if not ecache.access(ea, False):
+                            full_miss = True
+                            extra += ec_miss_cycles
+                            ecstall_total += ec_miss_cycles
+                            if w_ecrm is not None:
+                                skid = record(w_ecrm, 1)
+                                if skid >= 0:
+                                    pending.append([skid, w_ecrm, skid, pc])
+                            if w_ecstall is not None:
+                                skid = record(w_ecstall, ec_miss_cycles)
+                                if skid >= 0:
+                                    pending.append([skid, w_ecstall, skid, pc])
+                    if inflight:
+                        # a software prefetch may still be fetching this line:
+                        # the demand load waits for the remainder
+                        ready = inflight.pop(ea >> ec_line_shift, None)
+                        if ready is not None and not full_miss and ready > cycles:
+                            wait = ready - cycles
+                            extra += wait
+                            ecstall_total += wait
+                    # data
+                    if op is LDX:
+                        if ea & 7:
+                            raise MemoryFault(ea, "misaligned 8-byte load")
+                        widx = (ea - mem_base) >> 3
+                        if widx < 0 or widx >= nwords:
+                            raise MemoryFault(ea)
+                        value = words[widx]
+                    else:
+                        widx = (ea - mem_base) >> 3
+                        if widx < 0 or widx >= nwords:
+                            raise MemoryFault(ea)
+                        value = (words[widx] >> ((ea & 7) << 3)) & 0xFF
+                    rd = instr.rd
+                    if rd:
+                        regs[rd] = value
 
-            elif op is STX or op is STB:
-                rs2 = instr.rs2
-                ea = regs[instr.rs1] + (instr.imm if rs2 is None else regs[rs2])
-                if not dtlb.lookup(ea, memory):
-                    extra += dtlb_miss_cycles
-                    if w_dtlbm is not None:
-                        skid = record(w_dtlbm, 1)
-                        if skid >= 0:
-                            pending.append([skid, w_dtlbm, skid, pc])
-                if not dcache.access(ea, True):
-                    # write-allocate through E$; the write buffer hides most
-                    # of the latency (configurable residual stall)
-                    extra += store_stall_cycles
-                    if w_ecref is not None:
-                        skid = record(w_ecref, 1)
-                        if skid >= 0:
-                            pending.append([skid, w_ecref, skid, pc])
-                    ecache.access(ea, True)
-                if op is STX:
-                    if ea & 7:
-                        raise MemoryFault(ea, "misaligned 8-byte store")
-                    widx = (ea - mem_base) >> 3
-                    if widx < 0 or widx >= nwords:
-                        raise MemoryFault(ea)
-                    value = regs[instr.rd]
-                    words[widx] = value
-                else:
-                    widx = (ea - mem_base) >> 3
-                    if widx < 0 or widx >= nwords:
-                        raise MemoryFault(ea)
-                    shift = (ea & 7) << 3
-                    word = words[widx] & (_U64 - 1)
-                    word = (word & ~(0xFF << shift)) | (
-                        (regs[instr.rd] & 0xFF) << shift
-                    )
-                    if word > _S64_MAX:
-                        word -= _U64
-                    words[widx] = word
+                elif op is STX or op is STB:
+                    rs2 = instr.rs2
+                    ea = regs[instr.rs1] + (instr.imm if rs2 is None else regs[rs2])
+                    if not dtlb.lookup(ea, memory):
+                        extra += dtlb_miss_cycles
+                        if w_dtlbm is not None:
+                            skid = record(w_dtlbm, 1)
+                            if skid >= 0:
+                                pending.append([skid, w_dtlbm, skid, pc])
+                    if not dcache.access(ea, True):
+                        # write-allocate through E$; the write buffer hides most
+                        # of the latency (configurable residual stall)
+                        extra += store_stall_cycles
+                        if w_ecref is not None:
+                            skid = record(w_ecref, 1)
+                            if skid >= 0:
+                                pending.append([skid, w_ecref, skid, pc])
+                        ecache.access(ea, True)
+                    if op is STX:
+                        if ea & 7:
+                            raise MemoryFault(ea, "misaligned 8-byte store")
+                        widx = (ea - mem_base) >> 3
+                        if widx < 0 or widx >= nwords:
+                            raise MemoryFault(ea)
+                        value = regs[instr.rd]
+                        words[widx] = value
+                    else:
+                        widx = (ea - mem_base) >> 3
+                        if widx < 0 or widx >= nwords:
+                            raise MemoryFault(ea)
+                        shift = (ea & 7) << 3
+                        word = words[widx] & (_U64 - 1)
+                        word = (word & ~(0xFF << shift)) | (
+                            (regs[instr.rd] & 0xFF) << shift
+                        )
+                        if word > _S64_MAX:
+                            word -= _U64
+                        words[widx] = word
 
-            elif op is PREFETCH:
-                rs2 = instr.rs2
-                ea = regs[instr.rs1] + (instr.imm if rs2 is None else regs[rs2])
-                # dropped on a DTLB miss or an unmapped address; raises no
-                # counter events (demand accesses only on the PICs)
-                try:
-                    translated = dtlb.peek(ea, memory)
-                except MemoryFault:
-                    translated = False
-                if translated and not dcache.access(ea, False):
-                    if not ecache.access(ea, False):
-                        inflight[ea >> ec_line_shift] = cycles + ec_miss_cycles
-            elif op is ADD:
-                rs2 = instr.rs2
-                value = regs[instr.rs1] + (instr.imm if rs2 is None else regs[rs2])
-                if value > _S64_MAX or value < _S64_MIN:
-                    value = ((value - _S64_MIN) & (_U64 - 1)) + _S64_MIN
-                rd = instr.rd
-                if rd:
-                    regs[rd] = value
-            elif op is SUB:
-                rs2 = instr.rs2
-                value = regs[instr.rs1] - (instr.imm if rs2 is None else regs[rs2])
-                if value > _S64_MAX or value < _S64_MIN:
-                    value = ((value - _S64_MIN) & (_U64 - 1)) + _S64_MIN
-                rd = instr.rd
-                if rd:
-                    regs[rd] = value
-            elif op is CMP:
-                rs2 = instr.rs2
-                cc = regs[instr.rs1] - (instr.imm if rs2 is None else regs[rs2])
-            elif op is MOV:
-                rd = instr.rd
-                if rd:
-                    regs[rd] = regs[instr.rs1]
-            elif op is SET:
-                rd = instr.rd
-                if rd:
-                    regs[rd] = instr.imm
-            elif op is NOP:
-                pass
-            elif op is BE:
-                if cc == 0:
+                elif op is PREFETCH:
+                    rs2 = instr.rs2
+                    ea = regs[instr.rs1] + (instr.imm if rs2 is None else regs[rs2])
+                    # dropped on a DTLB miss or an unmapped address; raises no
+                    # counter events (demand accesses only on the PICs)
+                    try:
+                        translated = dtlb.peek(ea, memory)
+                    except MemoryFault:
+                        translated = False
+                    if translated and not dcache.access(ea, False):
+                        if not ecache.access(ea, False):
+                            inflight[ea >> ec_line_shift] = cycles + ec_miss_cycles
+                elif op is ADD:
+                    rs2 = instr.rs2
+                    value = regs[instr.rs1] + (instr.imm if rs2 is None else regs[rs2])
+                    if value > _S64_MAX or value < _S64_MIN:
+                        value = ((value - _S64_MIN) & (_U64 - 1)) + _S64_MIN
+                    rd = instr.rd
+                    if rd:
+                        regs[rd] = value
+                elif op is SUB:
+                    rs2 = instr.rs2
+                    value = regs[instr.rs1] - (instr.imm if rs2 is None else regs[rs2])
+                    if value > _S64_MAX or value < _S64_MIN:
+                        value = ((value - _S64_MIN) & (_U64 - 1)) + _S64_MIN
+                    rd = instr.rd
+                    if rd:
+                        regs[rd] = value
+                elif op is CMP:
+                    rs2 = instr.rs2
+                    cc = regs[instr.rs1] - (instr.imm if rs2 is None else regs[rs2])
+                elif op is MOV:
+                    rd = instr.rd
+                    if rd:
+                        regs[rd] = regs[instr.rs1]
+                elif op is SET:
+                    rd = instr.rd
+                    if rd:
+                        regs[rd] = instr.imm
+                elif op is NOP:
+                    pass
+                elif op is BE:
+                    if cc == 0:
+                        npc2 = instr.target
+                elif op is BNE:
+                    if cc != 0:
+                        npc2 = instr.target
+                elif op is BG:
+                    if cc > 0:
+                        npc2 = instr.target
+                elif op is BGE:
+                    if cc >= 0:
+                        npc2 = instr.target
+                elif op is BL:
+                    if cc < 0:
+                        npc2 = instr.target
+                elif op is BLE:
+                    if cc <= 0:
+                        npc2 = instr.target
+                elif op is BA:
                     npc2 = instr.target
-            elif op is BNE:
-                if cc != 0:
+                elif op is MULX:
+                    rs2 = instr.rs2
+                    value = regs[instr.rs1] * (instr.imm if rs2 is None else regs[rs2])
+                    if value > _S64_MAX or value < _S64_MIN:
+                        value = ((value - _S64_MIN) & (_U64 - 1)) + _S64_MIN
+                    rd = instr.rd
+                    if rd:
+                        regs[rd] = value
+                elif op is SDIVX or op is SMODX:
+                    rs2 = instr.rs2
+                    a = regs[instr.rs1]
+                    b = instr.imm if rs2 is None else regs[rs2]
+                    if b == 0:
+                        raise DivisionByZero(f"at pc 0x{pc:x}")
+                    q = abs(a) // abs(b)
+                    if (a < 0) != (b < 0):
+                        q = -q
+                    value = q if op is SDIVX else a - q * b
+                    rd = instr.rd
+                    if rd:
+                        regs[rd] = value
+                elif op is AND_:
+                    rs2 = instr.rs2
+                    value = regs[instr.rs1] & (instr.imm if rs2 is None else regs[rs2])
+                    rd = instr.rd
+                    if rd:
+                        regs[rd] = value
+                elif op is OR_:
+                    rs2 = instr.rs2
+                    value = regs[instr.rs1] | (instr.imm if rs2 is None else regs[rs2])
+                    rd = instr.rd
+                    if rd:
+                        regs[rd] = value
+                elif op is XOR_:
+                    rs2 = instr.rs2
+                    value = regs[instr.rs1] ^ (instr.imm if rs2 is None else regs[rs2])
+                    rd = instr.rd
+                    if rd:
+                        regs[rd] = value
+                elif op is SLLX:
+                    rs2 = instr.rs2
+                    sh = (instr.imm if rs2 is None else regs[rs2]) & 63
+                    value = regs[instr.rs1] << sh
+                    if value > _S64_MAX or value < _S64_MIN:
+                        value = ((value - _S64_MIN) & (_U64 - 1)) + _S64_MIN
+                    rd = instr.rd
+                    if rd:
+                        regs[rd] = value
+                elif op is SRLX:
+                    rs2 = instr.rs2
+                    sh = (instr.imm if rs2 is None else regs[rs2]) & 63
+                    value = (regs[instr.rs1] & (_U64 - 1)) >> sh
+                    if value > _S64_MAX:
+                        value -= _U64
+                    rd = instr.rd
+                    if rd:
+                        regs[rd] = value
+                elif op is SRAX:
+                    rs2 = instr.rs2
+                    sh = (instr.imm if rs2 is None else regs[rs2]) & 63
+                    rd = instr.rd
+                    if rd:
+                        regs[rd] = regs[instr.rs1] >> sh
+                elif op is CALL:
+                    regs[REG_RA] = pc
                     npc2 = instr.target
-            elif op is BG:
-                if cc > 0:
-                    npc2 = instr.target
-            elif op is BGE:
-                if cc >= 0:
-                    npc2 = instr.target
-            elif op is BL:
-                if cc < 0:
-                    npc2 = instr.target
-            elif op is BLE:
-                if cc <= 0:
-                    npc2 = instr.target
-            elif op is BA:
-                npc2 = instr.target
-            elif op is MULX:
-                rs2 = instr.rs2
-                value = regs[instr.rs1] * (instr.imm if rs2 is None else regs[rs2])
-                if value > _S64_MAX or value < _S64_MIN:
-                    value = ((value - _S64_MIN) & (_U64 - 1)) + _S64_MIN
-                rd = instr.rd
-                if rd:
-                    regs[rd] = value
-            elif op is SDIVX or op is SMODX:
-                rs2 = instr.rs2
-                a = regs[instr.rs1]
-                b = instr.imm if rs2 is None else regs[rs2]
-                if b == 0:
-                    raise DivisionByZero(f"at pc 0x{pc:x}")
-                q = abs(a) // abs(b)
-                if (a < 0) != (b < 0):
-                    q = -q
-                value = q if op is SDIVX else a - q * b
-                rd = instr.rd
-                if rd:
-                    regs[rd] = value
-            elif op is AND_:
-                rs2 = instr.rs2
-                value = regs[instr.rs1] & (instr.imm if rs2 is None else regs[rs2])
-                rd = instr.rd
-                if rd:
-                    regs[rd] = value
-            elif op is OR_:
-                rs2 = instr.rs2
-                value = regs[instr.rs1] | (instr.imm if rs2 is None else regs[rs2])
-                rd = instr.rd
-                if rd:
-                    regs[rd] = value
-            elif op is XOR_:
-                rs2 = instr.rs2
-                value = regs[instr.rs1] ^ (instr.imm if rs2 is None else regs[rs2])
-                rd = instr.rd
-                if rd:
-                    regs[rd] = value
-            elif op is SLLX:
-                rs2 = instr.rs2
-                sh = (instr.imm if rs2 is None else regs[rs2]) & 63
-                value = regs[instr.rs1] << sh
-                if value > _S64_MAX or value < _S64_MIN:
-                    value = ((value - _S64_MIN) & (_U64 - 1)) + _S64_MIN
-                rd = instr.rd
-                if rd:
-                    regs[rd] = value
-            elif op is SRLX:
-                rs2 = instr.rs2
-                sh = (instr.imm if rs2 is None else regs[rs2]) & 63
-                value = (regs[instr.rs1] & (_U64 - 1)) >> sh
-                if value > _S64_MAX:
-                    value -= _U64
-                rd = instr.rd
-                if rd:
-                    regs[rd] = value
-            elif op is SRAX:
-                rs2 = instr.rs2
-                sh = (instr.imm if rs2 is None else regs[rs2]) & 63
-                rd = instr.rd
-                if rd:
-                    regs[rd] = regs[instr.rs1] >> sh
-            elif op is CALL:
-                regs[REG_RA] = pc
-                npc2 = instr.target
-                callstack.append(pc)
-            elif op is JMPL:
-                rd = instr.rd
-                if rd:
-                    regs[rd] = pc
-                npc2 = regs[instr.rs1] + instr.imm
-                if rd == REG_G0 and instr.rs1 == REG_RA and callstack:
-                    callstack.pop()
-            elif op is TA:
-                service = self.kernel_service
-                if service is None:
-                    raise MachineError(f"trap {instr.imm} with no kernel")
-                # sync state out so the kernel sees a consistent CPU
-                self.pc, self.npc = pc, npc
-                self.cycles, self.instr_count = cycles, instr_count
-                service(self, instr.imm)
-                extra += TRAP_CYCLES
-                self.system_cycles += TRAP_CYCLES
-            elif op is HALT:
-                self.halted = True
-                self.exit_code = regs[8]  # %o0
-            else:  # pragma: no cover
-                raise IllegalInstruction(f"unknown op {op!r} at 0x{pc:x}")
+                    callstack.append(pc)
+                elif op is JMPL:
+                    rd = instr.rd
+                    if rd:
+                        regs[rd] = pc
+                    npc2 = regs[instr.rs1] + instr.imm
+                    if rd == REG_G0 and instr.rs1 == REG_RA and callstack:
+                        callstack.pop()
+                elif op is TA:
+                    service = self.kernel_service
+                    if service is None:
+                        raise MachineError(f"trap {instr.imm} with no kernel")
+                    # sync state out so the kernel sees a consistent CPU
+                    self.pc, self.npc = pc, npc
+                    self.cycles, self.instr_count = cycles, instr_count
+                    service(self, instr.imm)
+                    extra += TRAP_CYCLES
+                    self.system_cycles += TRAP_CYCLES
+                elif op is HALT:
+                    self.halted = True
+                    self.exit_code = regs[8]  # %o0
+                else:  # pragma: no cover
+                    raise IllegalInstruction(f"unknown op {op!r} at 0x{pc:x}")
 
-            # -- retire ------------------------------------------------------
-            instr_count += 1
-            executed += 1
-            step_cycles = base_cycles + extra
-            cycles += step_cycles
-            pc = npc
-            npc = npc2
+                # -- retire ------------------------------------------------------
+                instr_count += 1
+                executed += 1
+                step_cycles = base_cycles + extra
+                cycles += step_cycles
+                pc = npc
+                npc = npc2
 
-            if w_insts is not None:
-                skid = record(w_insts, 1)
-                if skid >= 0:
-                    pending.append([skid, w_insts, skid, pc])
-            if w_cycles is not None:
-                skid = record(w_cycles, step_cycles)
-                if skid >= 0:
-                    pending.append([skid, w_cycles, skid, pc])
+                if deadlines:
+                    if kill_at is not None and cycles >= kill_at:
+                        raise SimulatedCrash(
+                            f"injected kill at cycle {cycles} (pc 0x{pc:x})"
+                        )
+                    if max_cycles is not None and cycles >= max_cycles:
+                        raise WatchdogExpired(
+                            f"cycle watchdog: {cycles} >= {max_cycles} "
+                            f"(pc 0x{pc:x})"
+                        )
+                    if (
+                        watchdog_instructions is not None
+                        and instr_count >= watchdog_instructions
+                    ):
+                        raise WatchdogExpired(
+                            f"instruction watchdog: {instr_count} >= "
+                            f"{watchdog_instructions} (pc 0x{pc:x})"
+                        )
 
-            if pending:
-                due = None
-                for trap in pending:
-                    trap[0] -= 1
-                    if trap[0] < 0:
-                        if due is None:
-                            due = []
-                        due.append(trap)
-                if due:
-                    handler = self.overflow_handler
-                    # sync state so snapshot sees the next-to-issue PC
+                if w_insts is not None:
+                    skid = record(w_insts, 1)
+                    if skid >= 0:
+                        pending.append([skid, w_insts, skid, pc])
+                if w_cycles is not None:
+                    skid = record(w_cycles, step_cycles)
+                    if skid >= 0:
+                        pending.append([skid, w_cycles, skid, pc])
+
+                if pending:
+                    due = None
+                    for trap in pending:
+                        trap[0] -= 1
+                        if trap[0] < 0:
+                            if due is None:
+                                due = []
+                            due.append(trap)
+                    if due:
+                        handler = self.overflow_handler
+                        # sync state so snapshot sees the next-to-issue PC
+                        self.pc, self.npc = pc, npc
+                        self.cycles, self.instr_count = cycles, instr_count
+                        self.ecstall_cycles = ecstall_total
+                        for trap in due:
+                            pending.remove(trap)
+                            if handler is not None:
+                                handler(self.snapshot(trap[1], trap[2], trap[3]))
+
+                if self.clock_interval_cycles and cycles >= self.next_clock_tick:
+                    handler2 = self.clock_handler
                     self.pc, self.npc = pc, npc
                     self.cycles, self.instr_count = cycles, instr_count
                     self.ecstall_cycles = ecstall_total
-                    for trap in due:
-                        pending.remove(trap)
-                        if handler is not None:
-                            handler(self.snapshot(trap[1], trap[2], trap[3]))
+                    while self.next_clock_tick <= cycles:
+                        self.next_clock_tick += self.clock_interval_cycles
+                        if handler2 is not None:
+                            handler2(pc, cycles, tuple(callstack))
 
-            if self.clock_interval_cycles and cycles >= self.next_clock_tick:
-                handler2 = self.clock_handler
-                self.pc, self.npc = pc, npc
-                self.cycles, self.instr_count = cycles, instr_count
-                self.ecstall_cycles = ecstall_total
-                while self.next_clock_tick <= cycles:
-                    self.next_clock_tick += self.clock_interval_cycles
-                    if handler2 is not None:
-                        handler2(pc, cycles, tuple(callstack))
-
-        self.pc = pc
-        self.npc = npc
-        self.cycles = cycles
-        self.instr_count = instr_count
-        self.ecstall_cycles = ecstall_total
-        self._cc = cc
+        finally:
+            # Sync locals back even when a fault/deadline raised mid-loop,
+            # so partial-experiment finalization sees accurate state.
+            self.pc = pc
+            self.npc = npc
+            self.cycles = cycles
+            self.instr_count = instr_count
+            self.ecstall_cycles = ecstall_total
+            self._cc = cc
         return executed
 
 

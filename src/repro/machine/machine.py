@@ -61,14 +61,16 @@ class MachineStats:
 class Machine:
     """One simulated machine instance."""
 
-    def __init__(self, config: MachineConfig) -> None:
+    def __init__(self, config: MachineConfig, fault_plan=None) -> None:
         self.config = config
         self.rng = random.Random(config.seed)
+        #: optional FaultPlan (deterministic injected hardware/OS faults)
+        self.fault_plan = fault_plan
         self.memory = Memory(config.arena_bytes, base=ARENA_BASE)
         self.dcache = Cache(config.dcache)
         self.ecache = Cache(config.ecache)
         self.dtlb = TLB(config.dtlb)
-        self.counters = CounterUnit(self.rng)
+        self.counters = CounterUnit(self.rng, fault_plan=fault_plan)
         self.cpu = CPU(
             self.memory,
             self.dcache,
@@ -80,6 +82,8 @@ class Machine:
             dtlb_miss_cycles=config.dtlb.miss_cycles,
             store_stall_cycles=config.store_stall_cycles,
         )
+        if fault_plan is not None:
+            self.cpu.kill_at_cycle = fault_plan.kill_at_cycle
 
     def configure_counters(self, specs: list[CounterSpec]) -> None:
         """Program the two PIC registers."""

@@ -1,0 +1,253 @@
+"""Crash-safe recording: journaling, atomic saves, manifests, watchdogs."""
+
+import json
+
+import pytest
+
+from repro import build_executable, tiny_config
+from repro.collect.collector import CollectConfig, Collector, collect
+from repro.collect.experiment import (
+    ClockEvent,
+    Experiment,
+    FORMAT_VERSION,
+    HwcEvent,
+    MANIFEST_NAME,
+)
+from repro.compiler.program import Program
+from repro.errors import (
+    ExperimentCorrupt,
+    ExperimentError,
+    MachineError,
+    WatchdogExpired,
+)
+
+SRC = """
+struct cell { long v; long pad1; long pad2; long pad3; };
+long main(long *input, long n) {
+    struct cell *arr;
+    long i; long j; long s;
+    arr = (struct cell *) malloc(4096 * sizeof(struct cell));
+    s = 0;
+    for (j = 0; j < 4; j++)
+        for (i = 0; i < 4096; i++)
+            s = s + arr[i].v;
+    return s & 255;
+}
+"""
+
+FAULTING_SRC = """
+long main(long *input, long n) {
+    long *p;
+    long i; long s;
+    p = (long *) malloc(64);
+    s = 0;
+    for (i = 0; i < 100000000; i++)
+        s = s + p[i];
+    return s;
+}
+"""
+
+COUNTERS = ["+ecrm,13", "+ecstall,59"]
+
+
+def _by_cycle(events):
+    """open() reads hwc files per counter; compare order-insensitively."""
+    return sorted(events, key=lambda e: (e.cycle, e.counter))
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_executable(SRC)
+
+
+def _config(**kwargs):
+    return CollectConfig(clock_profiling=True, clock_interval=211,
+                         counters=COUNTERS, **kwargs)
+
+
+class TestManifest:
+    def test_save_writes_valid_manifest(self, program, tmp_path):
+        experiment = collect(program, tiny_config(), _config())
+        path = experiment.save(tmp_path / "run")
+        manifest = Experiment.read_manifest(path)
+        assert manifest is not None
+        assert manifest["format_version"] == FORMAT_VERSION
+        assert manifest["complete"] is True
+        assert manifest["fault"] == ""
+        for name in ("info.json", "program.pkl", "clock.jsonl",
+                     "hwc0.jsonl", "hwc1.jsonl", "log.txt", "map.txt"):
+            assert name in manifest["files"], name
+        # line counts in the manifest match reality
+        clock_lines = (path / "clock.jsonl").read_text().count("\n")
+        assert manifest["files"]["clock.jsonl"]["lines"] == clock_lines
+        assert clock_lines == len(experiment.clock_events)
+
+    def test_manifest_checksums_verify_on_strict_open(self, program, tmp_path):
+        experiment = collect(program, tiny_config(), _config())
+        path = experiment.save(tmp_path / "run")
+        reopened = Experiment.open(path, strict=True)
+        assert _by_cycle(reopened.hwc_events) == _by_cycle(experiment.hwc_events)
+        assert reopened.clock_events == experiment.clock_events
+        assert not reopened.incomplete
+
+    def test_strict_open_rejects_checksum_mismatch(self, program, tmp_path):
+        experiment = collect(program, tiny_config(), _config())
+        path = experiment.save(tmp_path / "run")
+        with open(path / "clock.jsonl", "a") as stream:
+            stream.write("this line is not in the manifest\n")
+        with pytest.raises(ExperimentCorrupt):
+            Experiment.open(path, strict=True)
+
+
+class TestSaveSafety:
+    def test_save_without_program_touches_nothing(self, tmp_path):
+        experiment = Experiment("empty")
+        target = tmp_path / "empty"
+        with pytest.raises(ExperimentError):
+            experiment.save(target)
+        assert not target.with_suffix(".er").exists()
+
+    def test_failed_save_removes_created_directory(self, program, tmp_path,
+                                                   monkeypatch):
+        experiment = collect(program, tiny_config(), _config())
+
+        def boom(self, path):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(Program, "save", boom)
+        target = tmp_path / "doomed"
+        with pytest.raises(OSError):
+            experiment.save(target)
+        assert not target.with_suffix(".er").exists()
+
+    def test_failed_save_keeps_preexisting_directory(self, program, tmp_path,
+                                                     monkeypatch):
+        experiment = collect(program, tiny_config(), _config())
+        target = experiment.save(tmp_path / "kept")
+
+        monkeypatch.setattr(Program, "save",
+                            lambda self, path: (_ for _ in ()).throw(OSError()))
+        with pytest.raises(OSError):
+            experiment.save(target)
+        assert target.exists()
+
+
+class TestJournal:
+    def test_journal_persists_program_and_info_up_front(self, program, tmp_path):
+        experiment = Experiment("journaled")
+        experiment.program = program
+        path = experiment.start_journal(tmp_path / "journaled")
+        # even before any event arrives the directory is analyzable
+        assert (path / "program.pkl").exists()
+        info = json.loads((path / "info.json").read_text())
+        assert info["incomplete"] is True
+        assert info["fault"] == "collection in progress"
+
+    def test_journal_streams_events_incrementally(self, program, tmp_path):
+        experiment = Experiment("streaming")
+        experiment.program = program
+        path = experiment.start_journal(tmp_path / "streaming")
+        for i in range(10):
+            experiment.record_clock(ClockEvent(pc=4096 + i, cycle=i, callstack=()))
+        experiment.flush_journal()
+        on_disk = (path / "clock.jsonl").read_text().splitlines()
+        assert len(on_disk) == 10
+        assert ClockEvent.from_json(on_disk[3]) == experiment.clock_events[3]
+
+    def test_journaled_run_matches_in_memory_run(self, program, tmp_path):
+        in_memory = collect(program, tiny_config(), _config())
+        journaled = collect(program, tiny_config(), _config(),
+                            save_to=tmp_path / "run")
+        assert journaled.hwc_events == in_memory.hwc_events
+        assert journaled.clock_events == in_memory.clock_events
+        reopened = Experiment.open(tmp_path / "run.er", strict=True)
+        assert _by_cycle(reopened.hwc_events) == _by_cycle(in_memory.hwc_events)
+
+    def test_journal_replaces_stale_data(self, program, tmp_path):
+        target = tmp_path / "reused"
+        collect(program, tiny_config(), _config(), save_to=target)
+        # a second run into the same directory must not append to the first
+        experiment = collect(program, tiny_config(), _config(), save_to=target)
+        reopened = Experiment.open(target.with_suffix(".er"), strict=True)
+        assert len(reopened.clock_events) == len(experiment.clock_events)
+
+
+class TestWatchdog:
+    def test_cycle_watchdog_kills_runaway_run(self, program):
+        with pytest.raises(WatchdogExpired):
+            collect(program, tiny_config(), _config(watchdog_cycles=10_000))
+
+    def test_instruction_watchdog_kills_runaway_run(self, program):
+        with pytest.raises(WatchdogExpired):
+            collect(program, tiny_config(),
+                    _config(watchdog_instructions=5_000))
+
+    def test_watchdog_leaves_partial_experiment(self, program, tmp_path):
+        target = tmp_path / "runaway"
+        with pytest.raises(WatchdogExpired):
+            collect(program, tiny_config(), _config(watchdog_cycles=100_000),
+                    save_to=target)
+        reopened = Experiment.open(target.with_suffix(".er"), strict=False)
+        assert reopened.incomplete
+        assert "WatchdogExpired" in reopened.info.fault
+        assert reopened.info.totals["cycles"] >= 100_000
+
+
+class TestPartialOnFault:
+    def test_machine_fault_finalizes_partial_experiment(self, tmp_path):
+        faulty = build_executable(FAULTING_SRC)
+        target = tmp_path / "crashed"
+        with pytest.raises(MachineError):
+            collect(faulty, tiny_config(), _config(), save_to=target)
+        reopened = Experiment.open(target.with_suffix(".er"), strict=False)
+        assert reopened.incomplete
+        assert "MemoryFault" in reopened.info.fault
+        # ground truth reflects the point of death, not garbage
+        assert reopened.info.totals["cycles"] > 0
+        assert reopened.info.exit_code == -1
+        manifest = Experiment.read_manifest(target.with_suffix(".er"))
+        assert manifest is not None and manifest["complete"] is False
+
+    def test_keyboard_interrupt_finalizes_partial_experiment(
+            self, program, tmp_path):
+        class Interrupted(Collector):
+            ticks = 0
+
+            def _on_clock(self, pc, cycle, callstack):
+                Interrupted.ticks += 1
+                if Interrupted.ticks > 3:
+                    raise KeyboardInterrupt
+                super()._on_clock(pc, cycle, callstack)
+
+        target = tmp_path / "interrupted"
+        collector = Interrupted(program, tiny_config(), _config(),
+                                journal_to=target)
+        with pytest.raises(KeyboardInterrupt):
+            collector.run()
+        path = collector.experiment.save()
+        reopened = Experiment.open(path, strict=False)
+        assert reopened.incomplete
+        assert "KeyboardInterrupt" in reopened.info.fault
+        assert len(reopened.clock_events) == 3
+
+
+class TestEventParsing:
+    def test_clock_from_json_reports_file_and_line(self):
+        with pytest.raises(ExperimentCorrupt) as excinfo:
+            ClockEvent.from_json("{not json", source="clock.jsonl", lineno=17)
+        assert excinfo.value.file == "clock.jsonl"
+        assert excinfo.value.line == 17
+        assert "clock.jsonl:17" in str(excinfo.value)
+
+    def test_hwc_from_json_reports_missing_key(self):
+        with pytest.raises(ExperimentCorrupt) as excinfo:
+            HwcEvent.from_json('{"counter": 0}', source="hwc0.jsonl", lineno=2)
+        assert excinfo.value.file == "hwc0.jsonl"
+        assert "hwc0.jsonl:2" in str(excinfo.value)
+
+    def test_roundtrip_survives(self):
+        event = HwcEvent(counter=1, event="ecrm", weight=13, trap_pc=4100,
+                         candidate_pc=4096, effective_address=8192,
+                         status="found", ea_reason="", cycle=999,
+                         callstack=(4000, 4050))
+        assert HwcEvent.from_json(event.to_json()) == event

@@ -1,0 +1,175 @@
+"""Tests of the deterministic fault-injection harness (repro.faults)."""
+
+import pytest
+
+from repro import build_executable, tiny_config
+from repro.analyze.reduce import reduce_experiment
+from repro.collect.collector import CollectConfig, Collector, collect
+from repro.errors import CollectError, SimulatedCrash
+from repro.faults import FaultPlan
+
+SRC = """
+struct cell { long v; long pad1; long pad2; long pad3; };
+long main(long *input, long n) {
+    struct cell *arr;
+    long i; long j; long s;
+    arr = (struct cell *) malloc(4096 * sizeof(struct cell));
+    s = 0;
+    for (j = 0; j < 4; j++)
+        for (i = 0; i < 4096; i++)
+            s = s + arr[i].v;
+    return s & 255;
+}
+"""
+
+COUNTERS = ["+ecrm,13", "+ecstall,59"]
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_executable(SRC)
+
+
+def _collect(program, fault_plan=None, **kwargs):
+    cfg = CollectConfig(clock_profiling=True, clock_interval=211,
+                       counters=COUNTERS, **kwargs)
+    return collect(program, tiny_config(), cfg, fault_plan=fault_plan)
+
+
+class TestParse:
+    def test_full_spec_roundtrip(self):
+        plan = FaultPlan.parse(
+            "seed=7,kill_at=120000,drop_trap=0.25,delay_trap=0.5,"
+            "delay_instrs=4,corrupt_regs=0.1,truncate=clock.jsonl:0.5,"
+            "bitflip=hwc1.jsonl:16,delete=map.txt"
+        )
+        assert plan.seed == 7
+        assert plan.kill_at_cycle == 120000
+        assert plan.drop_trap_prob == 0.25
+        assert plan.delay_trap_prob == 0.5
+        assert plan.delay_trap_instrs == 4
+        assert plan.corrupt_regs_prob == 0.1
+        assert plan.truncate == {"clock.jsonl": 0.5}
+        assert plan.bitflip == {"hwc1.jsonl": 16}
+        assert plan.delete == ("map.txt",)
+
+    def test_defaults_for_bare_file_faults(self):
+        plan = FaultPlan.parse("truncate=clock.jsonl,bitflip=hwc0.jsonl")
+        assert plan.truncate == {"clock.jsonl": 0.5}
+        assert plan.bitflip == {"hwc0.jsonl": 1}
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(CollectError):
+            FaultPlan.parse("explode=1")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(CollectError):
+            FaultPlan.parse("kill_at=soon")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(CollectError):
+            FaultPlan.parse("kill_at")
+
+    def test_probability_range_validated(self):
+        with pytest.raises(CollectError):
+            FaultPlan(drop_trap_prob=1.5)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self, program):
+        exp_a = _collect(program, FaultPlan(seed=11, drop_trap_prob=0.3,
+                                            corrupt_regs_prob=0.3))
+        exp_b = _collect(program, FaultPlan(seed=11, drop_trap_prob=0.3,
+                                            corrupt_regs_prob=0.3))
+        assert exp_a.hwc_events == exp_b.hwc_events
+        assert exp_a.clock_events == exp_b.clock_events
+
+    def test_different_seed_different_stream(self, program):
+        exp_a = _collect(program, FaultPlan(seed=11, drop_trap_prob=0.3))
+        exp_b = _collect(program, FaultPlan(seed=12, drop_trap_prob=0.3))
+        assert exp_a.hwc_events != exp_b.hwc_events
+
+
+class TestTrapFaults:
+    def test_drop_all_traps_loses_every_event(self, program):
+        plan = FaultPlan(seed=1, drop_trap_prob=1.0)
+        experiment = _collect(program, plan)
+        assert experiment.hwc_events == []
+        assert plan.stats["dropped_traps"] > 0
+        # the run itself is unharmed
+        assert experiment.info.exit_code == 0
+        assert not experiment.incomplete
+
+    def test_partial_drop_thins_the_stream(self, program):
+        baseline = _collect(program)
+        plan = FaultPlan(seed=2, drop_trap_prob=0.5)
+        dropped = _collect(program, plan)
+        assert 0 < len(dropped.hwc_events) < len(baseline.hwc_events)
+
+    def test_delayed_traps_move_the_trap_pc(self, program):
+        baseline = _collect(program)
+        plan = FaultPlan(seed=3, delay_trap_prob=1.0, delay_trap_instrs=8)
+        delayed = _collect(program, plan)
+        assert plan.stats["delayed_traps"] > 0
+        # same number of overflows, but delivered elsewhere
+        assert len(delayed.hwc_events) == len(baseline.hwc_events)
+        assert [e.trap_pc for e in delayed.hwc_events] != [
+            e.trap_pc for e in baseline.hwc_events
+        ]
+
+    def test_corrupt_registers_still_collects(self, program):
+        plan = FaultPlan(seed=4, corrupt_regs_prob=1.0)
+        experiment = _collect(program, plan)
+        assert plan.stats["corrupted_snapshots"] == len(experiment.hwc_events)
+        assert experiment.hwc_events
+        # the analyzer survives garbage effective addresses
+        reduced = reduce_experiment(experiment)
+        assert reduced.total.get("ecrm", 0) > 0
+
+
+class TestKill:
+    def test_kill_raises_simulated_crash(self, program):
+        with pytest.raises(SimulatedCrash):
+            _collect(program, FaultPlan(seed=5, kill_at_cycle=50_000))
+
+    def test_killed_collector_finalizes_partial_experiment(self, program):
+        cfg = CollectConfig(clock_profiling=True, clock_interval=211,
+                           counters=COUNTERS)
+        collector = Collector(program, tiny_config(), cfg,
+                              fault_plan=FaultPlan(seed=5, kill_at_cycle=50_000))
+        with pytest.raises(SimulatedCrash):
+            collector.run()
+        experiment = collector.experiment
+        assert experiment.info.incomplete
+        assert "SimulatedCrash" in experiment.info.fault
+        assert experiment.info.totals["cycles"] >= 50_000
+        # events gathered before the kill are preserved and analyzable
+        assert experiment.hwc_events
+        reduced = reduce_experiment(experiment)
+        assert reduced.incomplete
+        assert "SimulatedCrash" in reduced.incomplete_reason
+
+
+class TestSaveCorruption:
+    def test_corrupt_saved_applies_all_modes(self, program, tmp_path):
+        cfg = CollectConfig(clock_profiling=True, clock_interval=211,
+                           counters=COUNTERS)
+        experiment = collect(program, tiny_config(), cfg)
+        path = experiment.save(tmp_path / "victim")
+        clock_bytes = (path / "clock.jsonl").read_bytes()
+        hwc_bytes = (path / "hwc1.jsonl").read_bytes()
+
+        plan = FaultPlan(seed=6, truncate={"clock.jsonl": 0.5},
+                         bitflip={"hwc1.jsonl": 4}, delete=("map.txt",))
+        actions = plan.corrupt_saved(path)
+        assert len(actions) == 3
+        assert len((path / "clock.jsonl").read_bytes()) == len(clock_bytes) // 2
+        assert (path / "hwc1.jsonl").read_bytes() != hwc_bytes
+        assert not (path / "map.txt").exists()
+        assert plan.stats["file_faults"] == actions
+
+    def test_corrupt_saved_ignores_absent_files(self, tmp_path):
+        target = tmp_path / "empty.er"
+        target.mkdir()
+        plan = FaultPlan(truncate={"nope.jsonl": 0.5}, delete=("gone.txt",))
+        assert plan.corrupt_saved(target) == []
