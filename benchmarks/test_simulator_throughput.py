@@ -2,7 +2,20 @@
 
 Not a paper figure — these track the substrate's own performance so
 regressions in the interpreter or the backtracking hot paths are caught.
+
+The MCF speedup benchmark is gated against the committed baseline in
+``BENCH_throughput.json``: the fast engine must stay >= 2x over the
+reference engine, and must not regress more than 10% below the committed
+speedup ratio (the ratio is used because absolute Mips depend on the
+host).  Set ``REPRO_BENCH_WRITE=1`` to rewrite the baseline after an
+intentional change; set ``REPRO_BENCH_OUT=<path>`` to dump the fresh
+measurement (CI uploads it as an artifact).
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 import pytest
 
@@ -11,6 +24,8 @@ from repro.collect.backtrack import apropos_backtrack
 from repro.collect.collector import CollectConfig, collect
 from repro.kernel.process import Process
 from repro.machine.counters import EVENTS
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
 SPIN = """
 long main(long *input, long n) {
@@ -104,3 +119,83 @@ def test_profiled_run_overhead(benchmark):
     profiled_seconds = time.perf_counter() - start
     assert experiment.hwc_events
     assert profiled_seconds < max(plain_seconds, 0.05) * 4
+
+
+# --------------------------------------------------- MCF engine speedup gate
+
+def _mcf_mips(engine: str, budget: int = 2_000_000) -> float:
+    """Raw interpreter throughput (million instructions per host second)
+    on the fixed-seed MCF workload."""
+    from repro.mcf.instance import encode_instance, generate_instance
+    from repro.mcf.sources import LayoutVariant
+    from repro.mcf.workload import build_mcf
+
+    program = build_mcf(LayoutVariant.BASELINE)
+    instance = generate_instance(trips=60, seed=7)
+    process = Process(program, scaled_config(),
+                      input_longs=encode_instance(instance))
+    process.machine.cpu.engine = engine
+    start = time.perf_counter()
+    process.run(max_instructions=budget)
+    elapsed = time.perf_counter() - start
+    executed = process.machine.cpu.instr_count
+    assert executed == budget, f"run ended early at {executed}"
+    return executed / elapsed / 1e6
+
+
+def test_mcf_engine_speedup_vs_baseline():
+    """Fast engine >= 2x the reference engine, and no >10% regression of
+    the speedup ratio against the committed baseline."""
+    reference_mips = _mcf_mips("reference")
+    fast_mips = _mcf_mips("fast")
+    speedup = fast_mips / reference_mips
+
+    measurement = {
+        "workload": "mcf trips=60 seed=7, 2M-instruction budget",
+        "fast_mips": round(fast_mips, 3),
+        "reference_mips": round(reference_mips, 3),
+        "speedup": round(speedup, 3),
+    }
+
+    out = os.environ.get("REPRO_BENCH_OUT")
+    if out:
+        baseline = json.loads(BENCH_FILE.read_text()) if BENCH_FILE.exists() else {}
+        baseline["last_run"] = measurement
+        Path(out).write_text(json.dumps(baseline, indent=2) + "\n")
+    if os.environ.get("REPRO_BENCH_WRITE") == "1":
+        BENCH_FILE.write_text(
+            json.dumps({"baseline": measurement}, indent=2) + "\n"
+        )
+
+    assert speedup >= 2.0, (
+        f"fast engine only {speedup:.2f}x over reference "
+        f"({fast_mips:.2f} vs {reference_mips:.2f} Mips)"
+    )
+    if BENCH_FILE.exists():
+        baseline = json.loads(BENCH_FILE.read_text())["baseline"]
+        floor = 0.9 * baseline["speedup"]
+        assert speedup >= floor, (
+            f"speedup regressed >10%: measured {speedup:.2f}x, committed "
+            f"baseline {baseline['speedup']:.2f}x (floor {floor:.2f}x)"
+        )
+
+
+def test_engines_agree_on_architectural_state():
+    """Cheap cross-check riding along with the benchmark: after the same
+    budget, both engines sit at the same instruction count and cycles."""
+    from repro.mcf.instance import encode_instance, generate_instance
+    from repro.mcf.sources import LayoutVariant
+    from repro.mcf.workload import build_mcf
+
+    program = build_mcf(LayoutVariant.BASELINE)
+    instance = generate_instance(trips=20, seed=7)
+    states = []
+    for engine in ("fast", "reference"):
+        process = Process(program, scaled_config(),
+                          input_longs=encode_instance(instance))
+        process.machine.cpu.engine = engine
+        process.run(max_instructions=500_000)
+        cpu = process.machine.cpu
+        states.append((cpu.instr_count, cpu.cycles, cpu.pc, cpu.npc,
+                       tuple(cpu.regs)))
+    assert states[0] == states[1]

@@ -12,6 +12,7 @@ memop info but no branch-target table ``(Unverifiable)``.
 
 from __future__ import annotations
 
+import os
 from bisect import bisect_right
 from typing import Optional
 
@@ -212,8 +213,15 @@ def reduce_experiment(experiment: Experiment) -> ReducedData:
 
 def reduce_experiments(experiments) -> ReducedData:
     """Reduce and merge several experiments over the same program (the
-    paper's case study merges two collect runs)."""
-    reduced_list = [reduce_experiment(exp) for exp in experiments]
+    paper's case study merges two collect runs).
+
+    Items may be :class:`Experiment` objects or paths to saved experiment
+    directories (loaded via :meth:`Experiment.open`)."""
+    loaded = [
+        Experiment.open(item) if isinstance(item, (str, os.PathLike)) else item
+        for item in experiments
+    ]
+    reduced_list = [reduce_experiment(exp) for exp in loaded]
     if not reduced_list:
         raise AnalysisError("no experiments to reduce")
     merged = reduced_list[0]

@@ -36,12 +36,22 @@ def _list_counters() -> str:
 
 
 def _parse_counter_list(text: str) -> list:
-    """Split '-h +ecstall,lo,+ecrm,on' into ['+ecstall,lo', '+ecrm,on']."""
+    """Split '-h +ecstall,lo,+ecrm,on' into ['+ecstall,lo', '+ecrm,on'].
+
+    At most one ``+`` prefix per counter, matching ``CounterSpec.parse``
+    (``++ecstall`` used to slip through an ``lstrip`` here and die later
+    with a misleading unknown-counter error).
+    """
     parts = text.split(",")
     requests: list[str] = []
     current: list[str] = []
     for part in parts:
-        name = part.lstrip("+")
+        name = part[1:] if part.startswith("+") else part
+        if name.startswith("+"):
+            raise ReproError(
+                f"malformed counter request {part!r}: "
+                f"at most one '+' prefix is allowed"
+            )
         if name in EVENTS and current:
             requests.append(",".join(current))
             current = [part]
@@ -85,10 +95,18 @@ def main(argv=None) -> int:
                         help="periodic sampling (unsupported; accepts 'off')")
     parser.add_argument("-p", dest="clock", default="on", choices=["on", "off"],
                         help="clock profiling")
-    parser.add_argument("-h", dest="counters", default=None,
-                        help="HW counters, e.g. +ecstall,lo,+ecrm,on")
+    parser.add_argument("-h", dest="counters", action="append", default=None,
+                        help="HW counters, e.g. +ecstall,lo,+ecrm,on; repeat "
+                             "the flag for extra passes over the workload")
     parser.add_argument("-o", dest="outdir", default="experiment.er",
-                        help="experiment directory to write")
+                        help="experiment directory to write (multi-pass runs "
+                             "write <stem>-p<i>.er)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for multi-pass runs")
+    parser.add_argument("--engine", default="fast",
+                        choices=["fast", "reference"],
+                        help="interpreter engine (profiles are identical; "
+                             "'reference' is the slow cross-check oracle)")
     parser.add_argument("--workload", default="mcf",
                         choices=["mcf", "commercial"])
     parser.add_argument("--trips", type=int, default=150)
@@ -108,18 +126,23 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        counter_requests = _parse_counter_list(args.counters) if args.counters else []
+        counter_sets = [_parse_counter_list(text) for text in args.counters or []]
         fault_plan = FaultPlan.parse(args.fault_plan) if args.fault_plan else None
     except ReproError as error:
         print(f"collect: {error}", file=sys.stderr)
         return 2
+
+    if len(counter_sets) > 1:
+        return _run_passes(args, counter_sets)
+
     program, input_longs = build_workload(args)
     config = CollectConfig(
         clock_profiling=args.clock == "on",
-        counters=counter_requests,
+        counters=counter_sets[0] if counter_sets else [],
         name=args.outdir,
         watchdog_cycles=args.watchdog_cycles,
         watchdog_instructions=args.watchdog_instructions,
+        engine=args.engine,
     )
     try:
         experiment = collect(
@@ -141,6 +164,58 @@ def main(argv=None) -> int:
           f"{len(experiment.clock_events)} clock ticks")
     print(f"  target exit code {experiment.info.exit_code}")
     return 0
+
+
+def pass_outdirs(outdir: str, count: int) -> list[str]:
+    """Per-pass experiment directories: exp.er -> exp-p0.er, exp-p1.er ..."""
+    stem = outdir[:-3] if outdir.endswith(".er") else outdir
+    return [f"{stem}-p{index}.er" for index in range(count)]
+
+
+def _run_passes(args, counter_sets) -> int:
+    """Several ``-h`` flags: one collect pass each, fanned out over
+    ``--jobs`` worker processes; clock profiling rides on pass 0 only so
+    the merged profile counts each tick once."""
+    from ..parallel import CollectJob, collect_many
+
+    outdirs = pass_outdirs(args.outdir, len(counter_sets))
+    jobs = [
+        CollectJob(
+            config=CollectConfig(
+                clock_profiling=args.clock == "on" and index == 0,
+                counters=requests,
+                name=outdir,
+                watchdog_cycles=args.watchdog_cycles,
+                watchdog_instructions=args.watchdog_instructions,
+                engine=args.engine,
+            ),
+            workload=args.workload,
+            trips=args.trips,
+            seed=args.seed,
+            layout=args.layout,
+            heap_page_bytes=args.heap_page_bytes,
+            save_to=outdir,
+            fault_plan=args.fault_plan,
+        )
+        for index, (requests, outdir) in enumerate(zip(counter_sets, outdirs))
+    ]
+    results = collect_many(jobs, parallelism=args.jobs)
+    failed = 0
+    for result in results:
+        if result.ok:
+            print(f"experiment written: {result.outdir}")
+            print(f"  {result.hwc_events} HW counter events, "
+                  f"{result.clock_events} clock ticks")
+            print(f"  target exit code {result.exit_code}")
+        else:
+            failed += 1
+            print(f"collect: pass {result.index} died: {result.error}",
+                  file=sys.stderr)
+            print(f"partial experiment written: {result.outdir}",
+                  file=sys.stderr)
+            print(f"  (inspect with: repro-erprint {result.outdir} fsck)",
+                  file=sys.stderr)
+    return 3 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

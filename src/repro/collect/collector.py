@@ -52,6 +52,9 @@ class CollectConfig:
     #: ``max_instructions`` budget
     watchdog_cycles: Optional[int] = None
     watchdog_instructions: Optional[int] = None
+    #: interpreter engine: "fast" (predecoded, batched countdown) or
+    #: "reference" (per-instruction oracle); profiles are bit-identical
+    engine: str = "fast"
 
     def resolve_clock_interval(self) -> int:
         """Map hi/on/lo (or cycles) to a tick interval."""
@@ -67,6 +70,24 @@ class CollectConfig:
             ) from None
 
 
+def _request_name(text: str) -> str:
+    """Event name of a counter request, stripping the single optional ``+``.
+
+    Mirrors :meth:`CounterSpec.parse` exactly: one leading ``+`` requests
+    backtracking, a second one is malformed and rejected up front (it used
+    to slip past ``lstrip("+")`` here and fail deep in parsing with a
+    misleading unknown-name error).
+    """
+    if text.startswith("+"):
+        text = text[1:]
+        if text.startswith("+"):
+            raise CollectError(
+                f"malformed counter request {'+' + text!r}: "
+                f"at most one '+' prefix is allowed"
+            )
+    return text.split(",")[0]
+
+
 def parse_counter_requests(requests: Sequence[str]) -> list[CounterSpec]:
     """Assign PIC registers to counter requests (paper: the user must put
     two counters on different registers; we auto-assign and error out when
@@ -75,27 +96,24 @@ def parse_counter_requests(requests: Sequence[str]) -> list[CounterSpec]:
         raise CollectError("at most two HW counters per experiment")
     specs: list[CounterSpec] = []
     used: set[int] = set()
+    names = [_request_name(text) for text in requests]
     # try the more constrained requests first
     order = sorted(
         range(len(requests)),
-        key=lambda i: len(EVENTS[requests[i].lstrip("+").split(",")[0]].registers)
-        if requests[i].lstrip("+").split(",")[0] in EVENTS
-        else 99,
+        key=lambda i: len(EVENTS[names[i]].registers) if names[i] in EVENTS else 99,
     )
     chosen: dict[int, CounterSpec] = {}
     for i in order:
-        text = requests[i]
-        name = text.lstrip("+").split(",")[0]
+        name = names[i]
         if name not in EVENTS:
             raise CollectError(f"unknown counter name: {name!r}")
         register = next((r for r in EVENTS[name].registers if r not in used), None)
         if register is None:
             raise CollectError(
-                f"counters {[r.lstrip('+').split(',')[0] for r in requests]} "
-                f"cannot be mapped to different PIC registers"
+                f"counters {names} cannot be mapped to different PIC registers"
             )
         used.add(register)
-        chosen[i] = CounterSpec.parse(text, register)
+        chosen[i] = CounterSpec.parse(requests[i], register)
     for i in range(len(requests)):
         specs.append(chosen[i])
     return specs
@@ -118,6 +136,10 @@ class Collector:
         self.machine_config = machine_config
         self.config = collect_config
         self.fault_plan = fault_plan
+        if collect_config.engine not in ("fast", "reference"):
+            raise CollectError(
+                f"unknown engine {collect_config.engine!r} (fast or reference)"
+            )
         self.process = Process(
             program,
             machine_config,
@@ -125,6 +147,7 @@ class Collector:
             heap_page_bytes=heap_page_bytes,
             fault_plan=fault_plan,
         )
+        self.process.machine.cpu.engine = collect_config.engine
         self.experiment = Experiment(collect_config.name)
         self.experiment.program = program
         self.experiment.info.heap_page_bytes = (
@@ -154,7 +177,10 @@ class Collector:
             HwcEvent(
                 counter=snapshot.counter_index,
                 event=spec.event.name,
-                weight=spec.interval,
+                # one trap may coalesce several crossed intervals (a single
+                # large amount, e.g. one E$ miss worth of stall cycles);
+                # the event's weight carries every crossed interval
+                weight=spec.interval * snapshot.coalesced,
                 trap_pc=snapshot.trap_pc,
                 candidate_pc=candidate,
                 effective_address=ea,
@@ -162,6 +188,7 @@ class Collector:
                 ea_reason=reason,
                 cycle=snapshot.cycle,
                 callstack=snapshot.callstack,
+                coalesced=snapshot.coalesced,
             )
         )
 

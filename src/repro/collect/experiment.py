@@ -98,7 +98,7 @@ class HwcEvent:
 
     counter: int          # PIC register index
     event: str            # event name, e.g. "ecrm"
-    weight: int           # events represented (the overflow interval)
+    weight: int           # events represented (interval x coalesced)
     trap_pc: int
     candidate_pc: Optional[int]
     effective_address: Optional[int]
@@ -106,6 +106,11 @@ class HwcEvent:
     ea_reason: str
     cycle: int
     callstack: tuple
+    #: intervals coalesced into this single trap: one large recorded amount
+    #: can cross several overflow intervals, but the hardware raises only
+    #: one trap for them (defaulted for experiments saved before the field
+    #: existed)
+    coalesced: int = 1
 
     def to_json(self) -> str:
         """Serialize to one JSON line."""
@@ -354,6 +359,18 @@ class Experiment:
             stream.close()
         self._streams = {}
         self._unflushed = 0
+
+    def detached(self) -> "Experiment":
+        """Strip the program image and journal handles, in place.
+
+        Open file streams and the (potentially large) program image do not
+        survive pickling; a worker process calls this before returning an
+        experiment to the parent, which re-attaches the shared program.
+        """
+        self._close_journal_streams()
+        self._journal_dir = None
+        self.program = None
+        return self
 
     # ---------------------------------------------------------------- save
 

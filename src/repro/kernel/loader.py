@@ -87,10 +87,12 @@ def load_program(
     if input_vals:
         memory.write_longs(input_base, input_vals)
 
-    # wire the CPU
+    # wire the CPU; binding operands at load time means the first run
+    # does not pay for lowering the text segment
     cpu = machine.cpu
     cpu.code = program.code
     cpu.text_base = program.text_base
+    cpu.predecode_code()
     cpu.set_entry(program.entry)
     stack_top = arena_end - 64
     cpu.regs[14] = stack_top        # %sp = %o6

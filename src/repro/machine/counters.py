@@ -105,10 +105,20 @@ class CounterSpec:
 
     @classmethod
     def parse(cls, text: str, register: int) -> "CounterSpec":
-        """Parse ``[+]name[,interval]`` as in ``collect -h +ecstall,lo``."""
+        """Parse ``[+]name[,interval]`` as in ``collect -h +ecstall,lo``.
+
+        Exactly one leading ``+`` is meaningful (it requests backtracking);
+        anything more is a malformed request and is rejected here rather
+        than failing deep in event-name lookup.
+        """
         backtrack = text.startswith("+")
         if backtrack:
             text = text[1:]
+            if text.startswith("+"):
+                raise CollectError(
+                    f"malformed counter request {'+' + text!r}: "
+                    f"at most one '+' prefix is allowed"
+                )
         name, _, interval_text = text.partition(",")
         try:
             event = EVENTS[name]
@@ -146,6 +156,12 @@ class CounterSnapshot:
     #: collector must never read it; accuracy tests compare it against
     #: the backtracking result)
     true_trigger_pc: int = 0
+    #: number of overflow intervals this single trap represents.  A large
+    #: ``amount`` (e.g. one E$ miss worth of stall cycles against a small
+    #: interval) can cross several intervals at once; the hardware raises
+    #: only one trap, so the intervals are coalesced into it and the
+    #: collector must weight the event by ``interval * coalesced``.
+    coalesced: int = 1
 
 
 class CounterUnit:
@@ -166,6 +182,9 @@ class CounterUnit:
         self.overflows: list[int] = [0, 0]
         #: event name -> counter index, for the CPU's fast lookup
         self.watching: dict[str, int] = {}
+        #: how many intervals the most recent overflow coalesced into its
+        #: single trap (valid right after :meth:`record` returns >= 0)
+        self.last_coalesced = 1
 
     def configure(self, specs: list[CounterSpec]) -> None:
         """Install up to two counter specs on the PIC registers."""
@@ -196,6 +215,15 @@ class CounterUnit:
 
         Returns -1 normally, or the skid (in instructions) when the counter
         overflowed and a trap must be armed.
+
+        A single large ``amount`` (one E$ miss worth of stall cycles against
+        a small interval, say) can cross several intervals at once.  The
+        hardware still raises only *one* trap, so the crossings are
+        coalesced: ``overflows`` counts every crossed interval (the sampled
+        total ``interval * overflows`` stays an unbiased estimate of the
+        true total) and :attr:`last_coalesced` tells the CPU how many
+        intervals the one armed trap represents, so the collector can
+        weight the event by ``interval * coalesced``.
         """
         self.totals[register] += amount
         self.remaining[register] -= amount
@@ -203,11 +231,10 @@ class CounterUnit:
             return -1
         spec = self.specs[register]
         assert spec is not None
-        self.overflows[register] += 1
-        self.remaining[register] += spec.interval
-        if self.remaining[register] <= 0:  # huge amount: skip whole intervals
-            skipped = (-self.remaining[register]) // spec.interval + 1
-            self.remaining[register] += skipped * spec.interval
+        crossed = (-self.remaining[register]) // spec.interval + 1
+        self.overflows[register] += crossed
+        self.remaining[register] += crossed * spec.interval
+        self.last_coalesced = crossed
         event = spec.event
         if event.skid_max == 0:
             skid = 0

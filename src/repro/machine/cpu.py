@@ -12,8 +12,29 @@ The interpreter models what the paper's technique depends on:
 * **cycle penalties** for D$ misses, E$ misses and DTLB misses, with E$
   read-miss penalties accumulated on the ``ecstall`` event.
 
-The hot loop is one large method with locals bound up front; this is the
-standard Python-interpreter idiom for a ~10x win over naive dispatch.
+Two execution engines share this model:
+
+* ``engine="fast"`` (default) runs the predecoded dispatch table from
+  :mod:`repro.isa.decode` with a **batched overflow countdown**: instead
+  of two ``counters.record()`` calls plus a pending-trap list walk per
+  retired instruction, the loop computes how many instructions can retire
+  before *anything* observable can happen (counter overflow, trap
+  delivery, clock tick, watchdog/kill deadline, budget exhaustion) and
+  runs that many iterations touching only one local integer.  Any event
+  that breaks the "every instruction costs exactly ``base_cycles``"
+  assumption (a cache/TLB miss charging extra cycles, a trap being armed,
+  a kernel service) zeroes the countdown so the checkpoint runs at that
+  very instruction.  The checkpoint then performs the bookkeeping in the
+  exact order the per-instruction loop used, which keeps RNG draws, trap
+  timing and therefore whole profiles bit-identical (see DESIGN.md).
+* ``engine="reference"`` (:mod:`repro.machine.cpu_reference`) keeps the
+  seed-style per-instruction loop — the cross-check oracle for golden
+  profile tests and the baseline for throughput benchmarks.
+
+Pending traps are stored as ``[due_instr_count, register, skid, pc,
+coalesced]`` where ``due_instr_count`` is the absolute retired-instruction
+count at which the trap must be delivered; both engines share the format,
+so single-stepping and engine switches between runs agree.
 """
 
 from __future__ import annotations
@@ -29,16 +50,20 @@ from ..errors import (
     SimulatedCrash,
     WatchdogExpired,
 )
-from ..isa.instructions import Instr, Op
-from ..isa.registers import NUM_REGS, REG_G0, REG_RA
+from ..isa import decode as D
+from ..isa.decode import predecode
+from ..isa.instructions import Instr
+from ..isa.registers import NUM_REGS, REG_RA
 from .cache import Cache
 from .counters import CounterSnapshot, CounterUnit
 from .memory import Memory
 from .tlb import TLB
 
 _U64 = 1 << 64
+_U64M = _U64 - 1
 _S64_MAX = (1 << 63) - 1
 _S64_MIN = -(1 << 63)
+_BIG = 1 << 62
 
 #: cycles charged for a kernel service trap (the paper's tiny System CPU time)
 TRAP_CYCLES = 40
@@ -83,6 +108,9 @@ class CPU:
         self.halted = False
         self.exit_code = 0
 
+        #: which interpreter loop `run` uses: "fast" or "reference"
+        self.engine = "fast"
+
         #: call-site PCs, innermost last (shadow stack for profiling unwinds)
         self.callstack: list[int] = []
 
@@ -90,10 +118,17 @@ class CPU:
         self.code: list[Instr] = []
         self.text_base = 0
 
+        #: predecoded dispatch table (lazily rebuilt when code changes)
+        self._decoded: Optional[list[tuple]] = None
+        self._decoded_src: Optional[list[Instr]] = None
+        self._decoded_base = -1
+        self._decoded_ncode = -1
+
         #: E$ lines being fetched by software prefetch: line -> ready cycle
         self.inflight_prefetches: dict[int, int] = {}
 
-        #: armed-but-undelivered overflow traps: [remaining, register, skid]
+        #: armed-but-undelivered overflow traps:
+        #: [due_instr_count, register, skid, trigger_pc, coalesced]
         self.pending_traps: list[list[int]] = []
         self.overflow_handler: Optional[Callable[[CounterSnapshot], None]] = None
 
@@ -122,7 +157,7 @@ class CPU:
         self.next_clock_tick = self.cycles + interval_cycles
 
     def snapshot(self, register: int, true_skid: int,
-                 true_trigger_pc: int = 0) -> CounterSnapshot:
+                 true_trigger_pc: int = 0, coalesced: int = 1) -> CounterSnapshot:
         """Build the signal-delivery view of the CPU state."""
         spec = self.counters.specs[register]
         assert spec is not None
@@ -136,11 +171,39 @@ class CPU:
             instr_count=self.instr_count,
             true_skid=true_skid,
             true_trigger_pc=true_trigger_pc,
+            coalesced=coalesced,
         )
 
     def step(self) -> None:
         """Execute exactly one instruction (test/debug convenience)."""
         self.run(max_instructions=1)
+
+    def predecode_code(self) -> None:
+        """Build the fast-dispatch table eagerly (the loader calls this so
+        the first run does not pay the lowering cost)."""
+        self._dispatch_table()
+
+    def _dispatch_table(self) -> list[tuple]:
+        """The predecoded form of ``self.code``, rebuilt when stale.
+
+        Tests (and the loader, before it learned to predecode) assign
+        ``cpu.code`` directly, so the table is validated against the
+        current code list identity, base and length on every run.
+        """
+        dec = self._decoded
+        code = self.code
+        if (
+            dec is None
+            or self._decoded_src is not code
+            or self._decoded_base != self.text_base
+            or self._decoded_ncode != len(code)
+        ):
+            dec = predecode(code, self.text_base)
+            self._decoded = dec
+            self._decoded_src = code
+            self._decoded_base = self.text_base
+            self._decoded_ncode = len(code)
+        return dec
 
     # ------------------------------------------------------------- main loop
 
@@ -156,6 +219,13 @@ class CPU:
         ``watchdog_instructions`` are *loud* deadlines that raise
         :class:`WatchdogExpired` — the collector's runaway-run guard.
         """
+        if self.engine == "reference":
+            from .cpu_reference import run_reference
+
+            return run_reference(
+                self, max_instructions, max_cycles, watchdog_instructions
+            )
+
         # Bind everything hot to locals.
         regs = self.regs
         memory = self.memory
@@ -168,11 +238,13 @@ class CPU:
         counters = self.counters
         watching = counters.watching
         record = counters.record
+        remaining = counters.remaining
         pending = self.pending_traps
         callstack = self.callstack
         code = self.code
         text_base = self.text_base
         ncode = len(code)
+        dec = self._dispatch_table()
         base_cycles = self.base_cycles
         ec_hit_cycles = ecache.config.hit_cycles
         ec_miss_cycles = ecache.config.miss_cycles
@@ -180,6 +252,22 @@ class CPU:
         store_stall_cycles = self.store_stall_cycles
         inflight = self.inflight_prefetches
         ec_line_shift = ecache.line_shift
+
+        # D$ and DTLB most-recently-used fast paths: a hit on the MRU entry
+        # causes no LRU movement and no state change, so it can be tested
+        # inline and tallied in a local, flushed at every checkpoint.
+        dc_shift = dcache.line_shift
+        dc_mask = dcache.set_mask
+        dc_sets = dcache.sets
+        dc_read_hits = 0
+        dc_write_hits = 0
+        tlb_hits = 0
+        # local cache of the segment of the MRU TLB entry (invalid ranges
+        # force the first access through the slow path)
+        seg_base = 1
+        seg_end = 0
+        seg_shift = 0
+        mru_page = -1
 
         w_cycles = watching.get("cycles")
         w_insts = watching.get("insts")
@@ -194,301 +282,128 @@ class CPU:
         cycles = self.cycles
         instr_count = self.instr_count
         ecstall_total = self.ecstall_cycles
-
-        O = Op
-        LDX, LDUB, STX, STB = O.LDX, O.LDUB, O.STX, O.STB
-        PREFETCH = O.PREFETCH
-        ADD, SUB, MULX, SDIVX, SMODX = O.ADD, O.SUB, O.MULX, O.SDIVX, O.SMODX
-        AND_, OR_, XOR_ = O.AND, O.OR, O.XOR
-        SLLX, SRLX, SRAX = O.SLLX, O.SRLX, O.SRAX
-        MOV, SET, CMP = O.MOV, O.SET, O.CMP
-        BA, BE, BNE, BG, BGE, BL, BLE = O.BA, O.BE, O.BNE, O.BG, O.BGE, O.BL, O.BLE
-        CALL, JMPL, NOP, TA, HALT = O.CALL, O.JMPL, O.NOP, O.TA, O.HALT
-
         cc = getattr(self, "_cc", 0)
-        executed = 0
-        budget = max_instructions if max_instructions is not None else -1
 
+        K_SET, K_MOV, K_NOP = D.K_SET, D.K_MOV, D.K_NOP
+        K_CMP_I, K_CMP_R = D.K_CMP_I, D.K_CMP_R
+        K_ADD_I, K_ADD_R = D.K_ADD_I, D.K_ADD_R
+        K_SUB_I, K_SUB_R = D.K_SUB_I, D.K_SUB_R
+        K_MULX_I, K_MULX_R = D.K_MULX_I, D.K_MULX_R
+        K_AND_I, K_AND_R = D.K_AND_I, D.K_AND_R
+        K_OR_I, K_OR_R = D.K_OR_I, D.K_OR_R
+        K_XOR_I, K_XOR_R = D.K_XOR_I, D.K_XOR_R
+        K_SLLX_I, K_SLLX_R = D.K_SLLX_I, D.K_SLLX_R
+        K_SRLX_I, K_SRLX_R = D.K_SRLX_I, D.K_SRLX_R
+        K_SRAX_I, K_SRAX_R = D.K_SRAX_I, D.K_SRAX_R
+        K_BA, K_BE, K_BNE = D.K_BA, D.K_BE, D.K_BNE
+        K_BG, K_BGE, K_BL, K_BLE = D.K_BG, D.K_BGE, D.K_BL, D.K_BLE
+        K_CALL, K_JMPL, K_TA, K_HALT = D.K_CALL, D.K_JMPL, D.K_TA, D.K_HALT
+        K_BAD = D.K_BAD
+
+        budget = -1 if max_instructions is None else max_instructions
         kill_at = self.kill_at_cycle
-        # single guard bool keeps the common (no-deadline) hot path at one test
-        deadlines = (
-            max_cycles is not None
-            or watchdog_instructions is not None
-            or kill_at is not None
-        )
+        start_count = instr_count
+        flushed_insts = instr_count
+        flushed_cycles = cycles
 
+        if self.halted or budget == 0:
+            return 0
+
+        # The loop runs in *index space*: ``i``/``ni`` are dispatch-table
+        # rows standing in for pc/npc (pc == text_base + 4*i), so the hot
+        # path never converts an address or bounds-checks a fetch — every
+        # invalid control transfer lands on a K_BAD row instead.  ``bad_pc``
+        # remembers the unrepresentable address of a computed jump that had
+        # to be redirected to the sentinel row.
+        tb = text_base
+        i = (pc - tb) >> 2
+        if pc & 3 or i < 0 or i > ncode:
+            raise IllegalInstruction(f"fetch from 0x{pc:x}")
+        ni = (npc - tb) >> 2
+        bad_pc = None
+        if npc & 3 or ni < 0 or ni > ncode:
+            bad_pc = npc
+            ni = ncode
+
+        countdown = 0
+        brk = False
+        fresh = True
         try:
-            while not self.halted:
-                if budget == 0:
-                    break
-                budget -= 1
-
-                idx = (pc - text_base) >> 2
-                if idx < 0 or idx >= ncode or pc & 3:
-                    raise IllegalInstruction(f"fetch from 0x{pc:x}")
-                instr = code[idx]
-                op = instr.op
-                npc2 = npc + 4
-                extra = 0
-
-                if op is LDX or op is LDUB:
-                    rs2 = instr.rs2
-                    ea = regs[instr.rs1] + (instr.imm if rs2 is None else regs[rs2])
-                    # DTLB
-                    if not dtlb.lookup(ea, memory):
-                        extra += dtlb_miss_cycles
-                        if w_dtlbm is not None:
-                            skid = record(w_dtlbm, 1)
+            while True:
+                # ---- checkpoint: the only place observable bookkeeping
+                # happens; the countdown guarantees it runs at exactly the
+                # instructions where the per-instruction loop would have
+                # overflowed a counter, delivered a trap, ticked the clock
+                # or hit a deadline.
+                if not fresh:
+                    pc = tb + (i << 2)
+                    npc = (
+                        bad_pc
+                        if ni == ncode and bad_pc is not None
+                        else tb + (ni << 2)
+                    )
+                    if tlb_hits:
+                        dtlb.refs += tlb_hits
+                        tlb_hits = 0
+                    if dc_read_hits:
+                        dcache.read_refs += dc_read_hits
+                        dc_read_hits = 0
+                    if dc_write_hits:
+                        dcache.write_refs += dc_write_hits
+                        dc_write_hits = 0
+                    if w_insts is not None:
+                        n = instr_count - flushed_insts
+                        if n:
+                            skid = record(w_insts, n)
                             if skid >= 0:
-                                pending.append([skid, w_dtlbm, skid, pc])
-                    # D$
-                    full_miss = False
-                    if not dcache.access(ea, False):
-                        if w_dcrm is not None:
-                            skid = record(w_dcrm, 1)
+                                pending.append(
+                                    [instr_count + skid, w_insts, skid, pc,
+                                     counters.last_coalesced]
+                                )
+                    if w_cycles is not None:
+                        n = cycles - flushed_cycles
+                        if n:
+                            skid = record(w_cycles, n)
                             if skid >= 0:
-                                pending.append([skid, w_dcrm, skid, pc])
-                        extra += ec_hit_cycles
-                        if w_ecref is not None:
-                            skid = record(w_ecref, 1)
-                            if skid >= 0:
-                                pending.append([skid, w_ecref, skid, pc])
-                        if not ecache.access(ea, False):
-                            full_miss = True
-                            extra += ec_miss_cycles
-                            ecstall_total += ec_miss_cycles
-                            if w_ecrm is not None:
-                                skid = record(w_ecrm, 1)
-                                if skid >= 0:
-                                    pending.append([skid, w_ecrm, skid, pc])
-                            if w_ecstall is not None:
-                                skid = record(w_ecstall, ec_miss_cycles)
-                                if skid >= 0:
-                                    pending.append([skid, w_ecstall, skid, pc])
-                    if inflight:
-                        # a software prefetch may still be fetching this line:
-                        # the demand load waits for the remainder
-                        ready = inflight.pop(ea >> ec_line_shift, None)
-                        if ready is not None and not full_miss and ready > cycles:
-                            wait = ready - cycles
-                            extra += wait
-                            ecstall_total += wait
-                    # data
-                    if op is LDX:
-                        if ea & 7:
-                            raise MemoryFault(ea, "misaligned 8-byte load")
-                        widx = (ea - mem_base) >> 3
-                        if widx < 0 or widx >= nwords:
-                            raise MemoryFault(ea)
-                        value = words[widx]
-                    else:
-                        widx = (ea - mem_base) >> 3
-                        if widx < 0 or widx >= nwords:
-                            raise MemoryFault(ea)
-                        value = (words[widx] >> ((ea & 7) << 3)) & 0xFF
-                    rd = instr.rd
-                    if rd:
-                        regs[rd] = value
-
-                elif op is STX or op is STB:
-                    rs2 = instr.rs2
-                    ea = regs[instr.rs1] + (instr.imm if rs2 is None else regs[rs2])
-                    if not dtlb.lookup(ea, memory):
-                        extra += dtlb_miss_cycles
-                        if w_dtlbm is not None:
-                            skid = record(w_dtlbm, 1)
-                            if skid >= 0:
-                                pending.append([skid, w_dtlbm, skid, pc])
-                    if not dcache.access(ea, True):
-                        # write-allocate through E$; the write buffer hides most
-                        # of the latency (configurable residual stall)
-                        extra += store_stall_cycles
-                        if w_ecref is not None:
-                            skid = record(w_ecref, 1)
-                            if skid >= 0:
-                                pending.append([skid, w_ecref, skid, pc])
-                        ecache.access(ea, True)
-                    if op is STX:
-                        if ea & 7:
-                            raise MemoryFault(ea, "misaligned 8-byte store")
-                        widx = (ea - mem_base) >> 3
-                        if widx < 0 or widx >= nwords:
-                            raise MemoryFault(ea)
-                        value = regs[instr.rd]
-                        words[widx] = value
-                    else:
-                        widx = (ea - mem_base) >> 3
-                        if widx < 0 or widx >= nwords:
-                            raise MemoryFault(ea)
-                        shift = (ea & 7) << 3
-                        word = words[widx] & (_U64 - 1)
-                        word = (word & ~(0xFF << shift)) | (
-                            (regs[instr.rd] & 0xFF) << shift
-                        )
-                        if word > _S64_MAX:
-                            word -= _U64
-                        words[widx] = word
-
-                elif op is PREFETCH:
-                    rs2 = instr.rs2
-                    ea = regs[instr.rs1] + (instr.imm if rs2 is None else regs[rs2])
-                    # dropped on a DTLB miss or an unmapped address; raises no
-                    # counter events (demand accesses only on the PICs)
-                    try:
-                        translated = dtlb.peek(ea, memory)
-                    except MemoryFault:
-                        translated = False
-                    if translated and not dcache.access(ea, False):
-                        if not ecache.access(ea, False):
-                            inflight[ea >> ec_line_shift] = cycles + ec_miss_cycles
-                elif op is ADD:
-                    rs2 = instr.rs2
-                    value = regs[instr.rs1] + (instr.imm if rs2 is None else regs[rs2])
-                    if value > _S64_MAX or value < _S64_MIN:
-                        value = ((value - _S64_MIN) & (_U64 - 1)) + _S64_MIN
-                    rd = instr.rd
-                    if rd:
-                        regs[rd] = value
-                elif op is SUB:
-                    rs2 = instr.rs2
-                    value = regs[instr.rs1] - (instr.imm if rs2 is None else regs[rs2])
-                    if value > _S64_MAX or value < _S64_MIN:
-                        value = ((value - _S64_MIN) & (_U64 - 1)) + _S64_MIN
-                    rd = instr.rd
-                    if rd:
-                        regs[rd] = value
-                elif op is CMP:
-                    rs2 = instr.rs2
-                    cc = regs[instr.rs1] - (instr.imm if rs2 is None else regs[rs2])
-                elif op is MOV:
-                    rd = instr.rd
-                    if rd:
-                        regs[rd] = regs[instr.rs1]
-                elif op is SET:
-                    rd = instr.rd
-                    if rd:
-                        regs[rd] = instr.imm
-                elif op is NOP:
-                    pass
-                elif op is BE:
-                    if cc == 0:
-                        npc2 = instr.target
-                elif op is BNE:
-                    if cc != 0:
-                        npc2 = instr.target
-                elif op is BG:
-                    if cc > 0:
-                        npc2 = instr.target
-                elif op is BGE:
-                    if cc >= 0:
-                        npc2 = instr.target
-                elif op is BL:
-                    if cc < 0:
-                        npc2 = instr.target
-                elif op is BLE:
-                    if cc <= 0:
-                        npc2 = instr.target
-                elif op is BA:
-                    npc2 = instr.target
-                elif op is MULX:
-                    rs2 = instr.rs2
-                    value = regs[instr.rs1] * (instr.imm if rs2 is None else regs[rs2])
-                    if value > _S64_MAX or value < _S64_MIN:
-                        value = ((value - _S64_MIN) & (_U64 - 1)) + _S64_MIN
-                    rd = instr.rd
-                    if rd:
-                        regs[rd] = value
-                elif op is SDIVX or op is SMODX:
-                    rs2 = instr.rs2
-                    a = regs[instr.rs1]
-                    b = instr.imm if rs2 is None else regs[rs2]
-                    if b == 0:
-                        raise DivisionByZero(f"at pc 0x{pc:x}")
-                    q = abs(a) // abs(b)
-                    if (a < 0) != (b < 0):
-                        q = -q
-                    value = q if op is SDIVX else a - q * b
-                    rd = instr.rd
-                    if rd:
-                        regs[rd] = value
-                elif op is AND_:
-                    rs2 = instr.rs2
-                    value = regs[instr.rs1] & (instr.imm if rs2 is None else regs[rs2])
-                    rd = instr.rd
-                    if rd:
-                        regs[rd] = value
-                elif op is OR_:
-                    rs2 = instr.rs2
-                    value = regs[instr.rs1] | (instr.imm if rs2 is None else regs[rs2])
-                    rd = instr.rd
-                    if rd:
-                        regs[rd] = value
-                elif op is XOR_:
-                    rs2 = instr.rs2
-                    value = regs[instr.rs1] ^ (instr.imm if rs2 is None else regs[rs2])
-                    rd = instr.rd
-                    if rd:
-                        regs[rd] = value
-                elif op is SLLX:
-                    rs2 = instr.rs2
-                    sh = (instr.imm if rs2 is None else regs[rs2]) & 63
-                    value = regs[instr.rs1] << sh
-                    if value > _S64_MAX or value < _S64_MIN:
-                        value = ((value - _S64_MIN) & (_U64 - 1)) + _S64_MIN
-                    rd = instr.rd
-                    if rd:
-                        regs[rd] = value
-                elif op is SRLX:
-                    rs2 = instr.rs2
-                    sh = (instr.imm if rs2 is None else regs[rs2]) & 63
-                    value = (regs[instr.rs1] & (_U64 - 1)) >> sh
-                    if value > _S64_MAX:
-                        value -= _U64
-                    rd = instr.rd
-                    if rd:
-                        regs[rd] = value
-                elif op is SRAX:
-                    rs2 = instr.rs2
-                    sh = (instr.imm if rs2 is None else regs[rs2]) & 63
-                    rd = instr.rd
-                    if rd:
-                        regs[rd] = regs[instr.rs1] >> sh
-                elif op is CALL:
-                    regs[REG_RA] = pc
-                    npc2 = instr.target
-                    callstack.append(pc)
-                elif op is JMPL:
-                    rd = instr.rd
-                    if rd:
-                        regs[rd] = pc
-                    npc2 = regs[instr.rs1] + instr.imm
-                    if rd == REG_G0 and instr.rs1 == REG_RA and callstack:
-                        callstack.pop()
-                elif op is TA:
-                    service = self.kernel_service
-                    if service is None:
-                        raise MachineError(f"trap {instr.imm} with no kernel")
-                    # sync state out so the kernel sees a consistent CPU
-                    self.pc, self.npc = pc, npc
-                    self.cycles, self.instr_count = cycles, instr_count
-                    service(self, instr.imm)
-                    extra += TRAP_CYCLES
-                    self.system_cycles += TRAP_CYCLES
-                elif op is HALT:
-                    self.halted = True
-                    self.exit_code = regs[8]  # %o0
-                else:  # pragma: no cover
-                    raise IllegalInstruction(f"unknown op {op!r} at 0x{pc:x}")
-
-                # -- retire ------------------------------------------------------
-                instr_count += 1
-                executed += 1
-                step_cycles = base_cycles + extra
-                cycles += step_cycles
-                pc = npc
-                npc = npc2
-
-                if deadlines:
+                                pending.append(
+                                    [instr_count + skid, w_cycles, skid, pc,
+                                     counters.last_coalesced]
+                                )
+                    flushed_insts = instr_count
+                    flushed_cycles = cycles
+                    if pending:
+                        due = None
+                        for trap in pending:
+                            if trap[0] <= instr_count:
+                                if due is None:
+                                    due = []
+                                due.append(trap)
+                        if due:
+                            handler = self.overflow_handler
+                            # sync state so snapshot sees next-to-issue PC
+                            self.pc, self.npc = pc, npc
+                            self.cycles, self.instr_count = cycles, instr_count
+                            self.ecstall_cycles = ecstall_total
+                            for trap in due:
+                                pending.remove(trap)
+                                if handler is not None:
+                                    handler(
+                                        self.snapshot(
+                                            trap[1], trap[2], trap[3], trap[4]
+                                        )
+                                    )
+                    if self.clock_interval_cycles and cycles >= self.next_clock_tick:
+                        handler2 = self.clock_handler
+                        self.pc, self.npc = pc, npc
+                        self.cycles, self.instr_count = cycles, instr_count
+                        self.ecstall_cycles = ecstall_total
+                        while self.next_clock_tick <= cycles:
+                            self.next_clock_tick += self.clock_interval_cycles
+                            if handler2 is not None:
+                                handler2(pc, cycles, tuple(callstack))
+                    # deadlines fire only after the retired instruction's
+                    # events are fully counted (partial experiments must
+                    # agree with machine.stats() ground truth)
                     if kill_at is not None and cycles >= kill_at:
                         raise SimulatedCrash(
                             f"injected kill at cycle {cycles} (pc 0x{pc:x})"
@@ -506,55 +421,617 @@ class CPU:
                             f"instruction watchdog: {instr_count} >= "
                             f"{watchdog_instructions} (pc 0x{pc:x})"
                         )
+                    if self.halted:
+                        break
+                    if budget >= 0 and instr_count - start_count >= budget:
+                        break
+                fresh = False
 
+                # ---- how many instructions may retire before the next
+                # possible observable event, assuming every one costs
+                # exactly base_cycles (any instruction that violates the
+                # assumption zeroes the countdown when it happens)
+                nxt = _BIG
                 if w_insts is not None:
-                    skid = record(w_insts, 1)
-                    if skid >= 0:
-                        pending.append([skid, w_insts, skid, pc])
+                    nxt = remaining[w_insts]
                 if w_cycles is not None:
-                    skid = record(w_cycles, step_cycles)
-                    if skid >= 0:
-                        pending.append([skid, w_cycles, skid, pc])
-
+                    v = -(-remaining[w_cycles] // base_cycles)
+                    if v < nxt:
+                        nxt = v
                 if pending:
-                    due = None
-                    for trap in pending:
-                        trap[0] -= 1
-                        if trap[0] < 0:
-                            if due is None:
-                                due = []
-                            due.append(trap)
-                    if due:
-                        handler = self.overflow_handler
-                        # sync state so snapshot sees the next-to-issue PC
-                        self.pc, self.npc = pc, npc
+                    v = min(trap[0] for trap in pending) - instr_count
+                    if v < nxt:
+                        nxt = v
+                if self.clock_interval_cycles:
+                    v = -(-(self.next_clock_tick - cycles) // base_cycles)
+                    if v < nxt:
+                        nxt = v
+                if kill_at is not None:
+                    v = -(-(kill_at - cycles) // base_cycles)
+                    if v < nxt:
+                        nxt = v
+                if max_cycles is not None:
+                    v = -(-(max_cycles - cycles) // base_cycles)
+                    if v < nxt:
+                        nxt = v
+                if watchdog_instructions is not None:
+                    v = watchdog_instructions - instr_count
+                    if v < nxt:
+                        nxt = v
+                if budget >= 0:
+                    v = budget - (instr_count - start_count)
+                    if v < nxt:
+                        nxt = v
+                countdown = nxt if nxt > 0 else 1
+
+                # ---- hot loop: dispatch chain ordered by the dynamic
+                # opcode mix of the MCF workload.  Every arm retires
+                # inline (``i = ni; ni += 1`` or the branch target), so
+                # straight-line instructions never materialise a "next
+                # pc" temporary; any arm that broke the base-cycles
+                # assumption sets ``brk`` (or breaks directly) so the
+                # checkpoint runs at this very instruction.
+                for _ in range(countdown):
+                    e = dec[i]
+                    k = e[0]
+                    if k < 4:  # LDX / LDUB
+                        o = e[3]
+                        ea = regs[e[2]] + (regs[o] if k & 1 else o)
+                        lcyc = cycles
+                        # DTLB
+                        if seg_base <= ea < seg_end and (ea >> seg_shift) == mru_page:
+                            tlb_hits += 1
+                        else:
+                            if not dtlb.lookup(ea, memory):
+                                cycles += dtlb_miss_cycles
+                                brk = True
+                                if w_dtlbm is not None:
+                                    skid = record(w_dtlbm, 1)
+                                    if skid >= 0:
+                                        pending.append(
+                                            [instr_count + 1 + skid, w_dtlbm,
+                                             skid, tb + (i << 2),
+                                             counters.last_coalesced]
+                                        )
+                            seg = dtlb._seg_cache
+                            seg_base = seg.base
+                            seg_end = seg_base + seg.size
+                            seg_shift = seg.page_shift
+                            mru_page = ea >> seg_shift
+                        # D$
+                        full_miss = False
+                        line = ea >> dc_shift
+                        dcset = dc_sets[line & dc_mask]
+                        if dcset and dcset[0] == line:
+                            dc_read_hits += 1
+                        elif not dcache.access(ea, False):
+                            brk = True
+                            if w_dcrm is not None:
+                                skid = record(w_dcrm, 1)
+                                if skid >= 0:
+                                    pending.append(
+                                        [instr_count + 1 + skid, w_dcrm, skid,
+                                         tb + (i << 2),
+                                         counters.last_coalesced]
+                                    )
+                            cycles += ec_hit_cycles
+                            if w_ecref is not None:
+                                skid = record(w_ecref, 1)
+                                if skid >= 0:
+                                    pending.append(
+                                        [instr_count + 1 + skid, w_ecref, skid,
+                                         tb + (i << 2),
+                                         counters.last_coalesced]
+                                    )
+                            if not ecache.access(ea, False):
+                                full_miss = True
+                                cycles += ec_miss_cycles
+                                ecstall_total += ec_miss_cycles
+                                if w_ecrm is not None:
+                                    skid = record(w_ecrm, 1)
+                                    if skid >= 0:
+                                        pending.append(
+                                            [instr_count + 1 + skid, w_ecrm,
+                                             skid, tb + (i << 2),
+                                             counters.last_coalesced]
+                                        )
+                                if w_ecstall is not None:
+                                    skid = record(w_ecstall, ec_miss_cycles)
+                                    if skid >= 0:
+                                        pending.append(
+                                            [instr_count + 1 + skid, w_ecstall,
+                                             skid, tb + (i << 2),
+                                             counters.last_coalesced]
+                                        )
+                        if inflight:
+                            # a software prefetch may still be fetching this
+                            # line: the demand load waits for the remainder
+                            ready = inflight.pop(ea >> ec_line_shift, None)
+                            if ready is not None and not full_miss and ready > lcyc:
+                                wait = ready - lcyc
+                                cycles += wait
+                                ecstall_total += wait
+                                brk = True
+                            if inflight:
+                                # expire fetches that completed in the past
+                                stale = [
+                                    ln for ln, r in inflight.items() if r <= cycles
+                                ]
+                                for ln in stale:
+                                    del inflight[ln]
+                        # data
+                        if k < 2:  # LDX
+                            if ea & 7:
+                                raise MemoryFault(ea, "misaligned 8-byte load")
+                            widx = (ea - mem_base) >> 3
+                            if widx < 0 or widx >= nwords:
+                                raise MemoryFault(ea)
+                            value = words[widx]
+                        else:  # LDUB
+                            widx = (ea - mem_base) >> 3
+                            if widx < 0 or widx >= nwords:
+                                raise MemoryFault(ea)
+                            value = (words[widx] >> ((ea & 7) << 3)) & 0xFF
+                        rd = e[1]
+                        if rd:
+                            regs[rd] = value
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                        if brk:
+                            brk = False
+                            break
+                    elif k == K_SET:
+                        regs[e[1]] = e[2]
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_ADD_R:
+                        value = regs[e[2]] + regs[e[3]]
+                        if value > _S64_MAX or value < _S64_MIN:
+                            value = ((value - _S64_MIN) & _U64M) + _S64_MIN
+                        regs[e[1]] = value
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_ADD_I:
+                        value = regs[e[2]] + e[3]
+                        if value > _S64_MAX or value < _S64_MIN:
+                            value = ((value - _S64_MIN) & _U64M) + _S64_MIN
+                        regs[e[1]] = value
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_NOP:
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_CMP_R:
+                        cc = regs[e[1]] - regs[e[2]]
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_CMP_I:
+                        cc = regs[e[1]] - e[2]
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k < 8:  # STX / STB
+                        o = e[3]
+                        ea = regs[e[2]] + (regs[o] if k & 1 else o)
+                        if seg_base <= ea < seg_end and (ea >> seg_shift) == mru_page:
+                            tlb_hits += 1
+                        else:
+                            if not dtlb.lookup(ea, memory):
+                                cycles += dtlb_miss_cycles
+                                brk = True
+                                if w_dtlbm is not None:
+                                    skid = record(w_dtlbm, 1)
+                                    if skid >= 0:
+                                        pending.append(
+                                            [instr_count + 1 + skid, w_dtlbm,
+                                             skid, tb + (i << 2),
+                                             counters.last_coalesced]
+                                        )
+                            seg = dtlb._seg_cache
+                            seg_base = seg.base
+                            seg_end = seg_base + seg.size
+                            seg_shift = seg.page_shift
+                            mru_page = ea >> seg_shift
+                        line = ea >> dc_shift
+                        dcset = dc_sets[line & dc_mask]
+                        if dcset and dcset[0] == line:
+                            dc_write_hits += 1
+                        elif not dcache.access(ea, True):
+                            # write-allocate through E$; the write buffer
+                            # hides most of the latency (configurable
+                            # residual stall)
+                            brk = True
+                            if store_stall_cycles:
+                                cycles += store_stall_cycles
+                            if w_ecref is not None:
+                                skid = record(w_ecref, 1)
+                                if skid >= 0:
+                                    pending.append(
+                                        [instr_count + 1 + skid, w_ecref, skid,
+                                         tb + (i << 2),
+                                         counters.last_coalesced]
+                                    )
+                            ecache.access(ea, True)
+                        if inflight:
+                            # the store supersedes any in-flight prefetch of
+                            # its line; completed fetches are dropped too
+                            inflight.pop(ea >> ec_line_shift, None)
+                            if inflight:
+                                stale = [
+                                    ln for ln, r in inflight.items() if r <= cycles
+                                ]
+                                for ln in stale:
+                                    del inflight[ln]
+                        if k < 6:  # STX
+                            if ea & 7:
+                                raise MemoryFault(ea, "misaligned 8-byte store")
+                            widx = (ea - mem_base) >> 3
+                            if widx < 0 or widx >= nwords:
+                                raise MemoryFault(ea)
+                            words[widx] = regs[e[1]]
+                        else:  # STB
+                            widx = (ea - mem_base) >> 3
+                            if widx < 0 or widx >= nwords:
+                                raise MemoryFault(ea)
+                            shift = (ea & 7) << 3
+                            word = words[widx] & _U64M
+                            word = (word & ~(0xFF << shift)) | (
+                                (regs[e[1]] & 0xFF) << shift
+                            )
+                            if word > _S64_MAX:
+                                word -= _U64
+                            words[widx] = word
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                        if brk:
+                            brk = False
+                            break
+                    elif k == K_MOV:
+                        regs[e[1]] = regs[e[2]]
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_BGE:
+                        if cc >= 0:
+                            i = ni
+                            ni = e[1]
+                        else:
+                            i = ni
+                            ni += 1
+                        instr_count += 1
+                        cycles += base_cycles
+                    elif k == K_BA:
+                        i = ni
+                        ni = e[1]
+                        instr_count += 1
+                        cycles += base_cycles
+                    elif k == K_MULX_R:
+                        value = regs[e[2]] * regs[e[3]]
+                        if value > _S64_MAX or value < _S64_MIN:
+                            value = ((value - _S64_MIN) & _U64M) + _S64_MIN
+                        regs[e[1]] = value
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_BL:
+                        if cc < 0:
+                            i = ni
+                            ni = e[1]
+                        else:
+                            i = ni
+                            ni += 1
+                        instr_count += 1
+                        cycles += base_cycles
+                    elif k == K_BNE:
+                        if cc != 0:
+                            i = ni
+                            ni = e[1]
+                        else:
+                            i = ni
+                            ni += 1
+                        instr_count += 1
+                        cycles += base_cycles
+                    elif k == K_SLLX_I:
+                        value = regs[e[2]] << e[3]
+                        if value > _S64_MAX or value < _S64_MIN:
+                            value = ((value - _S64_MIN) & _U64M) + _S64_MIN
+                        regs[e[1]] = value
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_SUB_R:
+                        value = regs[e[2]] - regs[e[3]]
+                        if value > _S64_MAX or value < _S64_MIN:
+                            value = ((value - _S64_MIN) & _U64M) + _S64_MIN
+                        regs[e[1]] = value
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_SUB_I:
+                        value = regs[e[2]] - e[3]
+                        if value > _S64_MAX or value < _S64_MIN:
+                            value = ((value - _S64_MIN) & _U64M) + _S64_MIN
+                        regs[e[1]] = value
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_BE:
+                        if cc == 0:
+                            i = ni
+                            ni = e[1]
+                        else:
+                            i = ni
+                            ni += 1
+                        instr_count += 1
+                        cycles += base_cycles
+                    elif k == K_BG:
+                        if cc > 0:
+                            i = ni
+                            ni = e[1]
+                        else:
+                            i = ni
+                            ni += 1
+                        instr_count += 1
+                        cycles += base_cycles
+                    elif k == K_BLE:
+                        if cc <= 0:
+                            i = ni
+                            ni = e[1]
+                        else:
+                            i = ni
+                            ni += 1
+                        instr_count += 1
+                        cycles += base_cycles
+                    elif k == K_MULX_I:
+                        value = regs[e[2]] * e[3]
+                        if value > _S64_MAX or value < _S64_MIN:
+                            value = ((value - _S64_MIN) & _U64M) + _S64_MIN
+                        regs[e[1]] = value
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_CALL:
+                        xpc = tb + (i << 2)
+                        regs[REG_RA] = xpc
+                        callstack.append(xpc)
+                        i = ni
+                        ni = e[1]
+                        instr_count += 1
+                        cycles += base_cycles
+                    elif k == K_JMPL:
+                        rd = e[1]
+                        if rd:
+                            regs[rd] = tb + (i << 2)
+                        t = regs[e[2]] + e[3]
+                        if e[4] and callstack:
+                            callstack.pop()
+                        ti = (t - tb) >> 2
+                        if t & 3 or ti < 0 or ti > ncode:
+                            # unrepresentable computed target: route through
+                            # the sentinel row, which raises with this pc
+                            bad_pc = t
+                            ti = ncode
+                        i = ni
+                        ni = ti
+                        instr_count += 1
+                        cycles += base_cycles
+                    elif k < 10:  # PREFETCH
+                        o = e[3]
+                        ea = regs[e[2]] + (regs[o] if k & 1 else o)
+                        # dropped on a DTLB miss or an unmapped address;
+                        # raises no counter events (demand accesses only)
+                        try:
+                            translated = dtlb.peek(ea, memory)
+                        except MemoryFault:
+                            translated = False
+                        if translated and not dcache.access(ea, False):
+                            if not ecache.access(ea, False):
+                                inflight[ea >> ec_line_shift] = (
+                                    cycles + ec_miss_cycles
+                                )
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_AND_R:
+                        regs[e[1]] = regs[e[2]] & regs[e[3]]
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_AND_I:
+                        regs[e[1]] = regs[e[2]] & e[3]
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_OR_R:
+                        regs[e[1]] = regs[e[2]] | regs[e[3]]
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_OR_I:
+                        regs[e[1]] = regs[e[2]] | e[3]
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_XOR_R:
+                        regs[e[1]] = regs[e[2]] ^ regs[e[3]]
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_XOR_I:
+                        regs[e[1]] = regs[e[2]] ^ e[3]
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_SLLX_R:
+                        value = regs[e[2]] << (regs[e[3]] & 63)
+                        if value > _S64_MAX or value < _S64_MIN:
+                            value = ((value - _S64_MIN) & _U64M) + _S64_MIN
+                        regs[e[1]] = value
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_SRLX_I:
+                        value = (regs[e[2]] & _U64M) >> e[3]
+                        if value > _S64_MAX:
+                            value -= _U64
+                        regs[e[1]] = value
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_SRLX_R:
+                        value = (regs[e[2]] & _U64M) >> (regs[e[3]] & 63)
+                        if value > _S64_MAX:
+                            value -= _U64
+                        regs[e[1]] = value
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_SRAX_I:
+                        regs[e[1]] = regs[e[2]] >> e[3]
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_SRAX_R:
+                        regs[e[1]] = regs[e[2]] >> (regs[e[3]] & 63)
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k < 38:  # SDIVX / SMODX
+                        o = e[3]
+                        b = regs[o] if k & 1 else o
+                        a = regs[e[2]]
+                        if b == 0:
+                            raise DivisionByZero(f"at pc 0x{tb + (i << 2):x}")
+                        q = abs(a) // abs(b)
+                        if (a < 0) != (b < 0):
+                            q = -q
+                        value = q if k < 36 else a - q * b
+                        rd = e[1]
+                        if rd:
+                            regs[rd] = value
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                    elif k == K_TA:
+                        service = self.kernel_service
+                        if service is None:
+                            raise MachineError(f"trap {e[1]} with no kernel")
+                        # sync state (and flush the batched MRU tallies) so
+                        # the kernel sees a consistent CPU and machine
+                        self.pc = tb + (i << 2)
+                        self.npc = (
+                            bad_pc
+                            if ni == ncode and bad_pc is not None
+                            else tb + (ni << 2)
+                        )
                         self.cycles, self.instr_count = cycles, instr_count
                         self.ecstall_cycles = ecstall_total
-                        for trap in due:
-                            pending.remove(trap)
-                            if handler is not None:
-                                handler(self.snapshot(trap[1], trap[2], trap[3]))
-
-                if self.clock_interval_cycles and cycles >= self.next_clock_tick:
-                    handler2 = self.clock_handler
-                    self.pc, self.npc = pc, npc
-                    self.cycles, self.instr_count = cycles, instr_count
-                    self.ecstall_cycles = ecstall_total
-                    while self.next_clock_tick <= cycles:
-                        self.next_clock_tick += self.clock_interval_cycles
-                        if handler2 is not None:
-                            handler2(pc, cycles, tuple(callstack))
+                        if tlb_hits:
+                            dtlb.refs += tlb_hits
+                            tlb_hits = 0
+                        if dc_read_hits:
+                            dcache.read_refs += dc_read_hits
+                            dc_read_hits = 0
+                        if dc_write_hits:
+                            dcache.write_refs += dc_write_hits
+                            dc_write_hits = 0
+                        service(self, e[1])
+                        cycles += TRAP_CYCLES
+                        self.system_cycles += TRAP_CYCLES
+                        # the service may have remapped memory
+                        seg_base, seg_end, mru_page = 1, 0, -1
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                        break
+                    elif k == K_HALT:
+                        self.halted = True
+                        self.exit_code = regs[8]  # %o0
+                        instr_count += 1
+                        cycles += base_cycles
+                        i = ni
+                        ni += 1
+                        break
+                    elif k == K_BAD:
+                        # fetch fault: fell off the end of text, or a
+                        # control transfer targeted a bad address
+                        p = e[1]
+                        if p is None:
+                            p = bad_pc if bad_pc is not None else tb + (i << 2)
+                        bad_pc = p
+                        raise IllegalInstruction(f"fetch from 0x{p:x}")
+                    else:  # pragma: no cover - predecode rejects unknown ops
+                        raise IllegalInstruction(
+                            f"unknown kind {k} at 0x{tb + (i << 2):x}"
+                        )
 
         finally:
             # Sync locals back even when a fault/deadline raised mid-loop,
-            # so partial-experiment finalization sees accurate state.
-            self.pc = pc
-            self.npc = npc
+            # so partial-experiment finalization sees accurate state.  Any
+            # instruction with extra cycles or an armed trap forced a
+            # checkpoint, so everything retired-but-unflushed cost exactly
+            # base_cycles — flush it so counter totals track ground truth
+            # through the last retired instruction.
+            n = instr_count - flushed_insts
+            if n:
+                if w_insts is not None:
+                    record(w_insts, n)
+                if w_cycles is not None:
+                    record(w_cycles, n * base_cycles)
+            if tlb_hits:
+                dtlb.refs += tlb_hits
+            if dc_read_hits:
+                dcache.read_refs += dc_read_hits
+            if dc_write_hits:
+                dcache.write_refs += dc_write_hits
+            if i >= ncode and bad_pc is not None:
+                self.pc = bad_pc
+            else:
+                self.pc = tb + (i << 2)
+            if ni == ncode and bad_pc is not None and i < ncode:
+                self.npc = bad_pc
+            else:
+                self.npc = tb + (ni << 2)
             self.cycles = cycles
             self.instr_count = instr_count
             self.ecstall_cycles = ecstall_total
             self._cc = cc
-        return executed
+        return instr_count - start_count
 
 
 __all__ = ["CPU", "CpuExit", "TRAP_CYCLES"]

@@ -38,6 +38,10 @@ class Segment:
     page_bytes: int
     seg_id: int = 0
 
+    def __post_init__(self) -> None:
+        # precomputed for the TLB fast path (page_bytes is a power of two)
+        self.page_shift = self.page_bytes.bit_length() - 1
+
     @property
     def end(self) -> int:
         """One past the last address of the segment."""

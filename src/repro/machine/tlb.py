@@ -42,8 +42,7 @@ class TLB:
         if seg is None or not (seg.base <= addr < seg.end):
             seg = memory.segment_for(addr)
             self._seg_cache = seg
-        page_shift = seg.page_bytes.bit_length() - 1
-        key = (seg.seg_id, addr >> page_shift)
+        key = (seg.seg_id, addr >> seg.page_shift)
         entries = self.entries
         try:
             pos = entries.index(key)
@@ -63,8 +62,7 @@ class TLB:
         seg = self._seg_cache
         if seg is None or not (seg.base <= addr < seg.end):
             seg = memory.segment_for(addr)
-        page_shift = seg.page_bytes.bit_length() - 1
-        return (seg.seg_id, addr >> page_shift) in self.entries
+        return (seg.seg_id, addr >> seg.page_shift) in self.entries
 
     def miss_rate(self) -> float:
         """Misses divided by references (0.0 when unused)."""

@@ -1,0 +1,164 @@
+"""Parallel collection driver: independent collect passes in worker
+processes.
+
+The simulated machine has two PIC registers, so a full profile of a
+workload takes several *passes* (the paper ran MCF twice: clock + ecstall
++ ecrm, then ecref + dtlbm).  Each pass is an independent deterministic
+simulation — same program, same input, its own machine seeded from the
+machine config — which makes the workload embarrassingly parallel.
+
+:class:`CollectJob` describes one pass declaratively (every field is
+picklable; the program can be rebuilt in the worker from the workload
+name, or shipped explicitly).  :func:`collect_many` fans the jobs out
+over a process pool and returns :class:`JobResult` objects **in job
+order**, so the merged output is byte-for-byte independent of worker
+scheduling.  With ``parallelism=1`` — or when the host cannot fork — the
+jobs run sequentially in-process with identical results.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .collect.collector import RECOVERABLE_FAULTS, CollectConfig, collect
+from .collect.experiment import Experiment
+from .config import MachineConfig, scaled_config
+from .errors import ReproError
+
+
+@dataclass
+class CollectJob:
+    """One collect pass, described so it can cross a process boundary."""
+
+    config: CollectConfig
+    #: workload to build in the worker ("mcf" or "commercial") ...
+    workload: str = "mcf"
+    trips: int = 150
+    seed: int = 1
+    layout: str = "baseline"
+    #: ... or an explicit pre-built image + input, which wins when set
+    program: Optional[object] = None
+    input_longs: Sequence[int] = ()
+    #: machine configuration (default: the scaled reproduction machine)
+    machine: Optional[MachineConfig] = None
+    heap_page_bytes: Optional[int] = None
+    #: experiment directory to journal/save to (None = in-memory only)
+    save_to: Optional[str] = None
+    #: fault-injection spec for FaultPlan.parse, e.g. "seed=7,kill_at=5000"
+    fault_plan: Optional[str] = None
+    #: ship the (detached) experiment back to the parent process
+    return_experiment: bool = False
+
+
+@dataclass
+class JobResult:
+    """Outcome of one pass, picklable and small unless an experiment was
+    requested back."""
+
+    index: int
+    name: str
+    outdir: Optional[str] = None
+    hwc_events: int = 0
+    clock_events: int = 0
+    exit_code: int = 0
+    incomplete: bool = False
+    fault: str = ""
+    #: non-empty when the pass died (partial experiment may still exist)
+    error: str = ""
+    experiment: Optional[Experiment] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the pass ran to completion."""
+        return not self.error
+
+
+def _job_workload(job: CollectJob):
+    """(program, input_longs) for a job built inside the worker."""
+    if job.program is not None:
+        return job.program, list(job.input_longs)
+    if job.workload == "mcf":
+        from .mcf.instance import encode_instance, generate_instance
+        from .mcf.sources import LayoutVariant
+        from .mcf.workload import build_mcf
+
+        instance = generate_instance(trips=job.trips, seed=job.seed)
+        return build_mcf(LayoutVariant(job.layout)), encode_instance(instance)
+    if job.workload == "commercial":
+        from .workloads import build_commercial, commercial_input
+
+        return build_commercial(), commercial_input(seed=job.seed or 12345)
+    raise ReproError(f"unknown workload {job.workload!r}")
+
+
+def run_job(job: CollectJob, index: int = 0) -> JobResult:
+    """Execute one pass (in whatever process this is called from)."""
+    result = JobResult(index=index, name=job.config.name, outdir=job.save_to)
+    try:
+        fault_plan = None
+        if job.fault_plan:
+            from .faults import FaultPlan
+
+            fault_plan = FaultPlan.parse(job.fault_plan)
+        program, input_longs = _job_workload(job)
+        experiment = collect(
+            program,
+            job.machine or scaled_config(),
+            job.config,
+            input_longs=input_longs,
+            heap_page_bytes=job.heap_page_bytes,
+            save_to=job.save_to,
+            fault_plan=fault_plan,
+        )
+    except RECOVERABLE_FAULTS as error:
+        result.error = f"{type(error).__name__}: {error}"
+        result.incomplete = True
+        return result
+    result.hwc_events = len(experiment.hwc_events)
+    result.clock_events = len(experiment.clock_events)
+    result.exit_code = experiment.info.exit_code
+    result.incomplete = experiment.incomplete
+    result.fault = experiment.info.fault
+    if job.return_experiment:
+        result.experiment = experiment.detached()
+    return result
+
+
+def _run_indexed(pair) -> JobResult:
+    index, job = pair
+    return run_job(job, index)
+
+
+def collect_many(
+    jobs: Sequence[CollectJob], parallelism: Optional[int] = None
+) -> list[JobResult]:
+    """Run every job; results come back in job order.
+
+    ``parallelism`` caps the worker count (default: one per job up to the
+    host CPU count).  Passing 1 — or running on a host where worker
+    processes cannot be spawned — degrades to a sequential in-process
+    loop with identical output: each pass simulates its own machine with
+    its own seeded RNG, so results never depend on scheduling.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    if parallelism is None:
+        parallelism = os.cpu_count() or 1
+    parallelism = max(1, min(parallelism, len(jobs)))
+    if parallelism == 1:
+        return [run_job(job, index) for index, job in enumerate(jobs)]
+    try:
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=parallelism) as pool:
+            return list(pool.map(_run_indexed, enumerate(jobs)))
+    except (BrokenExecutor, OSError, PermissionError):
+        # no usable process pool (restricted host): same results, one at
+        # a time
+        return [run_job(job, index) for index, job in enumerate(jobs)]
+
+
+__all__ = ["CollectJob", "JobResult", "collect_many", "run_job"]

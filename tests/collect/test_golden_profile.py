@@ -1,0 +1,74 @@
+"""Golden-profile test: the predecoded dispatch-table interpreter writes
+byte-identical experiment journals to the per-instruction reference
+interpreter on a fixed-seed MCF run.
+
+This is the contract the fast engine lives under: batched countdown,
+predecoded dispatch and the MRU fast paths may change *how fast* the
+simulation runs, never *what it observes* — same RNG draw order, same
+skid landing sites, same trap delivery cycles, same journal bytes.
+"""
+
+import pytest
+
+from repro.collect.collector import CollectConfig, collect
+from repro.config import scaled_config
+from repro.mcf.instance import encode_instance, generate_instance
+from repro.mcf.sources import LayoutVariant
+from repro.mcf.workload import build_mcf
+
+
+@pytest.fixture(scope="module")
+def workload():
+    instance = generate_instance(trips=15, seed=9)
+    return build_mcf(LayoutVariant.BASELINE), encode_instance(instance)
+
+
+def _journal_bytes(tmp_path, workload, engine, counters, clock, tag):
+    program, input_longs = workload
+    outdir = tmp_path / f"{tag}-{engine}"
+    collect(
+        program,
+        scaled_config(),
+        CollectConfig(
+            clock_profiling=clock,
+            clock_interval=499,
+            counters=counters,
+            name=f"{tag}-{engine}",
+            engine=engine,
+        ),
+        input_longs=input_longs,
+        save_to=str(outdir),
+    )
+    saved = outdir.with_suffix(".er") if outdir.suffix != ".er" else outdir
+    files = sorted(p for p in saved.iterdir() if p.suffix == ".jsonl")
+    assert files, f"no journal files in {saved}"
+    return {p.name: p.read_bytes() for p in files}
+
+
+@pytest.mark.parametrize(
+    "counters,clock,tag",
+    [
+        (["+ecstall,97", "+ecrm,29"], True, "stall"),
+        (["+ecref,53", "+dtlbm,11"], False, "ref"),
+    ],
+)
+def test_fast_engine_journal_is_byte_identical(tmp_path, workload,
+                                               counters, clock, tag):
+    fast = _journal_bytes(tmp_path, workload, "fast", counters, clock, tag)
+    ref = _journal_bytes(tmp_path, workload, "reference", counters, clock, tag)
+    assert fast.keys() == ref.keys()
+    for name in fast:
+        assert fast[name] == ref[name], f"{name} diverged between engines"
+
+
+def test_unknown_engine_rejected(workload):
+    from repro.errors import CollectError
+
+    program, input_longs = workload
+    with pytest.raises(CollectError, match="unknown engine"):
+        collect(
+            program,
+            scaled_config(),
+            CollectConfig(counters=[], engine="turbo"),
+            input_longs=input_longs,
+        )

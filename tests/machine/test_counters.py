@@ -150,6 +150,29 @@ class TestOverflow:
         assert unit.record(0, 35) >= 0
         assert unit.remaining[0] > 0
         assert unit.totals[0] == 35
+        # 35 events over interval 10 cross three interval boundaries; the
+        # one trap coalesces all three so interval*overflows still tracks
+        # the true total
+        assert unit.overflows[0] == 3
+        assert unit.last_coalesced == 3
+        assert unit.remaining[0] == 5
+
+    def test_coalesced_overflows_keep_sampled_total_unbiased(self):
+        unit = make_unit()
+        unit.configure([CounterSpec.parse("ecstall,10", 0)])
+        rng = random.Random(42)
+        for _ in range(500):
+            unit.record(0, rng.randint(1, 47))
+        sampled = unit.overflows[0] * 10
+        assert abs(sampled - unit.totals[0]) < 10  # within one interval
+
+    def test_exact_multiple_coalesces_cleanly(self):
+        unit = make_unit()
+        unit.configure([CounterSpec.parse("ecstall,10", 0)])
+        assert unit.record(0, 30) >= 0
+        assert unit.overflows[0] == 3
+        assert unit.last_coalesced == 3
+        assert unit.remaining[0] == 10
 
     def test_precise_event_has_zero_skid(self):
         unit = make_unit()
