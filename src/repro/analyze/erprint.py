@@ -14,7 +14,11 @@ Commands (er_print-style):
 * ``data_objects``                  Figure 6 data objects
 * ``data_single <structure:name>``  Figure 7 member expansion
 * ``callers-callees <function>``
-* ``segments [metric]`` / ``pages [metric]`` / ``lines [metric]``
+* ``segments [metric]``     events by mapped segment
+* ``pages [metric]``        hot virtual pages, with the data objects that
+                            live on each page (§4)
+* ``lines [metric]``        hot E$ cache lines, with the data objects and
+                            structure members on each line (§4)
 * ``instances [metric]``    events by heap-allocation instance (§4)
 * ``header``                collection parameters + run facts
 * ``heap``                  allocation/deallocation summary by site (§2.2)
@@ -24,13 +28,20 @@ Commands (er_print-style):
 Experiments are opened in salvage mode by default: damaged files are
 skipped with a warning and reports carry an ``(Incomplete)`` header.
 Pass ``--strict`` to fail loudly on any corruption instead.
+
+Scaling options:
+
+* ``--jobs N``    reduce independent experiments in N worker processes
+                  (results merge in command-line order, so the report is
+                  byte-identical to a sequential run)
+* ``--no-cache``  ignore and do not write the per-experiment reduction
+                  cache under ``<exp>.er/cache/``
 """
 
 from __future__ import annotations
 
 import sys
 
-from ..collect.experiment import Experiment
 from ..errors import ReproError
 from . import reports
 from .fsck import fsck_experiment
@@ -136,7 +147,23 @@ def main(argv=None) -> int:
         print(__doc__)
         return 0
     strict = "--strict" in argv
-    argv = [arg for arg in argv if arg != "--strict"]
+    use_cache = "--no-cache" not in argv
+    jobs = 1
+    filtered: list[str] = []
+    pending = iter(argv)
+    for arg in pending:
+        if arg in ("--strict", "--no-cache"):
+            continue
+        if arg == "--jobs" or arg.startswith("--jobs="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(pending, "")
+            try:
+                jobs = int(value)
+            except ValueError:
+                print("error: --jobs requires an integer", file=sys.stderr)
+                return 2
+            continue
+        filtered.append(arg)
+    argv = filtered
     directories: list[str] = []
     while argv and argv[0] not in _COMMANDS:
         directories.append(argv.pop(0))
@@ -155,17 +182,9 @@ def main(argv=None) -> int:
             code = max(code, status)
         return code
     try:
-        experiments = []
-        for directory in directories:
-            exp = Experiment.open(directory, strict=strict)
-            if exp.salvage is not None and not exp.salvage.clean:
-                print(
-                    f"warning: {directory}: salvaged with damage:\n"
-                    f"{exp.salvage.summary()}",
-                    file=sys.stderr,
-                )
-            experiments.append(exp)
-        reduced = reduce_experiments(experiments)
+        reduced = reduce_experiments(
+            directories, parallelism=jobs, strict=strict, use_cache=use_cache
+        )
         print(run_command(reduced, command, args))
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

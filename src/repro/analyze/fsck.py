@@ -21,6 +21,7 @@ from ..collect.experiment import (
     _sha256_file,
 )
 from ..errors import ExperimentError
+from . import cache as reduction_cache
 
 FSCK_OK = 0
 FSCK_UNRECOVERABLE = 1
@@ -97,6 +98,8 @@ def fsck_experiment(directory) -> tuple[str, int]:
         exp = Experiment.open(path, strict=False)
     except ExperimentError as error:
         lines.append(f"  salvage: FAILED ({error})")
+        if reduction_cache.invalidate(path):
+            lines.append("  cache: stale reduction dropped")
         lines.append("  status: unrecoverable")
         return "\n".join(lines), FSCK_UNRECOVERABLE
 
@@ -111,6 +114,12 @@ def fsck_experiment(directory) -> tuple[str, int]:
                 f"  salvage: {name}: skipped {stats.lines_skipped}/"
                 f"{stats.lines_read} lines ({stats.first_error})"
             )
+    if exp.incomplete or damage:
+        # a cached reduction keyed before the damage must not be served
+        if reduction_cache.invalidate(path):
+            lines.append("  cache: stale reduction dropped")
+    elif reduction_cache.cache_path(path).exists():
+        lines.append("  cache: reduction cache present")
     if exp.incomplete:
         reason = exp.incomplete_reason() or "damage detected"
         lines.append(f"  status: salvageable (partial: {reason})")

@@ -48,4 +48,28 @@ def seconds_for(metric_id: str, raw_value: float, clock_hz: float) -> float:
     return raw_value / clock_hz
 
 
-__all__ = ["MetricDef", "METRICS", "seconds_for"]
+#: canonical display order of metrics (reduction output, report columns,
+#: and the cached-reduction payload all sort by this)
+METRIC_ORDER = (
+    "user_cpu",
+    "system_cpu",
+    "ecstall",
+    "ecrm",
+    "ecref",
+    "dtlbm",
+    "dcrm",
+    "cycles",
+    "insts",
+    "icm",
+)
+
+
+def metric_sort_key(metric_id: str) -> int:
+    """Position of a metric in the canonical order (unknowns sort last)."""
+    try:
+        return METRIC_ORDER.index(metric_id)
+    except ValueError:
+        return len(METRIC_ORDER)
+
+
+__all__ = ["MetricDef", "METRICS", "METRIC_ORDER", "metric_sort_key", "seconds_for"]

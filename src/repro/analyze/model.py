@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..compiler.program import Program
 
@@ -52,6 +53,10 @@ class MetricVector(defaultdict):
     """metric id -> raw count; behaves like a defaultdict(float)."""
 
     def __init__(self, *args) -> None:
+        # unpickling hands the default factory back as the first argument
+        # (defaultdict.__reduce__); drop it — the factory is always float
+        if args and args[0] is float:
+            args = args[1:]
         super().__init__(float, *args)
 
     def add(self, metric_id: str, value: float) -> None:
@@ -81,7 +86,7 @@ class PCRecord:
 class ReducedData:
     """Everything the analyzer computed from one (or merged) experiments."""
 
-    def __init__(self, program: Program, clock_hz: float) -> None:
+    def __init__(self, program: Optional[Program], clock_hz: float) -> None:
         self.program = program
         self.clock_hz = clock_hz
         #: metric ids with data present, in canonical order
@@ -102,6 +107,17 @@ class ReducedData:
         self.data_members: dict[DataObjectKey, MetricVector] = defaultdict(MetricVector)
         #: effective addresses per metric: list of (ea, weight) samples
         self.address_samples: dict[str, list] = defaultdict(list)
+        #: E$ line size used for the cache-line axis (machine geometry)
+        self.line_bytes: int = 512
+        #: cache-line base address -> metrics (data-space axis, §4)
+        self.cache_lines: dict[int, MetricVector] = defaultdict(MetricVector)
+        #: (segment name, page base address) -> metrics (data-space axis)
+        self.pages: dict[tuple, MetricVector] = defaultdict(MetricVector)
+        #: (line base, data-object label) -> metrics: which objects/members
+        #: live on each hot line
+        self.cache_line_objects: dict[tuple, MetricVector] = defaultdict(MetricVector)
+        #: (segment name, page base, data-object label) -> metrics
+        self.page_objects: dict[tuple, MetricVector] = defaultdict(MetricVector)
         #: ground truth totals from the experiment info (for validation)
         self.machine_totals: dict[str, float] = {}
         #: segments recorded at collection (name, base, size, page_bytes)
@@ -114,6 +130,9 @@ class ReducedData:
         #: salvaged damage); reports carry an ``(Incomplete)`` header
         self.incomplete: bool = False
         self.incomplete_reason: str = ""
+        #: code length of the program this was reduced over; survives
+        #: :meth:`detach` so :meth:`attach` can validate the re-attachment
+        self.code_len: int = len(program.code) if program is not None else 0
 
     # ------------------------------------------------------------- helpers
 
@@ -181,6 +200,10 @@ class ReducedData:
                 "functions_incl",
                 "lines",
                 "data_objects",
+                "cache_lines",
+                "pages",
+                "cache_line_objects",
+                "page_objects",
             ):
                 table = getattr(source, table_name)
                 out_table = getattr(out, table_name)
@@ -197,12 +220,150 @@ class ReducedData:
             out.counter_info.extend(source.counter_info)
         out.segments = self.segments or other.segments
         out.allocations = self.allocations or other.allocations
+        out.line_bytes = self.line_bytes
         out.incomplete = self.incomplete or other.incomplete
         out.incomplete_reason = "; ".join(
             filter(None, dict.fromkeys(
                 [self.incomplete_reason, other.incomplete_reason]
             ))
         )
+        return out
+
+    # -------------------------------------------------- worker detach/attach
+
+    def detach(self) -> "ReducedData":
+        """Strip the program image, in place, so a worker process can ship
+        the reduction back to the parent cheaply (mirrors
+        :meth:`repro.collect.experiment.Experiment.detached`)."""
+        if self.program is not None:
+            self.code_len = len(self.program.code)
+        self.program = None
+        return self
+
+    def attach(self, program: Program) -> "ReducedData":
+        """Re-attach a program image after :meth:`detach` (or a cache load),
+        validating that it matches the one the reduction was made over."""
+        if self.code_len and len(program.code) != self.code_len:
+            raise ValueError(
+                f"program mismatch: reduction covers {self.code_len} "
+                f"instructions, image has {len(program.code)}"
+            )
+        self.program = program
+        self.code_len = len(program.code)
+        return self
+
+    # ------------------------------------------------- cache serialization
+
+    #: bump whenever the payload layout or reduction semantics change — a
+    #: version bump orphans (and thereby invalidates) every existing cache
+    PAYLOAD_VERSION = 1
+
+    def to_payload(self) -> dict:
+        """JSON-serializable snapshot of the whole reduction (without the
+        program image, which the experiment directory already stores).
+
+        Insertion order of every table is preserved, so a reduction loaded
+        back with :meth:`from_payload` renders byte-identical reports.
+        """
+        def vec(vector: MetricVector) -> dict:
+            return dict(vector)
+
+        return {
+            "version": self.PAYLOAD_VERSION,
+            "clock_hz": self.clock_hz,
+            "code_len": self.code_len,
+            "metric_ids": list(self.metric_ids),
+            "total": vec(self.total),
+            "pcs": [
+                [r.pc, vec(r.metrics), r.is_branch_target_artifact,
+                 r.data_object, r.member]
+                for r in self.pcs.values()
+            ],
+            "functions": [[k, vec(v)] for k, v in self.functions.items()],
+            "functions_incl": [
+                [k, vec(v)] for k, v in self.functions_incl.items()
+            ],
+            "caller_callee": [
+                [k[0], k[1], vec(v)] for k, v in self.caller_callee.items()
+            ],
+            "lines": [[k[0], k[1], vec(v)] for k, v in self.lines.items()],
+            "data_objects": [[k, vec(v)] for k, v in self.data_objects.items()],
+            "data_members": [
+                [k.object_class, k.offset, k.member, k.member_type, vec(v)]
+                for k, v in self.data_members.items()
+            ],
+            "address_samples": {
+                metric: [[ea, weight] for ea, weight in samples]
+                for metric, samples in self.address_samples.items()
+            },
+            "line_bytes": self.line_bytes,
+            "cache_lines": [[k, vec(v)] for k, v in self.cache_lines.items()],
+            "pages": [[k[0], k[1], vec(v)] for k, v in self.pages.items()],
+            "cache_line_objects": [
+                [k[0], k[1], vec(v)] for k, v in self.cache_line_objects.items()
+            ],
+            "page_objects": [
+                [k[0], k[1], k[2], vec(v)] for k, v in self.page_objects.items()
+            ],
+            "machine_totals": dict(self.machine_totals),
+            "segments": [list(s) for s in self.segments],
+            "allocations": [list(a) for a in self.allocations],
+            "counter_info": list(self.counter_info),
+            "incomplete": self.incomplete,
+            "incomplete_reason": self.incomplete_reason,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict,
+                     program: Optional[Program] = None) -> "ReducedData":
+        """Rebuild a reduction from :meth:`to_payload` output."""
+        if payload.get("version") != cls.PAYLOAD_VERSION:
+            raise ValueError(
+                f"reduction payload v{payload.get('version')} "
+                f"!= v{cls.PAYLOAD_VERSION}"
+            )
+        out = cls(program, payload["clock_hz"])
+        out.code_len = payload.get("code_len", out.code_len)
+        out.metric_ids = list(payload["metric_ids"])
+        out.total = MetricVector(payload["total"])
+        for pc, metrics, artifact, data_object, member in payload["pcs"]:
+            record = PCRecord(pc, MetricVector(metrics), artifact,
+                              data_object, member)
+            out.pcs[pc] = record
+        for key, metrics in payload["functions"]:
+            out.functions[key] = MetricVector(metrics)
+        for key, metrics in payload["functions_incl"]:
+            out.functions_incl[key] = MetricVector(metrics)
+        for caller, callee, metrics in payload["caller_callee"]:
+            out.caller_callee[(caller, callee)] = MetricVector(metrics)
+        for func, line, metrics in payload["lines"]:
+            out.lines[(func, line)] = MetricVector(metrics)
+        for key, metrics in payload["data_objects"]:
+            out.data_objects[key] = MetricVector(metrics)
+        for object_class, offset, member, member_type, metrics in payload[
+            "data_members"
+        ]:
+            key = DataObjectKey(object_class, offset, member, member_type)
+            out.data_members[key] = MetricVector(metrics)
+        for metric, samples in payload["address_samples"].items():
+            out.address_samples[metric] = [
+                (ea, weight) for ea, weight in samples
+            ]
+        out.line_bytes = payload["line_bytes"]
+        for base, metrics in payload["cache_lines"]:
+            out.cache_lines[base] = MetricVector(metrics)
+        for segment, base, metrics in payload["pages"]:
+            out.pages[(segment, base)] = MetricVector(metrics)
+        for base, label, metrics in payload["cache_line_objects"]:
+            out.cache_line_objects[(base, label)] = MetricVector(metrics)
+        for segment, base, label, metrics in payload["page_objects"]:
+            out.page_objects[(segment, base, label)] = MetricVector(metrics)
+        out.machine_totals = dict(payload["machine_totals"])
+        out.segments = [tuple(s) for s in payload["segments"]]
+        out.allocations = [tuple(a) for a in payload["allocations"]]
+        out.counter_info = list(payload["counter_info"])
+        out.incomplete = payload["incomplete"]
+        out.incomplete_reason = payload["incomplete_reason"]
         return out
 
 

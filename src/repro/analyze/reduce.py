@@ -8,18 +8,39 @@ becomes ``(Unresolvable)``.  Events in modules compiled without hwcprof
 become ``(Unascertainable)``; compiler temporaries ``(Unidentified)``;
 memops the compiler left unannotated ``(Unspecified)``; modules with
 memop info but no branch-target table ``(Unverifiable)``.
+
+Scaling (§4 of the paper, "aggregating by cache line and page"):
+
+* the reducer is a **streaming** pass — it consumes the experiment's
+  event iterators one event at a time, so a saved experiment opened with
+  :meth:`Experiment.open_streaming` reduces in memory bounded by the
+  result tables, not the journal size;
+* events with a recomputed effective address are additionally aggregated
+  by **cache line** (the collecting machine's E$ line geometry) and by
+  **virtual page** (each segment's page size), with per-line/per-page
+  attribution back to the data objects and members that live there;
+* :func:`reduce_experiments` fans independent saved experiments out over
+  ``repro.parallel`` worker processes and merges the shards
+  deterministically in job order — byte-identical to a sequential
+  reduce — and consults the persistent per-directory reduction cache
+  (:mod:`repro.analyze.cache`) so unchanged experiments skip the pass
+  entirely.
 """
 
 from __future__ import annotations
 
 import os
 from bisect import bisect_right
+from pathlib import Path
 from typing import Optional
 
 from ..compiler import debuginfo
 from ..compiler.program import Program
 from ..errors import AnalysisError
 from ..collect.experiment import Experiment
+from ..parallel import parallel_map
+from . import cache as reduction_cache
+from .metrics import metric_sort_key
 from .model import (
     DataObjectKey,
     ReducedData,
@@ -31,26 +52,15 @@ from .model import (
     UNVERIFIABLE,
 )
 
-#: canonical display order of metrics
-_METRIC_ORDER = [
-    "user_cpu",
-    "system_cpu",
-    "ecstall",
-    "ecrm",
-    "ecref",
-    "dtlbm",
-    "dcrm",
-    "cycles",
-    "insts",
-    "icm",
-]
+#: segment bucket for effective addresses outside every mapped segment
+UNMAPPED_SEGMENT = "<unmapped>"
 
+#: page size assumed for unmapped addresses (matches the paper machine)
+DEFAULT_PAGE_BYTES = 8192
 
-def _metric_sort_key(metric_id: str) -> int:
-    try:
-        return _METRIC_ORDER.index(metric_id)
-    except ValueError:
-        return len(_METRIC_ORDER)
+#: E$ line size assumed for experiments recorded before the geometry was
+#: saved in info.json (the paper machine's line size)
+DEFAULT_LINE_BYTES = 512
 
 
 class _Reducer:
@@ -59,10 +69,19 @@ class _Reducer:
             raise AnalysisError("experiment has no program image")
         self.experiment = experiment
         self.program: Program = experiment.program
-        clock_hz = experiment.info.clock_hz or 900e6
+        info = experiment.info
+        clock_hz = info.clock_hz or 900e6
         self.reduced = ReducedData(self.program, clock_hz)
         self.branch_targets = sorted(self.program.branch_targets)
         self._func_cache: dict[int, Optional[str]] = {}
+        # data-space geometry: E$ line size from the collecting machine,
+        # page size per segment from the loadobject map
+        self.line_bytes = info.ecache_line_bytes or DEFAULT_LINE_BYTES
+        self.reduced.line_bytes = self.line_bytes
+        self._segments = sorted(
+            (tuple(seg) for seg in info.segments), key=lambda seg: seg[1]
+        )
+        self._segment_bases = [seg[1] for seg in self._segments]
 
     # ------------------------------------------------------------- helpers
 
@@ -132,28 +151,56 @@ class _Reducer:
         if key is not None:
             self.reduced.data_members[key].add(metric_id, weight)
 
+    # ------------------------------------------------------ data-space axes
+
+    def _page_of(self, ea: int) -> tuple[str, int]:
+        """(segment name, page base address) of one effective address."""
+        idx = bisect_right(self._segment_bases, ea) - 1
+        if idx >= 0:
+            name, base, size, page_bytes = self._segments[idx][:4]
+            if base <= ea < base + size:
+                return name, base + ((ea - base) // page_bytes) * page_bytes
+        return UNMAPPED_SEGMENT, (ea // DEFAULT_PAGE_BYTES) * DEFAULT_PAGE_BYTES
+
+    def _account_data_space(self, metric_id: str, weight: float, ea: int,
+                            object_class: str, key) -> None:
+        """Aggregate one addressed event by cache line and virtual page,
+        remembering which data object/member the address belonged to."""
+        reduced = self.reduced
+        line_base = (ea // self.line_bytes) * self.line_bytes
+        reduced.cache_lines[line_base].add(metric_id, weight)
+        segment, page_base = self._page_of(ea)
+        reduced.pages[(segment, page_base)].add(metric_id, weight)
+        label = f"{object_class}.{key.member}" if key is not None else object_class
+        reduced.cache_line_objects[(line_base, label)].add(metric_id, weight)
+        reduced.page_objects[(segment, page_base, label)].add(metric_id, weight)
+
     # --------------------------------------------------------------- passes
 
     def run(self) -> ReducedData:
         """Execute the pass over the whole unit and return the result."""
-        info = self.experiment.info
+        experiment = self.experiment
+        info = experiment.info
         reduced = self.reduced
+
+        # stream the events first: for open_streaming experiments the
+        # salvage tallies (and hence the incomplete flag recorded below)
+        # are only final once the iterators are exhausted
+        clock_weight = info.clock_interval_cycles
+        for event in experiment.iter_clock_events():
+            self._attribute("user_cpu", clock_weight, event.pc, event.callstack)
+        for event in experiment.iter_hwc_events():
+            self._reduce_hwc(event)
+
         reduced.machine_totals = dict(info.totals)
         reduced.segments = [tuple(seg) for seg in info.segments]
         reduced.allocations = [tuple(a) for a in info.allocations]
         reduced.counter_info = list(info.counters)
-        reduced.incomplete = self.experiment.incomplete
-        reduced.incomplete_reason = self.experiment.incomplete_reason()
-
-        for event in self.experiment.clock_events:
-            self._attribute("user_cpu", info.clock_interval_cycles, event.pc,
-                            event.callstack)
-
-        for event in self.experiment.hwc_events:
-            self._reduce_hwc(event)
+        reduced.incomplete = experiment.incomplete
+        reduced.incomplete_reason = experiment.incomplete_reason()
 
         present = {m for m in reduced.total}
-        reduced.metric_ids = sorted(present, key=_metric_sort_key)
+        reduced.metric_ids = sorted(present, key=metric_sort_key)
         return reduced
 
     def _reduce_hwc(self, event) -> None:
@@ -183,18 +230,21 @@ class _Reducer:
                 return
             self._attribute(metric_id, weight, candidate, event.callstack)
             object_class, key = self._data_object_for(candidate)
-            self._account_data_object(metric_id, weight, object_class, key)
         elif program.hwcprof_enabled(candidate):
             # memop info exists but validation is impossible
             self._attribute(metric_id, weight, candidate, event.callstack)
-            self._account_data_object(metric_id, weight, UNVERIFIABLE, None)
+            object_class, key = UNVERIFIABLE, None
         else:
             self._attribute(metric_id, weight, candidate, event.callstack)
-            self._account_data_object(metric_id, weight, UNASCERTAINABLE, None)
+            object_class, key = UNASCERTAINABLE, None
+        self._account_data_object(metric_id, weight, object_class, key)
 
         if event.effective_address is not None:
             self.reduced.address_samples[metric_id].append(
                 (event.effective_address, weight)
+            )
+            self._account_data_space(
+                metric_id, weight, event.effective_address, object_class, key
             )
 
         # annotate the PC record with its data object (for the PC report)
@@ -211,23 +261,84 @@ def reduce_experiment(experiment: Experiment) -> ReducedData:
     return _Reducer(experiment).run()
 
 
-def reduce_experiments(experiments) -> ReducedData:
+def reduce_path(directory, strict: bool = False,
+                use_cache: bool = True) -> ReducedData:
+    """Reduce one *saved* experiment directory, streaming and cached.
+
+    The journal is parsed one event at a time (bounded memory); with
+    ``use_cache`` the persistent per-directory cache is consulted first
+    and refreshed afterwards — a complete, undamaged experiment is only
+    ever reduced once until its contents change.
+    """
+    path = Path(directory)
+    if use_cache:
+        cached = reduction_cache.load(path)
+        if cached is not None:
+            return cached.attach(Program.load(path / "program.pkl"))
+    experiment = Experiment.open_streaming(path, strict=strict)
+    reduced = _Reducer(experiment).run()
+    if use_cache:
+        reduction_cache.store(path, reduced)
+    return reduced
+
+
+def _reduce_path_task(task) -> ReducedData:
+    """Worker-process entry: reduce one directory, ship it back detached
+    (the parent re-attaches its own program image)."""
+    directory, strict, use_cache = task
+    return reduce_path(directory, strict=strict, use_cache=use_cache).detach()
+
+
+def reduce_experiments(experiments, parallelism: Optional[int] = None,
+                       strict: bool = False,
+                       use_cache: bool = True) -> ReducedData:
     """Reduce and merge several experiments over the same program (the
     paper's case study merges two collect runs).
 
     Items may be :class:`Experiment` objects or paths to saved experiment
-    directories (loaded via :meth:`Experiment.open`)."""
-    loaded = [
-        Experiment.open(item) if isinstance(item, (str, os.PathLike)) else item
-        for item in experiments
-    ]
-    reduced_list = [reduce_experiment(exp) for exp in loaded]
-    if not reduced_list:
+    directories.  Saved directories reduce via the streaming, cached path
+    and — when ``parallelism`` allows — are fanned out over
+    ``repro.parallel`` worker processes; shards are merged in item order,
+    so the result is byte-identical to a sequential reduce regardless of
+    worker scheduling.
+    """
+    items = list(experiments)
+    if not items:
         raise AnalysisError("no experiments to reduce")
-    merged = reduced_list[0]
-    for other in reduced_list[1:]:
-        merged = merged.merged_with(other)
+    reduced_by_index: dict[int, ReducedData] = {}
+    path_tasks: list[tuple[int, str]] = []
+    for index, item in enumerate(items):
+        if isinstance(item, (str, os.PathLike)):
+            path_tasks.append((index, os.fspath(item)))
+        else:
+            reduced_by_index[index] = reduce_experiment(item)
+    if path_tasks:
+        shards = parallel_map(
+            _reduce_path_task,
+            [(path, strict, use_cache) for _index, path in path_tasks],
+            parallelism=parallelism if parallelism is not None else 1,
+        )
+        program: Optional[Program] = None
+        for loaded in reduced_by_index.values():
+            program = loaded.program
+            break
+        for (index, _path), shard in zip(path_tasks, shards):
+            if program is None:
+                program = Program.load(Path(path_tasks[0][1]) / "program.pkl")
+            reduced_by_index[index] = (
+                shard.attach(program) if shard.program is None else shard
+            )
+    merged = reduced_by_index[0]
+    for index in range(1, len(items)):
+        merged = merged.merged_with(reduced_by_index[index])
     return merged
 
 
-__all__ = ["reduce_experiment", "reduce_experiments"]
+__all__ = [
+    "reduce_experiment",
+    "reduce_experiments",
+    "reduce_path",
+    "DEFAULT_LINE_BYTES",
+    "DEFAULT_PAGE_BYTES",
+    "UNMAPPED_SEGMENT",
+]

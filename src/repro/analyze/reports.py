@@ -448,32 +448,92 @@ def segment_report(reduced: ReducedData, metric: str = "ecrm") -> str:
     return _address_breakdown(reduced, metric, bucket, lambda name: name)
 
 
+def _segment_name_of(reduced: ReducedData, address: int) -> str:
+    for name, base, size, _page in reduced.segments:
+        if base <= address < base + size:
+            return name
+    return "<unmapped>"
+
+
+def _data_space_report(reduced: ReducedData, metric: str, table: dict,
+                       objects: dict, object_group, label_fn, top: int,
+                       object_top: int = 3) -> str:
+    """Hot-bucket ranking over one precomputed data-space axis, each bucket
+    expanded with the data objects/members that live there.
+
+    Ordering is fully deterministic (value descending, then key ascending)
+    so cached, sharded, and sequential reductions render byte-identically.
+    """
+    entries = [
+        (key, vector.get(metric, 0.0))
+        for key, vector in table.items()
+        if vector.get(metric, 0.0) > 0
+    ]
+    if not entries:
+        raise AnalysisError(f"no effective addresses recorded for {metric!r}")
+    total = sum(value for _key, value in entries)
+    entries.sort(key=lambda kv: (-kv[1], kv[0]))
+    by_group: dict = {}
+    for okey, vector in objects.items():
+        value = vector.get(metric, 0.0)
+        if value > 0:
+            by_group.setdefault(object_group(okey), []).append((okey[-1], value))
+    rows = []
+    for key, value in entries[:top]:
+        rows.append([f"{value:.0f}", f"{100.0 * value / total:5.1f}",
+                     label_fn(key)])
+        members = sorted(by_group.get(key, ()), key=lambda kv: (-kv[1], kv[0]))
+        for label, member_value in members[:object_top]:
+            rows.append([
+                f"{member_value:.0f}",
+                f"{100.0 * member_value / total:5.1f}",
+                f"    {label}",
+            ])
+    return _render_table([METRICS[metric].header, "%", "Name"], rows)
+
+
 def page_report(reduced: ReducedData, metric: str = "dtlbm", top: int = 20) -> str:
-    """§4: events broken down by page (using each segment's page size)."""
-    segments = reduced.segments
-
-    def bucket(ea: int):
-        for name, base, size, page in segments:
-            if base <= ea < base + size:
-                return (name, (ea - base) // page)
-        return ("<unmapped>", 0)
-
-    report = _address_breakdown(
-        reduced, metric, bucket, lambda key: f"{key[0]} page {key[1]}"
+    """§4: events aggregated by virtual page (each segment's page size),
+    ranked hottest first, with the data objects resident on each page."""
+    return _data_space_report(
+        reduced,
+        metric,
+        table=reduced.pages,
+        objects=reduced.page_objects,
+        object_group=lambda okey: (okey[0], okey[1]),
+        label_fn=lambda key: f"{key[0]} page 0x{key[1]:x}",
+        top=top,
     )
-    return "\n".join(report.splitlines()[: top + 1])
 
 
 def cache_line_report(reduced: ReducedData, metric: str = "ecrm",
-                      line_bytes: int = 512, top: int = 20) -> str:
-    """§4: events aggregated by cache line of the effective address."""
-    report = _address_breakdown(
+                      line_bytes: Optional[int] = None, top: int = 20) -> str:
+    """§4: events aggregated by E$ cache line of the effective address,
+    ranked hottest first, with the data objects/members on each line.
+
+    The line size defaults to the collecting machine's E$ geometry
+    (recorded in the experiment); passing a different ``line_bytes``
+    re-buckets the raw address samples at that granularity instead.
+    """
+    if line_bytes is not None and line_bytes != reduced.line_bytes:
+        report = _address_breakdown(
+            reduced,
+            metric,
+            lambda ea: ea // line_bytes,
+            lambda line: f"line 0x{line * line_bytes:x}",
+        )
+        return "\n".join(report.splitlines()[: top + 1])
+    return _data_space_report(
         reduced,
         metric,
-        lambda ea: ea // line_bytes,
-        lambda line: f"line 0x{line * line_bytes:x}",
+        table=reduced.cache_lines,
+        objects=reduced.cache_line_objects,
+        object_group=lambda okey: okey[0],
+        label_fn=lambda base: (
+            f"line 0x{base:x} ({_segment_name_of(reduced, base)})"
+        ),
+        top=top,
     )
-    return "\n".join(report.splitlines()[: top + 1])
 
 
 def instance_report(reduced: ReducedData, metric: str = "ecrm",

@@ -51,6 +51,10 @@ from ..errors import ExperimentCorrupt, ExperimentError
 FORMAT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 
+#: subdirectory holding derived data (the reduction cache); never part of
+#: the manifest and dropped when the directory is re-collected into
+CACHE_DIR_NAME = "cache"
+
 #: journal flush cadence, in recorded lines (bounds data lost to a crash)
 JOURNAL_FLUSH_LINES = 256
 
@@ -176,6 +180,9 @@ class ExperimentInfo:
     exit_code: int = 0
     instructions: int = 0
     heap_page_bytes: int = 0
+    #: E$ line size of the collecting machine (0 in experiments saved
+    #: before the field existed; the analyzer falls back to 512)
+    ecache_line_bytes: int = 0
     config_name: str = ""
     #: [name, base, size, page_bytes] for each mapped segment
     segments: list = field(default_factory=list)
@@ -256,6 +263,9 @@ class Experiment:
         self._journal_dir: Optional[Path] = None
         self._streams: dict[str, object] = {}
         self._unflushed = 0
+        # streaming-read state (events left on disk by open_streaming)
+        self._stream_dir: Optional[Path] = None
+        self._stream_strict = False
 
     # ------------------------------------------------------------ status
 
@@ -299,6 +309,38 @@ class Experiment:
         if self._journal_dir is not None:
             self._journal_write("clock.jsonl", event.to_json())
 
+    # ---------------------------------------------------- event iteration
+
+    def iter_clock_events(self):
+        """Clock events, in recorded order.
+
+        For experiments opened with :meth:`open_streaming` the events are
+        parsed straight off the journal, one line at a time, so the whole
+        profile never has to fit in memory.
+        """
+        if self._stream_dir is None:
+            yield from self.clock_events
+            return
+        clock_file = self._stream_dir / "clock.jsonl"
+        if clock_file.exists():
+            yield from Experiment._iter_jsonl(
+                clock_file, ClockEvent.from_json, self._stream_strict,
+                self.salvage,
+            )
+
+    def iter_hwc_events(self):
+        """HW-counter events, grouped per journal file in file order (the
+        same order :meth:`open` materializes them in).  Streams from disk
+        for :meth:`open_streaming` experiments."""
+        if self._stream_dir is None:
+            yield from self.hwc_events
+            return
+        for hwc_file in sorted(self._stream_dir.glob("hwc*.jsonl")):
+            yield from Experiment._iter_jsonl(
+                hwc_file, HwcEvent.from_json, self._stream_strict,
+                self.salvage,
+            )
+
     # ------------------------------------------------------------- journal
 
     def start_journal(self, directory) -> Path:
@@ -314,8 +356,11 @@ class Experiment:
         path = _normalize_dir(directory)
         path.mkdir(parents=True, exist_ok=True)
         # drop stale event data from a previous run into the same directory
+        # (including any reduction cache an analysis of the old data left)
         for stale in list(path.iterdir()):
-            if stale.name == MANIFEST_NAME or stale.suffix in (".jsonl", ".tmp"):
+            if stale.is_dir() and stale.name == CACHE_DIR_NAME:
+                shutil.rmtree(stale, ignore_errors=True)
+            elif stale.name == MANIFEST_NAME or stale.suffix in (".jsonl", ".tmp"):
                 stale.unlink()
         self._journal_dir = path
         self._write_program(path)
@@ -517,6 +562,24 @@ class Experiment:
         are skipped and tallied, and the result carries a
         :class:`SalvageReport` in :attr:`Experiment.salvage`.
         """
+        return Experiment._open(directory, strict, load_events=True)
+
+    @staticmethod
+    def open_streaming(directory, strict: bool = False) -> "Experiment":
+        """Open a saved experiment with its event journals left on disk.
+
+        Metadata (manifest check, info, program image, log) is read
+        eagerly exactly as :meth:`open` does, but ``clock_events`` and
+        ``hwc_events`` stay empty: :meth:`iter_clock_events` and
+        :meth:`iter_hwc_events` parse the journals lazily, so an
+        arbitrarily large experiment reduces in bounded memory.  Salvage
+        tallies for event files — and therefore :attr:`incomplete` — are
+        only final once the iterators have been exhausted.
+        """
+        return Experiment._open(directory, strict, load_events=False)
+
+    @staticmethod
+    def _open(directory, strict: bool, load_events: bool) -> "Experiment":
         path = Path(directory)
         if not path.is_dir():
             raise ExperimentError(f"no experiment directory at {path}")
@@ -582,16 +645,20 @@ class Experiment:
         elif not strict:
             salvage.missing.append("log.txt")
 
+        if not load_events:
+            exp._stream_dir = path
+            exp._stream_strict = strict
+            return exp
         clock_file = path / "clock.jsonl"
         if clock_file.exists():
-            Experiment._read_jsonl(
-                clock_file, ClockEvent.from_json, exp.clock_events.append,
-                strict, salvage,
+            exp.clock_events.extend(
+                Experiment._iter_jsonl(clock_file, ClockEvent.from_json,
+                                       strict, salvage)
             )
         for hwc_file in sorted(path.glob("hwc*.jsonl")):
-            Experiment._read_jsonl(
-                hwc_file, HwcEvent.from_json, exp.hwc_events.append,
-                strict, salvage,
+            exp.hwc_events.extend(
+                Experiment._iter_jsonl(hwc_file, HwcEvent.from_json,
+                                       strict, salvage)
             )
         return exp
 
@@ -623,8 +690,9 @@ class Experiment:
                 salvage.note(f"{name}: checksum mismatch{detail}")
 
     @staticmethod
-    def _read_jsonl(file: Path, parse, sink, strict: bool,
-                    salvage: SalvageReport) -> None:
+    def _iter_jsonl(file: Path, parse, strict: bool,
+                    salvage: SalvageReport):
+        """Yield parsed events line by line, tallying salvage stats."""
         stats = salvage.file(file.name)
         with open(file, errors="replace") as stream:
             for lineno, line in enumerate(stream, 1):
@@ -632,7 +700,7 @@ class Experiment:
                     continue
                 stats.lines_read += 1
                 try:
-                    sink(parse(line, source=file.name, lineno=lineno))
+                    event = parse(line, source=file.name, lineno=lineno)
                 except ExperimentCorrupt as error:
                     if strict:
                         raise
@@ -641,6 +709,7 @@ class Experiment:
                         stats.first_error = str(error)
                 else:
                     stats.lines_kept += 1
+                    yield event
 
 
 __all__ = [
@@ -652,4 +721,5 @@ __all__ = [
     "FileSalvage",
     "FORMAT_VERSION",
     "MANIFEST_NAME",
+    "CACHE_DIR_NAME",
 ]

@@ -1,0 +1,199 @@
+"""Seeded random mini-C program generator for differential testing.
+
+:func:`generate_source` produces a complete, deterministic mini-C
+program from ``(seed, size)``.  Programs are **valid and terminating by
+construction**:
+
+* every loop is counted with a constant bound;
+* every array index is masked to a power-of-two array length, so no
+  access is ever out of bounds (masking a possibly-negative 64-bit value
+  with a positive mask yields a non-negative index);
+* division, modulo, and shifts by non-constants are never emitted, so no
+  expression can trap;
+* the only input read is ``input[i & (INPUT_LEN - 1)]`` — callers must
+  supply at least :data:`INPUT_LEN` input longs.
+
+Shrinking is **by construction** rather than by search: statement ``k``
+of the body is drawn from its own RNG stream seeded by ``(seed, k)``, so
+``generate_source(seed, size - 1)`` is the same program minus its last
+body statement.  Minimising a failing ``(seed, size)`` case is therefore
+a linear walk down ``size`` — each step removes exactly one statement
+while keeping the rest byte-identical.
+
+The point of the exercise is differential testing: compile a generated
+program once, run it under two interpreter engines, and require
+byte-identical experiment journals (see
+``tests/collect/test_fuzz_differential.py``).
+"""
+
+from __future__ import annotations
+
+import random
+
+#: input longs every generated program may read (callers must supply them)
+INPUT_LEN = 8
+
+_SCALARS = ("s", "t", "u")
+_BINOPS = ("+", "-", "*", "&", "|", "^")
+
+
+class _Gen:
+    """One RNG stream's worth of program text."""
+
+    def __init__(self, rng: random.Random, arrays, structs):
+        self.rng = rng
+        self.arrays = arrays  # list of (name, mask, struct_or_None)
+        self.structs = structs  # list of (name, fields)
+
+    # ------------------------------------------------------------ expressions
+
+    def scalar(self) -> str:
+        return self.rng.choice(_SCALARS)
+
+    def expr(self, depth: int, index_var: str = "") -> str:
+        """A side-effect-free integer expression over scalars/constants."""
+        rng = self.rng
+        choice = rng.random()
+        if depth <= 0 or choice < 0.35:
+            if rng.random() < 0.5:
+                return str(rng.randrange(1, 64))
+            names = list(_SCALARS) + ([index_var] if index_var else [])
+            return rng.choice(names)
+        if choice < 0.85:
+            op = rng.choice(_BINOPS)
+            return (f"({self.expr(depth - 1, index_var)} {op} "
+                    f"{self.expr(depth - 1, index_var)})")
+        if choice < 0.93:
+            return f"({self.expr(depth - 1, index_var)} << {rng.randrange(0, 4)})"
+        return f"(-{self.expr(depth - 1, index_var)})"
+
+    def element(self, index_var: str, writable: bool = False) -> str:
+        """An in-bounds array element (scalar lvalue), masked by construction."""
+        name, mask, struct = self.rng.choice(self.arrays)
+        index = f"({self.expr(1, index_var)}) & {mask}"
+        if struct is None:
+            return f"{name}[{index}]"
+        field = self.rng.choice(struct[1])
+        return f"{name}[{index}].{field}"
+
+    # ------------------------------------------------------------- statements
+
+    def loop_stmt(self, tag: int) -> list:
+        """A bounded for-loop touching memory."""
+        rng = self.rng
+        trips = rng.choice((8, 16, 24, 32))
+        body = []
+        for _ in range(rng.randrange(1, 3)):
+            if rng.random() < 0.5:
+                body.append(f"{self.element('i', writable=True)} = "
+                            f"{self.expr(2, 'i')};")
+            else:
+                target = self.scalar()
+                body.append(f"{target} = {target} + {self.element('i')};")
+        if rng.random() < 0.4:
+            target = self.scalar()
+            body.append(f"{target} = {target} ^ input[i & {INPUT_LEN - 1}];")
+        inner = "\n        ".join(body)
+        return [f"    for (i = 0; i < {trips}; i++) {{\n        {inner}\n    }}"]
+
+    def if_stmt(self, tag: int) -> list:
+        cond = f"({self.expr(1)}) & 3"
+        a, b = self.scalar(), self.scalar()
+        return [
+            f"    if (({cond}) < 2) {{ {a} = {a} + {self.expr(1)}; }}"
+            f" else {{ {b} = {b} - {self.expr(1)}; }}"
+        ]
+
+    def while_stmt(self, tag: int) -> list:
+        trips = self.rng.choice((4, 8, 12))
+        target = self.scalar()
+        return [
+            "    j = 0;",
+            f"    while (j < {trips}) {{ {target} = {target} + "
+            f"{self.element('j')}; j = j + 1; }}",
+        ]
+
+    def call_stmt(self, tag: int) -> list:
+        target = self.scalar()
+        return [f"    {target} = {target} + mix{self.rng.randrange(0, 2)}"
+                f"({self.expr(1)}, {self.expr(1)});"]
+
+    def scalar_stmt(self, tag: int) -> list:
+        target = self.scalar()
+        return [f"    {target} = {self.expr(3)};"]
+
+    def statement(self, tag: int) -> list:
+        kinds = (self.loop_stmt, self.loop_stmt, self.if_stmt,
+                 self.while_stmt, self.call_stmt, self.scalar_stmt)
+        return self.rng.choice(kinds)(tag)
+
+
+def generate_source(seed: int, size: int = 8) -> str:
+    """A complete mini-C program for ``(seed, size)``; see module docs."""
+    if size < 0:
+        raise ValueError("size must be >= 0")
+    prelude = random.Random(seed)
+
+    # ---- data shape: 1-2 structs, 2-3 arrays (drawn from the prelude
+    # stream only, so it is identical at every size) ----------------------
+    structs = []
+    for index in range(prelude.randrange(1, 3)):
+        fields = [f"f{k}" for k in range(prelude.randrange(2, 5))]
+        structs.append((f"rec{index}", fields))
+    arrays = []
+    for index in range(prelude.randrange(2, 4)):
+        length = prelude.choice((32, 64, 128))
+        struct = prelude.choice([None] + structs)
+        arrays.append((f"a{index}", length - 1, struct))
+
+    lines = []
+    for name, fields in structs:
+        members = " ".join(f"long {field};" for field in fields)
+        lines.append(f"struct {name} {{ {members} }};")
+    lines.append("")
+
+    # helper functions (fixed shape, prelude-drawn bodies)
+    for index in range(2):
+        lines.append(f"long mix{index}(long x, long y) {{")
+        lines.append(f"    return (x {prelude.choice(_BINOPS)} y) + "
+                     f"{prelude.randrange(1, 32)};")
+        lines.append("}")
+    lines.append("")
+
+    lines.append("long main(long *input, long n) {")
+    for name, _mask, struct in arrays:
+        decl = f"struct {struct[0]} *" if struct else "long *"
+        lines.append(f"    {decl}{name};")
+    lines.append("    long i; long j; long s; long t; long u;")
+    for name, mask, struct in arrays:
+        unit = f"sizeof(struct {struct[0]})" if struct else "sizeof(long)"
+        cast = f"(struct {struct[0]} *) " if struct else "(long *) "
+        lines.append(f"    {name} = {cast}malloc({mask + 1} * {unit});")
+    lines.append(f"    s = input[0]; t = input[1 & {INPUT_LEN - 1}]; u = 3;")
+    for name, mask, struct in arrays:
+        if struct:
+            writes = " ".join(
+                f"{name}[i].{field} = i + {k};"
+                for k, field in enumerate(struct[1])
+            )
+        else:
+            writes = f"{name}[i] = i * 3;"
+        lines.append(f"    for (i = 0; i < {mask + 1}; i++) {{ {writes} }}")
+
+    # ---- the sized body: statement k depends only on (seed, k) ----------
+    for k in range(size):
+        gen = _Gen(random.Random((seed + 1) * 1000003 + k), arrays, structs)
+        lines.extend(gen.statement(k))
+
+    lines.append("    return (s + t + u) & 255;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def shrink_sizes(size: int):
+    """The shrink schedule for a failing ``(seed, size)``: same seed,
+    strictly smaller sizes, each removing exactly one trailing statement."""
+    return range(size - 1, -1, -1)
+
+
+__all__ = ["INPUT_LEN", "generate_source", "shrink_sizes"]

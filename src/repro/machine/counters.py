@@ -104,8 +104,13 @@ class CounterSpec:
     register: int
 
     @classmethod
-    def parse(cls, text: str, register: int) -> "CounterSpec":
+    def parse(cls, text: str, register: Optional[int] = None) -> "CounterSpec":
         """Parse ``[+]name[,interval]`` as in ``collect -h +ecstall,lo``.
+
+        ``register`` defaults to the event's first capable PIC register,
+        so single-counter callers need not parse the request twice just
+        to look the register up.  Pass it explicitly when packing
+        several counters onto specific registers.
 
         Exactly one leading ``+`` is meaningful (it requests backtracking);
         anything more is a malformed request and is rejected here rather
@@ -131,6 +136,8 @@ class CounterSpec:
         setting: object = interval_text or "on"
         if isinstance(setting, str) and setting.lstrip("-").isdigit():
             setting = int(setting)
+        if register is None:
+            register = event.registers[0]
         return cls(event, overflow_interval(event, setting), backtrack, register)
 
 

@@ -131,34 +131,44 @@ def _run_indexed(pair) -> JobResult:
     return run_job(job, index)
 
 
-def collect_many(
-    jobs: Sequence[CollectJob], parallelism: Optional[int] = None
-) -> list[JobResult]:
-    """Run every job; results come back in job order.
+def parallel_map(fn, items: Sequence, parallelism: Optional[int] = None) -> list:
+    """Apply a picklable ``fn`` to every item, results in item order.
 
-    ``parallelism`` caps the worker count (default: one per job up to the
-    host CPU count).  Passing 1 — or running on a host where worker
-    processes cannot be spawned — degrades to a sequential in-process
-    loop with identical output: each pass simulates its own machine with
-    its own seeded RNG, so results never depend on scheduling.
+    The deterministic fan-out primitive shared by collection and
+    reduction: ``parallelism`` caps the worker count (default: one per
+    item up to the host CPU count); 1 — or a host where worker processes
+    cannot be spawned — degrades to a sequential in-process loop with
+    identical output, because results always come back in item order
+    regardless of worker scheduling.
     """
-    jobs = list(jobs)
-    if not jobs:
+    items = list(items)
+    if not items:
         return []
     if parallelism is None:
         parallelism = os.cpu_count() or 1
-    parallelism = max(1, min(parallelism, len(jobs)))
+    parallelism = max(1, min(parallelism, len(items)))
     if parallelism == 1:
-        return [run_job(job, index) for index, job in enumerate(jobs)]
+        return [fn(item) for item in items]
     try:
         from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=parallelism) as pool:
-            return list(pool.map(_run_indexed, enumerate(jobs)))
+            return list(pool.map(fn, items))
     except (BrokenExecutor, OSError, PermissionError):
         # no usable process pool (restricted host): same results, one at
         # a time
-        return [run_job(job, index) for index, job in enumerate(jobs)]
+        return [fn(item) for item in items]
 
 
-__all__ = ["CollectJob", "JobResult", "collect_many", "run_job"]
+def collect_many(
+    jobs: Sequence[CollectJob], parallelism: Optional[int] = None
+) -> list[JobResult]:
+    """Run every collect job; results come back in job order.
+
+    Each pass simulates its own machine with its own seeded RNG, so the
+    merged output never depends on scheduling (see :func:`parallel_map`).
+    """
+    return parallel_map(_run_indexed, list(enumerate(jobs)), parallelism)
+
+
+__all__ = ["CollectJob", "JobResult", "collect_many", "parallel_map", "run_job"]

@@ -1,16 +1,31 @@
-"""Direct measurement of backtracking *accuracy* (not just effectiveness).
+"""Asserted floors for backtracking *accuracy* (not just effectiveness).
 
 Effectiveness (paper §3.2.5) counts events that got *some* attribution;
 accuracy asks whether the candidate trigger PC equals the instruction
 that actually raised the event.  The machine records the true trigger PC
 in each snapshot as a diagnostic (real hardware cannot); the collector
 never reads it, so comparing the two measures the apropos search itself.
+
+Every event is classified:
+
+* **valid** — a candidate was found and it is the true trigger;
+* **invalid** — a candidate was found but it is the wrong instruction
+  (the skid crossed another matching memop);
+* **undecidable** — no candidate within the backtracking window.
+
+``ea_rate`` separately tracks how often the effective address could be
+recomputed (the trigger's address register may be clobbered during the
+skid even when the candidate PC is right).
+
+The simulator is deterministic, so these rates are exactly reproducible;
+the floors below keep slack so legitimate codegen/interval changes don't
+trip them, while a regression in the search itself will.
 """
 
 import pytest
 
 from repro import build_executable, tiny_config
-from repro.collect.backtrack import apropos_backtrack
+from repro.collect.backtrack import NOT_FOUND, apropos_backtrack
 from repro.kernel.process import Process
 from repro.machine.counters import CounterSpec
 
@@ -36,50 +51,86 @@ long main(long *input, long n) {
 }
 """
 
+#: SRC with the two strided accesses fused into back-to-back loads, the
+#: paper's worst case for skiddy counters
+ADJACENT_SRC = SRC.replace(
+    "s = s + arr[i].a * 3;\n        s = s - arr[i].c;",
+    "s = s + arr[i].a + arr[i].c + arr[i].d;",
+)
 
-def _accuracy(counter_text: str, source: str = SRC):
+
+def _rates(counter_text: str, source: str = SRC):
+    """valid/invalid/undecidable/ea_rate fractions for one counter type."""
     program = build_executable(source)
     process = Process(program, tiny_config())
     machine = process.machine
-    spec = CounterSpec.parse(counter_text, CounterSpec.parse(counter_text, 0).event.registers[0])
+    spec = CounterSpec.parse(counter_text)
     machine.configure_counters([spec])
     cpu = machine.cpu
-    hits = []
+    counts = {"valid": 0, "invalid": 0, "undecidable": 0, "ea": 0}
 
     def handler(snapshot):
         result = apropos_backtrack(
             cpu.code, cpu.text_base, snapshot.trap_pc, spec.event, snapshot.regs
         )
-        hits.append(result.candidate_pc == snapshot.true_trigger_pc)
+        if result.status == NOT_FOUND:
+            counts["undecidable"] += 1
+        elif result.candidate_pc == snapshot.true_trigger_pc:
+            counts["valid"] += 1
+        else:
+            counts["invalid"] += 1
+        if result.effective_address is not None:
+            counts["ea"] += 1
 
     cpu.overflow_handler = handler
     process.run(max_instructions=20_000_000)
-    assert hits, "no events sampled"
-    return sum(hits) / len(hits)
+    total = counts["valid"] + counts["invalid"] + counts["undecidable"]
+    assert total, "no events sampled"
+    return {
+        "valid": counts["valid"] / total,
+        "invalid": counts["invalid"] / total,
+        "undecidable": counts["undecidable"] / total,
+        "ea_rate": counts["ea"] / total,
+        "events": total,
+    }
 
 
-class TestAccuracy:
-    def test_stall_events_point_at_the_true_trigger(self):
-        """ecrm skid is 0-1 with 85% bias: accuracy must be near-perfect
-        (the paper: 'accuracies of nearly 100% have been observed')."""
-        assert _accuracy("+ecrm,13") > 0.9
-
-    def test_ecstall_accuracy(self):
-        assert _accuracy("+ecstall,59") > 0.9
+class TestAccuracyFloors:
+    @pytest.mark.parametrize("counter", ["+ecrm,13", "+ecstall,59", "+dcrm,17"])
+    def test_stall_counters_point_at_the_true_trigger(self, counter):
+        """Skid 0-1 with 85% bias: near-perfect attribution (the paper:
+        'accuracies of nearly 100% have been observed'), and the address
+        register survives for the vast majority of events."""
+        rates = _rates(counter)
+        assert rates["valid"] >= 0.95
+        assert rates["invalid"] <= 0.05
+        assert rates["undecidable"] <= 0.05
+        assert rates["ea_rate"] >= 0.85
 
     def test_precise_dtlbm_is_exact(self):
-        assert _accuracy("+dtlbm,7") == 1.0
+        """The TLB miss traps on the faulting access itself: no skid, so
+        attribution and address recovery are both perfect."""
+        rates = _rates("+dtlbm,7")
+        assert rates["valid"] == 1.0
+        assert rates["invalid"] == 0.0
+        assert rates["undecidable"] == 0.0
+        assert rates["ea_rate"] == 1.0
+
+    def test_skiddy_ecref_still_finds_the_pc_on_strided_code(self):
+        """With one load per iteration the 2-5 instruction ecref skid
+        cannot cross another memop, so the candidate PC stays right —
+        but the skid clobbers the address register almost every time."""
+        rates = _rates("+ecref,31")
+        assert rates["valid"] >= 0.95
+        assert rates["undecidable"] <= 0.05
+        assert rates["ea_rate"] <= 0.10
 
     def test_skiddy_ecref_misattributes_adjacent_loads(self):
-        """With back-to-back loads, the 2-5 instruction ecref skid makes
-        the backward search find the *later* load some of the time — the
-        paper's 'first memory reference instruction preceding the PC in
-        address order may not be the first preceding instruction in
-        execution order'."""
-        adjacent_src = SRC.replace(
-            "s = s + arr[i].a * 3;\n        s = s - arr[i].c;",
-            "s = s + arr[i].a + arr[i].c + arr[i].d;",
-        )
-        accuracy = _accuracy("+ecref,31", source=adjacent_src)
-        assert accuracy < 1.0
-        assert accuracy > 0.3  # still right more often than not
+        """With back-to-back loads the backward search finds the *later*
+        load some of the time — the paper's 'first memory reference
+        instruction preceding the PC in address order may not be the
+        first preceding instruction in execution order'."""
+        rates = _rates("+ecref,31", source=ADJACENT_SRC)
+        assert 0.40 <= rates["valid"] < 1.0  # right more often than not
+        assert 0.20 <= rates["invalid"] <= 0.60  # misattribution is real
+        assert rates["undecidable"] <= 0.05

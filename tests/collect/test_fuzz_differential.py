@@ -1,0 +1,97 @@
+"""Differential fuzzing: random programs, two engines, identical journals.
+
+The generator (:mod:`repro.lang.fuzz`) emits seeded random mini-C
+programs that are valid and terminating by construction.  Each one is
+compiled once and collected under both interpreter engines; the
+experiment journals must match byte for byte — the fast engine's
+predecoding, batched countdown, and MRU fast paths may never change what
+the profiler observes.
+
+Shrinking is by construction: a failing ``(seed, size)`` case minimises
+by re-running the same seed at smaller sizes (each step removes exactly
+one trailing statement), so the assertion message names both numbers.
+
+Tier-1 runs a small seed budget; the ``slow`` marker gates the wide
+sweep for the nightly/manual CI job (``pytest -m slow``).
+"""
+
+import pytest
+
+from repro import build_executable, tiny_config
+from repro.collect.collector import CollectConfig, collect
+from repro.lang.fuzz import INPUT_LEN, generate_source, shrink_sizes
+
+INPUT = [((k * 37) ^ 11) & 1023 for k in range(INPUT_LEN)]
+
+
+def _journals(tmp_path, program, engine, tag):
+    outdir = tmp_path / f"{tag}-{engine}"
+    collect(
+        program,
+        tiny_config(),
+        CollectConfig(
+            clock_profiling=True,
+            clock_interval=97,
+            counters=["+ecstall,31", "+ecrm,13"],
+            name=f"{tag}-{engine}",
+            engine=engine,
+        ),
+        input_longs=INPUT,
+        save_to=str(outdir),
+    )
+    saved = outdir.with_suffix(".er")
+    files = sorted(p for p in saved.iterdir() if p.suffix == ".jsonl")
+    assert files, f"no journal files in {saved}"
+    return {p.name: p.read_bytes() for p in files}
+
+
+def _assert_engines_agree(tmp_path, seed, size):
+    program = build_executable(generate_source(seed, size), name=f"fuzz{seed}")
+    fast = _journals(tmp_path, program, "fast", f"s{seed}n{size}")
+    ref = _journals(tmp_path, program, "reference", f"s{seed}n{size}")
+    assert fast.keys() == ref.keys(), (
+        f"journal sets differ for seed={seed} size={size}; "
+        f"shrink with generate_source({seed}, k) for k in {size - 1}..0"
+    )
+    for name in fast:
+        assert fast[name] == ref[name], (
+            f"{name} differs between engines for seed={seed} size={size}; "
+            f"shrink with generate_source({seed}, k) for k in {size - 1}..0"
+        )
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate_source(5, 7) == generate_source(5, 7)
+
+    def test_shrinking_removes_one_trailing_statement(self):
+        # size k is a literal prefix of size k+1 (minus the epilogue), so
+        # walking shrink_sizes() minimises without any search
+        big = generate_source(4, 6).splitlines()
+        for size in shrink_sizes(6):
+            small = generate_source(4, size).splitlines()
+            assert small[:-2] == big[: len(small) - 2]
+            big = small
+
+    def test_generated_programs_compile_and_run(self, tmp_path):
+        for seed in range(3):
+            program = build_executable(generate_source(seed, 4))
+            exp = collect(
+                program,
+                tiny_config(),
+                CollectConfig(clock_profiling=True, clock_interval=211,
+                              counters=[]),
+                input_longs=INPUT,
+            )
+            assert exp.info.exit_code >= 0
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fast_vs_reference_short_budget(self, tmp_path, seed):
+        _assert_engines_agree(tmp_path, seed, size=5)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", list(range(3, 23)))
+    def test_fast_vs_reference_long_budget(self, tmp_path, seed):
+        _assert_engines_agree(tmp_path, seed, size=12)

@@ -91,6 +91,18 @@ class TestSpecParse:
         with pytest.raises(CollectError):
             CounterSpec.parse("+cycles,on", register=0)
 
+    def test_register_defaults_to_first_capable_pic(self):
+        # no more parsing the request twice just to look the register up
+        for name, event in EVENTS.items():
+            spec = CounterSpec.parse(name)
+            assert spec.register == event.registers[0]
+
+    def test_explicit_register_still_wins(self):
+        event = EVENTS["cycles"]
+        other = [r for r in range(2) if r != event.registers[0]]
+        if other:
+            assert CounterSpec.parse("cycles", register=other[0]).register == other[0]
+
 
 class TestConfigure:
     def test_two_counters_different_registers(self):
