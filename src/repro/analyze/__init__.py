@@ -2,6 +2,7 @@
 
 from .metrics import MetricDef, METRICS, seconds_for
 from .model import ReducedData, DataObjectKey, UNKNOWN_KINDS
+from .oracle import OracleReport, oracle_experiment, oracle_experiments
 from .reduce import reduce_experiment, reduce_experiments
 from .feedback import (
     PrefetchHint,
@@ -20,6 +21,9 @@ __all__ = [
     "UNKNOWN_KINDS",
     "reduce_experiment",
     "reduce_experiments",
+    "OracleReport",
+    "oracle_experiment",
+    "oracle_experiments",
     "PrefetchHint",
     "make_prefetch_feedback",
     "save_feedback",

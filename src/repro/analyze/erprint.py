@@ -24,6 +24,11 @@ Commands (er_print-style):
 * ``heap``                  allocation/deallocation summary by site (§2.2)
 * ``fsck``                  validate the directory against its manifest and
                             report how much data is salvageable
+* ``oracle``                join the profile against the simulator's
+                            ground-truth side channel (``truth.jsonl``)
+                            and classify every attribution as exact /
+                            wrong-pc / wrong-ea / spurious-unknown /
+                            correct-unknown
 
 Experiments are opened in salvage mode by default: damaged files are
 skipped with a warning and reports carry an ``(Incomplete)`` header.
@@ -45,6 +50,7 @@ import sys
 from ..errors import ReproError
 from . import reports
 from .fsck import fsck_experiment
+from .oracle import oracle_experiments, render_oracle
 from .reduce import reduce_experiments
 
 _COMMANDS = (
@@ -63,6 +69,7 @@ _COMMANDS = (
     "header",
     "heap",
     "fsck",
+    "oracle",
 )
 
 
@@ -181,6 +188,16 @@ def main(argv=None) -> int:
             print(text)
             code = max(code, status)
         return code
+    if command == "oracle":
+        # the oracle reads the raw journals (profile + truth side channel),
+        # not the reduction, so it bypasses the reduce/cache machinery
+        try:
+            report = oracle_experiments(directories, strict=strict)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(render_oracle(report))
+        return 1 if report.unexplained else 0
     try:
         reduced = reduce_experiments(
             directories, parallelism=jobs, strict=strict, use_cache=use_cache

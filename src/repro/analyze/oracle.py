@@ -1,0 +1,339 @@
+"""Attribution oracle: validate the apropos search against ground truth.
+
+The simulator knows, at every counter-overflow trap, exactly which
+instruction raised the event and which data address it touched — real
+hardware does not (that information loss is the whole point of the paper's
+backtracking search).  The collector journals that knowledge into a side
+channel (``truth.jsonl``, see :class:`repro.collect.experiment.TruthEvent`)
+that the profile reports never read.  This module joins the profile's
+``hwc<k>.jsonl`` rows against their truth rows, one to one, and classifies
+every attribution:
+
+* ``exact`` — the candidate trigger PC equals the true trigger AND the
+  recomputed effective address equals the true address;
+* ``wrong-pc`` — a candidate was reported but it is not the trigger
+  (the skid crossed another matching memop: silently wrong);
+* ``wrong-ea`` — the candidate PC is right but the reported address is
+  not the one the trigger accessed (an address register changed along
+  the *executed* path in a way the address-order scan cannot see:
+  silently wrong);
+* ``spurious-unknown`` — the search gave up although the delivered
+  machine state contained the answer (e.g. the pre-clamp out-of-range
+  window bug, or a clobber report for a register that still held its
+  value): honest information was thrown away;
+* ``correct-unknown`` — the search gave up and the answer genuinely was
+  not recoverable from what a real tool would have had (trigger outside
+  the backtracking window, register truly overwritten during the skid,
+  or backtracking not requested at all).
+
+"Honestly gave up" versus "silently wrong" is decided from the truth row
+itself: for a missing candidate the oracle checks whether the true
+trigger lies inside the (clamped) backtracking window; for a missing
+address it recomputes the trigger's effective address from the registers
+as delivered and compares with the truth.
+
+The join is positional per PIC register — the k-th profile event on a
+register pairs with the k-th truth row for that register, both journals
+being appended by the same handler in the same order — and every pair is
+verified against ``trap_pc`` and ``cycle``.  Rows that fail verification
+(or profile rows with no truth row at all, e.g. an experiment recorded
+before the side channel existed) are counted as *unexplained* and
+reported; a healthy experiment has zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..collect.backtrack import MAX_BACKTRACK_INSTRS
+from ..collect.experiment import Experiment, HwcEvent, TruthEvent
+from ..errors import AnalysisError
+
+# classification labels
+EXACT = "exact"
+WRONG_PC = "wrong-pc"
+WRONG_EA = "wrong-ea"
+SPURIOUS_UNKNOWN = "spurious-unknown"
+CORRECT_UNKNOWN = "correct-unknown"
+
+CLASSES = (EXACT, WRONG_PC, WRONG_EA, SPURIOUS_UNKNOWN, CORRECT_UNKNOWN)
+
+
+@dataclass
+class OracleCounts:
+    """Per-event-type tallies of one oracle pass."""
+
+    classes: dict = field(default_factory=lambda: {c: 0 for c in CLASSES})
+    events: int = 0
+    #: events whose candidate PC equals the true trigger (regardless of
+    #: the address outcome) — the "exact-PC rate" numerator
+    exact_pc: int = 0
+    #: ea_reason tallies ("", "clobbered", "no_candidate")
+    ea_reasons: dict = field(default_factory=dict)
+    #: spurious-unknowns where the search found *no candidate at all*
+    #: although the true trigger sat inside its window — a search bug
+    #: (e.g. the unclamped out-of-range window), unlike the inherent
+    #: conservatism of a spurious clobber report
+    spurious_not_found: int = 0
+
+    def add(self, classification: str, pc_right: bool, ea_reason: str) -> None:
+        self.classes[classification] += 1
+        self.events += 1
+        if pc_right:
+            self.exact_pc += 1
+        self.ea_reasons[ea_reason] = self.ea_reasons.get(ea_reason, 0) + 1
+        if classification == SPURIOUS_UNKNOWN and ea_reason == "no_candidate":
+            self.spurious_not_found += 1
+
+    @property
+    def exact_pc_rate(self) -> float:
+        return self.exact_pc / self.events if self.events else 0.0
+
+    def rate(self, classification: str) -> float:
+        return self.classes[classification] / self.events if self.events else 0.0
+
+
+@dataclass
+class OracleReport:
+    """Outcome of joining one (or several) experiments against truth."""
+
+    #: event name -> OracleCounts
+    by_event: dict = field(default_factory=dict)
+    #: join failures: (description) per unexplained row
+    unexplained: list = field(default_factory=list)
+    #: directories/experiments with no truth journal at all
+    missing_truth: list = field(default_factory=list)
+
+    def counts(self, event: str) -> OracleCounts:
+        tally = self.by_event.get(event)
+        if tally is None:
+            tally = OracleCounts()
+            self.by_event[event] = tally
+        return tally
+
+    @property
+    def total_events(self) -> int:
+        return sum(t.events for t in self.by_event.values())
+
+    @property
+    def classified(self) -> int:
+        """Events placed in one of the five classes (always all of them —
+        kept separate from ``total_events`` so tests can assert the
+        zero-unexplained acceptance criterion explicitly)."""
+        return sum(sum(t.classes.values()) for t in self.by_event.values())
+
+    def merge(self, other: "OracleReport") -> None:
+        for name, tally in other.by_event.items():
+            mine = self.counts(name)
+            for cls, n in tally.classes.items():
+                mine.classes[cls] += n
+            mine.events += tally.events
+            mine.exact_pc += tally.exact_pc
+            mine.spurious_not_found += tally.spurious_not_found
+            for reason, n in tally.ea_reasons.items():
+                mine.ea_reasons[reason] = mine.ea_reasons.get(reason, 0) + n
+        self.unexplained.extend(other.unexplained)
+        self.missing_truth.extend(other.missing_truth)
+
+
+def _window_contains(true_pc: int, trap_pc: int, text_base: int,
+                     text_end: int, max_steps: int) -> bool:
+    """Would the clamped backtracking window have scanned ``true_pc``?"""
+    start = min(trap_pc, text_end)
+    lo = max(text_base, start - 4 * max_steps)
+    return lo <= true_pc < start
+
+
+def _delivered_ea(program, true_pc: int, regs) -> Optional[int]:
+    """The true trigger's effective address recomputed from the registers
+    as delivered — what a perfect clobber detector would have reported."""
+    instr = program.instr_at(true_pc)
+    if instr is None or instr.rs1 is None:
+        return None
+    base = regs[instr.rs1]
+    offset = regs[instr.rs2] if instr.rs2 is not None else instr.imm
+    return base + offset
+
+
+def classify_event(hwc: HwcEvent, truth: TruthEvent, program,
+                   max_steps: int = MAX_BACKTRACK_INSTRS) -> str:
+    """Place one joined (profile row, truth row) pair in its class."""
+    if hwc.status == "disabled":
+        # backtracking was never requested: the raw skidded PC is all the
+        # tool claims, and claiming nothing more is honest by definition
+        return CORRECT_UNKNOWN
+
+    if hwc.status == "found" and hwc.candidate_pc is not None:
+        if hwc.candidate_pc != truth.true_trigger_pc:
+            return WRONG_PC
+        if hwc.effective_address is not None:
+            if hwc.effective_address == truth.true_effective_address:
+                return EXACT
+            return WRONG_EA
+        # PC right, address reported unknown ("clobbered").  Honest only
+        # if the delivered registers really had lost the address.
+        delivered = _delivered_ea(program, truth.true_trigger_pc, truth.regs)
+        if delivered is not None and delivered == truth.true_effective_address:
+            return SPURIOUS_UNKNOWN
+        return CORRECT_UNKNOWN
+
+    # NOT_FOUND: honest only if the true trigger was outside the window
+    # the search is allowed to scan (address order, clamped to the text).
+    text_end = program.text_base + 4 * len(program.code)
+    if _window_contains(truth.true_trigger_pc, hwc.trap_pc,
+                        program.text_base, text_end, max_steps):
+        return SPURIOUS_UNKNOWN
+    return CORRECT_UNKNOWN
+
+
+def oracle_experiment(experiment: Experiment,
+                      report: Optional[OracleReport] = None) -> OracleReport:
+    """Join one experiment's profile events against its truth journal."""
+    if report is None:
+        report = OracleReport()
+    program = experiment.program
+    if program is None:
+        raise AnalysisError("oracle: experiment has no program image")
+
+    # per-register truth queues, in recorded order (the join is positional
+    # within each register; see module docstring)
+    truth_by_counter: dict[int, list[TruthEvent]] = {}
+    have_truth = False
+    for truth in experiment.iter_truth_events():
+        have_truth = True
+        truth_by_counter.setdefault(truth.counter, []).append(truth)
+    if not have_truth:
+        # distinguish "no overflow events at all" (an empty truth journal
+        # is never written — nothing to validate) from a pre-oracle
+        # recording whose profile events have no truth rows
+        for hwc in experiment.iter_hwc_events():
+            if not report.missing_truth or report.missing_truth[-1] != experiment.name:
+                report.missing_truth.append(experiment.name)
+            report.unexplained.append(
+                f"{experiment.name}: {hwc.event} event at cycle {hwc.cycle} "
+                f"has no truth row (experiment predates the truth journal?)"
+            )
+        return report
+
+    positions: dict[int, int] = {}
+    for hwc in experiment.iter_hwc_events():
+        queue = truth_by_counter.get(hwc.counter, [])
+        pos = positions.get(hwc.counter, 0)
+        if pos >= len(queue):
+            report.unexplained.append(
+                f"{experiment.name}: {hwc.event} event at cycle {hwc.cycle} "
+                f"has no truth row"
+            )
+            continue
+        truth = queue[pos]
+        positions[hwc.counter] = pos + 1
+        if (truth.trap_pc != hwc.trap_pc or truth.cycle != hwc.cycle
+                or truth.event != hwc.event):
+            report.unexplained.append(
+                f"{experiment.name}: truth row {truth.seq} does not match "
+                f"{hwc.event} event at cycle {hwc.cycle} "
+                f"(truth: {truth.event} trap 0x{truth.trap_pc:x} "
+                f"cycle {truth.cycle})"
+            )
+            continue
+        classification = classify_event(hwc, truth, program)
+        report.counts(hwc.event).add(
+            classification,
+            pc_right=(hwc.status == "found"
+                      and hwc.candidate_pc == truth.true_trigger_pc),
+            ea_reason=hwc.ea_reason,
+        )
+    # truth rows nobody claimed (dropped profile lines) are unexplained too
+    for counter, queue in truth_by_counter.items():
+        for truth in queue[positions.get(counter, 0):]:
+            report.unexplained.append(
+                f"{experiment.name}: truth row {truth.seq} ({truth.event}, "
+                f"cycle {truth.cycle}) has no profile event"
+            )
+    return report
+
+
+def oracle_path(directory, strict: bool = False,
+                report: Optional[OracleReport] = None) -> OracleReport:
+    """Oracle pass over one saved experiment directory (streaming)."""
+    experiment = Experiment.open_streaming(directory, strict=strict)
+    return oracle_experiment(experiment, report)
+
+
+def oracle_experiments(items, strict: bool = False) -> OracleReport:
+    """Merged oracle pass over experiments and/or saved directories."""
+    items = list(items)
+    if not items:
+        raise AnalysisError("oracle: no experiments given")
+    report = OracleReport()
+    for item in items:
+        if isinstance(item, Experiment):
+            oracle_experiment(item, report)
+        else:
+            oracle_path(item, strict=strict, report=report)
+    return report
+
+
+def render_oracle(report: OracleReport, max_unexplained: int = 10) -> str:
+    """er_print-style accuracy table for the ``oracle`` verb."""
+    from .reports import _render_table, attribution_outcomes
+
+    headers = ["Counter", "Events", "Exact-PC%",
+               "Exact", "Wrong PC", "Wrong EA", "Spurious unk", "Correct unk"]
+    rows = []
+    for name in sorted(report.by_event):
+        tally = report.by_event[name]
+        rows.append([
+            name,
+            str(tally.events),
+            f"{tally.exact_pc_rate:.1%}",
+            str(tally.classes[EXACT]),
+            str(tally.classes[WRONG_PC]),
+            str(tally.classes[WRONG_EA]),
+            str(tally.classes[SPURIOUS_UNKNOWN]),
+            str(tally.classes[CORRECT_UNKNOWN]),
+        ])
+    lines = ["Attribution oracle (profile vs simulator ground truth):", ""]
+    if rows:
+        lines.append(_render_table(headers, rows, left_align_last=False))
+    else:
+        lines.append("  no counter-overflow events")
+    lines.append("")
+    lines.append("Address outcomes (ea_reason buckets):")
+    lines.append("")
+    lines.append(attribution_outcomes(
+        {name: tally.ea_reasons for name, tally in report.by_event.items()}
+    ))
+    lines.append("")
+    lines.append(
+        f"{report.total_events} events joined, "
+        f"{len(report.unexplained)} unexplained"
+    )
+    for name in report.missing_truth:
+        lines.append(f"warning: {name}: no truth journal "
+                     f"(recorded before the oracle side channel existed)")
+    for entry in report.unexplained[:max_unexplained]:
+        lines.append(f"unexplained: {entry}")
+    if len(report.unexplained) > max_unexplained:
+        lines.append(
+            f"... and {len(report.unexplained) - max_unexplained} more"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CLASSES",
+    "EXACT",
+    "WRONG_PC",
+    "WRONG_EA",
+    "SPURIOUS_UNKNOWN",
+    "CORRECT_UNKNOWN",
+    "OracleCounts",
+    "OracleReport",
+    "classify_event",
+    "oracle_experiment",
+    "oracle_experiments",
+    "oracle_path",
+    "render_oracle",
+]

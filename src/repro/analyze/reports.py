@@ -691,6 +691,41 @@ def callers_callees(reduced: ReducedData, function_name: str,
     return "\n".join(lines)
 
 
+#: BacktrackResult.ea_reason values -> accuracy-table column headers
+EA_REASON_BUCKETS = (
+    ("", "EA recovered"),
+    ("clobbered", "Clobbered"),
+    ("no_candidate", "No candidate"),
+)
+
+
+def attribution_outcomes(ea_reasons_by_event: dict) -> str:
+    """Address-outcome accuracy table: per counter, how each overflow
+    event's effective-address recovery ended (``BacktrackResult.ea_reason``
+    tallies, e.g. from an :class:`repro.analyze.oracle.OracleReport`).
+
+    Every event falls in exactly one bucket — ``""`` (address reported),
+    ``"clobbered"`` (candidate found, address registers overwritten during
+    the skid) or ``"no_candidate"`` (nothing to recompute from); a reason
+    outside the contract raises so schema drift cannot pass silently.
+    """
+    headers = ["Counter"] + [label for _reason, label in EA_REASON_BUCKETS]
+    known = {reason for reason, _label in EA_REASON_BUCKETS}
+    rows = []
+    for name in sorted(ea_reasons_by_event):
+        reasons = ea_reasons_by_event[name]
+        unknown = set(reasons) - known
+        if unknown:
+            raise AnalysisError(
+                f"attribution table: unknown ea_reason values {sorted(unknown)}"
+            )
+        rows.append([name] + [str(reasons.get(reason, 0))
+                              for reason, _label in EA_REASON_BUCKETS])
+    if not rows:
+        return "  no counter-overflow events"
+    return _render_table(headers, rows, left_align_last=False)
+
+
 __all__ = [
     "overview",
     "overview_analysis",
@@ -710,6 +745,8 @@ __all__ = [
     "heap_report",
     "compare_functions",
     "callers_callees",
+    "attribution_outcomes",
+    "EA_REASON_BUCKETS",
     "DEFAULT_COLUMNS",
     "DATA_COLUMNS",
 ]

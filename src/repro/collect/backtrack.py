@@ -68,13 +68,15 @@ def apropos_backtrack(
     if memop_class is None:
         return BacktrackResult(NOT_FOUND, None, None, "no_candidate")
 
-    start_idx = (trap_pc - text_base) >> 2
+    # A trap can skid past the end of the text segment (the trigger was
+    # near the last instruction).  Clamp the window start so the search
+    # still walks the last ``max_steps`` real instructions instead of
+    # iterating out-of-range indices and reporting a spurious NOT_FOUND.
+    start_idx = min((trap_pc - text_base) >> 2, len(code))
     candidate = None
     candidate_idx = -1
     lo = max(0, start_idx - max_steps)
     for idx in range(start_idx - 1, lo - 1, -1):
-        if idx >= len(code):
-            continue
         instr = code[idx]
         if _matches(instr, memop_class):
             candidate = instr
@@ -95,7 +97,7 @@ def apropos_backtrack(
     own_write = writes_register(candidate)
     if own_write is not None and own_write in needed:
         return BacktrackResult(FOUND, candidate_pc, None, "clobbered")
-    for idx in range(candidate_idx + 1, min(start_idx, len(code))):
+    for idx in range(candidate_idx + 1, start_idx):
         written = writes_register(code[idx])
         if written is not None and written in needed:
             return BacktrackResult(FOUND, candidate_pc, None, "clobbered")

@@ -27,7 +27,7 @@ from ..kernel.process import Process
 from ..kernel.signals import SIGEMT, SIGPROF
 from ..machine.counters import EVENTS, CounterSnapshot, CounterSpec
 from .backtrack import apropos_backtrack
-from .experiment import ClockEvent, Experiment, HwcEvent
+from .experiment import ClockEvent, Experiment, HwcEvent, TruthEvent
 
 #: failures the collector survives by finalizing a partial experiment:
 #: simulated-program faults (MemoryFault, SimulatedCrash, ...), kernel
@@ -156,6 +156,8 @@ class Collector:
         # validate the counter requests before the journal touches disk
         self.specs = parse_counter_requests(collect_config.counters)
         self._spec_by_register = {spec.register: spec for spec in self.specs}
+        #: global sequence number across counters for the truth journal
+        self._truth_seq = 0
         if journal_to is not None:
             path = self.experiment.start_journal(journal_to)
             self.experiment.log(f"collect: journaling to {path}")
@@ -191,6 +193,25 @@ class Collector:
                 coalesced=snapshot.coalesced,
             )
         )
+        # Ground-truth side channel for the attribution oracle: what the
+        # simulator knows the trap really was.  Kept strictly apart from
+        # the profile-visible data above — a real tool could not record
+        # this, so nothing in the analysis reports may depend on it.
+        self.experiment.record_truth(
+            TruthEvent(
+                seq=self._truth_seq,
+                counter=snapshot.counter_index,
+                event=spec.event.name,
+                trap_pc=snapshot.trap_pc,
+                cycle=snapshot.cycle,
+                true_trigger_pc=snapshot.true_trigger_pc,
+                true_effective_address=snapshot.true_effective_address,
+                true_skid=snapshot.true_skid,
+                coalesced=snapshot.coalesced,
+                regs=snapshot.regs,
+            )
+        )
+        self._truth_seq += 1
 
     def _on_clock(self, pc: int, cycle: int, callstack: tuple) -> None:
         self.experiment.record_clock(ClockEvent(pc, cycle, callstack))

@@ -10,6 +10,11 @@ Layout::
       program.pkl    the executable image (plays the role of a.out + DWARF)
       clock.jsonl    one clock-profile event per line
       hwc<k>.jsonl   one counter-overflow event per line, per PIC register
+      truth.jsonl    ground-truth side channel: the *true* trigger PC and
+                     effective address of every overflow trap, as the
+                     simulator knew them (diagnostic only — the profile
+                     reports never read it; the attribution oracle joins
+                     it against hwc<k>.jsonl)
       manifest.json  per-file line counts + SHA-256 checksums + format version
 
 Experiments also work fully in memory (``save=None``) so tests and quick
@@ -58,8 +63,9 @@ CACHE_DIR_NAME = "cache"
 #: journal flush cadence, in recorded lines (bounds data lost to a crash)
 JOURNAL_FLUSH_LINES = 256
 
-#: files the analyzer can do without (their loss degrades, not kills)
-OPTIONAL_FILES = ("log.txt", "map.txt")
+#: files the analyzer can do without (their loss degrades, not kills);
+#: truth.jsonl only feeds the attribution oracle, never the profile
+OPTIONAL_FILES = ("log.txt", "map.txt", "truth.jsonl")
 
 
 # ---------------------------------------------------------------- helpers
@@ -137,6 +143,52 @@ class HwcEvent:
         except (ValueError, KeyError, TypeError, AttributeError) as error:
             raise ExperimentCorrupt(
                 f"bad HWC event: {error}", file=source, line=lineno
+            ) from error
+
+
+@dataclass(frozen=True)
+class TruthEvent:
+    """Ground truth for one counter-overflow trap (oracle side channel).
+
+    Recorded from the simulator's own diagnostics at the moment the
+    matching :class:`HwcEvent` is recorded, one line per trap, in the
+    same per-counter order — so the k-th truth row for a PIC register
+    joins the k-th event in that register's ``hwc<k>.jsonl``.  ``seq``
+    numbers the traps globally across counters; ``trap_pc``/``cycle``
+    duplicate the profile row so a join can verify it paired the right
+    lines.  ``regs`` is the delivered register file, letting the oracle
+    decide whether a clobber report was honest.  None of this is visible
+    to the profile reports: real hardware could not have produced it.
+    """
+
+    seq: int
+    counter: int
+    event: str
+    trap_pc: int
+    cycle: int
+    true_trigger_pc: int
+    #: the triggering access's address; None for non-memory events
+    true_effective_address: Optional[int]
+    true_skid: int
+    coalesced: int
+    regs: tuple
+
+    def to_json(self) -> str:
+        """Serialize to one JSON line."""
+        record = asdict(self)
+        record["regs"] = list(self.regs)
+        return json.dumps(record, separators=(",", ":"))
+
+    @staticmethod
+    def from_json(line: str, source: str = "", lineno: int = 0) -> "TruthEvent":
+        """Parse one JSON line back into an event (see HwcEvent.from_json)."""
+        try:
+            record = json.loads(line)
+            record["regs"] = tuple(record["regs"])
+            return TruthEvent(**record)
+        except (ValueError, KeyError, TypeError, AttributeError) as error:
+            raise ExperimentCorrupt(
+                f"bad truth event: {error}", file=source, line=lineno
             ) from error
 
 
@@ -256,6 +308,7 @@ class Experiment:
         self.info = ExperimentInfo()
         self.hwc_events: list[HwcEvent] = []
         self.clock_events: list[ClockEvent] = []
+        self.truth_events: list[TruthEvent] = []
         self.log_lines: list[str] = []
         #: set by ``open(strict=False)``; None for in-memory experiments
         self.salvage: Optional[SalvageReport] = None
@@ -309,6 +362,12 @@ class Experiment:
         if self._journal_dir is not None:
             self._journal_write("clock.jsonl", event.to_json())
 
+    def record_truth(self, event: TruthEvent) -> None:
+        """Record one ground-truth row into the oracle side channel."""
+        self.truth_events.append(event)
+        if self._journal_dir is not None:
+            self._journal_write("truth.jsonl", event.to_json())
+
     # ---------------------------------------------------- event iteration
 
     def iter_clock_events(self):
@@ -338,6 +397,20 @@ class Experiment:
         for hwc_file in sorted(self._stream_dir.glob("hwc*.jsonl")):
             yield from Experiment._iter_jsonl(
                 hwc_file, HwcEvent.from_json, self._stream_strict,
+                self.salvage,
+            )
+
+    def iter_truth_events(self):
+        """Ground-truth rows, in recorded order.  Streams from disk for
+        :meth:`open_streaming` experiments; yields nothing when the
+        experiment predates the truth side channel."""
+        if self._stream_dir is None:
+            yield from self.truth_events
+            return
+        truth_file = self._stream_dir / "truth.jsonl"
+        if truth_file.exists():
+            yield from Experiment._iter_jsonl(
+                truth_file, TruthEvent.from_json, self._stream_strict,
                 self.salvage,
             )
 
@@ -375,6 +448,8 @@ class Experiment:
             self._journal_write("clock.jsonl", clock_event.to_json())
         for hwc_event in self.hwc_events:
             self._journal_write(f"hwc{hwc_event.counter}.jsonl", hwc_event.to_json())
+        for truth_event in self.truth_events:
+            self._journal_write("truth.jsonl", truth_event.to_json())
         return path
 
     @property
@@ -509,6 +584,12 @@ class Experiment:
                     if event.counter == counter:
                         stream.write(event.to_json() + "\n")
             os.replace(tmp, path / f"hwc{counter}.jsonl")
+        if self.truth_events:
+            tmp = path / "truth.jsonl.tmp"
+            with open(tmp, "w") as stream:
+                for truth_event in self.truth_events:
+                    stream.write(truth_event.to_json() + "\n")
+            os.replace(tmp, path / "truth.jsonl")
 
     def _write_manifest(self, path: Path) -> None:
         files = {}
@@ -660,6 +741,12 @@ class Experiment:
                 Experiment._iter_jsonl(hwc_file, HwcEvent.from_json,
                                        strict, salvage)
             )
+        truth_file = path / "truth.jsonl"
+        if truth_file.exists():
+            exp.truth_events.extend(
+                Experiment._iter_jsonl(truth_file, TruthEvent.from_json,
+                                       strict, salvage)
+            )
         return exp
 
     @staticmethod
@@ -717,6 +804,7 @@ __all__ = [
     "ExperimentInfo",
     "HwcEvent",
     "ClockEvent",
+    "TruthEvent",
     "SalvageReport",
     "FileSalvage",
     "FORMAT_VERSION",

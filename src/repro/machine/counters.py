@@ -163,6 +163,11 @@ class CounterSnapshot:
     #: collector must never read it; accuracy tests compare it against
     #: the backtracking result)
     true_trigger_pc: int = 0
+    #: the effective data address the triggering instruction accessed, or
+    #: None for events not tied to a memory instruction (diagnostic only,
+    #: same rules as ``true_trigger_pc``; the attribution oracle joins it
+    #: against the recomputed address from the backtracking search)
+    true_effective_address: Optional[int] = None
     #: number of overflow intervals this single trap represents.  A large
     #: ``amount`` (e.g. one E$ miss worth of stall cycles against a small
     #: interval) can cross several intervals at once; the hardware raises

@@ -32,9 +32,12 @@ Two execution engines share this model:
   profile tests and the baseline for throughput benchmarks.
 
 Pending traps are stored as ``[due_instr_count, register, skid, pc,
-coalesced]`` where ``due_instr_count`` is the absolute retired-instruction
-count at which the trap must be delivered; both engines share the format,
-so single-stepping and engine switches between runs agree.
+coalesced, true_ea]`` where ``due_instr_count`` is the absolute
+retired-instruction count at which the trap must be delivered and
+``true_ea`` is the triggering access's effective address (None for events
+not tied to a memory instruction) — a diagnostic the attribution oracle
+journals; the collector's profile never sees it.  Both engines share the
+format, so single-stepping and engine switches between runs agree.
 """
 
 from __future__ import annotations
@@ -128,8 +131,8 @@ class CPU:
         self.inflight_prefetches: dict[int, int] = {}
 
         #: armed-but-undelivered overflow traps:
-        #: [due_instr_count, register, skid, trigger_pc, coalesced]
-        self.pending_traps: list[list[int]] = []
+        #: [due_instr_count, register, skid, trigger_pc, coalesced, true_ea]
+        self.pending_traps: list[list] = []
         self.overflow_handler: Optional[Callable[[CounterSnapshot], None]] = None
 
         #: clock profiling (SIGPROF equivalent)
@@ -157,7 +160,8 @@ class CPU:
         self.next_clock_tick = self.cycles + interval_cycles
 
     def snapshot(self, register: int, true_skid: int,
-                 true_trigger_pc: int = 0, coalesced: int = 1) -> CounterSnapshot:
+                 true_trigger_pc: int = 0, coalesced: int = 1,
+                 true_effective_address: Optional[int] = None) -> CounterSnapshot:
         """Build the signal-delivery view of the CPU state."""
         spec = self.counters.specs[register]
         assert spec is not None
@@ -172,6 +176,7 @@ class CPU:
             true_skid=true_skid,
             true_trigger_pc=true_trigger_pc,
             coalesced=coalesced,
+            true_effective_address=true_effective_address,
         )
 
     def step(self) -> None:
@@ -358,7 +363,7 @@ class CPU:
                             if skid >= 0:
                                 pending.append(
                                     [instr_count + skid, w_insts, skid, pc,
-                                     counters.last_coalesced]
+                                     counters.last_coalesced, None]
                                 )
                     if w_cycles is not None:
                         n = cycles - flushed_cycles
@@ -367,7 +372,7 @@ class CPU:
                             if skid >= 0:
                                 pending.append(
                                     [instr_count + skid, w_cycles, skid, pc,
-                                     counters.last_coalesced]
+                                     counters.last_coalesced, None]
                                 )
                     flushed_insts = instr_count
                     flushed_cycles = cycles
@@ -389,7 +394,8 @@ class CPU:
                                 if handler is not None:
                                     handler(
                                         self.snapshot(
-                                            trap[1], trap[2], trap[3], trap[4]
+                                            trap[1], trap[2], trap[3], trap[4],
+                                            trap[5]
                                         )
                                     )
                     if self.clock_interval_cycles and cycles >= self.next_clock_tick:
@@ -491,7 +497,7 @@ class CPU:
                                         pending.append(
                                             [instr_count + 1 + skid, w_dtlbm,
                                              skid, tb + (i << 2),
-                                             counters.last_coalesced]
+                                             counters.last_coalesced, ea]
                                         )
                             seg = dtlb._seg_cache
                             seg_base = seg.base
@@ -512,7 +518,7 @@ class CPU:
                                     pending.append(
                                         [instr_count + 1 + skid, w_dcrm, skid,
                                          tb + (i << 2),
-                                         counters.last_coalesced]
+                                         counters.last_coalesced, ea]
                                     )
                             cycles += ec_hit_cycles
                             if w_ecref is not None:
@@ -521,7 +527,7 @@ class CPU:
                                     pending.append(
                                         [instr_count + 1 + skid, w_ecref, skid,
                                          tb + (i << 2),
-                                         counters.last_coalesced]
+                                         counters.last_coalesced, ea]
                                     )
                             if not ecache.access(ea, False):
                                 full_miss = True
@@ -533,7 +539,7 @@ class CPU:
                                         pending.append(
                                             [instr_count + 1 + skid, w_ecrm,
                                              skid, tb + (i << 2),
-                                             counters.last_coalesced]
+                                             counters.last_coalesced, ea]
                                         )
                                 if w_ecstall is not None:
                                     skid = record(w_ecstall, ec_miss_cycles)
@@ -541,7 +547,7 @@ class CPU:
                                         pending.append(
                                             [instr_count + 1 + skid, w_ecstall,
                                              skid, tb + (i << 2),
-                                             counters.last_coalesced]
+                                             counters.last_coalesced, ea]
                                         )
                         if inflight:
                             # a software prefetch may still be fetching this
@@ -638,7 +644,7 @@ class CPU:
                                         pending.append(
                                             [instr_count + 1 + skid, w_dtlbm,
                                              skid, tb + (i << 2),
-                                             counters.last_coalesced]
+                                             counters.last_coalesced, ea]
                                         )
                             seg = dtlb._seg_cache
                             seg_base = seg.base
@@ -662,7 +668,7 @@ class CPU:
                                     pending.append(
                                         [instr_count + 1 + skid, w_ecref, skid,
                                          tb + (i << 2),
-                                         counters.last_coalesced]
+                                         counters.last_coalesced, ea]
                                     )
                             ecache.access(ea, True)
                         if inflight:

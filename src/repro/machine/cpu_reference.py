@@ -17,7 +17,7 @@ the machine model, not of either loop):
 * stores consume in-flight prefetch entries for their E$ line, and
   entries whose ready cycle has passed are dropped;
 * pending traps use the shared absolute format
-  ``[due_instr_count, register, skid, trigger_pc, coalesced]``.
+  ``[due_instr_count, register, skid, trigger_pc, coalesced, true_ea]``.
 """
 
 from __future__ import annotations
@@ -134,7 +134,7 @@ def run_reference(
                         if skid >= 0:
                             pending.append(
                                 [instr_count + 1 + skid, w_dtlbm, skid, pc,
-                                 counters.last_coalesced]
+                                 counters.last_coalesced, ea]
                             )
                 # D$
                 full_miss = False
@@ -144,7 +144,7 @@ def run_reference(
                         if skid >= 0:
                             pending.append(
                                 [instr_count + 1 + skid, w_dcrm, skid, pc,
-                                 counters.last_coalesced]
+                                 counters.last_coalesced, ea]
                             )
                     cycles += ec_hit_cycles
                     if w_ecref is not None:
@@ -152,7 +152,7 @@ def run_reference(
                         if skid >= 0:
                             pending.append(
                                 [instr_count + 1 + skid, w_ecref, skid, pc,
-                                 counters.last_coalesced]
+                                 counters.last_coalesced, ea]
                             )
                     if not ecache.access(ea, False):
                         full_miss = True
@@ -163,14 +163,14 @@ def run_reference(
                             if skid >= 0:
                                 pending.append(
                                     [instr_count + 1 + skid, w_ecrm, skid, pc,
-                                     counters.last_coalesced]
+                                     counters.last_coalesced, ea]
                                 )
                         if w_ecstall is not None:
                             skid = record(w_ecstall, ec_miss_cycles)
                             if skid >= 0:
                                 pending.append(
                                     [instr_count + 1 + skid, w_ecstall, skid,
-                                     pc, counters.last_coalesced]
+                                     pc, counters.last_coalesced, ea]
                                 )
                 if inflight:
                     # a software prefetch may still be fetching this line:
@@ -212,7 +212,7 @@ def run_reference(
                         if skid >= 0:
                             pending.append(
                                 [instr_count + 1 + skid, w_dtlbm, skid, pc,
-                                 counters.last_coalesced]
+                                 counters.last_coalesced, ea]
                             )
                 if not dcache.access(ea, True):
                     # write-allocate through E$; the write buffer hides most
@@ -223,7 +223,7 @@ def run_reference(
                         if skid >= 0:
                             pending.append(
                                 [instr_count + 1 + skid, w_ecref, skid, pc,
-                                 counters.last_coalesced]
+                                 counters.last_coalesced, ea]
                             )
                     ecache.access(ea, True)
                 if inflight:
@@ -418,14 +418,14 @@ def run_reference(
                 if skid >= 0:
                     pending.append(
                         [instr_count + skid, w_insts, skid, pc,
-                         counters.last_coalesced]
+                         counters.last_coalesced, None]
                     )
             if w_cycles is not None:
                 skid = record(w_cycles, cycles - cyc0)
                 if skid >= 0:
                     pending.append(
                         [instr_count + skid, w_cycles, skid, pc,
-                         counters.last_coalesced]
+                         counters.last_coalesced, None]
                     )
 
             if pending:
@@ -445,7 +445,8 @@ def run_reference(
                         pending.remove(trap)
                         if handler is not None:
                             handler(
-                                cpu.snapshot(trap[1], trap[2], trap[3], trap[4])
+                                cpu.snapshot(trap[1], trap[2], trap[3], trap[4],
+                                             trap[5])
                             )
 
             if cpu.clock_interval_cycles and cycles >= cpu.next_clock_tick:

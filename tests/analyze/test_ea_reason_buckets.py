@@ -1,0 +1,222 @@
+"""The ``BacktrackResult.ea_reason`` contract and its report buckets.
+
+The contract (``repro.collect.backtrack``): exactly one of three values,
+tied to the rest of the result —
+
+* ``""``            — status FOUND and an effective address was reported;
+* ``"clobbered"``   — status FOUND but the address registers were
+                      overwritten inside the skid window;
+* ``"no_candidate"`` — status NOT_FOUND (including non-memory events).
+
+The accuracy table (``repro.analyze.reports.attribution_outcomes``) must
+put every event in exactly one of those buckets and refuse values outside
+the contract.  Alongside these sit boundary tests for the reducer's
+branch-target validation — the other attribution-quality gate the paper
+defers to data reduction.
+"""
+
+import types
+
+import pytest
+
+from repro import build_executable, tiny_config
+from repro.analyze import model
+from repro.analyze.oracle import oracle_experiment
+from repro.analyze.reduce import _Reducer, reduce_experiment
+from repro.analyze.reports import attribution_outcomes
+from repro.collect.backtrack import FOUND, NOT_FOUND, apropos_backtrack
+from repro.collect.collector import CollectConfig, collect
+from repro.collect.experiment import Experiment, HwcEvent
+from repro.errors import AnalysisError
+from repro.isa.instructions import Instr, Op
+from repro.machine.counters import EVENTS
+
+TEXT = 0x1_0000_3000
+
+
+def code_of(*instrs):
+    code = list(instrs)
+    for index, instr in enumerate(code):
+        instr.addr = TEXT + 4 * index
+    return code
+
+
+class TestEaReasonContract:
+    """Each constructed outcome produces its mandated reason — and only
+    the three mandated values ever appear."""
+
+    def test_found_with_address_has_empty_reason(self):
+        code = code_of(Instr(Op.LDX, rd=2, rs1=3, imm=8), Instr(Op.NOP))
+        regs = [0] * 32
+        regs[3] = 0x40
+        result = apropos_backtrack(code, TEXT, TEXT + 8, EVENTS["ecrm"], regs)
+        assert result.status == FOUND
+        assert result.effective_address is not None
+        assert result.ea_reason == ""
+
+    def test_found_clobbered_reports_clobbered(self):
+        code = code_of(
+            Instr(Op.LDX, rd=2, rs1=3, imm=0),
+            Instr(Op.ADD, rd=3, rs1=3, imm=8),
+            Instr(Op.NOP),
+        )
+        result = apropos_backtrack(code, TEXT, TEXT + 12, EVENTS["ecrm"],
+                                   [0] * 32)
+        assert result.status == FOUND
+        assert result.effective_address is None
+        assert result.ea_reason == "clobbered"
+
+    def test_not_found_reports_no_candidate(self):
+        code = code_of(Instr(Op.NOP), Instr(Op.NOP))
+        result = apropos_backtrack(code, TEXT, TEXT + 8, EVENTS["ecrm"],
+                                   [0] * 32)
+        assert result.status == NOT_FOUND
+        assert result.ea_reason == "no_candidate"
+
+    def test_non_memory_event_reports_no_candidate(self):
+        code = code_of(Instr(Op.LDX, rd=2, rs1=3, imm=0), Instr(Op.NOP))
+        result = apropos_backtrack(code, TEXT, TEXT + 8, EVENTS["cycles"],
+                                   [0] * 32)
+        assert result.status == NOT_FOUND
+        assert result.ea_reason == "no_candidate"
+
+    def test_every_collected_event_obeys_the_contract(self):
+        """Property over a real run: (status, effective_address) determine
+        ea_reason for every single journaled event."""
+        source = """
+        long main(long *input, long n) {
+            long *arr; long i; long s;
+            arr = (long *) malloc(4096 * sizeof(long));
+            s = 0;
+            for (i = 0; i < 4096; i++) s = s + arr[i & 1023];
+            return s & 255;
+        }
+        """
+        program = build_executable(source)
+        experiment = collect(
+            program, tiny_config(),
+            CollectConfig(counters=["+ecref,31", "+ecrm,13"]),
+        )
+        events = list(experiment.iter_hwc_events())
+        assert events
+        for event in events:
+            if event.status == FOUND:
+                if event.effective_address is not None:
+                    assert event.ea_reason == ""
+                else:
+                    assert event.ea_reason == "clobbered"
+            else:
+                assert event.status == NOT_FOUND
+                assert event.effective_address is None
+                assert event.ea_reason == "no_candidate"
+
+
+class TestAttributionOutcomesTable:
+    def test_each_reason_lands_in_its_column(self):
+        text = attribution_outcomes(
+            {"ecrm": {"": 7, "clobbered": 3, "no_candidate": 2}}
+        )
+        line = next(l for l in text.splitlines() if l.lstrip().startswith("ecrm"))
+        assert line.split() == ["ecrm", "7", "3", "2"]
+
+    def test_absent_reasons_render_as_zero(self):
+        text = attribution_outcomes({"dtlbm": {"": 5}})
+        line = next(l for l in text.splitlines() if "dtlbm" in l)
+        assert line.split() == ["dtlbm", "5", "0", "0"]
+
+    def test_unknown_reason_is_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown ea_reason"):
+            attribution_outcomes({"ecrm": {"mangled": 1}})
+
+    def test_oracle_report_buckets_a_real_run(self):
+        source = """
+        struct rec { long a; long b; long c; long d; };
+        long main(long *input, long n) {
+            struct rec *arr; long i; long s;
+            arr = (struct rec *) malloc(2048 * sizeof(struct rec));
+            s = 0;
+            for (i = 0; i < 2048; i++) s = s + arr[i].a;
+            return s & 255;
+        }
+        """
+        program = build_executable(source)
+        experiment = collect(
+            program, tiny_config(), CollectConfig(counters=["+ecref,31"])
+        )
+        report = oracle_experiment(experiment)
+        tally = report.counts("ecref")
+        # the buckets partition the events...
+        assert sum(tally.ea_reasons.values()) == tally.events
+        # ...and the rendered table carries the same numbers
+        text = attribution_outcomes({"ecref": tally.ea_reasons})
+        line = next(l for l in text.splitlines() if "ecref" in l)
+        assert line.split() == [
+            "ecref",
+            str(tally.ea_reasons.get("", 0)),
+            str(tally.ea_reasons.get("clobbered", 0)),
+            str(tally.ea_reasons.get("no_candidate", 0)),
+        ]
+
+
+class TestBranchValidationBoundaries:
+    """The reducer validates candidates against branch targets in the
+    half-open interval (candidate, trap_pc]: a target *after* the
+    candidate means control may have joined mid-window, but the candidate
+    being a target itself is fine (execution fell into it)."""
+
+    def _targets(self, *targets):
+        return types.SimpleNamespace(branch_targets=sorted(targets))
+
+    def test_target_equal_to_candidate_is_excluded(self):
+        stub = self._targets(0x1000)
+        assert _Reducer._branch_target_in(stub, 0x1000, 0x1020) is None
+
+    def test_target_equal_to_trap_pc_is_included(self):
+        stub = self._targets(0x1020)
+        assert _Reducer._branch_target_in(stub, 0x1000, 0x1020) == 0x1020
+
+    def test_nearest_target_to_the_trap_wins(self):
+        stub = self._targets(0x1008, 0x1010)
+        assert _Reducer._branch_target_in(stub, 0x1000, 0x1020) == 0x1010
+
+    def test_target_outside_window_ignored(self):
+        stub = self._targets(0x0ff0, 0x1030)
+        assert _Reducer._branch_target_in(stub, 0x1000, 0x1020) is None
+
+    def test_candidate_that_is_a_join_node_is_not_quarantined(self):
+        """End-to-end: an event whose candidate IS a branch target (a
+        padded join node under -xhwcprof) keeps its attribution; only a
+        target strictly between candidate and trap redirects it."""
+        source = """
+        long main(long *input, long n) {
+            long *arr; long i; long s;
+            arr = (long *) malloc(1024 * sizeof(long));
+            s = 0;
+            for (i = 0; i < 1024; i++) {
+                if (i & 1) s = s + arr[i];
+                else s = s - arr[i];
+            }
+            return s & 255;
+        }
+        """
+        program = build_executable(source)
+        main = program.function("main")
+        target = min(
+            t for t in program.branch_targets if main.start < t < main.end
+        )
+        exp = Experiment("synthetic")
+        exp.program = program
+        exp.info.clock_hz = 1e8
+        exp.info.totals = {"cycles": 1000, "system_cycles": 0}
+        base = dict(counter=1, event="ecrm", weight=10,
+                    effective_address=None, status="found", ea_reason="",
+                    cycle=0, callstack=())
+        # candidate sits ON the join node: kept
+        exp.record_hwc(HwcEvent(candidate_pc=target, trap_pc=target + 8, **base))
+        # candidate before the join node, trap after: quarantined
+        exp.record_hwc(HwcEvent(candidate_pc=target - 8, trap_pc=target + 8,
+                                **base))
+        reduced = reduce_experiment(exp)
+        assert reduced.data_objects[model.UNRESOLVABLE]["ecrm"] == 10
+        assert reduced.pcs[target].is_branch_target_artifact
+        assert reduced.pcs[target].metrics["ecrm"] == 20  # kept + redirected

@@ -179,3 +179,57 @@ class TestShardParity:
         merged = reduce_experiments([pristine, second], use_cache=False)
         names = [info["name"] for info in merged.counter_info]
         assert names == ["ecstall", "ecrm", "ecref", "dtlbm"]
+
+
+class TestJobsWarmRunParity:
+    """``--jobs N`` + cache interaction: every shard's cache entry must be
+    written on the cold run — a hit on one shard must not leave its
+    siblings unwritten — so the warm run performs zero reduces."""
+
+    def _four_dirs(self, tmp_path):
+        dirs = [_collect_to(tmp_path / f"shard{i}") for i in range(4)]
+        # mixed warm/cold start: one shard already cached, three not
+        reduce_path(dirs[0])
+        assert reduction_cache.cache_path(dirs[0]).exists()
+        for directory in dirs[1:]:
+            assert not reduction_cache.cache_path(directory).exists()
+        return dirs
+
+    @staticmethod
+    def _cache_stats(dirs):
+        stats = {}
+        for directory in dirs:
+            entry = reduction_cache.cache_path(directory)
+            stat = entry.stat()
+            stats[directory] = (stat.st_mtime_ns, stat.st_ino, stat.st_size)
+        return stats
+
+    def test_cold_jobs_run_writes_every_shard_cache(self, tmp_path):
+        dirs = self._four_dirs(tmp_path)
+        reduce_experiments(dirs, parallelism=4)
+        for directory in dirs:
+            assert reduction_cache.cache_path(directory).exists(), directory
+
+    def test_warm_jobs_run_performs_zero_reduces(self, tmp_path):
+        dirs = self._four_dirs(tmp_path)
+        first = reduce_experiments(dirs, parallelism=4)
+        before = self._cache_stats(dirs)
+        second = reduce_experiments(dirs, parallelism=4)
+        # a reduce would re-store its shard's entry (os.replace: new inode
+        # and mtime); untouched entries prove every shard was a cache hit
+        assert self._cache_stats(dirs) == before
+        assert (json.dumps(second.to_payload())
+                == json.dumps(first.to_payload()))
+
+    def test_warm_erprint_jobs_run_matches_sequential(self, tmp_path, capsys):
+        dirs = self._four_dirs(tmp_path)
+        assert erprint_main(dirs + ["--jobs", "4", "functions"]) == 0
+        capsys.readouterr()
+        before = self._cache_stats(dirs)
+        assert erprint_main(dirs + ["--jobs", "4", "functions"]) == 0
+        warm = capsys.readouterr().out
+        # zero reduces: no shard re-stored its entry (works across worker
+        # processes, where an in-process counting patch would not)
+        assert self._cache_stats(dirs) == before
+        assert erprint_main(dirs + ["--no-cache", "functions"]) == 0
+        assert capsys.readouterr().out == warm

@@ -100,6 +100,78 @@ class TestSearch:
         assert result.status == NOT_FOUND
 
 
+class TestWindowClamping:
+    """Regression tests for the out-of-range window bug: a trap that skids
+    past the end of the text segment used to start the walk at a
+    nonexistent index, silently scan nothing real, and report NOT_FOUND
+    even though the trigger was in plain sight."""
+
+    def test_trap_skidded_past_text_end_still_finds_trigger(self):
+        code = code_of(
+            Instr(Op.NOP),
+            Instr(Op.LDX, rd=2, rs1=3, imm=8),
+            Instr(Op.NOP),
+        )
+        # the skid carried the trap two slots beyond the last instruction
+        trap_pc = TEXT + 4 * (len(code) + 2)
+        result = apropos_backtrack(code, TEXT, trap_pc, LOAD_EVENT,
+                                   regs_with(r3=0x700))
+        assert result.status == FOUND
+        assert result.candidate_pc == TEXT + 4
+        assert result.effective_address == 0x708
+
+    def test_trap_exactly_at_text_end(self):
+        code = code_of(Instr(Op.NOP), Instr(Op.LDX, rd=2, rs1=3, imm=0))
+        result = apropos_backtrack(code, TEXT, TEXT + 4 * len(code),
+                                   LOAD_EVENT, regs_with(r3=0x30))
+        assert result.status == FOUND
+        assert result.candidate_pc == TEXT + 4
+        assert result.effective_address == 0x30
+
+    def test_clamped_window_still_walks_max_steps_real_instructions(self):
+        """The clamp must anchor the window at the text end, not shrink it:
+        the last ``max_steps`` real instructions stay scannable."""
+        instrs = [Instr(Op.LDX, rd=2, rs1=3, imm=0)]
+        instrs += [Instr(Op.NOP) for _ in range(MAX_BACKTRACK_INSTRS - 1)]
+        code = code_of(*instrs)
+        trap_pc = TEXT + 4 * (len(code) + 50)  # far past the end
+        result = apropos_backtrack(code, TEXT, trap_pc, LOAD_EVENT,
+                                   regs_with(r3=0x88))
+        assert result.status == FOUND
+        assert result.candidate_pc == TEXT
+
+    def test_trap_in_first_instruction(self):
+        """A trap at text start has nothing before it (address order):
+        an honest NOT_FOUND, not an index error."""
+        code = code_of(Instr(Op.LDX, rd=2, rs1=3, imm=0), Instr(Op.NOP))
+        result = apropos_backtrack(code, TEXT, TEXT, LOAD_EVENT, [0] * 32)
+        assert result.status == NOT_FOUND
+        assert result.candidate_pc is None
+        assert result.ea_reason == "no_candidate"
+
+    def test_max_steps_zero_gives_empty_window(self):
+        code = code_of(Instr(Op.LDX, rd=2, rs1=3, imm=0), Instr(Op.NOP))
+        result = apropos_backtrack(code, TEXT, TEXT + 8, LOAD_EVENT,
+                                   [0] * 32, max_steps=0)
+        assert result.status == NOT_FOUND
+        assert result.ea_reason == "no_candidate"
+
+    def test_clobber_scan_ignores_instructions_past_text_end(self):
+        """With the trap past the end there are no instructions between
+        the candidate and the (clamped) window start beyond the real code;
+        the scan must not invent clobbers from out-of-range slots."""
+        code = code_of(
+            Instr(Op.ADD, rd=5, rs1=5, imm=1),
+            Instr(Op.LDX, rd=2, rs1=3, imm=16),
+        )
+        trap_pc = TEXT + 4 * (len(code) + 3)
+        result = apropos_backtrack(code, TEXT, trap_pc, LOAD_EVENT,
+                                   regs_with(r3=0x500))
+        assert result.status == FOUND
+        assert result.effective_address == 0x510
+        assert result.ea_reason == ""
+
+
 class TestEffectiveAddress:
     def test_register_plus_register(self):
         code = code_of(

@@ -112,3 +112,24 @@ class TestReset:
         assert cache.refs == 0
         assert cache.misses == 0
         assert not cache.contains(0x100)
+
+
+class TestMissRate:
+    def test_zero_access_run_reports_zero(self):
+        """A run that never touches memory (immediate-exit program) must
+        report 0.0, not raise ZeroDivisionError."""
+        cache = make_cache()
+        assert cache.refs == 0
+        assert cache.miss_rate() == 0.0
+
+    def test_zero_after_reset(self):
+        cache = make_cache()
+        cache.access(0x100, False)
+        cache.reset_state()
+        assert cache.miss_rate() == 0.0
+
+    def test_rate_counts_reads_and_writes(self):
+        cache = make_cache()
+        cache.access(0x100, False)  # read miss
+        cache.access(0x100, True)   # write hit
+        assert cache.miss_rate() == 0.5

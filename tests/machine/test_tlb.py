@@ -91,3 +91,24 @@ class TestSegmentCache:
         tlb.reset_state()
         assert tlb.refs == 0 and tlb.misses == 0
         assert tlb.lookup(ARENA_BASE, mem) is False
+
+
+class TestMissRate:
+    def test_zero_access_run_reports_zero(self, mem):
+        """A run that never touches memory (immediate-exit program) must
+        report 0.0, not raise ZeroDivisionError."""
+        tlb = make_tlb()
+        assert tlb.refs == 0
+        assert tlb.miss_rate() == 0.0
+
+    def test_zero_after_reset(self, mem):
+        tlb = make_tlb()
+        tlb.lookup(ARENA_BASE, mem)
+        tlb.reset_state()
+        assert tlb.miss_rate() == 0.0
+
+    def test_rate_counts_hits_and_misses(self, mem):
+        tlb = make_tlb()
+        tlb.lookup(ARENA_BASE, mem)        # miss
+        tlb.lookup(ARENA_BASE + 100, mem)  # hit
+        assert tlb.miss_rate() == 0.5
