@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import shutil
 from pathlib import Path
 from typing import Optional
@@ -42,6 +41,7 @@ from ..collect.experiment import (
     Experiment,
     _sha256_file,
 )
+from ..ioutil import atomic_write_text
 from .model import ReducedData
 
 #: the single cache artifact inside ``<exp>.er/cache/``
@@ -142,9 +142,12 @@ def store(directory, reduced: ReducedData) -> bool:
     file = cache_path(path)
     file.parent.mkdir(parents=True, exist_ok=True)
     record = {"key": cache_key(manifest), "payload": reduced.to_payload()}
-    tmp = file.with_name(file.name + ".tmp")
-    tmp.write_text(json.dumps(record, separators=(",", ":")))
-    os.replace(tmp, file)
+    # same crash-safe discipline as the journals: unique temp file,
+    # fsync, rename — a kill mid-write leaves the old entry (or none),
+    # never a truncated payload, and concurrent analyzers cannot tear
+    # each other's writes
+    atomic_write_text(file, json.dumps(record, separators=(",", ":")),
+                      durable=True)
     return True
 
 

@@ -23,7 +23,11 @@ Commands (er_print-style):
 * ``header``                collection parameters + run facts
 * ``heap``                  allocation/deallocation summary by site (§2.2)
 * ``fsck``                  validate the directory against its manifest and
-                            report how much data is salvageable
+                            report how much data is salvageable; with
+                            ``--fleet`` the argument is a fleet root
+                            instead and the aggregate-store invariants
+                            are audited (``--repair`` fixes what is
+                            mechanically safe to fix)
 * ``oracle``                join the profile against the simulator's
                             ground-truth side channel (``truth.jsonl``)
                             and classify every attribution as exact /
@@ -153,6 +157,25 @@ def main(argv=None) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         return 0
+    if "--fleet" in argv:
+        # fleet-store audit: repro-erprint fsck --fleet <root> [--repair]
+        if "fsck" not in argv:
+            print("error: --fleet is only valid with fsck", file=sys.stderr)
+            return 2
+        from ..fleet.fsck import fsck_store
+
+        repair = "--repair" in argv
+        roots = [arg for arg in argv
+                 if arg not in ("fsck", "--fleet", "--repair")]
+        if not roots:
+            print("error: no fleet root given", file=sys.stderr)
+            return 2
+        code = 0
+        for root in roots:
+            text, status = fsck_store(root, repair=repair)
+            print(text)
+            code = max(code, status)
+        return code
     strict = "--strict" in argv
     use_cache = "--no-cache" not in argv
     jobs = 1

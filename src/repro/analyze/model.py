@@ -20,6 +20,7 @@ The reduction attributes every profile event to
 
 from __future__ import annotations
 
+import json
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Optional
@@ -177,12 +178,25 @@ class ReducedData:
 
     def merged_with(self, other: "ReducedData") -> "ReducedData":
         """Combine two experiments over the same program (the paper's two
-        collect runs feed one analysis)."""
-        if other.program is not self.program and (
-            len(other.program.code) != len(self.program.code)
-        ):
+        collect runs feed one analysis).
+
+        Works on *detached* reductions too (program image stripped, e.g.
+        a payload loaded from the reduction cache or the fleet aggregate
+        store): program compatibility is then validated through the
+        recorded ``code_len`` instead of the live image, and the merged
+        result keeps the code length so :meth:`attach` can still verify
+        a later re-attachment.
+        """
+        mine = self.code_len or (
+            len(self.program.code) if self.program is not None else 0
+        )
+        theirs = other.code_len or (
+            len(other.program.code) if other.program is not None else 0
+        )
+        if mine and theirs and mine != theirs:
             raise ValueError("cannot merge experiments over different programs")
-        out = ReducedData(self.program, self.clock_hz)
+        out = ReducedData(self.program or other.program, self.clock_hz)
+        out.code_len = mine or theirs
         out.metric_ids = list(
             dict.fromkeys([*self.metric_ids, *other.metric_ids])
         )
@@ -192,9 +206,19 @@ class ReducedData:
                 target = out.record_pc(pc)
                 target.metrics = target.metrics.merged_with(record.metrics)
                 target.is_branch_target_artifact |= record.is_branch_target_artifact
-                if record.data_object and not target.data_object:
-                    target.data_object = record.data_object
-                    target.member = record.member
+                # deterministic label resolution: identical experiments
+                # agree on the label, so this only breaks ties (and does
+                # so independently of merge order — the fleet store's
+                # canonical-bytes invariant)
+                if record.data_object:
+                    if (not target.data_object
+                            or record.data_object < target.data_object):
+                        target.data_object = record.data_object
+                        target.member = record.member
+                    elif (record.data_object == target.data_object
+                          and record.member):
+                        if not target.member or record.member < target.member:
+                            target.member = record.member
             for table_name in (
                 "functions",
                 "functions_incl",
@@ -218,8 +242,21 @@ class ReducedData:
             for key, value in source.machine_totals.items():
                 out.machine_totals[key] = max(out.machine_totals.get(key, 0.0), value)
             out.counter_info.extend(source.counter_info)
-        out.segments = self.segments or other.segments
-        out.allocations = self.allocations or other.allocations
+        # union, first-seen order, deduplicated: merging two passes over
+        # the same run keeps the original lists untouched, while merging
+        # different runs (fleet aggregation) loses neither side
+        out.segments = [
+            list(seg) for seg in dict.fromkeys(
+                tuple(seg) for source in (self, other)
+                for seg in source.segments
+            )
+        ]
+        out.allocations = [
+            list(alloc) for alloc in dict.fromkeys(
+                tuple(alloc) for source in (self, other)
+                for alloc in source.allocations
+            )
+        ]
         out.line_bytes = self.line_bytes
         out.incomplete = self.incomplete or other.incomplete
         out.incomplete_reason = "; ".join(
@@ -312,6 +349,59 @@ class ReducedData:
             "incomplete": self.incomplete,
             "incomplete_reason": self.incomplete_reason,
         }
+
+    def canonical_payload(self) -> dict:
+        """:meth:`to_payload`, normalized to be independent of merge order.
+
+        The plain payload preserves table insertion order (what the
+        per-experiment cache wants: byte-identical reports on reload).
+        Cross-experiment aggregates need the opposite guarantee — the
+        same *set* of experiments must serialize to the same bytes no
+        matter which order they were merged in (the fleet store's
+        crash-recovery invariant) — so every table is sorted by key,
+        address samples are sorted, counter configs are deduplicated and
+        sorted, and the incomplete-reason join is order-normalized.
+        Metric sums stay exact under reordering because every event
+        weight is integral.
+        """
+        from .metrics import metric_sort_key
+
+        payload = self.to_payload()
+        payload["metric_ids"] = sorted(payload["metric_ids"],
+                                       key=metric_sort_key)
+        payload["pcs"] = sorted(payload["pcs"], key=lambda row: row[0])
+        for table in ("functions", "functions_incl", "data_objects",
+                      "cache_lines"):
+            payload[table] = sorted(payload[table], key=lambda row: row[0])
+        for table in ("caller_callee", "lines", "pages",
+                      "cache_line_objects"):
+            payload[table] = sorted(payload[table], key=lambda row: row[:2])
+        payload["page_objects"] = sorted(
+            payload["page_objects"], key=lambda row: row[:3]
+        )
+        payload["data_members"] = sorted(
+            payload["data_members"], key=lambda row: row[:4]
+        )
+        payload["address_samples"] = {
+            metric: sorted(samples)
+            for metric, samples in sorted(payload["address_samples"].items())
+        }
+        payload["counter_info"] = sorted(
+            {
+                json.dumps(info, sort_keys=True)
+                for info in payload["counter_info"]
+            }
+        )
+        payload["counter_info"] = [
+            json.loads(text) for text in payload["counter_info"]
+        ]
+        payload["segments"] = sorted(payload["segments"])
+        payload["allocations"] = sorted(payload["allocations"])
+        reasons = sorted(
+            set(filter(None, payload["incomplete_reason"].split("; ")))
+        )
+        payload["incomplete_reason"] = "; ".join(reasons)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict,

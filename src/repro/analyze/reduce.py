@@ -328,13 +328,27 @@ def reduce_experiments(experiments, parallelism: Optional[int] = None,
             reduced_by_index[index] = (
                 shard.attach(program) if shard.program is None else shard
             )
-    merged = reduced_by_index[0]
-    for index in range(1, len(items)):
-        merged = merged.merged_with(reduced_by_index[index])
+    return merge_reduced(reduced_by_index[index] for index in range(len(items)))
+
+
+def merge_reduced(shards) -> ReducedData:
+    """Fold reductions together in iteration order.
+
+    The shared merge tail of :func:`reduce_experiments` and the fleet
+    aggregate store.  Shards may be detached (program-less); mixing
+    reductions of different programs raises ``ValueError`` via
+    :meth:`ReducedData.merged_with`.
+    """
+    merged: Optional[ReducedData] = None
+    for shard in shards:
+        merged = shard if merged is None else merged.merged_with(shard)
+    if merged is None:
+        raise AnalysisError("no reductions to merge")
     return merged
 
 
 __all__ = [
+    "merge_reduced",
     "reduce_experiment",
     "reduce_experiments",
     "reduce_path",

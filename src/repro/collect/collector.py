@@ -250,6 +250,7 @@ class Collector:
             experiment.log(f"collect: clock profiling every {interval} cycles")
 
         experiment.info.clock_hz = self.machine_config.clock_hz
+        experiment.info.config_name = self.config.name
         experiment.info.ecache_line_bytes = self.machine_config.ecache.line_bytes
         experiment.info.segments = [
             [seg.name, seg.base, seg.size, seg.page_bytes]

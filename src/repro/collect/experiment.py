@@ -40,7 +40,6 @@ truncated JSONL lines, and reports everything it skipped in
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import shutil
@@ -49,6 +48,7 @@ from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Optional
 
+from .. import ioutil
 from ..compiler.program import Program
 from ..errors import ExperimentCorrupt, ExperimentError
 
@@ -70,19 +70,12 @@ OPTIONAL_FILES = ("log.txt", "map.txt", "truth.jsonl")
 
 # ---------------------------------------------------------------- helpers
 
-def _atomic_write_text(path: Path, text: str) -> None:
-    """Write via tmp + rename so readers never see a half-written file."""
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text)
-    os.replace(tmp, path)
+#: write via unique tmp + rename so readers never see a half-written file
+#: (shared primitive; the reduction cache and fleet store use it too)
+_atomic_write_text = ioutil.atomic_write_text
 
-
-def _sha256_file(path: Path) -> str:
-    digest = hashlib.sha256()
-    with open(path, "rb") as stream:
-        for chunk in iter(lambda: stream.read(1 << 16), b""):
-            digest.update(chunk)
-    return digest.hexdigest()
+#: streaming SHA-256 (manifest checksums, fleet dedup keys)
+_sha256_file = ioutil.sha256_file
 
 
 def _count_lines(path: Path) -> int:

@@ -111,5 +111,33 @@ class AnalysisError(ReproError):
     """Data reduction or report generation failure."""
 
 
+class FleetError(ReproError):
+    """Fleet ingestion / aggregation service failure."""
+
+
+class SpoolError(FleetError):
+    """Bad submission or spool-protocol violation."""
+
+
+class StoreCorrupt(FleetError):
+    """Aggregate store failed validation (WAL, ledger, or payload damage)."""
+
+
+class IngestTimeout(FleetError):
+    """One experiment's ingest blew through its wall-clock deadline."""
+
+
+class RetriesExhausted(FleetError):
+    """A retried operation failed on its final attempt.
+
+    Carries the last underlying error so quarantine records can name the
+    root cause.
+    """
+
+    def __init__(self, message: str, last_error: Exception = None) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+
+
 class WorkloadError(ReproError):
     """MCF instance generation or solution validation failure."""

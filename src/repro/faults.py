@@ -18,23 +18,32 @@ path is reproducible end to end:
 * **truncate / bit-flip / delete experiment files on save** — models a
   torn write or disk corruption after the collector finalized
   (applied by :func:`repro.collect.collector.collect` after
-  ``Experiment.save``).
+  ``Experiment.save``);
+* **ingestion faults** (``repro.fleet``) — torn spool submissions
+  (producer dies between the copy and the publishing rename), duplicate
+  submissions (the same experiment enqueued twice), transient EIO on
+  individual ingest I/O steps (fails the first attempt of a step, so
+  bounded retries must recover), and killing the ingest worker at a
+  chosen step counter (the fleet's deterministic crash-recovery matrix:
+  during claim, during WAL append, during merge commit, ...).
 
-Plans parse from compact CLI specs (``repro-collect --fault-plan``)::
+Plans parse from compact CLI specs (``repro-collect --fault-plan``,
+``repro-fleet --fault-plan``)::
 
     seed=7,kill_at=120000,drop_trap=0.25,delay_trap=0.5,delay_instrs=8,
     corrupt_regs=0.1,truncate=clock.jsonl:0.5,bitflip=hwc1.jsonl:16,
-    delete=map.txt
+    delete=map.txt,torn_submit=0.5,dup_submit=1.0,eio=0.3,kill_ingest_at=4
 """
 
 from __future__ import annotations
 
+import errno
 import random
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Optional
 
-from .errors import CollectError
+from .errors import CollectError, SimulatedCrash
 
 _U64 = 1 << 64
 _S64_MAX = (1 << 63) - 1
@@ -60,9 +69,28 @@ class FaultPlan:
     bitflip: dict = field(default_factory=dict)
     #: file names removed after save
     delete: tuple = ()
+    #: probability a fleet submission is torn (copy done, publish rename
+    #: never happens: the producer died mid-submit)
+    torn_submit_prob: float = 0.0
+    #: probability a fleet submission is enqueued a second time
+    duplicate_submit_prob: float = 0.0
+    #: probability the *first attempt* of each ingest I/O step raises a
+    #: transient EIO (retries of the same step always succeed, so this
+    #: exercises the backoff layer, not the quarantine)
+    transient_eio_prob: float = 0.0
+    #: kill the ingest worker once its step counter reaches this value
+    #: (steps are the WAL/claim/commit boundaries, see ingest_step)
+    kill_ingest_at: Optional[int] = None
 
     def __post_init__(self) -> None:
-        for name in ("drop_trap_prob", "delay_trap_prob", "corrupt_regs_prob"):
+        for name in (
+            "drop_trap_prob",
+            "delay_trap_prob",
+            "corrupt_regs_prob",
+            "torn_submit_prob",
+            "duplicate_submit_prob",
+            "transient_eio_prob",
+        ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise CollectError(f"fault plan: {name} must be in [0, 1]: {value}")
@@ -70,13 +98,21 @@ class FaultPlan:
             raise CollectError("fault plan: delay_instrs must be >= 0")
         if self.kill_at_cycle is not None and self.kill_at_cycle < 0:
             raise CollectError("fault plan: kill_at must be >= 0")
+        if self.kill_ingest_at is not None and self.kill_ingest_at < 1:
+            raise CollectError("fault plan: kill_ingest_at must be >= 1")
         self.rng = random.Random(self.seed)
+        #: ingest I/O steps that already paid their one transient EIO
+        self._eio_paid: set = set()
         #: what actually fired, for logs and tests
         self.stats = {
             "dropped_traps": 0,
             "delayed_traps": 0,
             "corrupted_snapshots": 0,
             "file_faults": [],
+            "torn_submits": 0,
+            "duplicate_submits": 0,
+            "eio_faults": 0,
+            "ingest_steps": [],
         }
 
     # ------------------------------------------------------- trap delivery
@@ -145,6 +181,53 @@ class FaultPlan:
         self.stats["file_faults"].extend(actions)
         return actions
 
+    # ----------------------------------------------------------- ingestion
+
+    def ingest_step(self, label: str) -> None:
+        """One deterministic fleet kill point.
+
+        The ingest pipeline calls this at every protocol boundary (claim
+        taken, WAL begin appended, merge commit about to rename, ...);
+        the plan counts the steps and raises :class:`SimulatedCrash`
+        when the counter reaches ``kill_ingest_at`` — modelling a worker
+        process dying at exactly that point, reproducibly.
+        """
+        steps = self.stats["ingest_steps"]
+        steps.append(label)
+        if self.kill_ingest_at is not None and len(steps) >= self.kill_ingest_at:
+            raise SimulatedCrash(
+                f"injected kill at ingest step {len(steps)} ({label})"
+            )
+
+    def maybe_eio(self, label: str) -> None:
+        """Maybe fail one ingest I/O step with a *transient* EIO.
+
+        Each distinct step label fails at most once, so a retry of the
+        same step always succeeds — the fault tests the bounded-retry
+        path, never the quarantine path.
+        """
+        if not self.transient_eio_prob or label in self._eio_paid:
+            return
+        if self.rng.random() < self.transient_eio_prob:
+            self._eio_paid.add(label)
+            self.stats["eio_faults"] += 1
+            raise OSError(errno.EIO, f"injected transient EIO at {label}")
+
+    def submit_faults(self) -> tuple:
+        """(torn, duplicate) decisions for one fleet submission."""
+        torn = bool(
+            self.torn_submit_prob and self.rng.random() < self.torn_submit_prob
+        )
+        dup = bool(
+            self.duplicate_submit_prob
+            and self.rng.random() < self.duplicate_submit_prob
+        )
+        if torn:
+            self.stats["torn_submits"] += 1
+        if dup:
+            self.stats["duplicate_submits"] += 1
+        return torn, dup
+
     # ------------------------------------------------------------- parsing
 
     @classmethod
@@ -168,6 +251,14 @@ class FaultPlan:
                     kwargs["corrupt_regs_prob"] = float(value)
                 elif key == "kill_at":
                     kwargs["kill_at_cycle"] = int(value)
+                elif key == "torn_submit":
+                    kwargs["torn_submit_prob"] = float(value)
+                elif key == "dup_submit":
+                    kwargs["duplicate_submit_prob"] = float(value)
+                elif key == "eio":
+                    kwargs["transient_eio_prob"] = float(value)
+                elif key == "kill_ingest_at":
+                    kwargs["kill_ingest_at"] = int(value)
                 elif key == "truncate":
                     name, _, keep = value.partition(":")
                     kwargs["truncate"][name] = float(keep) if keep else 0.5
@@ -198,6 +289,14 @@ class FaultPlan:
             parts.append(f"corrupt_regs={self.corrupt_regs_prob}")
         if self.kill_at_cycle is not None:
             parts.append(f"kill_at={self.kill_at_cycle}")
+        if self.torn_submit_prob:
+            parts.append(f"torn_submit={self.torn_submit_prob}")
+        if self.duplicate_submit_prob:
+            parts.append(f"dup_submit={self.duplicate_submit_prob}")
+        if self.transient_eio_prob:
+            parts.append(f"eio={self.transient_eio_prob}")
+        if self.kill_ingest_at is not None:
+            parts.append(f"kill_ingest_at={self.kill_ingest_at}")
         for name, keep in self.truncate.items():
             parts.append(f"truncate={name}:{keep}")
         for name, flips in self.bitflip.items():

@@ -1,0 +1,47 @@
+"""Fault-tolerant fleet ingestion & aggregation (``repro-fleet``).
+
+The paper's workflow is one analyst, one experiment; this package scales
+it to a fleet: many producers drop experiments into a spool, a service
+reduces and merges them into WAL-backed, versioned aggregates per
+``(program, workload, counter-set, window)`` key, and cross-window diffs
+report which data objects' E$-stall share moved.
+
+Layering (each module only imports downward)::
+
+    retry   backoff, bounded retries, deadlines
+    spool   atomic intake, claims, quarantine
+    store   aggregates, ledger, WAL, merge locks
+    service the ingest pipeline and query/diff
+    fsck    invariant audit and repair
+    cli     the repro-fleet entry point
+"""
+
+from .retry import Deadline, RetryPolicy, call_with_retries
+from .service import DiffRow, FleetService, IngestOutcome, KeyDiff
+from .spool import (
+    FleetPaths,
+    REASON_CODES,
+    SubmitResult,
+    submission_id,
+    submit,
+)
+from .store import AggregateKey, load_aggregate
+from .fsck import fsck_store
+
+__all__ = [
+    "AggregateKey",
+    "Deadline",
+    "DiffRow",
+    "FleetPaths",
+    "FleetService",
+    "IngestOutcome",
+    "KeyDiff",
+    "REASON_CODES",
+    "RetryPolicy",
+    "SubmitResult",
+    "call_with_retries",
+    "fsck_store",
+    "load_aggregate",
+    "submission_id",
+    "submit",
+]

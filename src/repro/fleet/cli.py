@@ -1,0 +1,226 @@
+"""``repro-fleet`` — the fleet ingestion and aggregation command line.
+
+Producer side::
+
+    repro-fleet <root> submit exp1.er --window 2026-08
+    repro-fleet <root> submit exp2.er --window 2026-08
+
+Consumer side::
+
+    repro-fleet <root> drain                # one recovery + ingest sweep
+    repro-fleet <root> serve --max-cycles 5 # keep draining
+    repro-fleet <root> query                # aggregate summaries
+    repro-fleet <root> diff 2026-07 2026-08 --metric ecstall --top 10
+    repro-fleet <root> fsck --repair        # store invariant audit
+
+``drain --fault-plan`` threads a :class:`repro.faults.FaultPlan` spec
+(e.g. ``seed=7,kill_ingest_at=9,eio=0.3``) through the whole ingest
+pipeline — the same deterministic fault machinery the collector uses —
+so crash-recovery behaviour is reproducible from the shell.  An injected
+kill exits with status 3 (the "worker died" exit), after which a plain
+``drain`` must recover.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..errors import ReproError, SimulatedCrash
+from ..faults import FaultPlan
+from .fsck import fsck_store
+from .service import FleetService
+
+#: exit status of a drain/serve killed by an injected fault
+EXIT_CRASHED = 3
+
+
+def _add_common(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--owner", default="cli",
+                     help="worker identity recorded in claims and locks")
+    sub.add_argument("--timeout", type=float, default=None,
+                     help="per-experiment ingest deadline in seconds")
+    sub.add_argument("--fault-plan", default=None,
+                     help="deterministic fault spec, e.g. "
+                          "'seed=7,kill_ingest_at=9,eio=0.3'")
+    sub.add_argument("--claim-ttl", type=float, default=None,
+                     help="seconds before a dead worker's spool claim "
+                          "may be broken (0 = immediately)")
+    sub.add_argument("--lock-ttl", type=float, default=None,
+                     help="seconds before a dead worker's merge lock "
+                          "may be broken (0 = immediately)")
+
+
+def _service(args) -> FleetService:
+    plan = FaultPlan.parse(args.fault_plan) if getattr(
+        args, "fault_plan", None) else None
+    kwargs = {}
+    if getattr(args, "claim_ttl", None) is not None:
+        kwargs["claim_ttl"] = args.claim_ttl
+    if getattr(args, "lock_ttl", None) is not None:
+        kwargs["lock_ttl"] = args.lock_ttl
+    return FleetService(
+        args.root,
+        owner=getattr(args, "owner", "cli"),
+        timeout=getattr(args, "timeout", None),
+        fault_plan=plan,
+        **kwargs,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fleet",
+        description="fault-tolerant fleet ingestion & aggregation",
+    )
+    parser.add_argument("root", help="fleet root directory")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sub = commands.add_parser("submit", help="drop an experiment into the spool")
+    sub.add_argument("experiment", help="saved experiment directory")
+    sub.add_argument("--window", default="all",
+                     help="rolling time window label (default: all)")
+    sub.add_argument("--workload", default=None,
+                     help="override the workload key field")
+    sub.add_argument("--program", default=None,
+                     help="override the program key field")
+    sub.add_argument("--fault-plan", default=None,
+                     help="producer-side fault spec (torn/duplicate submits)")
+
+    sub = commands.add_parser("drain", help="recover, then ingest the spool")
+    _add_common(sub)
+    sub.add_argument("--max-entries", type=int, default=None)
+
+    sub = commands.add_parser("serve", help="drain repeatedly until idle")
+    _add_common(sub)
+    sub.add_argument("--poll-interval", type=float, default=0.5)
+    sub.add_argument("--max-cycles", type=int, default=None)
+
+    commands.add_parser("query", help="summarize every aggregate")
+
+    sub = commands.add_parser("diff", help="cross-window object movement")
+    sub.add_argument("window_a")
+    sub.add_argument("window_b")
+    sub.add_argument("--metric", default="ecstall")
+    sub.add_argument("--top", type=int, default=10)
+    sub.add_argument("--program", default=None)
+    sub.add_argument("--workload", default=None)
+
+    sub = commands.add_parser("fsck", help="audit store invariants")
+    sub.add_argument("--repair", action="store_true")
+
+    return parser
+
+
+def _cmd_submit(args) -> int:
+    plan = FaultPlan.parse(args.fault_plan) if args.fault_plan else None
+    from . import spool
+
+    result = spool.submit(
+        args.root, args.experiment, window=args.window,
+        workload=args.workload, program=args.program, fault_plan=plan,
+    )
+    detail = f" ({result.detail})" if result.detail else ""
+    print(f"{result.status}: {result.sub_id} window={args.window}{detail}")
+    return 0 if result.status in ("submitted", "duplicate") else 1
+
+
+def _print_outcomes(outcomes) -> None:
+    for outcome in outcomes:
+        extra = ""
+        if outcome.status == "quarantined":
+            extra = f" reason={outcome.reason}"
+        if outcome.incomplete:
+            extra += " (Incomplete)"
+        print(f"{outcome.status}: {outcome.entry}{extra}")
+
+
+def _cmd_drain(args) -> int:
+    service = _service(args)
+    outcomes = service.drain(max_entries=args.max_entries)
+    _print_outcomes(outcomes)
+    merged = sum(1 for o in outcomes if o.status == "merged")
+    print(f"drained {len(outcomes)} entries ({merged} merged)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    service = _service(args)
+    ingested = service.serve(
+        poll_interval=args.poll_interval, max_cycles=args.max_cycles)
+    print(f"served {ingested} entries")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    rows = _service(args).query()
+    if not rows:
+        print("no aggregates")
+        return 0
+    for row in rows:
+        totals = " ".join(
+            f"{metric}={value:g}"
+            for metric, value in sorted(row["total"].items())
+        )
+        incomplete = (f" ({row['incomplete']} incomplete)"
+                      if row["incomplete"] else "")
+        print(
+            f"{row['window']:>12}  {row['workload']:<12} "
+            f"program={row['program']} counters={row['counters']} "
+            f"experiments={row['experiments']}{incomplete}  {totals}"
+        )
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    diffs = _service(args).diff(
+        args.window_a, args.window_b, metric=args.metric, top=args.top,
+        program=args.program, workload=args.workload,
+    )
+    if not diffs:
+        print(f"no key present in both {args.window_a!r} and "
+              f"{args.window_b!r}")
+        return 1
+    for diff in diffs:
+        print(f"{diff.workload} ({diff.counters}, program {diff.program}): "
+              f"{diff.metric} share, {diff.window_a} -> {diff.window_b}")
+        header = (f"  {'data object':<32} {diff.window_a:>10} "
+                  f"{diff.window_b:>10} {'delta':>8}")
+        print(header)
+        for row in diff.rows:
+            print(f"  {row.data_object:<32} {row.share_a:>10.2%} "
+                  f"{row.share_b:>10.2%} {row.delta:>+8.2%}")
+    return 0
+
+
+def _cmd_fsck(args) -> int:
+    text, status = fsck_store(args.root, repair=args.repair)
+    print(text)
+    return status
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(
+        list(sys.argv[1:] if argv is None else argv))
+    handler = {
+        "submit": _cmd_submit,
+        "drain": _cmd_drain,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
+        "diff": _cmd_diff,
+        "fsck": _cmd_fsck,
+    }[args.command]
+    try:
+        return handler(args)
+    except SimulatedCrash as crash:
+        # the injected kill: report it like a dead worker and leave all
+        # on-disk state exactly as the crash left it
+        print(f"worker died: {crash}", file=sys.stderr)
+        return EXIT_CRASHED
+    except ReproError as error:
+        print(f"repro-fleet: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

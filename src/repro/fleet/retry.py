@@ -1,0 +1,108 @@
+"""Bounded retries, backoff, and deadlines for the ingestion pipeline.
+
+Fleet-scale ingestion turns every transient I/O hiccup into a
+steady-state event: with thousands of producers, *something* is always
+mid-rename, mid-NFS-blip, or mid-disk-pressure.  The service therefore
+never calls the filesystem raw — each protocol step goes through
+:func:`call_with_retries` (exponential backoff with seeded jitter so
+tests replay byte-identically), and each experiment's ingest carries a
+:class:`Deadline` checked at step boundaries so one pathological input
+cannot stall the drain loop forever.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import IngestTimeout, RetriesExhausted
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try one fallible step before giving up."""
+
+    attempts: int = 4
+    base_delay: float = 0.02
+    max_delay: float = 1.0
+    #: extra random fraction of the delay, decorrelating a thundering
+    #: herd of workers retrying the same contended resource
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        base = min(self.max_delay, self.base_delay * (2 ** attempt))
+        return base * (1.0 + self.jitter * rng.random())
+
+
+#: retrying is for *transient* faults; anything else propagates untouched
+TRANSIENT_ERRORS = (OSError,)
+
+
+def call_with_retries(fn, policy: Optional[RetryPolicy] = None,
+                      retry_on=TRANSIENT_ERRORS, describe: str = "operation",
+                      sleep=time.sleep, rng: Optional[random.Random] = None,
+                      on_retry=None):
+    """Run ``fn()`` with bounded retries and exponential backoff.
+
+    Raises :class:`RetriesExhausted` (carrying the last error) once every
+    attempt has failed; any exception outside ``retry_on`` propagates
+    immediately — injected kills and genuine bugs must never be absorbed
+    by the retry loop.
+    """
+    policy = policy or RetryPolicy()
+    rng = rng or random.Random()
+    last: Optional[Exception] = None
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except retry_on as error:
+            last = error
+            if on_retry is not None:
+                on_retry(attempt, error)
+            if attempt + 1 < policy.attempts:
+                sleep(policy.delay(attempt, rng))
+    raise RetriesExhausted(
+        f"{describe} failed after {policy.attempts} attempts: {last}",
+        last_error=last,
+    ) from last
+
+
+class Deadline:
+    """Wall-clock budget for one experiment's ingest.
+
+    Checked at step boundaries (claim, open, reduce, merge, commit), so
+    a stalled or pathologically large input gets quarantined with a
+    ``timeout`` reason code instead of wedging the whole drain loop.
+    ``seconds=None`` disables the deadline; ``clock`` is injectable so
+    tests can expire a deadline without sleeping.
+    """
+
+    def __init__(self, seconds: Optional[float] = None,
+                 clock=time.monotonic) -> None:
+        self.seconds = seconds
+        self._clock = clock
+        self._start = clock()
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left, or None when unlimited."""
+        if self.seconds is None:
+            return None
+        return self.seconds - (self._clock() - self._start)
+
+    @property
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+    def check(self, what: str) -> None:
+        """Raise :class:`IngestTimeout` once the budget is gone."""
+        if self.expired:
+            raise IngestTimeout(
+                f"{what}: exceeded the {self.seconds:.3f}s ingest deadline"
+            )
+
+
+__all__ = ["Deadline", "RetryPolicy", "TRANSIENT_ERRORS", "call_with_retries"]

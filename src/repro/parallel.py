@@ -19,6 +19,7 @@ jobs run sequentially in-process with identical results.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -131,15 +132,33 @@ def _run_indexed(pair) -> JobResult:
     return run_job(job, index)
 
 
-def parallel_map(fn, items: Sequence, parallelism: Optional[int] = None) -> list:
+#: worker-death resubmission defaults: a job whose worker process dies is
+#: retried this many times in fresh pools (with exponential backoff)
+#: before the final in-process attempt
+WORKER_RETRIES = 2
+WORKER_RETRY_BACKOFF = 0.1
+
+
+def parallel_map(fn, items: Sequence, parallelism: Optional[int] = None,
+                 worker_retries: int = WORKER_RETRIES,
+                 retry_backoff: float = WORKER_RETRY_BACKOFF,
+                 sleep=time.sleep) -> list:
     """Apply a picklable ``fn`` to every item, results in item order.
 
-    The deterministic fan-out primitive shared by collection and
-    reduction: ``parallelism`` caps the worker count (default: one per
-    item up to the host CPU count); 1 — or a host where worker processes
-    cannot be spawned — degrades to a sequential in-process loop with
-    identical output, because results always come back in item order
-    regardless of worker scheduling.
+    The deterministic fan-out primitive shared by collection, reduction,
+    and fleet ingestion: ``parallelism`` caps the worker count (default:
+    one per item up to the host CPU count); 1 — or a host where worker
+    processes cannot be spawned — degrades to a sequential in-process
+    loop with identical output, because results always come back in item
+    order regardless of worker scheduling.
+
+    A worker process dying (OOM kill, segfault, ``os._exit``) no longer
+    fails the whole batch: items already completed keep their results,
+    and only the items in flight when the pool broke are resubmitted to
+    a fresh pool — up to ``worker_retries`` times with exponential
+    backoff — before a final in-process attempt.  Exceptions *raised by*
+    ``fn`` itself still propagate unchanged (callers like
+    :func:`run_job` catch their own recoverable faults).
     """
     items = list(items)
     if not items:
@@ -149,15 +168,53 @@ def parallel_map(fn, items: Sequence, parallelism: Optional[int] = None) -> list
     parallelism = max(1, min(parallelism, len(items)))
     if parallelism == 1:
         return [fn(item) for item in items]
+
+    results: list = [None] * len(items)
+    pending = list(range(len(items)))
+    for attempt in range(worker_retries + 1):
+        pending = _pool_round(fn, items, results, pending, parallelism)
+        if not pending:
+            return results
+        # a worker died (or no pool could be built); back off before the
+        # resubmission so a transiently overloaded host gets air
+        if attempt < worker_retries:
+            sleep(retry_backoff * (2 ** attempt))
+    # final attempt: in-process, where nothing can kill the worker but us
+    for index in pending:
+        results[index] = fn(items[index])
+    return results
+
+
+def _pool_round(fn, items: Sequence, results: list, pending: list,
+                parallelism: int) -> list:
+    """One process-pool pass over ``pending`` indices.
+
+    Fills ``results`` for every item that completed and returns the
+    indices whose workers died (``BrokenExecutor``) — or all of
+    ``pending`` when no pool could be built on this host.
+    """
     try:
         from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=parallelism) as pool:
-            return list(pool.map(fn, items))
-    except (BrokenExecutor, OSError, PermissionError):
-        # no usable process pool (restricted host): same results, one at
-        # a time
-        return [fn(item) for item in items]
+        workers = max(1, min(parallelism, len(pending)))
+        broken: list = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = []
+            for index in pending:
+                try:
+                    futures.append((index, pool.submit(fn, items[index])))
+                except BrokenExecutor:
+                    broken.append(index)
+            for index, future in futures:
+                try:
+                    results[index] = future.result()
+                except BrokenExecutor:
+                    broken.append(index)
+        return sorted(broken)
+    except (OSError, PermissionError):
+        # no usable process pool (restricted host): leave everything
+        # pending; the caller's final attempt runs it in-process
+        return list(pending)
 
 
 def collect_many(

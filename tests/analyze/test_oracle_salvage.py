@@ -1,0 +1,102 @@
+"""Oracle vs damaged ground truth: degrade to partial classification.
+
+The truth journal (``truth.jsonl``) is written by the same crash-prone
+collector as everything else, so the oracle must cope with a torn,
+bit-flipped, or missing side channel — classifying what still joins and
+reporting the rest as unexplained, never raising.
+"""
+
+import shutil
+
+import pytest
+
+from repro import build_executable, tiny_config
+from repro.analyze.erprint import main as erprint_main
+from repro.analyze.oracle import oracle_experiments
+from repro.collect.collector import CollectConfig, collect
+from repro.errors import SimulatedCrash
+from repro.faults import FaultPlan
+
+SRC = """
+struct rec { long a; long b; long c; long d; };
+long main(long *input, long n) {
+    struct rec *arr;
+    long i; long j; long s;
+    arr = (struct rec *) malloc(512 * sizeof(struct rec));
+    s = 0;
+    for (j = 0; j < 4; j++) {
+        for (i = 0; i < 512; i++) arr[i].a = i;
+        for (i = 0; i < 512; i++) s = s + arr[i].c;
+    }
+    return s & 255;
+}
+"""
+
+COUNTERS = ["+ecstall,59", "+ecrm,13"]
+
+
+def _config():
+    return CollectConfig(clock_profiling=False, counters=list(COUNTERS))
+
+
+@pytest.fixture(scope="module")
+def killed_experiment(tmp_path_factory):
+    """A collector death mid-run: every journal, truth included, ends at
+    the kill."""
+    target = tmp_path_factory.mktemp("oracle-salvage") / "killed"
+    program = build_executable(SRC)
+    with pytest.raises(SimulatedCrash):
+        collect(program, tiny_config(), _config(), save_to=target,
+                fault_plan=FaultPlan(seed=9, kill_at_cycle=60_000))
+    return target.with_suffix(".er")
+
+
+@pytest.fixture
+def experiment_dir(killed_experiment, tmp_path):
+    copy = tmp_path / "exp.er"
+    shutil.copytree(killed_experiment, copy)
+    return copy
+
+
+class TestOracleSalvage:
+    def test_killed_experiment_still_classifies(self, experiment_dir):
+        report = oracle_experiments([experiment_dir], strict=False)
+        assert report.by_event, "no events classified from the partial run"
+        assert sum(t.events for t in report.by_event.values()) > 0
+
+    def test_truncated_truth_degrades_to_partial(self, experiment_dir):
+        truth = experiment_dir / "truth.jsonl"
+        data = truth.read_bytes()
+        truth.write_bytes(data[: len(data) // 2])  # tear it mid-line
+        report = oracle_experiments([experiment_dir], strict=False)
+        # the rows before the tear still classify; the orphaned profile
+        # rows after it are reported, not raised over
+        assert report.by_event
+        assert report.unexplained
+
+    def test_bitflipped_truth_degrades_to_partial(self, experiment_dir):
+        truth = experiment_dir / "truth.jsonl"
+        data = bytearray(truth.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        truth.write_bytes(bytes(data))
+        report = oracle_experiments([experiment_dir], strict=False)
+        assert report.by_event
+
+    def test_deleted_truth_is_missing_not_fatal(self, experiment_dir):
+        (experiment_dir / "truth.jsonl").unlink()
+        report = oracle_experiments([experiment_dir], strict=False)
+        assert report.missing_truth
+        assert not report.by_event
+
+    @pytest.mark.parametrize("damage", ["truncate", "delete"])
+    def test_erprint_oracle_returns_not_raises(self, experiment_dir,
+                                               damage, capsys):
+        truth = experiment_dir / "truth.jsonl"
+        if damage == "truncate":
+            truth.write_bytes(truth.read_bytes()[: truth.stat().st_size // 2])
+        else:
+            truth.unlink()
+        status = erprint_main([str(experiment_dir), "oracle"])
+        assert status in (0, 1)  # a verdict, not a traceback
+        out = capsys.readouterr().out
+        assert out.strip()

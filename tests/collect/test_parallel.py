@@ -89,6 +89,78 @@ class TestCollectMany:
         assert result.experiment.program is None
 
 
+def _die_once_then_square(task):
+    """Kill the worker process the first time each item is seen.
+
+    The marker file records that this item already claimed its victim,
+    so the resubmitted attempt succeeds — exactly the OOM-killer /
+    segfault recovery shape.  Only pool workers ever die: a broken pool
+    cancels not-yet-started futures, so an unlucky schedule can hand an
+    unseen item straight to the final in-process pass, and ``os._exit``
+    there would kill the test runner itself.
+    """
+    import os
+    from pathlib import Path
+
+    marker_dir, parent_pid, value = task
+    marker = Path(marker_dir) / f"seen-{value}"
+    if not marker.exists() and os.getpid() != parent_pid:
+        marker.write_text("dying now")
+        os._exit(13)  # hard kill: no exception, no cleanup
+    return value * value
+
+
+class TestWorkerDeathResubmission:
+    def test_dead_workers_jobs_are_resubmitted(self, tmp_path):
+        import os
+
+        from repro.parallel import parallel_map
+
+        sleeps = []
+        tasks = [(str(tmp_path), os.getpid(), value) for value in range(6)]
+        results = parallel_map(
+            _die_once_then_square, tasks, parallelism=2,
+            sleep=sleeps.append,
+        )
+        assert results == [0, 1, 4, 9, 16, 25]
+        assert sleeps, "recovery must back off before resubmitting"
+        # exponential: each backoff doubles the previous one
+        assert all(b == sleeps[0] * 2 ** i for i, b in enumerate(sleeps))
+
+    def test_completed_items_survive_a_broken_pool(self, tmp_path):
+        """Items finished before the pool broke keep their results."""
+        import os
+
+        from repro.parallel import parallel_map
+
+        tasks = [(str(tmp_path), os.getpid(), value) for value in (7,)]
+        assert parallel_map(
+            _die_once_then_square, tasks, parallelism=2,
+            sleep=lambda _s: None,
+        ) == [49]
+
+    def test_final_attempt_runs_in_process(self, tmp_path):
+        """A job that kills every worker lands in the caller's process —
+        where ``os._exit`` would kill the test itself, so use a fn that
+        only misbehaves under a pool-worker pid."""
+        import os
+
+        from repro.parallel import parallel_map
+
+        parent = os.getpid()
+        calls = []
+
+        def local_only(value):
+            calls.append(value)
+            assert os.getpid() == parent
+            return value + 1
+
+        # parallelism=1 short-circuits to the sequential path: the same
+        # code the final attempt uses for still-pending items
+        assert parallel_map(local_only, [1, 2], parallelism=1) == [2, 3]
+        assert calls == [1, 2]
+
+
 class TestCaseStudyJobs:
     def test_jobs_2_matches_sequential(self):
         from repro.mcf.casestudy import default_instance, run_case_study

@@ -1,0 +1,94 @@
+"""Shared fixtures for the fleet tests: small fixed-seed MCF experiments.
+
+Everything expensive is module/session scoped and copied per test; the
+collects use ``trips=12`` MCF instances so the whole fleet suite stays
+inside the tier-1 time budget.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.collect.collector import CollectConfig, collect
+from repro.config import tiny_config
+from repro.errors import SimulatedCrash
+from repro.faults import FaultPlan
+from repro.mcf.instance import encode_instance, generate_instance
+from repro.mcf.sources import LayoutVariant
+from repro.mcf.workload import build_mcf
+
+COUNTERS = ["+ecstall,59", "+ecrm,13"]
+
+
+def _config() -> CollectConfig:
+    return CollectConfig(
+        name="mcf-fleet", clock_profiling=True, clock_interval=211,
+        counters=list(COUNTERS),
+    )
+
+
+def _mcf_workload(seed: int):
+    instance = generate_instance(trips=12, seed=seed)
+    return build_mcf(LayoutVariant("baseline")), encode_instance(instance)
+
+
+@pytest.fixture(scope="session")
+def experiment_pool(tmp_path_factory):
+    """Saved experiment directories the whole suite draws from.
+
+    * ``a``/``b`` — two clean runs (different workload seeds);
+    * ``killed`` — a run whose collector died mid-flight (salvageable,
+      reduces to an ``(Incomplete)`` reduction).
+    """
+    base = tmp_path_factory.mktemp("fleet-exps")
+    pool = {}
+    for name, seed in (("a", 3), ("b", 4)):
+        program, input_longs = _mcf_workload(seed)
+        experiment = collect(program, tiny_config(), _config(),
+                             input_longs=input_longs)
+        pool[name] = experiment.save(base / name)
+    program, input_longs = _mcf_workload(3)
+    with pytest.raises(SimulatedCrash):
+        collect(program, tiny_config(), _config(), input_longs=input_longs,
+                save_to=base / "killed",
+                fault_plan=FaultPlan(seed=5, kill_at_cycle=60_000))
+    pool["killed"] = (base / "killed").with_suffix(".er")
+    return pool
+
+
+@pytest.fixture
+def fresh_experiments(experiment_pool, tmp_path):
+    """Private mutable copies of the pool (tests may corrupt them)."""
+    copies = {}
+    for name, source in experiment_pool.items():
+        target = tmp_path / f"exp-{name}.er"
+        shutil.copytree(source, target)
+        copies[name] = target
+    return copies
+
+
+@pytest.fixture
+def fleet_root(tmp_path) -> Path:
+    return tmp_path / "fleet"
+
+
+def aggregate_bytes(root) -> dict:
+    """Aggregate file name -> bytes (the recovery-matrix comparator)."""
+    directory = Path(root) / "store" / "aggregates"
+    if not directory.is_dir():
+        return {}
+    return {f.name: f.read_bytes() for f in directory.glob("*.json")}
+
+
+def quarantine_facts(root) -> set:
+    """(submission id, reason code) pairs, submission-keyed so entry
+    naming never affects the comparison."""
+    from repro.fleet.spool import FleetPaths, quarantined
+
+    return {
+        (sub_id, code)
+        for _entry, code, _detail, sub_id in quarantined(FleetPaths(root))
+    }

@@ -1,0 +1,104 @@
+"""The ``repro-fleet`` command line, and the ``erprint fsck --fleet``
+bridge."""
+
+import pytest
+
+from repro.analyze.erprint import main as erprint_main
+from repro.fleet.cli import EXIT_CRASHED, main
+
+
+class TestFleetCli:
+    def test_full_producer_consumer_loop(self, fleet_root,
+                                         fresh_experiments, capsys):
+        root = str(fleet_root)
+        assert main([root, "submit", str(fresh_experiments["a"]),
+                     "--window", "2026-07"]) == 0
+        assert main([root, "submit", str(fresh_experiments["b"]),
+                     "--window", "2026-08"]) == 0
+        assert main([root, "drain"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("merged:") == 2
+        assert "drained 2 entries (2 merged)" in out
+
+        assert main([root, "query"]) == 0
+        out = capsys.readouterr().out
+        assert "2026-07" in out and "2026-08" in out
+        assert "ecstall" in out
+
+        assert main([root, "diff", "2026-07", "2026-08",
+                     "--metric", "ecstall", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ecstall share, 2026-07 -> 2026-08" in out
+        assert "%" in out
+
+        assert main([root, "fsck"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_duplicate_submit_reports_but_exits_zero(self, fleet_root,
+                                                     fresh_experiments,
+                                                     capsys):
+        root = str(fleet_root)
+        main([root, "submit", str(fresh_experiments["a"])])
+        assert main([root, "submit", str(fresh_experiments["a"])]) == 0
+        assert "duplicate" in capsys.readouterr().out
+
+    def test_injected_kill_exits_3_and_drain_recovers(self, fleet_root,
+                                                      fresh_experiments,
+                                                      capsys):
+        root = str(fleet_root)
+        main([root, "submit", str(fresh_experiments["a"])])
+        status = main([root, "drain",
+                       "--fault-plan", "seed=1,kill_ingest_at=6"])
+        assert status == EXIT_CRASHED
+        assert "worker died" in capsys.readouterr().err
+
+        # the crashed worker's leases block nothing once their TTL is 0
+        assert main([root, "drain", "--claim-ttl", "0",
+                     "--lock-ttl", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "merged:" in out
+        assert main([root, "fsck"]) == 0
+
+    def test_serve_bounded_by_max_cycles(self, fleet_root,
+                                         fresh_experiments, capsys):
+        root = str(fleet_root)
+        main([root, "submit", str(fresh_experiments["a"])])
+        assert main([root, "serve", "--max-cycles", "2",
+                     "--poll-interval", "0"]) == 0
+        assert "served 1 entries" in capsys.readouterr().out
+
+    def test_diff_without_overlap_fails(self, fleet_root,
+                                        fresh_experiments, capsys):
+        root = str(fleet_root)
+        main([root, "submit", str(fresh_experiments["a"])])
+        main([root, "drain"])
+        assert main([root, "diff", "all", "other"]) == 1
+
+
+class TestErprintBridge:
+    def test_erprint_fsck_fleet(self, fleet_root, fresh_experiments,
+                                capsys):
+        root = str(fleet_root)
+        main([root, "submit", str(fresh_experiments["a"])])
+        main([root, "drain"])
+        assert erprint_main(["fsck", "--fleet", root]) == 0
+        out = capsys.readouterr().out
+        assert "aggregates: 1 checked" in out
+
+    def test_erprint_fleet_requires_fsck(self, tmp_path, capsys):
+        assert erprint_main(["overview", "--fleet", str(tmp_path)]) == 2
+        assert "--fleet" in capsys.readouterr().err
+
+    def test_erprint_fsck_fleet_repair(self, fleet_root,
+                                       fresh_experiments, capsys):
+        from repro.fleet.spool import FleetPaths
+
+        root = str(fleet_root)
+        main([root, "submit", str(fresh_experiments["a"])])
+        # abandon a staged submission (torn producer) for repair to sweep
+        paths = FleetPaths(fleet_root)
+        (paths.tmp / "abandoned.123.456").mkdir(parents=True)
+        assert erprint_main(["fsck", "--fleet", root]) == 1
+        capsys.readouterr()
+        assert erprint_main(["fsck", "--fleet", root, "--repair"]) == 0
+        assert "swept" in capsys.readouterr().out

@@ -1,0 +1,177 @@
+"""The crash-recovery acceptance matrix (the ISSUE's hard requirement).
+
+Kill the ingest worker at every protocol step, crossed with damage to
+the submitted experiments, and prove that after a restarted drain the
+aggregate store is **byte-identical** to a clean sequential ingest of
+the same inputs — same aggregate files, same ledger, same quarantine
+facts — and that ``fsck`` then finds nothing wrong.
+
+The kill points (``FaultPlan.kill_ingest_at`` counts step boundaries)
+cover the distinct failure regimes of the protocol::
+
+    1  claim            claim taken, nothing journaled
+    3  wal-begin        WAL says begin, no merge happened
+    6  merge-commit     merge computed, rename NOT yet done
+    7  committed        rename done, cleanup (entry removal, WAL) pending
+    8  done             first entry fully done, die entering the second
+"""
+
+import shutil
+
+import pytest
+
+from repro.errors import SimulatedCrash
+from repro.faults import FaultPlan
+from repro.fleet import FleetService
+from repro.fleet.fsck import FSCK_OK, fsck_store
+from repro.fleet.store import wal_records
+
+from .conftest import aggregate_bytes, quarantine_facts
+
+KILL_POINTS = (1, 3, 6, 7, 8)
+
+
+def _corrupt_none(path):
+    pass
+
+
+def _corrupt_truncate_truth(path):
+    """Tear the ground-truth side channel mid-line."""
+    truth = path / "truth.jsonl"
+    data = truth.read_bytes()
+    truth.write_bytes(data[: int(len(data) * 0.6) or 1])
+
+
+def _corrupt_bitflip_hwc(path):
+    """Flip a byte deep inside the counter journal."""
+    journal = path / "hwc1.jsonl"
+    data = bytearray(journal.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    journal.write_bytes(bytes(data))
+
+
+def _corrupt_delete_program(path):
+    """Remove the program image: the experiment becomes undecodable."""
+    (path / "program.pkl").unlink()
+
+
+CORRUPTIONS = {
+    "none": _corrupt_none,
+    "truncate-truth": _corrupt_truncate_truth,
+    "bitflip-hwc": _corrupt_bitflip_hwc,
+    "delete-program": _corrupt_delete_program,
+}
+
+
+@pytest.fixture(scope="module")
+def corrupted_inputs(experiment_pool, tmp_path_factory):
+    """Per corruption mode: two experiment copies, the second damaged."""
+    base = tmp_path_factory.mktemp("matrix-inputs")
+    inputs = {}
+    for mode, damage in CORRUPTIONS.items():
+        clean = base / mode / "clean.er"
+        victim = base / mode / "victim.er"
+        shutil.copytree(experiment_pool["a"], clean)
+        shutil.copytree(experiment_pool["b"], victim)
+        damage(victim)
+        inputs[mode] = (clean, victim)
+    return inputs
+
+
+@pytest.fixture(scope="module")
+def references(corrupted_inputs, tmp_path_factory):
+    """Clean sequential ingest of each corrupted input set: the oracle
+    every crashed-and-recovered store must match byte for byte."""
+    base = tmp_path_factory.mktemp("matrix-refs")
+    refs = {}
+    for mode, (clean, victim) in corrupted_inputs.items():
+        root = base / mode
+        service = FleetService(root, owner="reference")
+        service.submit(clean)
+        service.submit(victim)
+        service.drain()
+        refs[mode] = (aggregate_bytes(root), quarantine_facts(root))
+    return refs
+
+
+@pytest.mark.parametrize("corruption", sorted(CORRUPTIONS))
+@pytest.mark.parametrize("kill_at", KILL_POINTS)
+def test_kill_then_recover_is_byte_identical(
+        kill_at, corruption, corrupted_inputs, references, tmp_path):
+    clean, victim = corrupted_inputs[corruption]
+    root = tmp_path / "fleet"
+
+    # a worker with an injected kill; submissions happen first so the
+    # crash always lands inside the drain loop
+    doomed = FleetService(
+        root, owner="doomed",
+        fault_plan=FaultPlan(seed=kill_at, kill_ingest_at=kill_at),
+    )
+    doomed.submit(clean)
+    doomed.submit(victim)
+    with pytest.raises(SimulatedCrash):
+        doomed.drain()
+
+    # restart: a different worker, zero lease TTLs so the dead worker's
+    # claims and locks are broken immediately
+    heir = FleetService(root, owner="heir", claim_ttl=0.0, lock_ttl=0.0)
+    heir.drain()
+
+    ref_aggregates, ref_quarantine = references[corruption]
+    assert aggregate_bytes(root) == ref_aggregates, (
+        f"kill_at={kill_at} corruption={corruption}: aggregates diverged")
+    assert quarantine_facts(root) == ref_quarantine, (
+        f"kill_at={kill_at} corruption={corruption}: quarantine diverged")
+    # no unresolved WAL state survives a successful drain
+    records, torn = wal_records(heir.paths)
+    assert records == [] and torn == 0
+    # and fsck agrees the store is healthy
+    text, code = fsck_store(root)
+    assert code == FSCK_OK, text
+
+
+def test_double_kill_then_recover(corrupted_inputs, references, tmp_path):
+    """Crash, restart into another crash, then finally recover."""
+    clean, victim = corrupted_inputs["none"]
+    root = tmp_path / "fleet"
+    first = FleetService(
+        root, owner="w1",
+        fault_plan=FaultPlan(seed=1, kill_ingest_at=6),
+    )
+    first.submit(clean)
+    first.submit(victim)
+    with pytest.raises(SimulatedCrash):
+        first.drain()
+    second = FleetService(
+        root, owner="w2", claim_ttl=0.0, lock_ttl=0.0,
+        fault_plan=FaultPlan(seed=2, kill_ingest_at=7),
+    )
+    with pytest.raises(SimulatedCrash):
+        second.drain()
+    third = FleetService(root, owner="w3", claim_ttl=0.0, lock_ttl=0.0)
+    third.drain()
+
+    ref_aggregates, _ref_quarantine = references["none"]
+    assert aggregate_bytes(root) == ref_aggregates
+
+
+def test_torn_wal_tail_does_not_block_recovery(corrupted_inputs,
+                                               references, tmp_path):
+    """A crash can also tear the WAL itself; recovery must shrug."""
+    clean, victim = corrupted_inputs["none"]
+    root = tmp_path / "fleet"
+    doomed = FleetService(
+        root, owner="w1",
+        fault_plan=FaultPlan(seed=3, kill_ingest_at=7),
+    )
+    doomed.submit(clean)
+    doomed.submit(victim)
+    with pytest.raises(SimulatedCrash):
+        doomed.drain()
+    with open(doomed.paths.wal, "a") as stream:
+        stream.write('{"op": "comm')  # the torn final append
+
+    heir = FleetService(root, owner="w2", claim_ttl=0.0, lock_ttl=0.0)
+    heir.drain()
+    ref_aggregates, _ref_quarantine = references["none"]
+    assert aggregate_bytes(root) == ref_aggregates

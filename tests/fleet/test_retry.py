@@ -1,0 +1,97 @@
+"""Retry policy, backoff shape, and ingest deadlines."""
+
+import random
+
+import pytest
+
+from repro.errors import IngestTimeout, RetriesExhausted
+from repro.fleet.retry import Deadline, RetryPolicy, call_with_retries
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(attempts=6, base_delay=0.1, max_delay=0.5,
+                             jitter=0.0)
+        rng = random.Random(1)
+        delays = [policy.delay(attempt, rng) for attempt in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_bounded_and_seeded(self):
+        policy = RetryPolicy(attempts=4, base_delay=0.1, jitter=0.5)
+        first = [policy.delay(0, random.Random(7)) for _ in range(3)]
+        assert first[0] == first[1] == first[2]  # same seed, same delay
+        assert 0.1 <= first[0] <= 0.15
+
+
+class TestCallWithRetries:
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+        sleeps = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "done"
+
+        result = call_with_retries(
+            flaky, policy=RetryPolicy(attempts=4, jitter=0.0),
+            sleep=sleeps.append, rng=random.Random(1),
+        )
+        assert result == "done"
+        assert len(calls) == 3
+        assert len(sleeps) == 2  # backed off before each retry
+
+    def test_exhaustion_carries_the_last_error(self):
+        error = OSError("disk on fire")
+
+        def doomed():
+            raise error
+
+        with pytest.raises(RetriesExhausted) as exc:
+            call_with_retries(
+                doomed, policy=RetryPolicy(attempts=3),
+                describe="writing", sleep=lambda _s: None,
+            )
+        assert exc.value.last_error is error
+        assert "writing" in str(exc.value)
+        assert "3 attempts" in str(exc.value)
+
+    def test_non_transient_errors_propagate_immediately(self):
+        calls = []
+
+        def wrong():
+            calls.append(1)
+            raise ValueError("a bug, not weather")
+
+        with pytest.raises(ValueError):
+            call_with_retries(wrong, sleep=lambda _s: None)
+        assert len(calls) == 1
+
+    def test_on_retry_observer(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 1:
+                raise OSError("once")
+            return 1
+
+        call_with_retries(flaky, sleep=lambda _s: None,
+                          on_retry=lambda attempt, err: seen.append(attempt))
+        assert seen == [0]
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        deadline = Deadline(None)
+        assert deadline.remaining() is None
+        assert not deadline.expired
+        deadline.check("anything")  # no raise
+
+    def test_expiry_with_injected_clock(self):
+        ticks = iter([0.0, 0.5, 1.5])
+        deadline = Deadline(1.0, clock=lambda: next(ticks))
+        assert deadline.remaining() == 0.5
+        with pytest.raises(IngestTimeout) as exc:
+            deadline.check("reducing exp-a")
+        assert "reducing exp-a" in str(exc.value)

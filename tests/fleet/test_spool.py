@@ -1,0 +1,119 @@
+"""Spool intake: atomic submission, dedup, claims, and quarantine."""
+
+import json
+
+import pytest
+
+from repro.errors import SpoolError
+from repro.faults import FaultPlan
+from repro.fleet import spool
+from repro.fleet.spool import (
+    FleetPaths,
+    QUARANTINE_UNDECODABLE,
+    REASON_CODES,
+    SUBMISSION_FILE,
+)
+
+
+class TestSubmit:
+    def test_publishes_entry_with_key_fields(self, fleet_root,
+                                             fresh_experiments):
+        result = spool.submit(fleet_root, fresh_experiments["a"],
+                              window="2026-08")
+        assert result.ok and result.entry
+        paths = FleetPaths(fleet_root)
+        assert spool.pending(paths) == [result.entry]
+        record = json.loads(
+            (paths.incoming / result.entry / SUBMISSION_FILE).read_text())
+        assert record["id"] == result.sub_id
+        assert record["window"] == "2026-08"
+        assert record["workload"] == "mcf-fleet"
+        assert record["counters"] == "clock+ecrm+ecstall"
+        assert record["program"] not in ("", "unknown")
+
+    def test_byte_identical_resubmission_is_dropped(self, fleet_root,
+                                                    fresh_experiments):
+        first = spool.submit(fleet_root, fresh_experiments["a"])
+        again = spool.submit(fleet_root, fresh_experiments["a"])
+        assert first.ok
+        assert again.status == "duplicate"
+        assert again.sub_id == first.sub_id
+        assert len(spool.pending(FleetPaths(fleet_root))) == 1
+
+    def test_same_data_different_windows_both_spool(self, fleet_root,
+                                                    fresh_experiments):
+        spool.submit(fleet_root, fresh_experiments["a"], window="w1")
+        second = spool.submit(fleet_root, fresh_experiments["a"], window="w2")
+        assert second.ok
+        assert len(spool.pending(FleetPaths(fleet_root))) == 2
+
+    def test_distinct_experiments_get_distinct_ids(self, fleet_root,
+                                                   fresh_experiments):
+        one = spool.submit(fleet_root, fresh_experiments["a"])
+        two = spool.submit(fleet_root, fresh_experiments["b"])
+        assert one.sub_id != two.sub_id
+
+    def test_missing_directory_raises(self, fleet_root, tmp_path):
+        with pytest.raises(SpoolError):
+            spool.submit(fleet_root, tmp_path / "nope")
+
+    def test_torn_submit_stays_invisible(self, fleet_root,
+                                         fresh_experiments):
+        plan = FaultPlan(seed=1, torn_submit_prob=1.0)
+        result = spool.submit(fleet_root, fresh_experiments["a"],
+                              fault_plan=plan)
+        assert result.status == "torn"
+        paths = FleetPaths(fleet_root)
+        assert spool.pending(paths) == []  # nothing published...
+        assert list(paths.tmp.iterdir())   # ...only staging garbage
+        assert plan.stats["torn_submits"] == 1
+
+    def test_duplicate_submit_fault_publishes_alias(self, fleet_root,
+                                                    fresh_experiments):
+        plan = FaultPlan(seed=1, duplicate_submit_prob=1.0)
+        result = spool.submit(fleet_root, fresh_experiments["a"],
+                              fault_plan=plan)
+        assert result.ok
+        entries = spool.pending(FleetPaths(fleet_root))
+        assert len(entries) == 2  # the entry and its injected alias
+        assert plan.stats["duplicate_submits"] == 1
+
+
+class TestClaims:
+    def test_claims_are_exclusive(self, fleet_root, fresh_experiments):
+        result = spool.submit(fleet_root, fresh_experiments["a"])
+        paths = FleetPaths(fleet_root)
+        assert spool.claim(paths, result.entry, "w1")
+        assert not spool.claim(paths, result.entry, "w2")
+        spool.release(paths, result.entry)
+        assert spool.claim(paths, result.entry, "w2")
+
+    def test_stale_claim_is_broken(self, fleet_root, fresh_experiments):
+        result = spool.submit(fleet_root, fresh_experiments["a"])
+        paths = FleetPaths(fleet_root)
+        import time
+
+        clock = [time.time()]
+        assert spool.claim(paths, result.entry, "dead",
+                           now=lambda: clock[0])
+        clock[0] += 1e6  # the holder has been gone a long time
+        assert spool.claim(paths, result.entry, "heir", claim_ttl=600.0,
+                           now=lambda: clock[0])
+
+
+class TestQuarantine:
+    def test_reason_codes_are_recorded(self, fleet_root,
+                                       fresh_experiments):
+        result = spool.submit(fleet_root, fresh_experiments["a"])
+        paths = FleetPaths(fleet_root)
+        spool.quarantine_entry(paths, result.entry,
+                               QUARANTINE_UNDECODABLE,
+                               detail="no program image",
+                               sub_id=result.sub_id)
+        assert spool.pending(paths) == []
+        rows = spool.quarantined(paths)
+        assert rows == [
+            (result.entry, QUARANTINE_UNDECODABLE, "no program image",
+             result.sub_id)
+        ]
+        assert all(code in REASON_CODES for _e, code, _d, _s in rows)
