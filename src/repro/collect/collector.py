@@ -52,8 +52,9 @@ class CollectConfig:
     #: ``max_instructions`` budget
     watchdog_cycles: Optional[int] = None
     watchdog_instructions: Optional[int] = None
-    #: interpreter engine: "fast" (predecoded, batched countdown) or
-    #: "reference" (per-instruction oracle); profiles are bit-identical
+    #: interpreter engine: "fast" (predecoded, batched countdown),
+    #: "trace" (superblock-compiled, fastest) or "reference"
+    #: (per-instruction oracle); profiles are bit-identical across all
     engine: str = "fast"
 
     def resolve_clock_interval(self) -> int:
@@ -136,9 +137,10 @@ class Collector:
         self.machine_config = machine_config
         self.config = collect_config
         self.fault_plan = fault_plan
-        if collect_config.engine not in ("fast", "reference"):
+        if collect_config.engine not in ("fast", "trace", "reference"):
             raise CollectError(
-                f"unknown engine {collect_config.engine!r} (fast or reference)"
+                f"unknown engine {collect_config.engine!r} "
+                "(fast, trace or reference)"
             )
         self.process = Process(
             program,
@@ -286,6 +288,9 @@ class Collector:
             experiment.info.incomplete = False
             experiment.info.fault = ""
             experiment.log(f"collect: target exited with {exit_code}")
+
+        if self.config.engine == "trace":
+            experiment.info.trace_stats = dict(machine.cpu.trace_stats())
 
         stats = machine.stats()
         experiment.info.instructions = stats.instructions

@@ -17,6 +17,7 @@ class Cache:
         "config",
         "line_shift",
         "set_mask",
+        "assoc",
         "sets",
         "read_refs",
         "write_refs",
@@ -28,6 +29,7 @@ class Cache:
         self.config = config
         self.line_shift = config.line_bytes.bit_length() - 1
         self.set_mask = config.num_sets - 1
+        self.assoc = config.associativity
         self.sets: list[list[int]] = [[] for _ in range(config.num_sets)]
         self.read_refs = 0
         self.write_refs = 0
@@ -49,27 +51,25 @@ class Cache:
         Misses allocate (write-allocate policy for stores, like the
         UltraSPARC-III's W$-backed hierarchy at the granularity we model).
         """
-        line = addr >> self.line_shift
+        line = addr >> self.line_shift  # full line number doubles as the tag
         entry = self.sets[line & self.set_mask]
-        tag = line >> 0  # full line number doubles as the tag
         if is_write:
             self.write_refs += 1
         else:
             self.read_refs += 1
-        try:
-            pos = entry.index(tag)
-        except ValueError:
-            if is_write:
-                self.write_misses += 1
-            else:
-                self.read_misses += 1
-            entry.insert(0, tag)
-            if len(entry) > self.config.associativity:
-                entry.pop()
-            return False
-        if pos:
-            entry.insert(0, entry.pop(pos))
-        return True
+        if line in entry:
+            if entry[0] != line:
+                entry.remove(line)
+                entry.insert(0, line)
+            return True
+        if is_write:
+            self.write_misses += 1
+        else:
+            self.read_misses += 1
+        entry.insert(0, line)
+        if len(entry) > self.assoc:
+            entry.pop()
+        return False
 
     def contains(self, addr: int) -> bool:
         """Non-perturbing lookup (no LRU update, no counters)."""

@@ -12,7 +12,7 @@ The interpreter models what the paper's technique depends on:
 * **cycle penalties** for D$ misses, E$ misses and DTLB misses, with E$
   read-miss penalties accumulated on the ``ecstall`` event.
 
-Two execution engines share this model:
+Three execution engines share this model (DESIGN.md §11):
 
 * ``engine="fast"`` (default) runs the predecoded dispatch table from
   :mod:`repro.isa.decode` with a **batched overflow countdown**: instead
@@ -27,17 +27,40 @@ Two execution engines share this model:
   very instruction.  The checkpoint then performs the bookkeeping in the
   exact order the per-instruction loop used, which keeps RNG draws, trap
   timing and therefore whole profiles bit-identical (see DESIGN.md).
+* ``engine="trace"`` (:mod:`repro.machine.cpu_trace`) keeps the fast
+  engine's countdown/checkpoint skeleton but retires straight-line runs
+  of the table through exec-compiled superblock closures, deoptimizing
+  back to a bounded per-instruction burst whenever a deadline could land
+  mid-block or control leaves compiled code.  Checkpoints happen at the
+  *same retired-instruction counts* as the fast engine, so its journals
+  are byte-identical too.
 * ``engine="reference"`` (:mod:`repro.machine.cpu_reference`) keeps the
   seed-style per-instruction loop — the cross-check oracle for golden
   profile tests and the baseline for throughput benchmarks.
 
-Pending traps are stored as ``[due_instr_count, register, skid, pc,
-coalesced, true_ea]`` where ``due_instr_count`` is the absolute
-retired-instruction count at which the trap must be delivered and
-``true_ea`` is the triggering access's effective address (None for events
-not tied to a memory instruction) — a diagnostic the attribution oracle
-journals; the collector's profile never sees it.  Both engines share the
-format, so single-stepping and engine switches between runs agree.
+Invariants every engine must preserve:
+
+* **Deadline batching is unobservable.**  Bookkeeping may be deferred,
+  but ``counters.record()`` calls, RNG draws and pending-trap list walks
+  must happen in the same order and at the same retired-instruction
+  counts as the per-instruction reference loop.
+* **Coalesced traps.**  One ``record()`` call that crosses *k* intervals
+  arms exactly one pending trap with ``coalesced=k`` and weight
+  ``interval * k`` — never *k* separate traps.
+* **Pending-trap format.**  Traps are stored as ``[due_instr_count,
+  register, skid, trigger_pc, coalesced, true_ea]`` where
+  ``due_instr_count`` is the absolute retired-instruction count at which
+  the trap must be delivered and ``true_ea`` is the triggering access's
+  effective address (None for events not tied to a memory instruction) —
+  a diagnostic the attribution oracle journals; the collector's profile
+  never sees it.  All engines share the format, so single-stepping and
+  engine switches between runs agree.
+* **K_BAD sentinel rows.**  The predecode table ends with a
+  ``(K_BAD, None)`` sentinel at index ``ncode`` and appends dedicated
+  ``(K_BAD, target)`` rows for statically invalid branch targets, so
+  dispatch loops index without bounds checks; an engine reaching such a
+  row must raise :class:`IllegalInstruction` with the *original* bad
+  address (``bad_pc`` for dynamically computed ones).
 """
 
 from __future__ import annotations
@@ -45,6 +68,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Optional
 
+from ..config import TRACE_DEFAULTS
 from ..errors import (
     DivisionByZero,
     IllegalInstruction,
@@ -111,8 +135,13 @@ class CPU:
         self.halted = False
         self.exit_code = 0
 
-        #: which interpreter loop `run` uses: "fast" or "reference"
+        #: which interpreter loop `run` uses: "fast", "trace" or "reference"
         self.engine = "fast"
+
+        #: tuning for the trace/superblock tier (engine="trace")
+        self.trace_config = TRACE_DEFAULTS
+        #: compiled-trace program cache (cpu_trace.TraceProgram or None)
+        self._trace_cache = None
 
         #: call-site PCs, innermost last (shadow stack for profiling unwinds)
         self.callstack: list[int] = []
@@ -208,7 +237,25 @@ class CPU:
             self._decoded_src = code
             self._decoded_base = self.text_base
             self._decoded_ncode = len(code)
+            # compiled traces bake rows from the old table; drop them
+            self._trace_cache = None
         return dec
+
+    def invalidate_traces(self) -> None:
+        """Discard compiled superblocks (self-modifying/replaced code).
+
+        The trace cache also self-invalidates when the dispatch table,
+        machine bindings or watched counter set change; this hook is for
+        callers that mutate ``code`` *in place* (the table identity check
+        cannot see that).
+        """
+        self._trace_cache = None
+
+    def trace_stats(self) -> dict:
+        """Observability counters from the trace tier (empty dict until
+        an ``engine="trace"`` run has happened)."""
+        prog = self._trace_cache
+        return dict(prog.stats) if prog is not None else {}
 
     # ------------------------------------------------------------- main loop
 
@@ -228,6 +275,12 @@ class CPU:
             from .cpu_reference import run_reference
 
             return run_reference(
+                self, max_instructions, max_cycles, watchdog_instructions
+            )
+        if self.engine == "trace":
+            from .cpu_trace import run_trace
+
+            return run_trace(
                 self, max_instructions, max_cycles, watchdog_instructions
             )
 

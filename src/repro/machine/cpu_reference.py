@@ -3,10 +3,18 @@
 This is the interpreter the repository started with — one big ``if/elif``
 chain over :class:`Op`, two ``counters.record()`` calls and a pending-trap
 walk on every retired instruction.  It is deliberately *not* optimized:
+it defines the semantics of record for the whole engine ladder
+(DESIGN.md §11).  Every other engine — the predecoded batched-countdown
+``fast`` loop and the ``trace`` superblock compiler — is measured
+against it:
 
-* golden-profile tests run the same program under this loop and the fast
-  engine (``CPU.engine = "fast"``) and require bit-identical experiments;
-* the throughput benchmark uses it as the "seed interpreter" baseline.
+* golden-profile and differential-fuzz tests run the same program under
+  this loop and each optimized engine (``CPU.engine = "fast" | "trace"``)
+  and require bit-identical experiment journals;
+* the throughput benchmark uses it as the "seed interpreter" baseline;
+* when adding an instruction, implement it here first — the optimized
+  engines must reproduce whatever this loop does, observable action for
+  observable action.
 
 It carries the same semantic fixes as the fast engine (they are part of
 the machine model, not of either loop):

@@ -1,0 +1,1899 @@
+"""Trace/superblock compilation tier for the simulator (``engine="trace"``).
+
+This is the third execution engine (see DESIGN.md §11).  It reuses the
+fast engine's two load-bearing ideas — the predecoded index-space
+dispatch table from :mod:`repro.isa.decode` and the batched overflow
+countdown — and adds one more: straight-line runs of table rows
+(*superblocks*) are compiled, via ``exec``, into single Python functions
+that retire the whole run with no per-instruction dispatch at all.
+
+Invariants that keep trace-engine journals byte-identical to the
+reference interpreter:
+
+* **Checkpoints happen at exactly the fast engine's instruction counts.**
+  The trampoline computes the same countdown the fast engine does and
+  only enters a compiled block when the block's worst-case length fits
+  inside it (``n <= left``); otherwise it deoptimizes into a bounded
+  *burst* of the per-instruction dispatch chain.  Any instruction that
+  breaks the "every instruction costs exactly ``base_cycles``"
+  assumption (cache/TLB miss penalty, armed trap, kernel service,
+  prefetch wait) makes the block exit early — after retiring that
+  instruction — so the checkpoint runs at that very spot, as in the fast
+  engine.
+* **Blocks perform observable side effects in program order.** Register
+  and memory writes, ``counters.record`` calls for per-access events
+  (dcrm/dtlbm/ecref/ecrm/ecstall) and pending-trap appends are emitted
+  into the generated code in exactly the order the per-instruction loop
+  performs them, with PCs, immediates and penalties constant-folded.
+* **Pure bookkeeping is deferred.** Instruction/cycle totals and the MRU
+  D$/DTLB tallies accumulate as static per-block deltas applied at block
+  exit; ``CounterUnit.record`` only draws RNG on interval crossings, and
+  crossings can only happen at checkpoints, so deferring the totals to
+  the block boundary is unobservable.
+* **Nothing that can transfer control mid-run is compiled.** ``TA``,
+  ``HALT`` and ``K_BAD`` rows terminate block discovery; faults raised
+  inside a block first write the architectural state (including partial
+  cycle penalties) back to the state hub, so ``finally``-path
+  finalization sees exactly what the fast engine would have.
+
+Blocks are compiled in one of two modes, chosen per ``run()`` call:
+
+* **events-exit mode** (anything in the cycle domain is observable:
+  watched counters, pending traps, clock profiling, a kill/cycle
+  deadline).  Every penalty-carrying instruction ends the block right
+  after retiring, exactly as described above.
+* **no-events-exit mode** (a plain unprofiled run).  Mid-block
+  checkpoints would be unobservable, so penalties just accumulate in a
+  ``pen`` local and blocks always run to their control-flow exits.
+  Additionally, a block whose walk finds a back edge to its own start
+  is recompiled as an **in-block loop**: the body iterates under a
+  deadline guard (``left - dn >= n``) and returns to the trampoline
+  only when a worst-case pass no longer fits the countdown, so a hot
+  self-loop costs one call per checkpoint window instead of one per
+  iteration.  Loop bodies break straight-line emission-order reasoning
+  (iteration 2 reaches the earliest exit *after* the whole body ran),
+  so the recompile is seeded with the first pass's full mutation set
+  and every exit passes the live locals.
+
+Compiled blocks communicate with the trampoline through a single shared
+list (the *state hub* ``st``); its slots are the ``_ST_*`` constants
+below.  Blocks are invalidated whenever the dispatch table is rebuilt
+(self-modifying/reassigned code), the counter-watching set changes, the
+events-exit mode flips, or any bound machine object is replaced — see
+``_bind_key``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import TRACE_DEFAULTS
+from ..errors import (
+    DivisionByZero,
+    IllegalInstruction,
+    MachineError,
+    MemoryFault,
+    SimulatedCrash,
+    WatchdogExpired,
+)
+from ..isa import decode as D
+from ..isa.decode import SIMPLE_KIND_MAX, static_block_leaders
+from ..isa.registers import REG_RA
+from .cpu import TRAP_CYCLES
+
+_U64 = 1 << 64
+_U64M = _U64 - 1
+_S64_MAX = (1 << 63) - 1
+_S64_MIN = -(1 << 63)
+_BIG = 1 << 62
+
+# State-hub slots: the one list every compiled block and the trampoline
+# share.  0/1 are the dispatch-table row stand-ins for pc/npc.
+_ST_I = 0
+_ST_NI = 1
+_ST_CC = 2
+_ST_CYCLES = 3
+_ST_ICOUNT = 4
+_ST_ECSTALL = 5
+_ST_SEG_BASE = 6
+_ST_SEG_END = 7
+_ST_SEG_SHIFT = 8
+_ST_MRU_PAGE = 9
+_ST_TLB_HITS = 10
+_ST_DC_R = 11
+_ST_DC_W = 12
+_ST_BROKE = 13
+_ST_BAD_PC = 14
+
+
+# ---------------------------------------------------------------- shared
+# block-exit helpers.  Every way out of a compiled block funnels through
+# one of these instead of inlining a dozen ``st[...]`` writes per exit
+# site — that keeps generated sources (and hence bytecode-compile time,
+# the trace tier's whole startup cost) small.  Call sites pass the local
+# value when the block materialised it and the ``st`` slot itself when it
+# did not (the slot still holds the current value then), so the writes
+# are always exact.
+
+def _fx(st, i, ni, dcyc, n, cc, ecs, sb, se, ss, mp, th, dr, dw):
+    """Normal block exit: sync the state hub, return instructions retired."""
+    st[0] = i
+    st[1] = ni
+    st[2] = cc
+    st[3] += dcyc
+    st[4] += n
+    st[5] = ecs
+    st[6] = sb
+    st[7] = se
+    st[8] = ss
+    st[9] = mp
+    st[10] = th
+    st[11] = dr
+    st[12] = dw
+    return n
+
+
+def _fev(st, i, ni, dcyc, n, cc, ecs, sb, se, ss, mp, th, dr, dw):
+    """Event exit: like :func:`_fx` but flags the trampoline to checkpoint."""
+    _fx(st, i, ni, dcyc, n, cc, ecs, sb, se, ss, mp, th, dr, dw)
+    st[13] = 1
+    return n
+
+
+def _mf(st, i, ni, dcyc, n, cc, ecs, sb, se, ss, mp, th, dr, dw, ea, msg=None):
+    """Memory-fault exit: sync, then raise with the faulting address."""
+    _fx(st, i, ni, dcyc, n, cc, ecs, sb, se, ss, mp, th, dr, dw)
+    if msg is None:
+        raise MemoryFault(ea)
+    raise MemoryFault(ea, msg)
+
+
+def _dz(st, i, ni, dcyc, n, cc, ecs, sb, se, ss, mp, th, dr, dw, msg):
+    """Division-by-zero exit: sync, then raise."""
+    _fx(st, i, ni, dcyc, n, cc, ecs, sb, se, ss, mp, th, dr, dw)
+    raise DivisionByZero(msg)
+
+
+#: stable ordering for generated-function default-arg bindings
+_PARAM_ORDER = (
+    "st",
+    "_fx",
+    "_fev",
+    "_arm",
+    "_stale",
+    "_MX",
+    "_MN",
+    "_UM",
+    "regs",
+    "words",
+    "dc_sets",
+    "record",
+    "pending_append",
+    "counters",
+    "dtlb",
+    "dtlb_lookup",
+    "dtlb_peek",
+    "tlb_entries",
+    "dcache_access",
+    "ecache_access",
+    "inflight",
+    "inflight_pop",
+    "memory",
+    "callstack",
+    "callstack_append",
+    "callstack_pop",
+)
+
+_WRAP_EXPRS = {
+    D.K_ADD_I: "regs[{a}] + ({c})",
+    D.K_ADD_R: "regs[{a}] + regs[{c}]",
+    D.K_SUB_I: "regs[{a}] - ({c})",
+    D.K_SUB_R: "regs[{a}] - regs[{c}]",
+    D.K_MULX_I: "regs[{a}] * ({c})",
+    D.K_MULX_R: "regs[{a}] * regs[{c}]",
+    D.K_SLLX_I: "regs[{a}] << {c}",
+    D.K_SLLX_R: "regs[{a}] << (regs[{c}] & 63)",
+}
+
+_LOGIC_EXPRS = {
+    D.K_AND_I: "regs[{a}] & ({c})",
+    D.K_AND_R: "regs[{a}] & regs[{c}]",
+    D.K_OR_I: "regs[{a}] | ({c})",
+    D.K_OR_R: "regs[{a}] | regs[{c}]",
+    D.K_XOR_I: "regs[{a}] ^ ({c})",
+    D.K_XOR_R: "regs[{a}] ^ regs[{c}]",
+    D.K_SRAX_I: "regs[{a}] >> {c}",
+    D.K_SRAX_R: "regs[{a}] >> (regs[{c}] & 63)",
+}
+
+_COND_EXPRS = {
+    D.K_BE: "cc == 0",
+    D.K_BNE: "cc != 0",
+    D.K_BG: "cc > 0",
+    D.K_BGE: "cc >= 0",
+    D.K_BL: "cc < 0",
+    D.K_BLE: "cc <= 0",
+}
+
+
+class _BlockCompiler:
+    """Generates one Python function per superblock of the dispatch table.
+
+    Machine constants (penalties, cache geometry, memory bounds, watched
+    counter indexes) and hot objects (register file, arena words, cache
+    sets, bound methods) are frozen into each generated function as
+    constant-folded literals and default arguments, so a block executes
+    with local-variable speed and zero dispatch.
+    """
+
+    def __init__(self, cpu, dec, tb, ncode, cfg, events_exit: bool = True) -> None:
+        self.dec = dec
+        self.tb = tb
+        self.ncode = ncode
+        self.cfg = cfg
+        #: when False (nothing cycle-domain is observable this run: no
+        #: watched counters, no pending traps, no clock, no cycle kill or
+        #: cycle watchdog), penalties cannot move any deadline, so blocks
+        #: accumulate them in a running local instead of exiting early
+        self.events_exit = events_exit
+        self.bc = cpu.base_cycles
+        self.dtlb_miss = cpu.dtlb_miss_cycles
+        self.tag_shift = cpu.dtlb._SEG_TAG_SHIFT
+        self.store_stall = cpu.store_stall_cycles
+        self.ec_hit = cpu.ecache.config.hit_cycles
+        self.ec_miss = cpu.ecache.config.miss_cycles
+        self.dc_shift = cpu.dcache.line_shift
+        self.dc_mask = cpu.dcache.set_mask
+        self.ec_line_shift = cpu.ecache.line_shift
+        self.mem_base = cpu.memory.base
+        self.nwords = len(cpu.memory.words)
+        #: programs with no PREFETCH rows can never populate the inflight
+        #: map, so blocks omit all inflight bookkeeping entirely
+        self.has_prefetch = any(8 <= e[0] <= 9 for e in dec)
+        watching = cpu.counters.watching
+        self.w_dcrm = watching.get("dcrm")
+        self.w_dtlbm = watching.get("dtlbm")
+        self.w_ecref = watching.get("ecref")
+        self.w_ecrm = watching.get("ecrm")
+        self.w_ecstall = watching.get("ecstall")
+        #: the state hub shared by every block compiled here
+        self.st: list = [0] * 15
+
+        record = cpu.counters.record
+        pending_append = cpu.pending_traps.append
+        counters = cpu.counters
+        inflight = cpu.inflight_prefetches
+
+        def _arm(w, amount, due, pc, ea):
+            # counters.record + pending-trap arming, shared across every
+            # watched-event site in every block compiled here
+            skid = record(w, amount)
+            if skid >= 0:
+                pending_append([due + skid, w, skid, pc,
+                                counters.last_coalesced, ea])
+
+        def _stale(th):
+            # expire software prefetches whose ready cycle has passed
+            for ln in [l for l, r in inflight.items() if r <= th]:
+                del inflight[ln]
+
+        #: def-time bindings for generated functions; holding these also
+        #: pins the bound objects so the cache key's id() checks stay sound
+        self.globals = {
+            "st": self.st,
+            "_fx": _fx,
+            "_fev": _fev,
+            "_mf": _mf,
+            "_dz": _dz,
+            "_arm": _arm,
+            "_stale": _stale,
+            "_MX": _S64_MAX,
+            "_MN": _S64_MIN,
+            "_UM": _U64M,
+            "regs": cpu.regs,
+            "words": cpu.memory.words,
+            "dc_sets": cpu.dcache.sets,
+            "record": cpu.counters.record,
+            "pending_append": cpu.pending_traps.append,
+            "counters": cpu.counters,
+            "dtlb": cpu.dtlb,
+            "dtlb_lookup": cpu.dtlb.lookup,
+            "dtlb_peek": cpu.dtlb.peek,
+            "tlb_entries": cpu.dtlb.entries,
+            "dcache_access": cpu.dcache.access,
+            "ecache_access": cpu.ecache.access,
+            "inflight": cpu.inflight_prefetches,
+            "inflight_pop": cpu.inflight_prefetches.pop,
+            "callstack": cpu.callstack,
+            "callstack_append": cpu.callstack.append,
+            "callstack_pop": cpu.callstack.pop,
+            "memory": cpu.memory,
+            "MemoryFault": MemoryFault,
+            "DivisionByZero": DivisionByZero,
+        }
+        #: generated source per entry row (debugging / test introspection)
+        self.sources: dict[int, str] = {}
+
+    def compile(self, start: int) -> Optional[tuple]:
+        """Compile the superblock entered at table row ``start``.
+
+        Returns ``(n, fn)`` where ``n`` is the worst-case number of
+        instructions one pass over the block retires (its static path
+        length) and ``fn(left)`` executes it against the state hub,
+        returning how many instructions actually retired.  Returns
+        ``None`` when the span is shorter than ``min_block_instructions``
+        (not worth a call).
+
+        In no-events-exit mode, a block whose walk finds a back edge to
+        its own start row is recompiled as an *in-block loop*: the body
+        iterates under a deadline guard (``left - dn >= n``) and only
+        returns to the trampoline when the countdown no longer fits a
+        worst-case pass, so a hot self-loop costs one call per
+        checkpoint window instead of one per iteration.
+        """
+        res, saw_back, mut, pen = self._compile(start, loop_mode=False)
+        if saw_back:
+            # Loop bodies break the straight-line assumption that an exit
+            # emitted at offset ``j`` runs before anything emitted later:
+            # iteration 2 reaches the earliest exit *after* the whole body.
+            # Seed the recompile with the full mutation set so every exit
+            # passes the live locals, not the stale st slots.
+            res, _, _, _ = self._compile(start, loop_mode=True,
+                                         pre_mut=mut, pre_pen=pen)
+        return res
+
+    def _compile(self, start: int, loop_mode: bool,
+                 pre_mut: frozenset = frozenset(),
+                 pre_pen: bool = False) -> tuple:
+        dec = self.dec
+        tb = self.tb
+        ncode = self.ncode
+        bc = self.bc
+        events_exit = self.events_exit
+        lines: list[str] = []
+        needs = {"st"}
+        mut: set[str] = set(pre_mut)
+        #: static count of memory accesses emitted so far (folded MRU
+        #: tallies — see sargs)
+        cnt = {"tlb": 0, "dcr": 0, "dcw": 0}
+        #: whether a penalty-carrying instruction has been emitted; in
+        #: no-events-exit mode `pen` then lives across instructions and
+        #: every later exit must fold it in
+        uses_pen = [pre_pen]
+        #: back edges to `start` are loopable only when penalties cannot
+        #: force a mid-block checkpoint
+        loopable = not events_exit
+        saw_back = False
+
+        def L(pad: str, s: str) -> None:
+            lines.append("    " + pad + s)
+
+        def cycabs(off: int) -> str:
+            # absolute-cycle expression for a static in-pass offset; in
+            # loop mode `dn` completed instructions precede this pass
+            if loop_mode:
+                return (f"cycles + dn + {off}" if bc == 1
+                        else f"cycles + dn * {bc} + {off}")
+            return f"cycles + {off}"
+
+        def sargs(i_expr: str, ni_expr: str, jr: int, pen: bool) -> str:
+            # Argument list for the shared exit helpers.  Locals not yet
+            # materialised (absent from `mut`) are still equal to their
+            # st slots, so passing the slot back is exact.  MRU-hit
+            # tallies are folded: blocks only *decrement* on non-MRU
+            # accesses, so each exit adds the static access count so far.
+            if not events_exit and uses_pen[0]:
+                # accumulated penalties never exit the block, so every
+                # exit after the first penalty site folds `pen` in
+                pen = True
+            if loop_mode:
+                # `dn` whole-pass instructions retired before this one;
+                # tallies are kept live (not folded), see emit_tlb
+                n_a = f"dn + {jr}" if jr else "dn"
+                base = n_a if bc == 1 else f"({n_a}) * {bc}"
+                cyc = f"{base} + pen" if pen else base
+            elif jr and pen:
+                n_a = str(jr)
+                cyc = f"{jr * bc} + pen"
+            elif jr:
+                n_a = str(jr)
+                cyc = str(jr * bc)
+            else:
+                n_a = "0"
+                cyc = "pen" if pen else "0"
+            cc_a = "cc" if "cc" in mut else "st[2]"
+            ecs_a = "ecs" if "ecs" in mut else "st[5]"
+            if "seg" in mut:
+                th_a = ("tlb_hits" if loop_mode
+                        else f"tlb_hits + {cnt['tlb']}")
+                seg_a = (f"seg_base, seg_end, seg_shift, mru_page, {th_a}")
+            else:
+                seg_a = "st[6], st[7], st[8], st[9], st[10]"
+            if "dcr" in mut:
+                dr_a = "dc_r" if loop_mode else f"dc_r + {cnt['dcr']}"
+            else:
+                dr_a = "st[11]"
+            if "dcw" in mut:
+                dw_a = "dc_w" if loop_mode else f"dc_w + {cnt['dcw']}"
+            else:
+                dw_a = "st[12]"
+            return (f"st, {i_expr}, {ni_expr}, {cyc}, {n_a}, {cc_a}, {ecs_a}, "
+                    f"{seg_a}, {dr_a}, {dw_a}")
+
+        def early_exit(pad: str, jr: int, i_expr: str, ni_expr: str) -> None:
+            needs.add("_fev")
+            L(pad, f"return _fev({sargs(i_expr, ni_expr, jr, pen=True)})")
+
+        def final_exit(pad: str, jr: int, i_expr: str, ni_expr: str) -> None:
+            needs.add("_fx")
+            L(pad, f"return _fx({sargs(i_expr, ni_expr, jr, pen=False)})")
+
+        def rec(pad: str, w: int, amount, j: int, row: int,
+                ea_expr: str) -> None:
+            # counters.record for a per-access event, exactly where the
+            # per-instruction loop performs it; due count and trigger pc
+            # are constant-folded (icount is the block-entry total, the
+            # instruction at offset j retires as icount + j + 1).
+            mut.add("icount")
+            needs.add("_arm")
+            L(pad, f"_arm({w}, {amount}, icount + {j + 1}, "
+                   f"{tb + (row << 2)}, {ea_expr})")
+
+        def emit_tlb(j: int, row: int, pen_flag: bool) -> None:
+            # Three-tier translation: MRU-page hit falls straight through,
+            # a same-or-other-segment hit probes the TLB's LRU dict inline
+            # (replicating lookup's reinsert-at-MRU), and only true misses
+            # or segment switches call dtlb_lookup.  In the folded scheme
+            # (non-loop) exits add the static access count and only the
+            # lookup path *decrements* — lookup counts the ref itself; in
+            # loop mode the tallies are live because statics cannot scale
+            # with `dn`.
+            mut.add("seg")
+            cnt["tlb"] += 1
+            needs.update(("dtlb", "dtlb_lookup", "tlb_entries", "memory"))
+            L("", "if seg_base <= ea < seg_end:")
+            L("", "    _pg = ea >> seg_shift")
+            L("", "else:")
+            L("", "    _pg = -2")  # matches no mru_page and no dict key
+            if loop_mode:
+                L("", "if _pg == mru_page:")
+                L("", "    tlb_hits += 1")
+                L("", "elif (_pk := seg_tag | _pg) in tlb_entries:")
+            else:
+                L("", "if _pg == mru_page:")
+                L("", "    pass")
+                L("", "elif (_pk := seg_tag | _pg) in tlb_entries:")
+            L("", "    del tlb_entries[_pk]")
+            L("", "    tlb_entries[_pk] = True")
+            if loop_mode:
+                L("", "    tlb_hits += 1")
+            L("", "    mru_page = _pg")
+            L("", "else:")
+            if not loop_mode:
+                L("", "    tlb_hits -= 1")
+            L("", "    if not dtlb_lookup(ea, memory):")
+            if events_exit:
+                L("", f"        pen = {self.dtlb_miss}")
+                if not pen_flag:
+                    L("", "        brk = True")
+            else:
+                L("", f"        pen += {self.dtlb_miss}")
+            if self.w_dtlbm is not None:
+                rec("        ", self.w_dtlbm, 1, j, row, "ea")
+            L("", "    seg = dtlb._seg_cache")
+            L("", "    seg_base = seg.base")
+            L("", "    seg_end = seg.end")
+            L("", "    seg_shift = seg.page_shift")
+            L("", f"    seg_tag = seg.seg_id << {self.tag_shift}")
+            L("", "    mru_page = ea >> seg_shift")
+
+        def emit_load(j: int, row: int, e: tuple, exit_i: str, exit_ni: str,
+                      err_i: str, err_ni: str) -> None:
+            k, rd = e[0], e[1]
+            mut.update(("cycles", "ecs"))
+            needs.update(("regs", "words", "dc_sets", "dcache_access",
+                          "ecache_access"))
+            mut.add("dcr")
+            o = e[3]
+            ea = (f"regs[{e[2]}] + regs[{o}]" if k & 1
+                  else f"regs[{e[2]}] + ({o})")
+            jb = j * bc
+            # every load-break cause carries a nonzero penalty when the
+            # miss costs are nonzero, so `pen` doubles as the break flag
+            pen_flag = self.dtlb_miss > 0 and self.ec_hit > 0
+            uses_pen[0] = True
+            L("", f"ea = {ea}")
+            if events_exit:
+                L("", "pen = 0")
+                if not pen_flag:
+                    L("", "brk = False")
+            elif self.has_prefetch:
+                # penalties accumulate across the block; the prefetch
+                # timing below needs this instruction's entry point
+                L("", "lp = pen")
+            emit_tlb(j, row, pen_flag)
+            cnt["dcr"] += 1
+            if self.has_prefetch:
+                L("", "full_miss = False")
+            L("", f"line = ea >> {self.dc_shift}")
+            L("", f"dcset = dc_sets[line & {self.dc_mask}]")
+            L("", "if dcset and dcset[0] == line:")
+            L("", "    dc_r += 1" if loop_mode else "    pass")
+            L("", "elif line in dcset:")
+            L("", "    dcset.remove(line)")
+            L("", "    dcset.insert(0, line)")
+            if loop_mode:
+                L("", "    dc_r += 1")
+            L("", "else:")
+            if not loop_mode:
+                L("", "    dc_r -= 1")
+            L("", "    if not dcache_access(ea, False):")
+            if events_exit and not pen_flag:
+                L("", "        brk = True")
+            if self.w_dcrm is not None:
+                rec("        ", self.w_dcrm, 1, j, row, "ea")
+            L("", f"        pen += {self.ec_hit}")
+            if self.w_ecref is not None:
+                rec("        ", self.w_ecref, 1, j, row, "ea")
+            L("", "        if not ecache_access(ea, False):")
+            if self.has_prefetch:
+                L("", "            full_miss = True")
+            L("", f"            pen += {self.ec_miss}")
+            L("", f"            ecs += {self.ec_miss}")
+            if self.w_ecrm is not None:
+                rec("            ", self.w_ecrm, 1, j, row, "ea")
+            if self.w_ecstall is not None:
+                rec("            ", self.w_ecstall, self.ec_miss, j, row, "ea")
+            if self.has_prefetch:
+                needs.update(("inflight", "inflight_pop", "_stale"))
+                lc = f"cycles + {jb}" if events_exit else f"{cycabs(jb)} + lp"
+                L("", "if inflight:")
+                L("", f"    ready = inflight_pop(ea >> {self.ec_line_shift},"
+                      " None)")
+                L("", f"    if ready is not None and not full_miss and "
+                      f"ready > {lc}:")
+                L("", f"        wait = ready - ({lc})")
+                L("", "        pen += wait")
+                L("", "        ecs += wait")
+                if events_exit and not pen_flag:
+                    L("", "        brk = True")
+                L("", "    if inflight:")
+                L("", f"        _stale({cycabs(jb)} + pen)")
+            if k < 2:  # LDX
+                L("", "if ea & 7:")
+                L("", f"    _mf({sargs(err_i, err_ni, j, True)}, ea, "
+                      '"misaligned 8-byte load")')
+            L("", f"widx = (ea - {self.mem_base}) >> 3")
+            L("", f"if widx < 0 or widx >= {self.nwords}:")
+            L("", f"    _mf({sargs(err_i, err_ni, j, True)}, ea)")
+            if rd:
+                if k < 2:
+                    L("", f"regs[{rd}] = words[widx]")
+                else:
+                    L("", f"regs[{rd}] = (words[widx] >> ((ea & 7) << 3)) & 0xFF")
+            if events_exit:
+                L("", "if pen:" if pen_flag else "if brk:")
+                early_exit("    ", j + 1, exit_i, exit_ni)
+
+        def emit_store(j: int, row: int, e: tuple, exit_i: str, exit_ni: str,
+                       err_i: str, err_ni: str) -> None:
+            k = e[0]
+            mut.add("cycles")
+            needs.update(("regs", "words", "dc_sets", "dcache_access",
+                          "ecache_access"))
+            mut.add("dcw")
+            o = e[3]
+            ea = (f"regs[{e[2]}] + regs[{o}]" if k & 1
+                  else f"regs[{e[2]}] + ({o})")
+            jb = j * bc
+            uses_pen[0] = True
+            L("", f"ea = {ea}")
+            if events_exit:
+                L("", "pen = 0")
+                L("", "brk = False")
+            emit_tlb(j, row, pen_flag=False)
+            cnt["dcw"] += 1
+            L("", f"line = ea >> {self.dc_shift}")
+            L("", f"dcset = dc_sets[line & {self.dc_mask}]")
+            L("", "if dcset and dcset[0] == line:")
+            L("", "    dc_w += 1" if loop_mode else "    pass")
+            L("", "elif line in dcset:")
+            L("", "    dcset.remove(line)")
+            L("", "    dcset.insert(0, line)")
+            if loop_mode:
+                L("", "    dc_w += 1")
+            L("", "else:")
+            if not loop_mode:
+                L("", "    dc_w -= 1")
+            L("", "    if not dcache_access(ea, True):")
+            if events_exit:
+                L("", "        brk = True")
+            if self.store_stall:
+                L("", f"        pen += {self.store_stall}")
+            if self.w_ecref is not None:
+                rec("        ", self.w_ecref, 1, j, row, "ea")
+            L("", "        ecache_access(ea, True)")
+            if self.has_prefetch:
+                needs.update(("inflight", "inflight_pop", "_stale"))
+                L("", "if inflight:")
+                L("", f"    inflight_pop(ea >> {self.ec_line_shift}, None)")
+                L("", "    if inflight:")
+                L("", f"        _stale({cycabs(jb)} + pen)")
+            if k < 6:  # STX
+                L("", "if ea & 7:")
+                L("", f"    _mf({sargs(err_i, err_ni, j, True)}, ea, "
+                      '"misaligned 8-byte store")')
+            L("", f"widx = (ea - {self.mem_base}) >> 3")
+            L("", f"if widx < 0 or widx >= {self.nwords}:")
+            L("", f"    _mf({sargs(err_i, err_ni, j, True)}, ea)")
+            if k < 6:
+                L("", f"words[widx] = regs[{e[1]}]")
+            else:
+                needs.update(("_MX", "_UM"))
+                L("", "shift = (ea & 7) << 3")
+                L("", "word = words[widx] & _UM")
+                L("", "word = (word & ~(0xFF << shift)) | "
+                      f"((regs[{e[1]}] & 0xFF) << shift)")
+                L("", "if word > _MX:")
+                L("", f"    word -= {_U64}")
+                L("", "words[widx] = word")
+            if events_exit:
+                L("", "if brk:")
+                early_exit("    ", j + 1, exit_i, exit_ni)
+
+        def emit_prefetch(j: int, e: tuple) -> None:
+            k = e[0]
+            mut.add("cycles")
+            needs.update(("regs", "dtlb_peek", "memory", "dcache_access",
+                          "ecache_access", "inflight"))
+            o = e[3]
+            ea = (f"regs[{e[2]}] + regs[{o}]" if k & 1
+                  else f"regs[{e[2]}] + ({o})")
+            L("", f"ea = {ea}")
+            L("", "try:")
+            L("", "    translated = dtlb_peek(ea, memory)")
+            L("", "except MemoryFault:")
+            L("", "    translated = False")
+            tail = " + pen" if not events_exit and uses_pen[0] else ""
+            L("", "if translated and not dcache_access(ea, False):")
+            L("", "    if not ecache_access(ea, False):")
+            L("", f"        inflight[ea >> {self.ec_line_shift}] = "
+                  f"{cycabs(j * bc + self.ec_miss)}{tail}")
+
+        def emit_div(j: int, row: int, e: tuple,
+                     err_i: str, err_ni: str) -> None:
+            k, rd = e[0], e[1]
+            needs.add("regs")
+            msg = f'"at pc 0x{tb + (row << 2):x}"'
+            if k & 1:
+                L("", f"_b = regs[{e[3]}]")
+                L("", "if _b == 0:")
+                L("", f"    _dz({sargs(err_i, err_ni, j, False)}, {msg})")
+            else:
+                if e[3] == 0:
+                    L("", f"_dz({sargs(err_i, err_ni, j, False)}, {msg})")
+                    return
+                L("", f"_b = {e[3]}")
+            L("", f"_a = regs[{e[2]}]")
+            L("", "_q = abs(_a) // abs(_b)")
+            L("", "if (_a < 0) != (_b < 0):")
+            L("", "    _q = -_q")
+            if rd:
+                if k < 36:
+                    L("", f"regs[{rd}] = _q")
+                else:
+                    L("", f"regs[{rd}] = _a - _q * _b")
+
+        def emit_instr(j: int, row: int, e: tuple, exit_i: str, exit_ni: str,
+                       err_i: str, err_ni: str) -> None:
+            k = e[0]
+            if k == D.K_NOP:
+                return
+            needs.add("regs")
+            if k == D.K_SET:
+                L("", f"regs[{e[1]}] = {e[2]}")
+            elif k == D.K_MOV:
+                L("", f"regs[{e[1]}] = regs[{e[2]}]")
+            elif k == D.K_CMP_I:
+                mut.add("cc")
+                L("", f"cc = regs[{e[1]}] - ({e[2]})")
+            elif k == D.K_CMP_R:
+                mut.add("cc")
+                L("", f"cc = regs[{e[1]}] - regs[{e[2]}]")
+            elif k in _WRAP_EXPRS:
+                needs.update(("_MX", "_MN", "_UM"))
+                L("", "value = " + _WRAP_EXPRS[k].format(a=e[2], c=e[3]))
+                L("", "if value > _MX or value < _MN:")
+                L("", "    value = ((value - _MN) & _UM) + _MN")
+                L("", f"regs[{e[1]}] = value")
+            elif k in _LOGIC_EXPRS:
+                L("", f"regs[{e[1]}] = " + _LOGIC_EXPRS[k].format(a=e[2], c=e[3]))
+            elif k == D.K_SRLX_I or k == D.K_SRLX_R:
+                needs.update(("_MX", "_UM"))
+                sh = f"{e[3]}" if k == D.K_SRLX_I else f"(regs[{e[3]}] & 63)"
+                L("", f"value = (regs[{e[2]}] & _UM) >> {sh}")
+                L("", "if value > _MX:")
+                L("", f"    value -= {_U64}")
+                L("", f"regs[{e[1]}] = value")
+            elif k < 4:
+                emit_load(j, row, e, exit_i, exit_ni, err_i, err_ni)
+            elif k < 8:
+                emit_store(j, row, e, exit_i, exit_ni, err_i, err_ni)
+            elif k < 10:
+                emit_prefetch(j, e)
+            else:  # SDIVX / SMODX
+                emit_div(j, row, e, err_i, err_ni)
+
+        # ---- superblock walk: straight-line emission that continues
+        # across unconditional edges (BA/CALL targets) and the fall-through
+        # side of conditionals (the taken side becomes an in-block early
+        # return), stopping at computed jumps, traps, already-emitted rows
+        # and the length cap.
+        max_block = self.cfg.max_block_instructions
+        ndec = len(dec)
+        i = start
+        j = 0
+        visited: set[int] = set()
+        while True:
+            if i in visited or j >= max_block or not 0 <= i < ndec:
+                final_exit("", j, str(i), str(i + 1))
+                break
+            e = dec[i]
+            k = e[0]
+            if k <= SIMPLE_KIND_MAX:
+                visited.add(i)
+                emit_instr(j, i, e, str(i + 1), str(i + 2),
+                           str(i), str(i + 1))
+                j += 1
+                i += 1
+                continue
+            if k < D.K_BA or k > D.K_JMPL:  # TA / HALT / K_BAD / unknown
+                final_exit("", j, str(i), str(i + 1))
+                break
+            d = i + 1
+            de = dec[d] if d < ndec else (D.K_BAD, None)
+            if de[0] > SIMPLE_KIND_MAX or j + 2 > max_block:
+                # the delay slot itself transfers control (or no room):
+                # end the block *before* the branch
+                final_exit("", j, str(i), str(i + 1))
+                break
+            visited.add(i)
+            visited.add(d)
+            if k == D.K_BA:
+                t = e[1]
+                j += 1  # the branch itself retires
+                emit_instr(j, d, de, str(t), str(t + 1), str(d), str(t))
+                j += 1
+                if t == start and loopable:
+                    saw_back = True
+                    if loop_mode:
+                        # unconditional back edge: iterate in-block while
+                        # a worst-case pass still fits the countdown
+                        L("", f"dn += {j}")
+                        L("", "if left - dn >= __NMAX__:")
+                        L("", "    continue")
+                        final_exit("", 0, str(start), str(start + 1))
+                        break
+                i = t
+                continue
+            if k == D.K_CALL:
+                t = e[1]
+                pc_b = tb + (i << 2)
+                needs.update(("regs", "callstack_append"))
+                L("", f"regs[{REG_RA}] = {pc_b}")
+                L("", f"callstack_append({pc_b})")
+                j += 1
+                emit_instr(j, d, de, str(t), str(t + 1), str(d), str(t))
+                j += 1
+                i = t
+                continue
+            if k == D.K_JMPL:
+                rd = e[1]
+                needs.add("regs")
+                if rd:
+                    L("", f"regs[{rd}] = {tb + (i << 2)}")
+                L("", f"_t = regs[{e[2]}] + ({e[3]})")
+                if e[4]:  # RET: pop the shadow call stack
+                    needs.update(("callstack", "callstack_pop"))
+                    L("", "if callstack:")
+                    L("", "    callstack_pop()")
+                L("", f"_ti = (_t - {tb}) >> 2")
+                L("", f"if _t & 3 or _ti < 0 or _ti > {ncode}:")
+                L("", "    st[14] = _t")
+                L("", f"    _ti = {ncode}")
+                L("", "_t = _ti")
+                j += 1
+                emit_instr(j, d, de, "_t", "_t + 1", str(d), "_t")
+                j += 1
+                final_exit("", j, "_t", "_t + 1")
+                break
+            # conditional branch: decide before the delay slot executes
+            # (a CMP in the delay slot must not affect this transfer)
+            mut.add("cc")
+            t = e[1]
+            fall = i + 2
+            j += 1
+            if t == fall:  # degenerate branch-to-fall-through
+                emit_instr(j, d, de, str(fall), str(fall + 1),
+                           str(d), str(fall))
+                j += 1
+                i = fall
+                continue
+            L("", f"_tk = {_COND_EXPRS[k]}")
+            L("", f"_t = {t} if _tk else {fall}")
+            emit_instr(j, d, de, "_t", "_t + 1", str(d), "_t")
+            j += 1
+            if t == start and loopable:
+                saw_back = True
+                if loop_mode:
+                    L("", "if _tk:")
+                    L("", f"    dn += {j}")
+                    L("", "    if left - dn >= __NMAX__:")
+                    L("", "        continue")
+                    final_exit("    ", 0, str(start), str(start + 1))
+                    i = fall
+                    continue
+            L("", "if _tk:")
+            final_exit("    ", j, str(t), str(t + 1))
+            i = fall
+
+        if j < self.cfg.min_block_instructions:
+            return None, saw_back, frozenset(mut), uses_pen[0]
+
+        head = []
+        if not events_exit and uses_pen[0]:
+            head.append("pen = 0")
+        if "cc" in mut:
+            head.append("cc = st[2]")
+        if "cycles" in mut:
+            head.append("cycles = st[3]")
+        if "icount" in mut:
+            head.append("icount = st[4]")
+        if "ecs" in mut:
+            head.append("ecs = st[5]")
+        if "seg" in mut:
+            # `seg_tag` shadows the TLB's own cached segment tag: the st
+            # seg slots are only ever written from ``dtlb._seg_cache``, so
+            # whenever they describe a valid segment the TLB's tag matches
+            # (and when they are the invalid sentinel the first access
+            # takes the slow path and rewrites everything anyway).
+            needs.add("dtlb")
+            head += ["seg_base = st[6]", "seg_end = st[7]",
+                     "seg_shift = st[8]", "mru_page = st[9]",
+                     "seg_tag = dtlb._seg_tag",
+                     "tlb_hits = st[10]"]
+        if "dcr" in mut:
+            head.append("dc_r = st[11]")
+        if "dcw" in mut:
+            head.append("dc_w = st[12]")
+        params = [p for p in _PARAM_ORDER if p in needs]
+        src = "def _blk(left, {}):\n".format(
+            ", ".join(p + "=" + p for p in params))
+        src += "".join("    " + h + "\n" for h in head)
+        if loop_mode:
+            # wrap the body so back edges to `start` can iterate in-block;
+            # the guard constant is the finished block's worst-case length
+            src += "    dn = 0\n    while True:\n"
+            src += "".join("    " + line + "\n" for line in lines)
+            src = src.replace("__NMAX__", str(j))
+        else:
+            src += "".join(line + "\n" for line in lines)
+        g = dict(self.globals)
+        exec(src, g)
+        self.sources[start] = src
+        return (j, g["_blk"]), saw_back, frozenset(mut), uses_pen[0]
+
+
+def _bind_key(cpu) -> tuple:
+    """Everything a compiled block bakes in, as a comparable tuple.
+
+    The ``id()`` entries are sound because the matching objects are held
+    strongly by the cached program's compiler globals — a replaced object
+    cannot be garbage collected into id reuse while the old program is
+    still the cache occupant holding it.
+    """
+    return (
+        id(cpu.code),
+        cpu.text_base,
+        len(cpu.code),
+        tuple(sorted(cpu.counters.watching.items())),
+        id(cpu.regs),
+        id(cpu.memory.words),
+        id(cpu.pending_traps),
+        id(cpu.callstack),
+        id(cpu.inflight_prefetches),
+        id(cpu.counters),
+        id(cpu.dcache.sets),
+        id(cpu.dtlb),
+        id(cpu.ecache),
+        cpu.base_cycles,
+        cpu.dtlb_miss_cycles,
+        cpu.store_stall_cycles,
+        cpu.ecache.config.hit_cycles,
+        cpu.ecache.config.miss_cycles,
+        cpu.dcache.line_shift,
+        cpu.dcache.set_mask,
+        cpu.ecache.line_shift,
+        cpu.memory.base,
+        len(cpu.memory.words),
+    )
+
+
+class TraceProgram:
+    """Compiled-superblock table for one (code, machine, watching) binding.
+
+    ``btab[row]`` is ``None`` (never considered), ``False`` (considered
+    and rejected / too short), or ``(n, fn)``.  Static leaders are
+    compiled eagerly at construction; rows reached by computed jumps
+    compile lazily once their entry count crosses ``hot_threshold``.
+    """
+
+    def __init__(self, cpu, cfg, events_exit: bool = True) -> None:
+        dec = cpu._dispatch_table()
+        self.cfg = cfg
+        self.dec = dec
+        self.events_exit = events_exit
+        self.code_ref = cpu.code  # pin so id(cpu.code) in the key is stable
+        self.compiler = _BlockCompiler(cpu, dec, cpu.text_base,
+                                       len(cpu.code), cfg, events_exit)
+        self.st = self.compiler.st
+        self.btab: list = [None] * len(dec)
+        self.counts: dict[int, int] = {}
+        self.stats = {
+            "blocks_compiled": 0,
+            "blocks_rejected": 0,
+            "block_instructions": 0,
+            "eager_leaders": 0,
+            "block_calls": 0,
+            "trace_retired": 0,
+            "burst_retired": 0,
+            "deopt_split": 0,
+            "deopt_entry": 0,
+            "deopt_event": 0,
+            "deopt_cold": 0,
+        }
+        self.key = _bind_key(cpu)
+        leaders = static_block_leaders(dec, len(cpu.code))
+        for row in leaders[: cfg.max_eager_blocks]:
+            self.compile_row(row)
+        self.stats["eager_leaders"] = min(len(leaders), cfg.max_eager_blocks)
+
+    def compile_row(self, row: int):
+        """Compile (or reject) the block at ``row``; returns the btab entry."""
+        res = self.compiler.compile(row)
+        if res is None:
+            self.btab[row] = False
+            self.stats["blocks_rejected"] += 1
+            return False
+        self.btab[row] = res
+        self.stats["blocks_compiled"] += 1
+        self.stats["block_instructions"] += res[0]
+        return res
+
+
+def get_program(cpu, events_exit: bool = True) -> TraceProgram:
+    """The CPU's current trace program, recompiled when stale.
+
+    Staleness mirrors ``CPU._dispatch_table`` (code identity, base,
+    length) and adds the trace tier's extra bake-ins: the counter
+    watching set, machine-object identities, penalty constants, and the
+    compile mode (``events_exit`` — whether penalties must checkpoint).
+    """
+    cfg = cpu.trace_config
+    prog = cpu._trace_cache
+    if (
+        prog is not None
+        and prog.cfg is cfg
+        and prog.events_exit == events_exit
+        and prog.dec is cpu._dispatch_table()
+        and prog.key == _bind_key(cpu)
+    ):
+        return prog
+    prog = TraceProgram(cpu, cfg, events_exit)
+    cpu._trace_cache = prog
+    return prog
+
+
+def run_trace(
+    cpu,
+    max_instructions: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+    watchdog_instructions: Optional[int] = None,
+) -> int:
+    """Trace-engine main loop: checkpoints and countdowns identical to the
+    fast engine's, with compiled superblocks (or bounded deopt bursts of
+    the per-instruction dispatch chain) retiring the instructions between
+    them.  Returns instructions executed, like ``CPU.run``.
+    """
+    self = cpu
+    # Penalties only have to checkpoint when something in the cycle
+    # domain (or a watcher that stamps checkpoint state into traps) can
+    # observe them; a plain unprofiled run compiles penalty-accumulating
+    # blocks instead, which run to their control-flow exits.
+    events_exit = bool(
+        cpu.counters.watching
+        or cpu.pending_traps
+        or cpu.clock_interval_cycles
+        or cpu.kill_at_cycle is not None
+        or max_cycles is not None
+    )
+    prog = get_program(cpu, events_exit)
+    st = prog.st
+    btab = prog.btab
+    counts = prog.counts
+    compile_row = prog.compile_row
+    hot = prog.cfg.hot_threshold
+    burst_size = prog.cfg.burst_instructions
+    stats = prog.stats
+
+    # Bind everything the checkpoint and the burst interpreter touch.
+    regs = self.regs
+    memory = self.memory
+    words = memory.words
+    mem_base = memory.base
+    nwords = len(words)
+    dcache = self.dcache
+    ecache = self.ecache
+    dtlb = self.dtlb
+    counters = self.counters
+    watching = counters.watching
+    record = counters.record
+    remaining = counters.remaining
+    pending = self.pending_traps
+    callstack = self.callstack
+    text_base = self.text_base
+    ncode = len(self.code)
+    dec = prog.dec
+    base_cycles = self.base_cycles
+    ec_hit_cycles = ecache.config.hit_cycles
+    ec_miss_cycles = ecache.config.miss_cycles
+    dtlb_miss_cycles = self.dtlb_miss_cycles
+    store_stall_cycles = self.store_stall_cycles
+    inflight = self.inflight_prefetches
+    ec_line_shift = ecache.line_shift
+    dc_shift = dcache.line_shift
+    dc_mask = dcache.set_mask
+    dc_sets = dcache.sets
+
+    w_cycles = watching.get("cycles")
+    w_insts = watching.get("insts")
+    w_dcrm = watching.get("dcrm")
+    w_dtlbm = watching.get("dtlbm")
+    w_ecref = watching.get("ecref")
+    w_ecrm = watching.get("ecrm")
+    w_ecstall = watching.get("ecstall")
+
+    K_SET, K_MOV, K_NOP = D.K_SET, D.K_MOV, D.K_NOP
+    K_CMP_I, K_CMP_R = D.K_CMP_I, D.K_CMP_R
+    K_ADD_I, K_ADD_R = D.K_ADD_I, D.K_ADD_R
+    K_SUB_I, K_SUB_R = D.K_SUB_I, D.K_SUB_R
+    K_MULX_I, K_MULX_R = D.K_MULX_I, D.K_MULX_R
+    K_AND_I, K_AND_R = D.K_AND_I, D.K_AND_R
+    K_OR_I, K_OR_R = D.K_OR_I, D.K_OR_R
+    K_XOR_I, K_XOR_R = D.K_XOR_I, D.K_XOR_R
+    K_SLLX_I, K_SLLX_R = D.K_SLLX_I, D.K_SLLX_R
+    K_SRLX_I, K_SRLX_R = D.K_SRLX_I, D.K_SRLX_R
+    K_SRAX_I, K_SRAX_R = D.K_SRAX_I, D.K_SRAX_R
+    K_BA, K_BE, K_BNE = D.K_BA, D.K_BE, D.K_BNE
+    K_BG, K_BGE, K_BL, K_BLE = D.K_BG, D.K_BGE, D.K_BL, D.K_BLE
+    K_CALL, K_JMPL, K_TA, K_HALT = D.K_CALL, D.K_JMPL, D.K_TA, D.K_HALT
+    K_BAD = D.K_BAD
+
+    budget = -1 if max_instructions is None else max_instructions
+    kill_at = self.kill_at_cycle
+    start_count = self.instr_count
+    flushed_insts = start_count
+    flushed_cycles = self.cycles
+
+    if self.halted or budget == 0:
+        return 0
+
+    tb = text_base
+    pc = self.pc
+    npc = self.npc
+    i = (pc - tb) >> 2
+    if pc & 3 or i < 0 or i > ncode:
+        raise IllegalInstruction(f"fetch from 0x{pc:x}")
+    ni = (npc - tb) >> 2
+    bad_pc = None
+    if npc & 3 or ni < 0 or ni > ncode:
+        bad_pc = npc
+        ni = ncode
+
+    st[0] = i
+    st[1] = ni
+    st[2] = getattr(self, "_cc", 0)
+    st[3] = self.cycles
+    st[4] = self.instr_count
+    st[5] = self.ecstall_cycles
+    st[6] = 1       # invalid MRU segment: first access takes the slow path
+    st[7] = 0
+    st[8] = 0
+    st[9] = -1
+    st[10] = 0
+    st[11] = 0
+    st[12] = 0
+    st[13] = 0
+    st[14] = bad_pc
+
+    s_block_calls = 0
+    s_trace = 0
+    s_burst = 0
+    s_split = 0
+    s_entry = 0
+    s_event = 0
+    s_cold = 0
+
+    fresh = True
+    try:
+        while True:
+            # ---- checkpoint: identical bookkeeping, at identical
+            # instruction counts, to the fast engine's (cpu.py).
+            if not fresh:
+                i = st[0]
+                ni = st[1]
+                cyc = st[3]
+                icnt = st[4]
+                bad_pc = st[14]
+                pc = tb + (i << 2)
+                npc = (
+                    bad_pc
+                    if ni == ncode and bad_pc is not None
+                    else tb + (ni << 2)
+                )
+                if st[10]:
+                    dtlb.refs += st[10]
+                    st[10] = 0
+                if st[11]:
+                    dcache.read_refs += st[11]
+                    st[11] = 0
+                if st[12]:
+                    dcache.write_refs += st[12]
+                    st[12] = 0
+                if w_insts is not None:
+                    n = icnt - flushed_insts
+                    if n:
+                        skid = record(w_insts, n)
+                        if skid >= 0:
+                            pending.append(
+                                [icnt + skid, w_insts, skid, pc,
+                                 counters.last_coalesced, None]
+                            )
+                if w_cycles is not None:
+                    n = cyc - flushed_cycles
+                    if n:
+                        skid = record(w_cycles, n)
+                        if skid >= 0:
+                            pending.append(
+                                [icnt + skid, w_cycles, skid, pc,
+                                 counters.last_coalesced, None]
+                            )
+                flushed_insts = icnt
+                flushed_cycles = cyc
+                if pending:
+                    due = None
+                    for trap in pending:
+                        if trap[0] <= icnt:
+                            if due is None:
+                                due = []
+                            due.append(trap)
+                    if due:
+                        handler = self.overflow_handler
+                        self.pc, self.npc = pc, npc
+                        self.cycles, self.instr_count = cyc, icnt
+                        self.ecstall_cycles = st[5]
+                        for trap in due:
+                            pending.remove(trap)
+                            if handler is not None:
+                                handler(
+                                    self.snapshot(
+                                        trap[1], trap[2], trap[3], trap[4],
+                                        trap[5]
+                                    )
+                                )
+                if self.clock_interval_cycles and cyc >= self.next_clock_tick:
+                    handler2 = self.clock_handler
+                    self.pc, self.npc = pc, npc
+                    self.cycles, self.instr_count = cyc, icnt
+                    self.ecstall_cycles = st[5]
+                    while self.next_clock_tick <= cyc:
+                        self.next_clock_tick += self.clock_interval_cycles
+                        if handler2 is not None:
+                            handler2(pc, cyc, tuple(callstack))
+                if kill_at is not None and cyc >= kill_at:
+                    raise SimulatedCrash(
+                        f"injected kill at cycle {cyc} (pc 0x{pc:x})"
+                    )
+                if max_cycles is not None and cyc >= max_cycles:
+                    raise WatchdogExpired(
+                        f"cycle watchdog: {cyc} >= {max_cycles} "
+                        f"(pc 0x{pc:x})"
+                    )
+                if (
+                    watchdog_instructions is not None
+                    and icnt >= watchdog_instructions
+                ):
+                    raise WatchdogExpired(
+                        f"instruction watchdog: {icnt} >= "
+                        f"{watchdog_instructions} (pc 0x{pc:x})"
+                    )
+                if self.halted:
+                    break
+                if budget >= 0 and icnt - start_count >= budget:
+                    break
+            fresh = False
+
+            # ---- countdown to the next possible observable event
+            # (identical to the fast engine's computation)
+            icnt = st[4]
+            cyc = st[3]
+            nxt = _BIG
+            if w_insts is not None:
+                nxt = remaining[w_insts]
+            if w_cycles is not None:
+                v = -(-remaining[w_cycles] // base_cycles)
+                if v < nxt:
+                    nxt = v
+            if pending:
+                v = min(trap[0] for trap in pending) - icnt
+                if v < nxt:
+                    nxt = v
+            if self.clock_interval_cycles:
+                v = -(-(self.next_clock_tick - cyc) // base_cycles)
+                if v < nxt:
+                    nxt = v
+            if kill_at is not None:
+                v = -(-(kill_at - cyc) // base_cycles)
+                if v < nxt:
+                    nxt = v
+            if max_cycles is not None:
+                v = -(-(max_cycles - cyc) // base_cycles)
+                if v < nxt:
+                    nxt = v
+            if watchdog_instructions is not None:
+                v = watchdog_instructions - icnt
+                if v < nxt:
+                    nxt = v
+            if budget >= 0:
+                v = budget - (icnt - start_count)
+                if v < nxt:
+                    nxt = v
+            left = nxt if nxt > 0 else 1
+
+            # ---- execute `left` instructions: chain compiled blocks
+            # while they fit the deadline, deoptimize to bounded bursts
+            # of the dispatch chain otherwise.
+            while left > 0:
+                i = st[0]
+                ent = btab[i]
+                if ent is None:
+                    c = counts.get(i, 0) + 1
+                    counts[i] = c
+                    ent = compile_row(i) if c >= hot else False
+                if ent is not False:
+                    if st[1] != i + 1:
+                        # mid-block entry (e.g. resuming in a delay slot):
+                        # the block assumes sequential npc — deopt
+                        s_entry += 1
+                    elif ent[0] <= left:
+                        retired = ent[1](left)
+                        s_block_calls += 1
+                        s_trace += retired
+                        left -= retired
+                        if st[13]:
+                            st[13] = 0
+                            s_event += 1
+                            break  # event inside the block: checkpoint now
+                        continue
+                    else:
+                        # deadline lands inside the block: split by
+                        # interpreting the remainder
+                        s_split += 1
+                else:
+                    s_cold += 1
+                burst = left if left < burst_size else burst_size
+
+                # ---- deopt burst: the fast engine's dispatch chain,
+                # verbatim, for at most `burst` instructions.  Locals are
+                # loaded from / stored to the state hub around the burst
+                # (the finally keeps st consistent even when an arm
+                # raises), so blocks and bursts interleave freely.
+                i = st[0]
+                ni = st[1]
+                cc = st[2]
+                cycles = st[3]
+                instr_count = st[4]
+                ecstall_total = st[5]
+                seg_base = st[6]
+                seg_end = st[7]
+                seg_shift = st[8]
+                mru_page = st[9]
+                tlb_hits = st[10]
+                dc_read_hits = st[11]
+                dc_write_hits = st[12]
+                bad_pc = st[14]
+                icount0 = instr_count
+                ev = False
+                brk = False
+                try:
+                    for _ in range(burst):
+                        e = dec[i]
+                        k = e[0]
+                        if k < 4:  # LDX / LDUB
+                            o = e[3]
+                            ea = regs[e[2]] + (regs[o] if k & 1 else o)
+                            lcyc = cycles
+                            if seg_base <= ea < seg_end and (ea >> seg_shift) == mru_page:
+                                tlb_hits += 1
+                            else:
+                                if not dtlb.lookup(ea, memory):
+                                    cycles += dtlb_miss_cycles
+                                    brk = True
+                                    if w_dtlbm is not None:
+                                        skid = record(w_dtlbm, 1)
+                                        if skid >= 0:
+                                            pending.append(
+                                                [instr_count + 1 + skid, w_dtlbm,
+                                                 skid, tb + (i << 2),
+                                                 counters.last_coalesced, ea]
+                                            )
+                                seg = dtlb._seg_cache
+                                seg_base = seg.base
+                                seg_end = seg_base + seg.size
+                                seg_shift = seg.page_shift
+                                mru_page = ea >> seg_shift
+                            full_miss = False
+                            line = ea >> dc_shift
+                            dcset = dc_sets[line & dc_mask]
+                            if dcset and dcset[0] == line:
+                                dc_read_hits += 1
+                            elif not dcache.access(ea, False):
+                                brk = True
+                                if w_dcrm is not None:
+                                    skid = record(w_dcrm, 1)
+                                    if skid >= 0:
+                                        pending.append(
+                                            [instr_count + 1 + skid, w_dcrm, skid,
+                                             tb + (i << 2),
+                                             counters.last_coalesced, ea]
+                                        )
+                                cycles += ec_hit_cycles
+                                if w_ecref is not None:
+                                    skid = record(w_ecref, 1)
+                                    if skid >= 0:
+                                        pending.append(
+                                            [instr_count + 1 + skid, w_ecref, skid,
+                                             tb + (i << 2),
+                                             counters.last_coalesced, ea]
+                                        )
+                                if not ecache.access(ea, False):
+                                    full_miss = True
+                                    cycles += ec_miss_cycles
+                                    ecstall_total += ec_miss_cycles
+                                    if w_ecrm is not None:
+                                        skid = record(w_ecrm, 1)
+                                        if skid >= 0:
+                                            pending.append(
+                                                [instr_count + 1 + skid, w_ecrm,
+                                                 skid, tb + (i << 2),
+                                                 counters.last_coalesced, ea]
+                                            )
+                                    if w_ecstall is not None:
+                                        skid = record(w_ecstall, ec_miss_cycles)
+                                        if skid >= 0:
+                                            pending.append(
+                                                [instr_count + 1 + skid, w_ecstall,
+                                                 skid, tb + (i << 2),
+                                                 counters.last_coalesced, ea]
+                                            )
+                            if inflight:
+                                ready = inflight.pop(ea >> ec_line_shift, None)
+                                if ready is not None and not full_miss and ready > lcyc:
+                                    wait = ready - lcyc
+                                    cycles += wait
+                                    ecstall_total += wait
+                                    brk = True
+                                if inflight:
+                                    stale = [
+                                        ln for ln, r in inflight.items() if r <= cycles
+                                    ]
+                                    for ln in stale:
+                                        del inflight[ln]
+                            if k < 2:  # LDX
+                                if ea & 7:
+                                    raise MemoryFault(ea, "misaligned 8-byte load")
+                                widx = (ea - mem_base) >> 3
+                                if widx < 0 or widx >= nwords:
+                                    raise MemoryFault(ea)
+                                value = words[widx]
+                            else:  # LDUB
+                                widx = (ea - mem_base) >> 3
+                                if widx < 0 or widx >= nwords:
+                                    raise MemoryFault(ea)
+                                value = (words[widx] >> ((ea & 7) << 3)) & 0xFF
+                            rd = e[1]
+                            if rd:
+                                regs[rd] = value
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                            if brk:
+                                brk = False
+                                ev = True
+                                break
+                        elif k == K_SET:
+                            regs[e[1]] = e[2]
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_ADD_R:
+                            value = regs[e[2]] + regs[e[3]]
+                            if value > _S64_MAX or value < _S64_MIN:
+                                value = ((value - _S64_MIN) & _U64M) + _S64_MIN
+                            regs[e[1]] = value
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_ADD_I:
+                            value = regs[e[2]] + e[3]
+                            if value > _S64_MAX or value < _S64_MIN:
+                                value = ((value - _S64_MIN) & _U64M) + _S64_MIN
+                            regs[e[1]] = value
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_NOP:
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_CMP_R:
+                            cc = regs[e[1]] - regs[e[2]]
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_CMP_I:
+                            cc = regs[e[1]] - e[2]
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k < 8:  # STX / STB
+                            o = e[3]
+                            ea = regs[e[2]] + (regs[o] if k & 1 else o)
+                            if seg_base <= ea < seg_end and (ea >> seg_shift) == mru_page:
+                                tlb_hits += 1
+                            else:
+                                if not dtlb.lookup(ea, memory):
+                                    cycles += dtlb_miss_cycles
+                                    brk = True
+                                    if w_dtlbm is not None:
+                                        skid = record(w_dtlbm, 1)
+                                        if skid >= 0:
+                                            pending.append(
+                                                [instr_count + 1 + skid, w_dtlbm,
+                                                 skid, tb + (i << 2),
+                                                 counters.last_coalesced, ea]
+                                            )
+                                seg = dtlb._seg_cache
+                                seg_base = seg.base
+                                seg_end = seg_base + seg.size
+                                seg_shift = seg.page_shift
+                                mru_page = ea >> seg_shift
+                            line = ea >> dc_shift
+                            dcset = dc_sets[line & dc_mask]
+                            if dcset and dcset[0] == line:
+                                dc_write_hits += 1
+                            elif not dcache.access(ea, True):
+                                brk = True
+                                if store_stall_cycles:
+                                    cycles += store_stall_cycles
+                                if w_ecref is not None:
+                                    skid = record(w_ecref, 1)
+                                    if skid >= 0:
+                                        pending.append(
+                                            [instr_count + 1 + skid, w_ecref, skid,
+                                             tb + (i << 2),
+                                             counters.last_coalesced, ea]
+                                        )
+                                ecache.access(ea, True)
+                            if inflight:
+                                inflight.pop(ea >> ec_line_shift, None)
+                                if inflight:
+                                    stale = [
+                                        ln for ln, r in inflight.items() if r <= cycles
+                                    ]
+                                    for ln in stale:
+                                        del inflight[ln]
+                            if k < 6:  # STX
+                                if ea & 7:
+                                    raise MemoryFault(ea, "misaligned 8-byte store")
+                                widx = (ea - mem_base) >> 3
+                                if widx < 0 or widx >= nwords:
+                                    raise MemoryFault(ea)
+                                words[widx] = regs[e[1]]
+                            else:  # STB
+                                widx = (ea - mem_base) >> 3
+                                if widx < 0 or widx >= nwords:
+                                    raise MemoryFault(ea)
+                                shift = (ea & 7) << 3
+                                word = words[widx] & _U64M
+                                word = (word & ~(0xFF << shift)) | (
+                                    (regs[e[1]] & 0xFF) << shift
+                                )
+                                if word > _S64_MAX:
+                                    word -= _U64
+                                words[widx] = word
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                            if brk:
+                                brk = False
+                                ev = True
+                                break
+                        elif k == K_MOV:
+                            regs[e[1]] = regs[e[2]]
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_BGE:
+                            if cc >= 0:
+                                i = ni
+                                ni = e[1]
+                            else:
+                                i = ni
+                                ni += 1
+                            instr_count += 1
+                            cycles += base_cycles
+                        elif k == K_BA:
+                            i = ni
+                            ni = e[1]
+                            instr_count += 1
+                            cycles += base_cycles
+                        elif k == K_MULX_R:
+                            value = regs[e[2]] * regs[e[3]]
+                            if value > _S64_MAX or value < _S64_MIN:
+                                value = ((value - _S64_MIN) & _U64M) + _S64_MIN
+                            regs[e[1]] = value
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_BL:
+                            if cc < 0:
+                                i = ni
+                                ni = e[1]
+                            else:
+                                i = ni
+                                ni += 1
+                            instr_count += 1
+                            cycles += base_cycles
+                        elif k == K_BNE:
+                            if cc != 0:
+                                i = ni
+                                ni = e[1]
+                            else:
+                                i = ni
+                                ni += 1
+                            instr_count += 1
+                            cycles += base_cycles
+                        elif k == K_SLLX_I:
+                            value = regs[e[2]] << e[3]
+                            if value > _S64_MAX or value < _S64_MIN:
+                                value = ((value - _S64_MIN) & _U64M) + _S64_MIN
+                            regs[e[1]] = value
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_SUB_R:
+                            value = regs[e[2]] - regs[e[3]]
+                            if value > _S64_MAX or value < _S64_MIN:
+                                value = ((value - _S64_MIN) & _U64M) + _S64_MIN
+                            regs[e[1]] = value
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_SUB_I:
+                            value = regs[e[2]] - e[3]
+                            if value > _S64_MAX or value < _S64_MIN:
+                                value = ((value - _S64_MIN) & _U64M) + _S64_MIN
+                            regs[e[1]] = value
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_BE:
+                            if cc == 0:
+                                i = ni
+                                ni = e[1]
+                            else:
+                                i = ni
+                                ni += 1
+                            instr_count += 1
+                            cycles += base_cycles
+                        elif k == K_BG:
+                            if cc > 0:
+                                i = ni
+                                ni = e[1]
+                            else:
+                                i = ni
+                                ni += 1
+                            instr_count += 1
+                            cycles += base_cycles
+                        elif k == K_BLE:
+                            if cc <= 0:
+                                i = ni
+                                ni = e[1]
+                            else:
+                                i = ni
+                                ni += 1
+                            instr_count += 1
+                            cycles += base_cycles
+                        elif k == K_MULX_I:
+                            value = regs[e[2]] * e[3]
+                            if value > _S64_MAX or value < _S64_MIN:
+                                value = ((value - _S64_MIN) & _U64M) + _S64_MIN
+                            regs[e[1]] = value
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_CALL:
+                            xpc = tb + (i << 2)
+                            regs[REG_RA] = xpc
+                            callstack.append(xpc)
+                            i = ni
+                            ni = e[1]
+                            instr_count += 1
+                            cycles += base_cycles
+                        elif k == K_JMPL:
+                            rd = e[1]
+                            if rd:
+                                regs[rd] = tb + (i << 2)
+                            t = regs[e[2]] + e[3]
+                            if e[4] and callstack:
+                                callstack.pop()
+                            ti = (t - tb) >> 2
+                            if t & 3 or ti < 0 or ti > ncode:
+                                bad_pc = t
+                                ti = ncode
+                            i = ni
+                            ni = ti
+                            instr_count += 1
+                            cycles += base_cycles
+                        elif k < 10:  # PREFETCH
+                            o = e[3]
+                            ea = regs[e[2]] + (regs[o] if k & 1 else o)
+                            try:
+                                translated = dtlb.peek(ea, memory)
+                            except MemoryFault:
+                                translated = False
+                            if translated and not dcache.access(ea, False):
+                                if not ecache.access(ea, False):
+                                    inflight[ea >> ec_line_shift] = (
+                                        cycles + ec_miss_cycles
+                                    )
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_AND_R:
+                            regs[e[1]] = regs[e[2]] & regs[e[3]]
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_AND_I:
+                            regs[e[1]] = regs[e[2]] & e[3]
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_OR_R:
+                            regs[e[1]] = regs[e[2]] | regs[e[3]]
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_OR_I:
+                            regs[e[1]] = regs[e[2]] | e[3]
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_XOR_R:
+                            regs[e[1]] = regs[e[2]] ^ regs[e[3]]
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_XOR_I:
+                            regs[e[1]] = regs[e[2]] ^ e[3]
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_SLLX_R:
+                            value = regs[e[2]] << (regs[e[3]] & 63)
+                            if value > _S64_MAX or value < _S64_MIN:
+                                value = ((value - _S64_MIN) & _U64M) + _S64_MIN
+                            regs[e[1]] = value
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_SRLX_I:
+                            value = (regs[e[2]] & _U64M) >> e[3]
+                            if value > _S64_MAX:
+                                value -= _U64
+                            regs[e[1]] = value
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_SRLX_R:
+                            value = (regs[e[2]] & _U64M) >> (regs[e[3]] & 63)
+                            if value > _S64_MAX:
+                                value -= _U64
+                            regs[e[1]] = value
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_SRAX_I:
+                            regs[e[1]] = regs[e[2]] >> e[3]
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_SRAX_R:
+                            regs[e[1]] = regs[e[2]] >> (regs[e[3]] & 63)
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k < 38:  # SDIVX / SMODX
+                            o = e[3]
+                            b = regs[o] if k & 1 else o
+                            a = regs[e[2]]
+                            if b == 0:
+                                raise DivisionByZero(f"at pc 0x{tb + (i << 2):x}")
+                            q = abs(a) // abs(b)
+                            if (a < 0) != (b < 0):
+                                q = -q
+                            value = q if k < 36 else a - q * b
+                            rd = e[1]
+                            if rd:
+                                regs[rd] = value
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                        elif k == K_TA:
+                            service = self.kernel_service
+                            if service is None:
+                                raise MachineError(f"trap {e[1]} with no kernel")
+                            self.pc = tb + (i << 2)
+                            self.npc = (
+                                bad_pc
+                                if ni == ncode and bad_pc is not None
+                                else tb + (ni << 2)
+                            )
+                            self.cycles, self.instr_count = cycles, instr_count
+                            self.ecstall_cycles = ecstall_total
+                            if tlb_hits:
+                                dtlb.refs += tlb_hits
+                                tlb_hits = 0
+                            if dc_read_hits:
+                                dcache.read_refs += dc_read_hits
+                                dc_read_hits = 0
+                            if dc_write_hits:
+                                dcache.write_refs += dc_write_hits
+                                dc_write_hits = 0
+                            service(self, e[1])
+                            cycles += TRAP_CYCLES
+                            self.system_cycles += TRAP_CYCLES
+                            seg_base, seg_end, mru_page = 1, 0, -1
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                            ev = True
+                            break
+                        elif k == K_HALT:
+                            self.halted = True
+                            self.exit_code = regs[8]  # %o0
+                            instr_count += 1
+                            cycles += base_cycles
+                            i = ni
+                            ni += 1
+                            ev = True
+                            break
+                        elif k == K_BAD:
+                            p = e[1]
+                            if p is None:
+                                p = bad_pc if bad_pc is not None else tb + (i << 2)
+                            bad_pc = p
+                            raise IllegalInstruction(f"fetch from 0x{p:x}")
+                        else:  # pragma: no cover - predecode rejects unknown ops
+                            raise IllegalInstruction(
+                                f"unknown kind {k} at 0x{tb + (i << 2):x}"
+                            )
+                finally:
+                    st[0] = i
+                    st[1] = ni
+                    st[2] = cc
+                    st[3] = cycles
+                    st[4] = instr_count
+                    st[5] = ecstall_total
+                    st[6] = seg_base
+                    st[7] = seg_end
+                    st[8] = seg_shift
+                    st[9] = mru_page
+                    st[10] = tlb_hits
+                    st[11] = dc_read_hits
+                    st[12] = dc_write_hits
+                    st[14] = bad_pc
+                done = instr_count - icount0
+                left -= done
+                s_burst += done
+                if ev:
+                    break
+
+    finally:
+        # Mirror the fast engine's finalization: everything retired but
+        # unflushed cost exactly base_cycles (any instruction with extra
+        # cycles forced a checkpoint or an early block exit that breaks
+        # to one), so counter totals track ground truth even when a
+        # fault/deadline raised mid-run.
+        icnt = st[4]
+        n = icnt - flushed_insts
+        if n:
+            if w_insts is not None:
+                record(w_insts, n)
+            if w_cycles is not None:
+                record(w_cycles, n * base_cycles)
+        if st[10]:
+            dtlb.refs += st[10]
+            st[10] = 0
+        if st[11]:
+            dcache.read_refs += st[11]
+            st[11] = 0
+        if st[12]:
+            dcache.write_refs += st[12]
+            st[12] = 0
+        i = st[0]
+        ni = st[1]
+        bad_pc = st[14]
+        if i >= ncode and bad_pc is not None:
+            self.pc = bad_pc
+        else:
+            self.pc = tb + (i << 2)
+        if ni == ncode and bad_pc is not None and i < ncode:
+            self.npc = bad_pc
+        else:
+            self.npc = tb + (ni << 2)
+        self.cycles = st[3]
+        self.instr_count = icnt
+        self.ecstall_cycles = st[5]
+        self._cc = st[2]
+        stats["block_calls"] += s_block_calls
+        stats["trace_retired"] += s_trace
+        stats["burst_retired"] += s_burst
+        stats["deopt_split"] += s_split
+        stats["deopt_entry"] += s_entry
+        stats["deopt_event"] += s_event
+        stats["deopt_cold"] += s_cold
+    return st[4] - start_count
+
+
+__all__ = ["TraceProgram", "get_program", "run_trace"]

@@ -39,13 +39,11 @@ class Segment:
     seg_id: int = 0
 
     def __post_init__(self) -> None:
-        # precomputed for the TLB fast path (page_bytes is a power of two)
+        # precomputed for the TLB fast path (page_bytes is a power of two);
+        # `end` is one past the last address.  Segments are immutable after
+        # creation, so both derived values are plain attributes.
         self.page_shift = self.page_bytes.bit_length() - 1
-
-    @property
-    def end(self) -> int:
-        """One past the last address of the segment."""
-        return self.base + self.size
+        self.end = self.base + self.size
 
     def contains(self, addr: int) -> bool:
         """True when the value lies inside this range."""
@@ -62,6 +60,8 @@ class Memory:
         self.size = arena_bytes
         self.words = array("q", bytes(arena_bytes))
         self.segments: list[Segment] = []
+        # (base, end, segment) rows so segment_for scans plain ints
+        self._ranges: list[tuple[int, int, Segment]] = []
 
     # -- segment management -------------------------------------------------
 
@@ -76,12 +76,13 @@ class Memory:
                 raise ReproError(f"segment {name} overlaps {seg.name}")
         seg = Segment(name, base, size, page_bytes, seg_id=len(self.segments))
         self.segments.append(seg)
+        self._ranges.append((seg.base, seg.end, seg))
         return seg
 
     def segment_for(self, addr: int) -> Segment:
         """The segment containing an address (faults if none)."""
-        for seg in self.segments:
-            if seg.base <= addr < seg.end:
+        for lo, hi, seg in self._ranges:
+            if lo <= addr < hi:
                 return seg
         raise MemoryFault(addr, "address in no segment")
 

@@ -13,16 +13,44 @@ from .memory import Memory, Segment
 
 
 class TLB:
-    """The DTLB model."""
+    """The DTLB model.
 
-    __slots__ = ("config", "entries", "misses", "refs", "_seg_cache")
+    The entry set is an insertion-ordered dict used as an O(1) LRU: keys run
+    oldest-first, a hit reinserts its key at the end (most recent), and a
+    capacity eviction drops the first key.  This replays exactly the same
+    hit/miss/eviction sequence as a recency-ordered list but without the
+    per-lookup linear scan.
+    """
+
+    __slots__ = (
+        "config",
+        "entries",
+        "misses",
+        "refs",
+        "_capacity",
+        "_seg_cache",
+        "_seg_base",
+        "_seg_end",
+        "_seg_tag",
+        "_seg_shift",
+    )
+
+    #: page numbers fit well below this, so ``seg_id << _SEG_TAG_SHIFT | page``
+    #: is a collision-free int key (cheaper to hash than a tuple)
+    _SEG_TAG_SHIFT = 48
 
     def __init__(self, config: TLBConfig) -> None:
         self.config = config
-        self.entries: list[tuple[int, int]] = []  # (seg_id, page_no), MRU first
+        # (seg_id << _SEG_TAG_SHIFT | page_no) -> True, LRU first / MRU last
+        self.entries: dict[int, bool] = {}
         self.refs = 0
         self.misses = 0
+        self._capacity = config.entries
         self._seg_cache: Segment | None = None
+        self._seg_base = 0
+        self._seg_end = 0
+        self._seg_tag = 0
+        self._seg_shift = 0
 
     def reset_state(self) -> None:
         """Flush entries and zero the counters."""
@@ -30,39 +58,47 @@ class TLB:
         self.refs = 0
         self.misses = 0
         self._seg_cache = None
+        self._seg_base = 0
+        self._seg_end = 0
 
     def lookup(self, addr: int, memory: Memory) -> bool:
         """Translate ``addr``; returns True on TLB hit.
 
         Segment resolution caches the last segment because accesses are
-        heavily clustered (the same reason real TLBs work at all).
+        heavily clustered (the same reason real TLBs work at all).  The
+        bounds are cached as plain ints so the common same-segment case
+        costs no attribute traffic; ``_seg_cache`` keeps the Segment object
+        itself for callers that want it after a lookup.
         """
         self.refs += 1
-        seg = self._seg_cache
-        if seg is None or not (seg.base <= addr < seg.end):
+        if not self._seg_base <= addr < self._seg_end:
             seg = memory.segment_for(addr)
             self._seg_cache = seg
-        key = (seg.seg_id, addr >> seg.page_shift)
+            self._seg_base = seg.base
+            self._seg_end = seg.end
+            self._seg_tag = seg.seg_id << self._SEG_TAG_SHIFT
+            self._seg_shift = seg.page_shift
+        key = self._seg_tag | (addr >> self._seg_shift)
         entries = self.entries
-        try:
-            pos = entries.index(key)
-        except ValueError:
-            self.misses += 1
-            entries.insert(0, key)
-            if len(entries) > self.config.entries:
-                entries.pop()
-            return False
-        if pos:
-            entries.insert(0, entries.pop(pos))
-        return True
+        if key in entries:
+            del entries[key]
+            entries[key] = True
+            return True
+        self.misses += 1
+        entries[key] = True
+        if len(entries) > self._capacity:
+            del entries[next(iter(entries))]
+        return False
 
     def peek(self, addr: int, memory: Memory) -> bool:
         """Non-perturbing lookup: no counters, no fill, no LRU update.
         Used by prefetches, which are dropped on a TLB miss."""
-        seg = self._seg_cache
-        if seg is None or not (seg.base <= addr < seg.end):
+        if self._seg_base <= addr < self._seg_end:
+            key = self._seg_tag | (addr >> self._seg_shift)
+        else:
             seg = memory.segment_for(addr)
-        return (seg.seg_id, addr >> seg.page_shift) in self.entries
+            key = (seg.seg_id << self._SEG_TAG_SHIFT) | (addr >> seg.page_shift)
+        return key in self.entries
 
     def miss_rate(self) -> float:
         """Misses divided by references (0.0 when unused)."""

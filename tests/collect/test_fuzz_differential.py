@@ -1,11 +1,11 @@
-"""Differential fuzzing: random programs, two engines, identical journals.
+"""Differential fuzzing: random programs, every engine, identical journals.
 
 The generator (:mod:`repro.lang.fuzz`) emits seeded random mini-C
 programs that are valid and terminating by construction.  Each one is
-compiled once and collected under both interpreter engines; the
-experiment journals must match byte for byte — the fast engine's
-predecoding, batched countdown, and MRU fast paths may never change what
-the profiler observes.
+compiled once and collected under all three interpreter engines; the
+experiment journals must match byte for byte — predecoding, batched
+countdown, MRU fast paths and trace/superblock compilation may never
+change what the profiler observes.
 
 Shrinking is by construction: a failing ``(seed, size)`` case minimises
 by re-running the same seed at smaller sizes (each step removes exactly
@@ -47,17 +47,19 @@ def _journals(tmp_path, program, engine, tag):
 
 def _assert_engines_agree(tmp_path, seed, size):
     program = build_executable(generate_source(seed, size), name=f"fuzz{seed}")
-    fast = _journals(tmp_path, program, "fast", f"s{seed}n{size}")
     ref = _journals(tmp_path, program, "reference", f"s{seed}n{size}")
-    assert fast.keys() == ref.keys(), (
-        f"journal sets differ for seed={seed} size={size}; "
-        f"shrink with generate_source({seed}, k) for k in {size - 1}..0"
-    )
-    for name in fast:
-        assert fast[name] == ref[name], (
-            f"{name} differs between engines for seed={seed} size={size}; "
+    for engine in ("fast", "trace"):
+        got = _journals(tmp_path, program, engine, f"s{seed}n{size}")
+        assert got.keys() == ref.keys(), (
+            f"journal sets differ ({engine}) for seed={seed} size={size}; "
             f"shrink with generate_source({seed}, k) for k in {size - 1}..0"
         )
+        for name in got:
+            assert got[name] == ref[name], (
+                f"{name} differs ({engine} vs reference) for seed={seed} "
+                f"size={size}; shrink with generate_source({seed}, k) "
+                f"for k in {size - 1}..0"
+            )
 
 
 class TestGenerator:

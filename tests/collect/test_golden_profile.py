@@ -61,6 +61,24 @@ def test_fast_engine_journal_is_byte_identical(tmp_path, workload,
         assert fast[name] == ref[name], f"{name} diverged between engines"
 
 
+@pytest.mark.parametrize(
+    "counters,clock,tag",
+    [
+        (["+ecstall,97", "+ecrm,29"], True, "tstall"),
+        (["+ecref,53", "+dtlbm,11"], False, "tref"),
+    ],
+)
+def test_trace_engine_journal_is_byte_identical(tmp_path, workload,
+                                                counters, clock, tag):
+    """The trace tier's contract: superblock compilation (and its deopt
+    machinery) must never change what the profiler observes."""
+    trace = _journal_bytes(tmp_path, workload, "trace", counters, clock, tag)
+    ref = _journal_bytes(tmp_path, workload, "reference", counters, clock, tag)
+    assert trace.keys() == ref.keys()
+    for name in trace:
+        assert trace[name] == ref[name], f"{name} diverged between engines"
+
+
 def test_unknown_engine_rejected(workload):
     from repro.errors import CollectError
 
