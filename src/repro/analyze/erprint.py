@@ -20,7 +20,10 @@ Commands (er_print-style):
 * ``lines [metric]``        hot E$ cache lines, with the data objects and
                             structure members on each line (§4)
 * ``instances [metric]``    events by heap-allocation instance (§4)
-* ``header``                collection parameters + run facts
+* ``latency [metric]``      sampled load-latency histogram (``ldlat``)
+* ``header``                collection parameters + run facts (flags
+                            time-multiplexed counters whose totals are
+                            scaled estimates)
 * ``heap``                  allocation/deallocation summary by site (§2.2)
 * ``fsck``                  validate the directory against its manifest and
                             report how much data is salvageable; with
@@ -70,6 +73,7 @@ _COMMANDS = (
     "pages",
     "lines",
     "instances",
+    "latency",
     "header",
     "heap",
     "fsck",
@@ -128,15 +132,22 @@ def _run_command(reduced, command: str, args: list) -> str:
         return reports.cache_line_report(reduced, args[0] if args else "ecrm")
     if command == "instances":
         return reports.instance_report(reduced, args[0] if args else "ecrm")
+    if command == "latency":
+        return reports.latency_report(reduced, args[0] if args else "ldlat")
     if command == "heap":
         return reports.heap_report(reduced)
     if command == "header":
         lines = ["Experiment header:"]
         for info in reduced.counter_info:
             plus = "+" if info.get("backtrack") else ""
+            mux = ""
+            if info.get("multiplexed"):
+                mux = (f" [multiplexed group {info.get('group', 0)}: "
+                       f"totals are estimates scaled "
+                       f"x{info.get('scale', 1)}]")
             lines.append(
                 f"  HW counter: {plus}{info['name']} interval={info['interval']}"
-                f" (PIC{info['register']})"
+                f" (PIC{info['register']}){mux}"
             )
         for name, base, size, page in reduced.segments:
             lines.append(

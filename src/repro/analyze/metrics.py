@@ -36,6 +36,11 @@ METRICS: dict[str, MetricDef] = {
         MetricDef("ecref", "E$ Refs", False, "E$ Refs"),
         MetricDef("ecrm", "E$ Read Misses", False, "E$ RM"),
         MetricDef("ecstall", "E$ Stall Cycles", True, "E$ Stall"),
+        MetricDef("ldbytes", "Bytes Loaded", False, "Ld Bytes"),
+        MetricDef("stbytes", "Bytes Stored", False, "St Bytes"),
+        MetricDef("br", "Branches Completed", False, "Branches"),
+        MetricDef("brm", "Branch Mispredicts", False, "Br Miss"),
+        MetricDef("ldlat", "Sampled Load Latency", False, "Ld Lat"),
     )
 }
 
@@ -61,6 +66,11 @@ METRIC_ORDER = (
     "cycles",
     "insts",
     "icm",
+    "ldbytes",
+    "stbytes",
+    "br",
+    "brm",
+    "ldlat",
 )
 
 

@@ -108,6 +108,9 @@ class ReducedData:
         self.data_members: dict[DataObjectKey, MetricVector] = defaultdict(MetricVector)
         #: effective addresses per metric: list of (ea, weight) samples
         self.address_samples: dict[str, list] = defaultdict(list)
+        #: sampled load latencies per metric: list of (latency_cycles,
+        #: weight) pairs, fed by the SPE-style ``ldlat`` counter
+        self.latency_samples: dict[str, list] = defaultdict(list)
         #: E$ line size used for the cache-line axis (machine geometry)
         self.line_bytes: int = 512
         #: cache-line base address -> metrics (data-space axis, §4)
@@ -239,6 +242,8 @@ class ReducedData:
                 out.data_members[key] = out.data_members[key].merged_with(vector)
             for metric_id, samples in source.address_samples.items():
                 out.address_samples[metric_id].extend(samples)
+            for metric_id, samples in source.latency_samples.items():
+                out.latency_samples[metric_id].extend(samples)
             for key, value in source.machine_totals.items():
                 out.machine_totals[key] = max(out.machine_totals.get(key, 0.0), value)
             out.counter_info.extend(source.counter_info)
@@ -293,7 +298,7 @@ class ReducedData:
 
     #: bump whenever the payload layout or reduction semantics change — a
     #: version bump orphans (and thereby invalidates) every existing cache
-    PAYLOAD_VERSION = 1
+    PAYLOAD_VERSION = 2
 
     def to_payload(self) -> dict:
         """JSON-serializable snapshot of the whole reduction (without the
@@ -332,6 +337,10 @@ class ReducedData:
             "address_samples": {
                 metric: [[ea, weight] for ea, weight in samples]
                 for metric, samples in self.address_samples.items()
+            },
+            "latency_samples": {
+                metric: [[latency, weight] for latency, weight in samples]
+                for metric, samples in self.latency_samples.items()
             },
             "line_bytes": self.line_bytes,
             "cache_lines": [[k, vec(v)] for k, v in self.cache_lines.items()],
@@ -386,6 +395,10 @@ class ReducedData:
             metric: sorted(samples)
             for metric, samples in sorted(payload["address_samples"].items())
         }
+        payload["latency_samples"] = {
+            metric: sorted(samples)
+            for metric, samples in sorted(payload["latency_samples"].items())
+        }
         payload["counter_info"] = sorted(
             {
                 json.dumps(info, sort_keys=True)
@@ -438,6 +451,10 @@ class ReducedData:
         for metric, samples in payload["address_samples"].items():
             out.address_samples[metric] = [
                 (ea, weight) for ea, weight in samples
+            ]
+        for metric, samples in payload.get("latency_samples", {}).items():
+            out.latency_samples[metric] = [
+                (latency, weight) for latency, weight in samples
             ]
         out.line_bytes = payload["line_bytes"]
         for base, metrics in payload["cache_lines"]:

@@ -76,6 +76,10 @@ class OracleCounts:
     #: (e.g. the unclamped out-of-range window), unlike the inherent
     #: conservatism of a spurious clobber report
     spurious_not_found: int = 0
+    #: events carrying a sampled latency that had a truth row to compare
+    #: against, and how many of those disagreed (``ldlat`` validation)
+    latency_checked: int = 0
+    latency_wrong: int = 0
 
     def add(self, classification: str, pc_right: bool, ea_reason: str) -> None:
         self.classes[classification] += 1
@@ -85,6 +89,14 @@ class OracleCounts:
         self.ea_reasons[ea_reason] = self.ea_reasons.get(ea_reason, 0) + 1
         if classification == SPURIOUS_UNKNOWN and ea_reason == "no_candidate":
             self.spurious_not_found += 1
+
+    def add_latency(self, reported, true) -> None:
+        """Tally one latency comparison (either side may be None)."""
+        if reported is None and true is None:
+            return
+        self.latency_checked += 1
+        if reported != true:
+            self.latency_wrong += 1
 
     @property
     def exact_pc_rate(self) -> float:
@@ -131,6 +143,8 @@ class OracleReport:
             mine.events += tally.events
             mine.exact_pc += tally.exact_pc
             mine.spurious_not_found += tally.spurious_not_found
+            mine.latency_checked += tally.latency_checked
+            mine.latency_wrong += tally.latency_wrong
             for reason, n in tally.ea_reasons.items():
                 mine.ea_reasons[reason] = mine.ea_reasons.get(reason, 0) + n
         self.unexplained.extend(other.unexplained)
@@ -238,12 +252,14 @@ def oracle_experiment(experiment: Experiment,
             )
             continue
         classification = classify_event(hwc, truth, program)
-        report.counts(hwc.event).add(
+        tally = report.counts(hwc.event)
+        tally.add(
             classification,
             pc_right=(hwc.status == "found"
                       and hwc.candidate_pc == truth.true_trigger_pc),
             ea_reason=hwc.ea_reason,
         )
+        tally.add_latency(hwc.latency, truth.true_latency)
     # truth rows nobody claimed (dropped profile lines) are unexplained too
     for counter, queue in truth_by_counter.items():
         for truth in queue[positions.get(counter, 0):]:
@@ -310,6 +326,13 @@ def render_oracle(report: OracleReport, max_unexplained: int = 10) -> str:
         f"{report.total_events} events joined, "
         f"{len(report.unexplained)} unexplained"
     )
+    for name in sorted(report.by_event):
+        tally = report.by_event[name]
+        if tally.latency_checked:
+            lines.append(
+                f"latency: {name}: {tally.latency_checked} samples checked, "
+                f"{tally.latency_wrong} wrong"
+            )
     for name in report.missing_truth:
         lines.append(f"warning: {name}: no truth journal "
                      f"(recorded before the oracle side channel existed)")

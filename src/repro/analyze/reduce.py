@@ -205,8 +205,16 @@ class _Reducer:
 
     def _reduce_hwc(self, event) -> None:
         metric_id = event.event
-        weight = float(event.weight)
+        # a time-multiplexed counter was live for 1/scale of the run, so
+        # each sample stands for scale times its weight (an estimate —
+        # the journal header carries the multiplexed flag)
+        weight = float(event.weight) * event.scale
         program = self.program
+
+        if event.latency is not None:
+            self.reduced.latency_samples[metric_id].append(
+                (event.latency, weight)
+            )
 
         if event.status == "disabled":
             # no backtracking requested: raw skidded PC, no data objects

@@ -536,6 +536,46 @@ def cache_line_report(reduced: ReducedData, metric: str = "ecrm",
     )
 
 
+def latency_report(reduced: ReducedData, metric: str = "ldlat") -> str:
+    """Sampled load-latency distribution (SPE-style ``ldlat`` counter).
+
+    A power-of-two histogram of the per-trap latencies plus the weighted
+    summary statistics.  Latencies are exact per sampled load — unlike
+    the interval counters there is no skid to backtrack through — so the
+    distribution separates D$ hits, E$ hits and memory-bound loads into
+    distinct buckets.
+    """
+    samples = reduced.latency_samples.get(metric)
+    if not samples:
+        raise AnalysisError(f"no latency samples recorded for {metric!r}")
+    buckets = defaultdict(float)
+    for latency, weight in samples:
+        # smallest power of two >= latency names the bucket
+        buckets[max(0, latency - 1).bit_length()] += weight
+    total = sum(buckets.values())
+    rows = []
+    for exponent in sorted(buckets):
+        value = buckets[exponent]
+        rows.append([
+            f"<= {1 << exponent}",
+            f"{value:.0f}",
+            f"{100.0 * value / total:5.1f}",
+        ])
+    table = _render_table(["Cycles", "Weight", "%"], rows,
+                          left_align_last=False)
+    weighted = sum(latency * weight for latency, weight in samples)
+    mean = weighted / total if total else 0.0
+    lines = [
+        f"Sampled load latency ({METRICS[metric].label})",
+        "",
+        table,
+        "",
+        f"samples {len(samples)}  weighted mean {mean:.1f} cycles  "
+        f"min {min(l for l, _ in samples)}  max {max(l for l, _ in samples)}",
+    ]
+    return "\n".join(lines)
+
+
 def instance_report(reduced: ReducedData, metric: str = "ecrm",
                     top: int = 10) -> str:
     """§4: aggregate events by *data object instance* — the individual
@@ -741,6 +781,7 @@ __all__ = [
     "segment_report",
     "page_report",
     "cache_line_report",
+    "latency_report",
     "instance_report",
     "heap_report",
     "compare_functions",

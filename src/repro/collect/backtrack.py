@@ -50,6 +50,8 @@ class BacktrackResult:
 def _matches(instr: Instr, memop_class: str) -> bool:
     if memop_class == "load":
         return is_load(instr)
+    if memop_class == "store":
+        return is_store(instr)
     if memop_class == "loadstore":
         return is_load(instr) or is_store(instr)
     return False

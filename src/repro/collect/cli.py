@@ -8,6 +8,13 @@ Mirrors §3.1::
 Run with no arguments to list the available counters, exactly like the
 real ``collect`` ("The collect command, if run with no arguments, will
 generate a list of available counters").
+
+Counter requests are scheduled, not hand-packed: a ``-h`` list with any
+number of counters is split into the minimum number of passes over the
+workload (``collect.schedule``), ``--schedule plan`` prints that plan
+without running, and ``--multiplex`` folds the passes into one run that
+rotates the counter groups onto the PICs every ``--multiplex-quantum``
+instructions (totals become scaled estimates, flagged in the journal).
 """
 
 from __future__ import annotations
@@ -16,22 +23,36 @@ import argparse
 import sys
 
 from ..config import scaled_config
-from ..errors import KernelError, MachineError, ReproError, WatchdogExpired
+from ..errors import (
+    CollectError,
+    KernelError,
+    MachineError,
+    ReproError,
+    WatchdogExpired,
+)
 from ..faults import FaultPlan
 from ..machine.counters import EVENTS
 from .collector import CollectConfig, collect
+from .schedule import plan_passes
 
 
 def _list_counters() -> str:
-    lines = ["Available HW counters (two registers; pairs must differ):", ""]
+    lines = ["Available HW counters (scheduled onto two PIC registers):", ""]
     lines.append(f"  {'name':<10} {'registers':<10} {'unit':<8} description")
     for spec in EVENTS.values():
         registers = "/".join(f"PIC{r}" for r in spec.registers)
-        unit = "cycles" if spec.counts_cycles else "events"
+        if spec.counts_cycles:
+            unit = "cycles"
+        elif spec.counts_bytes:
+            unit = "bytes"
+        else:
+            unit = "events"
         lines.append(f"  {spec.name:<10} {registers:<10} {unit:<8} {spec.description}")
     lines.append("")
     lines.append("Prefix a counter with '+' to request apropos backtracking")
     lines.append("(memory-related counters only).  Intervals: hi / on / lo / <n>.")
+    lines.append("Any number of counters may be requested at once: the list is")
+    lines.append("auto-split into passes (preview with --schedule plan).")
     return "\n".join(lines)
 
 
@@ -46,6 +67,11 @@ def _parse_counter_list(text: str) -> list:
     requests: list[str] = []
     current: list[str] = []
     for part in parts:
+        if not part:
+            raise ReproError(
+                f"malformed counter request {text!r}: "
+                f"empty counter specification"
+            )
         name = part[1:] if part.startswith("+") else part
         if name.startswith("+"):
             raise ReproError(
@@ -96,8 +122,19 @@ def main(argv=None) -> int:
     parser.add_argument("-p", dest="clock", default="on", choices=["on", "off"],
                         help="clock profiling")
     parser.add_argument("-h", dest="counters", action="append", default=None,
-                        help="HW counters, e.g. +ecstall,lo,+ecrm,on; repeat "
-                             "the flag for extra passes over the workload")
+                        help="HW counters, e.g. +ecstall,lo,+ecrm,on; any "
+                             "number — the list is auto-split into passes; "
+                             "repeat the flag to force explicit pass breaks")
+    parser.add_argument("--schedule", default="auto", choices=["auto", "plan"],
+                        help="'plan' prints the pass plan for the requested "
+                             "counters and exits without running")
+    parser.add_argument("--multiplex", action="store_true",
+                        help="time-multiplex the counter groups within ONE "
+                             "run instead of one pass per group; totals "
+                             "become scaled estimates")
+    parser.add_argument("--multiplex-quantum", type=int, default=50_000,
+                        metavar="N",
+                        help="instructions per multiplex rotation")
     parser.add_argument("-o", dest="outdir", default="experiment.er",
                         help="experiment directory to write (multi-pass runs "
                              "write <stem>-p<i>.er)")
@@ -124,12 +161,42 @@ def main(argv=None) -> int:
                         help="inject deterministic faults, e.g. "
                              "'seed=7,kill_at=120000,drop_trap=0.25'")
     parser.add_argument("--help", action="help")
-    parser.prefix_chars = "-"
     args = parser.parse_args(argv)
 
+    if args.periodic != "off":
+        print(
+            f"collect: -S {args.periodic} is not supported: periodic "
+            f"sampling is not implemented, only '-S off' is accepted",
+            file=sys.stderr,
+        )
+        return 2
+
+    mux_groups: list = []
     try:
         counter_sets = [_parse_counter_list(text) for text in args.counters or []]
         fault_plan = FaultPlan.parse(args.fault_plan) if args.fault_plan else None
+        requests = [request for counters in counter_sets for request in counters]
+        if args.schedule == "plan":
+            print(plan_passes(requests, multiplex=args.multiplex).describe())
+            return 0
+        if args.multiplex and requests:
+            plan = plan_passes(requests, multiplex=True)
+            if plan.multiplexed:
+                mux_groups = plan.pass_requests()
+                counter_sets = []
+            else:
+                # everything fits in one pass: nothing to rotate
+                counter_sets = plan.pass_requests()
+        elif len(counter_sets) == 1:
+            counter_sets = plan_passes(counter_sets[0]).pass_requests()
+        elif counter_sets:
+            # several -h flags are explicit pass breaks, but each list
+            # may still need splitting on its own
+            counter_sets = [
+                split
+                for counters in counter_sets
+                for split in plan_passes(counters).pass_requests()
+            ]
     except ReproError as error:
         print(f"collect: {error}", file=sys.stderr)
         return 2
@@ -137,10 +204,16 @@ def main(argv=None) -> int:
     if len(counter_sets) > 1:
         return _run_passes(args, counter_sets)
 
+    if args.jobs > 1:
+        print("collect: --jobs has no effect on a single-pass run",
+              file=sys.stderr)
+
     program, input_longs = build_workload(args)
     config = CollectConfig(
         clock_profiling=args.clock == "on",
         counters=counter_sets[0] if counter_sets else [],
+        multiplex_groups=mux_groups,
+        multiplex_quantum=args.multiplex_quantum,
         name=args.outdir,
         watchdog_cycles=args.watchdog_cycles,
         watchdog_instructions=args.watchdog_instructions,
@@ -161,6 +234,11 @@ def main(argv=None) -> int:
         print(f"partial experiment written: {args.outdir}", file=sys.stderr)
         print(f"  (inspect with: repro-erprint {args.outdir} fsck)", file=sys.stderr)
         return 3
+    except CollectError as error:
+        # bad configuration caught before the run started (the scheduler
+        # validates counters earlier; this guards e.g. --multiplex-quantum)
+        print(f"collect: {error}", file=sys.stderr)
+        return 2
     print(f"experiment written: {args.outdir}")
     print(f"  {len(experiment.hwc_events)} HW counter events, "
           f"{len(experiment.clock_events)} clock ticks")

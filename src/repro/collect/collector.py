@@ -10,14 +10,17 @@ becomes::
     experiment = collect(program, machine_config, cfg, input_longs=...)
 
 A ``+`` before a counter name requests the apropos backtracking search;
-at most two counters are accepted, and they must land on different PIC
-registers (the hardware constraint that forced the paper to run MCF
-twice).
+at most two counters are accepted per pass, and the scheduler
+(:mod:`repro.collect.schedule`) assigns them to PIC registers by
+bipartite matching — the hardware constraint that forced the paper to
+run MCF twice is solved automatically, and longer request lists are
+split into passes (or time-multiplexed via ``multiplex_groups``) one
+level up, in the CLI.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import Optional, Sequence
 
 from ..compiler.program import Program
@@ -25,9 +28,10 @@ from ..config import MachineConfig
 from ..errors import CollectError, KernelError, MachineError
 from ..kernel.process import Process
 from ..kernel.signals import SIGEMT, SIGPROF
-from ..machine.counters import EVENTS, CounterSnapshot, CounterSpec
+from ..machine.counters import CounterSnapshot, CounterSpec
 from .backtrack import apropos_backtrack
 from .experiment import ClockEvent, Experiment, HwcEvent, TruthEvent
+from .schedule import assign_registers
 
 #: failures the collector survives by finalizing a partial experiment:
 #: simulated-program faults (MemoryFault, SimulatedCrash, ...), kernel
@@ -56,6 +60,17 @@ class CollectConfig:
     #: "trace" (superblock-compiled, fastest) or "reference"
     #: (per-instruction oracle); profiles are bit-identical across all
     engine: str = "fast"
+    #: time-multiplexed counter groups: when non-empty, ``counters`` must
+    #: be empty and the run rotates these groups onto the PIC registers
+    #: every ``multiplex_quantum`` retired instructions.  Each event is
+    #: live for only 1/len(groups) of the run, so its samples carry
+    #: ``scale=len(groups)`` — reduction scales the weights up and the
+    #: journal flags the totals as estimates.  In-flight (armed but
+    #: undelivered) traps are dropped at rotation boundaries, identically
+    #: on every engine.
+    multiplex_groups: Sequence[Sequence[str]] = field(default_factory=tuple)
+    #: rotation quantum in retired instructions
+    multiplex_quantum: int = 50_000
 
     def resolve_clock_interval(self) -> int:
         """Map hi/on/lo (or cycles) to a tick interval."""
@@ -71,53 +86,17 @@ class CollectConfig:
             ) from None
 
 
-def _request_name(text: str) -> str:
-    """Event name of a counter request, stripping the single optional ``+``.
-
-    Mirrors :meth:`CounterSpec.parse` exactly: one leading ``+`` requests
-    backtracking, a second one is malformed and rejected up front (it used
-    to slip past ``lstrip("+")`` here and fail deep in parsing with a
-    misleading unknown-name error).
-    """
-    if text.startswith("+"):
-        text = text[1:]
-        if text.startswith("+"):
-            raise CollectError(
-                f"malformed counter request {'+' + text!r}: "
-                f"at most one '+' prefix is allowed"
-            )
-    return text.split(",")[0]
-
-
 def parse_counter_requests(requests: Sequence[str]) -> list[CounterSpec]:
-    """Assign PIC registers to counter requests (paper: the user must put
-    two counters on different registers; we auto-assign and error out when
-    impossible)."""
-    if len(requests) > 2:
-        raise CollectError("at most two HW counters per experiment")
-    specs: list[CounterSpec] = []
-    used: set[int] = set()
-    names = [_request_name(text) for text in requests]
-    # try the more constrained requests first
-    order = sorted(
-        range(len(requests)),
-        key=lambda i: len(EVENTS[names[i]].registers) if names[i] in EVENTS else 99,
-    )
-    chosen: dict[int, CounterSpec] = {}
-    for i in order:
-        name = names[i]
-        if name not in EVENTS:
-            raise CollectError(f"unknown counter name: {name!r}")
-        register = next((r for r in EVENTS[name].registers if r not in used), None)
-        if register is None:
-            raise CollectError(
-                f"counters {names} cannot be mapped to different PIC registers"
-            )
-        used.add(register)
-        chosen[i] = CounterSpec.parse(requests[i], register)
-    for i in range(len(requests)):
-        specs.append(chosen[i])
-    return specs
+    """Assign PIC registers to one pass worth of counter requests.
+
+    Delegates to the scheduler's bipartite matching
+    (:func:`repro.collect.schedule.assign_registers`), which replaced the
+    old constrained-first greedy here — the greedy could not move an
+    already-placed flexible counter out of the way, so some feasible
+    pairs were rejected.  Errors out only when the pair is genuinely
+    unpackable (two PIC0-only events, say).
+    """
+    return assign_registers(requests)
 
 
 class Collector:
@@ -156,7 +135,32 @@ class Collector:
             heap_page_bytes or machine_config.dtlb.default_page_bytes
         )
         # validate the counter requests before the journal touches disk
-        self.specs = parse_counter_requests(collect_config.counters)
+        groups = [list(group) for group in collect_config.multiplex_groups]
+        if groups and list(collect_config.counters):
+            raise CollectError(
+                "multiplex_groups and counters are mutually exclusive"
+            )
+        if len(groups) == 1:
+            # a single group needs no rotation: run it as a plain pass
+            collect_config = self.config = dataclass_replace(
+                collect_config, counters=groups[0], multiplex_groups=()
+            )
+            groups = []
+        self._groups = [parse_counter_requests(group) for group in groups]
+        if self._groups:
+            if collect_config.multiplex_quantum <= 0:
+                raise CollectError("multiplex quantum must be positive")
+            self.specs = [s for specs in self._groups for s in specs]
+            names = [spec.event.name for spec in self.specs]
+            if len(set(names)) != len(names):
+                raise CollectError(
+                    "multiplexed counter groups repeat an event"
+                )
+        else:
+            self.specs = parse_counter_requests(collect_config.counters)
+        #: each sample represents len(groups) times its weight when the
+        #: counters are only live for 1/len(groups) of the run
+        self._scale = len(self._groups) if self._groups else 1
         self._spec_by_register = {spec.register: spec for spec in self.specs}
         #: global sequence number across counters for the truth journal
         self._truth_seq = 0
@@ -193,6 +197,8 @@ class Collector:
                 cycle=snapshot.cycle,
                 callstack=snapshot.callstack,
                 coalesced=snapshot.coalesced,
+                latency=snapshot.load_latency,
+                scale=self._scale,
             )
         )
         # Ground-truth side channel for the attribution oracle: what the
@@ -211,6 +217,7 @@ class Collector:
                 true_skid=snapshot.true_skid,
                 coalesced=snapshot.coalesced,
                 regs=snapshot.regs,
+                true_latency=snapshot.load_latency,
             )
         )
         self._truth_seq += 1
@@ -226,7 +233,37 @@ class Collector:
         machine = self.process.machine
         experiment.log(f"collect: starting run of {self.program.entry:#x}")
 
-        if self.specs:
+        if self._groups:
+            # counters are programmed per quantum by the rotation loop;
+            # the info entries flag every total as a scaled estimate
+            self.process.signals.register(SIGEMT, self._on_overflow)
+            experiment.info.counters = [
+                {
+                    "name": spec.event.name,
+                    "interval": spec.interval,
+                    "backtrack": spec.backtrack,
+                    "register": spec.register,
+                    "group": group_index,
+                    "multiplexed": True,
+                    "scale": self._scale,
+                }
+                for group_index, specs in enumerate(self._groups)
+                for spec in specs
+            ]
+            experiment.log(
+                f"collect: time-multiplexing {len(self._groups)} counter "
+                f"groups every {self.config.multiplex_quantum} instructions "
+                f"(sampled weights scaled x{self._scale}; totals are "
+                f"estimates)"
+            )
+            for group_index, specs in enumerate(self._groups):
+                for spec in specs:
+                    experiment.log(
+                        f"collect: group {group_index}: PIC{spec.register} <- "
+                        f"{spec.event.name} interval={spec.interval} "
+                        f"backtrack={spec.backtrack}"
+                    )
+        elif self.specs:
             machine.configure_counters(self.specs)
             self.process.signals.register(SIGEMT, self._on_overflow)
             experiment.info.counters = [
@@ -261,11 +298,14 @@ class Collector:
         if self.fault_plan is not None:
             experiment.log(f"collect: fault plan {self.fault_plan.describe()}")
         try:
-            exit_code = self.process.run(
-                max_instructions=self.config.max_instructions,
-                max_cycles=self.config.watchdog_cycles,
-                watchdog_instructions=self.config.watchdog_instructions,
-            )
+            if self._groups:
+                exit_code = self._run_multiplexed()
+            else:
+                exit_code = self.process.run(
+                    max_instructions=self.config.max_instructions,
+                    max_cycles=self.config.watchdog_cycles,
+                    watchdog_instructions=self.config.watchdog_instructions,
+                )
         except RECOVERABLE_FAULTS as error:
             # the run died, the profile need not: finalize what we have as
             # a partial but valid experiment, then let the fault propagate
@@ -273,6 +313,60 @@ class Collector:
             raise
         self._finalize(exit_code=exit_code)
         return experiment
+
+    def _run_multiplexed(self) -> int:
+        """Rotate the counter groups onto the PICs every quantum.
+
+        Each chunk runs at most ``multiplex_quantum`` instructions with
+        one group configured, then the next group takes over.  Traps
+        still in their skid window at a rotation boundary are dropped —
+        real PICs lose in-flight events when reprogrammed too — and the
+        drop count is journaled.  Deterministic on every engine: the
+        chunk boundaries are exact instruction counts, so fast/trace/
+        reference journals stay byte-identical.
+        """
+        process = self.process
+        machine = process.machine
+        cpu = machine.cpu
+        counters = cpu.counters
+        quantum = self.config.multiplex_quantum
+        ngroups = len(self._groups)
+        #: each group's counting progress while it is off the PICs — a
+        #: quantum shorter than the overflow interval must still make
+        #: progress toward the next trap across rotations
+        states: list = [None] * ngroups
+        rotation = 0
+        dropped = 0
+        exit_code = 0
+        while not cpu.halted:
+            if self.config.max_instructions is not None:
+                left = self.config.max_instructions - cpu.instr_count
+                if left <= 0:
+                    break
+                chunk = min(quantum, left)
+            else:
+                chunk = quantum
+            group = rotation % ngroups
+            specs = self._groups[group]
+            self._spec_by_register = {spec.register: spec for spec in specs}
+            machine.configure_counters(specs)
+            if states[group] is not None:
+                counters.restore_state(states[group])
+            exit_code = process.run(
+                max_instructions=chunk,
+                max_cycles=self.config.watchdog_cycles,
+                watchdog_instructions=self.config.watchdog_instructions,
+            )
+            states[group] = counters.save_state()
+            if not cpu.halted:
+                dropped += len(cpu.pending_traps)
+                del cpu.pending_traps[:]
+            rotation += 1
+        self.experiment.log(
+            f"collect: multiplex rotated {rotation} quanta; {dropped} "
+            f"pending traps dropped at group boundaries"
+        )
+        return exit_code
 
     def _finalize(self, exit_code: int, error: Optional[BaseException] = None) -> None:
         """Record end-of-run (or point-of-death) ground truth."""

@@ -114,11 +114,24 @@ class HwcEvent:
     #: one trap for them (defaulted for experiments saved before the field
     #: existed)
     coalesced: int = 1
+    #: for sampled-latency (``ldlat``) events: the sampled load's latency
+    #: in cycles as delivered by the trap (None for every other event)
+    latency: Optional[int] = None
+    #: weight multiplier for time-multiplexed runs: the counter was live
+    #: for only 1/scale of the run, so reduction scales the weight up and
+    #: reports flag the result as an estimate (1 on dedicated-pass runs)
+    scale: int = 1
 
     def to_json(self) -> str:
         """Serialize to one JSON line."""
         record = asdict(self)
         record["callstack"] = list(self.callstack)
+        # keep journals byte-identical to pre-taxonomy recordings: the new
+        # fields appear on the wire only when they carry information
+        if record["latency"] is None:
+            del record["latency"]
+        if record["scale"] == 1:
+            del record["scale"]
         return json.dumps(record, separators=(",", ":"))
 
     @staticmethod
@@ -165,11 +178,18 @@ class TruthEvent:
     true_skid: int
     coalesced: int
     regs: tuple
+    #: for sampled-latency (``ldlat``) traps: the delivered latency in
+    #: cycles, journaled so the oracle can check the profile row against
+    #: it (None for every other event)
+    true_latency: Optional[int] = None
 
     def to_json(self) -> str:
         """Serialize to one JSON line."""
         record = asdict(self)
         record["regs"] = list(self.regs)
+        # as in HwcEvent.to_json: absent unless it carries information
+        if record["true_latency"] is None:
+            del record["true_latency"]
         return json.dumps(record, separators=(",", ":"))
 
     @staticmethod

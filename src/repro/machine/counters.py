@@ -13,6 +13,12 @@ We reproduce that information loss exactly:
 * the delivered :class:`CounterSnapshot` carries only ``trap_pc`` (next
   instruction to issue), the register values at delivery time, and the
   callstack — never the triggering instruction or its data address.
+
+Beyond the paper's US-III menu, the taxonomy includes byte-bandwidth
+counters (``ldbytes``/``stbytes``, FETCH_SIZE/WRITE_SIZE-style), branch
+and branch-miss counters (``br``/``brm``, BTFN prediction model) and an
+ARM-SPE-style sampled load latency (``ldlat``) whose precise trap also
+carries the sampled load's latency in cycles.
 """
 
 from __future__ import annotations
@@ -37,13 +43,17 @@ class EventSpec:
     #: trap skid in completed instructions, inclusive range
     skid_min: int
     skid_max: int
-    #: which instruction kinds can trigger the event: "load", "loadstore",
-    #: or None for events not tied to a memory instruction
+    #: which instruction kinds can trigger the event: "load", "store",
+    #: "loadstore", or None for events not tied to a memory instruction
     memop_class: Optional[str]
     #: probability that the trap lands at skid_min (long-stall events are
     #: delivered while the trigger still blocks the pipeline, so they are
     #: mostly precise; non-stalling events spread uniformly)
     skid_bias: float = 0.0
+    #: True when the counter accumulates bytes moved rather than
+    #: occurrences (display only; bandwidth counters use the event
+    #: interval table)
+    counts_bytes: bool = False
 
     @property
     def precise(self) -> bool:
@@ -69,8 +79,29 @@ EVENTS: dict[str, EventSpec] = {
         EventSpec("ecref", "E$ references", False, (0,), 2, 5, "loadstore"),
         EventSpec("ecrm", "E$ read misses", False, (1,), 0, 1, "load", 0.85),
         EventSpec("ecstall", "E$ stall cycles", True, (0,), 0, 1, "load", 0.85),
+        # Bandwidth-style byte counters (FETCH_SIZE/WRITE_SIZE in the ROCm
+        # menu): one LDX/STX moves 8 bytes, LDUB/STB moves 1.
+        EventSpec("ldbytes", "Bytes loaded (FETCH_SIZE-style)", False, (0,),
+                  1, 4, "load", counts_bytes=True),
+        EventSpec("stbytes", "Bytes stored (WRITE_SIZE-style)", False, (1,),
+                  1, 4, "store", counts_bytes=True),
+        # Branch taxonomy: completed branches count on either register, the
+        # misprediction counter (BTFN static model: backward taken, forward
+        # not taken; indirect jumps always mispredict) is PIC1-only.
+        EventSpec("br", "Branches completed", False, (0, 1), 1, 4, None),
+        EventSpec("brm", "Branches mispredicted (BTFN model)", False, (1,),
+                  1, 4, None),
+        # ARM-SPE-style sampled load latency: a precise trap on every
+        # interval-th load, carrying that load's latency in cycles.
+        EventSpec("ldlat", "Sampled load latency (SPE-style, precise)",
+                  False, (0,), 0, 0, "load"),
     )
 }
+
+#: events beyond the paper's US-III menu.  The trace/superblock tier does
+#: not inline them; watching one deopts a trace-engine run to the fast
+#: interpreter loop (journals are byte-identical across engines anyway).
+EXTENDED_EVENTS = frozenset({"ldbytes", "stbytes", "br", "brm", "ldlat"})
 
 #: named overflow intervals (prime, per paper §2.2, "to reduce the
 #: probability of correlations").  These are simulation-scale: a scaled MCF
@@ -174,6 +205,10 @@ class CounterSnapshot:
     #: only one trap, so the intervals are coalesced into it and the
     #: collector must weight the event by ``interval * coalesced``.
     coalesced: int = 1
+    #: for ``ldlat`` traps only: the sampled load's latency in cycles
+    #: (issue to data ready, including all stall penalties).  This is real
+    #: delivered payload, not a diagnostic — SPE hardware reports it.
+    load_latency: Optional[int] = None
 
 
 class CounterUnit:
@@ -222,6 +257,22 @@ class CounterUnit:
                 raise CollectError(f"event {spec.event.name} requested twice")
             self.watching[spec.event.name] = spec.register
 
+    def save_state(self) -> tuple:
+        """Snapshot the registers' counting progress.
+
+        Used by the time-multiplexing rotation: a group that leaves the
+        PICs keeps its partial interval countdown, otherwise a quantum
+        shorter than the overflow interval could never overflow at all.
+        """
+        return (list(self.remaining), list(self.totals), list(self.overflows))
+
+    def restore_state(self, state: tuple) -> None:
+        """Resume a group's saved progress after :meth:`configure`."""
+        remaining, totals, overflows = state
+        self.remaining[:] = remaining
+        self.totals[:] = totals
+        self.overflows[:] = overflows
+
     def record(self, register: int, amount: int) -> int:
         """Count ``amount`` events on PIC ``register``.
 
@@ -265,6 +316,7 @@ class CounterUnit:
 __all__ = [
     "EventSpec",
     "EVENTS",
+    "EXTENDED_EVENTS",
     "overflow_interval",
     "CounterSpec",
     "CounterSnapshot",

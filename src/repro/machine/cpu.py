@@ -53,8 +53,10 @@ Invariants every engine must preserve:
   the trap must be delivered and ``true_ea`` is the triggering access's
   effective address (None for events not tied to a memory instruction) —
   a diagnostic the attribution oracle journals; the collector's profile
-  never sees it.  All engines share the format, so single-stepping and
-  engine switches between runs agree.
+  never sees it.  Sampled-latency (``ldlat``) traps append an optional
+  seventh element, the sampled load's latency in cycles; delivery sites
+  read ``trap[6]`` only when present.  All engines share the format, so
+  single-stepping and engine switches between runs agree.
 * **K_BAD sentinel rows.**  The predecode table ends with a
   ``(K_BAD, None)`` sentinel at index ``ncode`` and appends dedicated
   ``(K_BAD, target)`` rows for statically invalid branch targets, so
@@ -82,7 +84,7 @@ from ..isa.decode import predecode
 from ..isa.instructions import Instr
 from ..isa.registers import NUM_REGS, REG_RA
 from .cache import Cache
-from .counters import CounterSnapshot, CounterUnit
+from .counters import EXTENDED_EVENTS, CounterSnapshot, CounterUnit
 from .memory import Memory
 from .tlb import TLB
 
@@ -190,7 +192,8 @@ class CPU:
 
     def snapshot(self, register: int, true_skid: int,
                  true_trigger_pc: int = 0, coalesced: int = 1,
-                 true_effective_address: Optional[int] = None) -> CounterSnapshot:
+                 true_effective_address: Optional[int] = None,
+                 load_latency: Optional[int] = None) -> CounterSnapshot:
         """Build the signal-delivery view of the CPU state."""
         spec = self.counters.specs[register]
         assert spec is not None
@@ -206,6 +209,7 @@ class CPU:
             true_trigger_pc=true_trigger_pc,
             coalesced=coalesced,
             true_effective_address=true_effective_address,
+            load_latency=load_latency,
         )
 
     def step(self) -> None:
@@ -277,12 +281,18 @@ class CPU:
             return run_reference(
                 self, max_instructions, max_cycles, watchdog_instructions
             )
-        if self.engine == "trace":
+        if self.engine == "trace" and EXTENDED_EVENTS.isdisjoint(
+            self.counters.watching
+        ):
             from .cpu_trace import run_trace
 
             return run_trace(
                 self, max_instructions, max_cycles, watchdog_instructions
             )
+        # engine == "fast", or engine == "trace" watching an extended-
+        # taxonomy event (branch/bandwidth/latency counters): the trace
+        # tier does not inline those, so deopt to the fast loop below —
+        # journals are byte-identical across engines either way.
 
         # Bind everything hot to locals.
         regs = self.regs
@@ -334,6 +344,12 @@ class CPU:
         w_ecref = watching.get("ecref")
         w_ecrm = watching.get("ecrm")
         w_ecstall = watching.get("ecstall")
+        w_ldbytes = watching.get("ldbytes")
+        w_stbytes = watching.get("stbytes")
+        w_ldlat = watching.get("ldlat")
+        w_br = watching.get("br")
+        w_brm = watching.get("brm")
+        track_br = w_br is not None or w_brm is not None
 
         pc = self.pc
         npc = self.npc
@@ -382,6 +398,35 @@ class CPU:
         if npc & 3 or ni < 0 or ni > ncode:
             bad_pc = npc
             ni = ncode
+
+        def btfn_backward(trow, row):
+            # BTFN static prediction: taken iff the target address is at or
+            # before the branch.  Statically invalid targets live on
+            # appended K_BAD rows whose payload keeps the raw address, so
+            # compare addresses there instead of row indices.
+            te = dec[trow]
+            if te[0] == K_BAD and te[1] is not None:
+                return te[1] <= tb + (row << 2)
+            return trow <= row
+
+        def note_br(mispred, row, icount):
+            # One completed branch (and possibly one misprediction) on the
+            # branch counters; returns True when a trap was armed so the
+            # arm breaks to the checkpoint at this instruction.
+            armed = False
+            if w_br is not None:
+                s = record(w_br, 1)
+                if s >= 0:
+                    pending.append([icount + 1 + s, w_br, s, tb + (row << 2),
+                                    counters.last_coalesced, None])
+                    armed = True
+            if mispred and w_brm is not None:
+                s = record(w_brm, 1)
+                if s >= 0:
+                    pending.append([icount + 1 + s, w_brm, s, tb + (row << 2),
+                                    counters.last_coalesced, None])
+                    armed = True
+            return armed
 
         countdown = 0
         brk = False
@@ -448,7 +493,8 @@ class CPU:
                                     handler(
                                         self.snapshot(
                                             trap[1], trap[2], trap[3], trap[4],
-                                            trap[5]
+                                            trap[5],
+                                            trap[6] if len(trap) > 6 else None,
                                         )
                                     )
                     if self.clock_interval_cycles and cycles >= self.next_clock_tick:
@@ -634,6 +680,27 @@ class CPU:
                         rd = e[1]
                         if rd:
                             regs[rd] = value
+                        if w_ldbytes is not None:
+                            skid = record(w_ldbytes, 8 if k < 2 else 1)
+                            if skid >= 0:
+                                pending.append(
+                                    [instr_count + 1 + skid, w_ldbytes, skid,
+                                     tb + (i << 2),
+                                     counters.last_coalesced, ea]
+                                )
+                                brk = True
+                        if w_ldlat is not None:
+                            skid = record(w_ldlat, 1)
+                            if skid >= 0:
+                                # sampled SPE-style latency: every cycle the
+                                # load consumed (miss penalties, prefetch
+                                # waits) plus its base issue cost
+                                pending.append(
+                                    [instr_count + 1 + skid, w_ldlat, skid,
+                                     tb + (i << 2), counters.last_coalesced,
+                                     ea, cycles - lcyc + base_cycles]
+                                )
+                                brk = True
                         instr_count += 1
                         cycles += base_cycles
                         i = ni
@@ -753,6 +820,15 @@ class CPU:
                             if word > _S64_MAX:
                                 word -= _U64
                             words[widx] = word
+                        if w_stbytes is not None:
+                            skid = record(w_stbytes, 8 if k < 6 else 1)
+                            if skid >= 0:
+                                pending.append(
+                                    [instr_count + 1 + skid, w_stbytes, skid,
+                                     tb + (i << 2),
+                                     counters.last_coalesced, ea]
+                                )
+                                brk = True
                         instr_count += 1
                         cycles += base_cycles
                         i = ni
@@ -767,6 +843,10 @@ class CPU:
                         i = ni
                         ni += 1
                     elif k == K_BGE:
+                        if track_br and note_br(
+                            (cc >= 0) != btfn_backward(e[1], i), i, instr_count
+                        ):
+                            brk = True
                         if cc >= 0:
                             i = ni
                             ni = e[1]
@@ -775,11 +855,19 @@ class CPU:
                             ni += 1
                         instr_count += 1
                         cycles += base_cycles
+                        if brk:
+                            brk = False
+                            break
                     elif k == K_BA:
+                        if track_br and note_br(False, i, instr_count):
+                            brk = True
                         i = ni
                         ni = e[1]
                         instr_count += 1
                         cycles += base_cycles
+                        if brk:
+                            brk = False
+                            break
                     elif k == K_MULX_R:
                         value = regs[e[2]] * regs[e[3]]
                         if value > _S64_MAX or value < _S64_MIN:
@@ -790,6 +878,10 @@ class CPU:
                         i = ni
                         ni += 1
                     elif k == K_BL:
+                        if track_br and note_br(
+                            (cc < 0) != btfn_backward(e[1], i), i, instr_count
+                        ):
+                            brk = True
                         if cc < 0:
                             i = ni
                             ni = e[1]
@@ -798,7 +890,14 @@ class CPU:
                             ni += 1
                         instr_count += 1
                         cycles += base_cycles
+                        if brk:
+                            brk = False
+                            break
                     elif k == K_BNE:
+                        if track_br and note_br(
+                            (cc != 0) != btfn_backward(e[1], i), i, instr_count
+                        ):
+                            brk = True
                         if cc != 0:
                             i = ni
                             ni = e[1]
@@ -807,6 +906,9 @@ class CPU:
                             ni += 1
                         instr_count += 1
                         cycles += base_cycles
+                        if brk:
+                            brk = False
+                            break
                     elif k == K_SLLX_I:
                         value = regs[e[2]] << e[3]
                         if value > _S64_MAX or value < _S64_MIN:
@@ -835,6 +937,10 @@ class CPU:
                         i = ni
                         ni += 1
                     elif k == K_BE:
+                        if track_br and note_br(
+                            (cc == 0) != btfn_backward(e[1], i), i, instr_count
+                        ):
+                            brk = True
                         if cc == 0:
                             i = ni
                             ni = e[1]
@@ -843,7 +949,14 @@ class CPU:
                             ni += 1
                         instr_count += 1
                         cycles += base_cycles
+                        if brk:
+                            brk = False
+                            break
                     elif k == K_BG:
+                        if track_br and note_br(
+                            (cc > 0) != btfn_backward(e[1], i), i, instr_count
+                        ):
+                            brk = True
                         if cc > 0:
                             i = ni
                             ni = e[1]
@@ -852,7 +965,14 @@ class CPU:
                             ni += 1
                         instr_count += 1
                         cycles += base_cycles
+                        if brk:
+                            brk = False
+                            break
                     elif k == K_BLE:
+                        if track_br and note_br(
+                            (cc <= 0) != btfn_backward(e[1], i), i, instr_count
+                        ):
+                            brk = True
                         if cc <= 0:
                             i = ni
                             ni = e[1]
@@ -861,6 +981,9 @@ class CPU:
                             ni += 1
                         instr_count += 1
                         cycles += base_cycles
+                        if brk:
+                            brk = False
+                            break
                     elif k == K_MULX_I:
                         value = regs[e[2]] * e[3]
                         if value > _S64_MAX or value < _S64_MIN:
@@ -871,6 +994,8 @@ class CPU:
                         i = ni
                         ni += 1
                     elif k == K_CALL:
+                        if track_br and note_br(False, i, instr_count):
+                            brk = True
                         xpc = tb + (i << 2)
                         regs[REG_RA] = xpc
                         callstack.append(xpc)
@@ -878,7 +1003,14 @@ class CPU:
                         ni = e[1]
                         instr_count += 1
                         cycles += base_cycles
+                        if brk:
+                            brk = False
+                            break
                     elif k == K_JMPL:
+                        # indirect target: the BTFN static predictor always
+                        # mispredicts it
+                        if track_br and note_br(True, i, instr_count):
+                            brk = True
                         rd = e[1]
                         if rd:
                             regs[rd] = tb + (i << 2)
@@ -895,6 +1027,9 @@ class CPU:
                         ni = ti
                         instr_count += 1
                         cycles += base_cycles
+                        if brk:
+                            brk = False
+                            break
                     elif k < 10:  # PREFETCH
                         o = e[3]
                         ea = regs[e[2]] + (regs[o] if k & 1 else o)

@@ -25,7 +25,9 @@ the machine model, not of either loop):
 * stores consume in-flight prefetch entries for their E$ line, and
   entries whose ready cycle has passed are dropped;
 * pending traps use the shared absolute format
-  ``[due_instr_count, register, skid, trigger_pc, coalesced, true_ea]``.
+  ``[due_instr_count, register, skid, trigger_pc, coalesced, true_ea]``,
+  with sampled-latency (``ldlat``) traps appending an optional seventh
+  element carrying the sampled load's latency in cycles.
 """
 
 from __future__ import annotations
@@ -89,6 +91,26 @@ def run_reference(
     w_ecref = watching.get("ecref")
     w_ecrm = watching.get("ecrm")
     w_ecstall = watching.get("ecstall")
+    w_ldbytes = watching.get("ldbytes")
+    w_stbytes = watching.get("stbytes")
+    w_ldlat = watching.get("ldlat")
+    w_br = watching.get("br")
+    w_brm = watching.get("brm")
+    track_br = w_br is not None or w_brm is not None
+
+    def note_br(mispred, bpc, icount):
+        # One completed branch (and possibly one misprediction under the
+        # BTFN static model) on the branch counters.
+        if w_br is not None:
+            s = record(w_br, 1)
+            if s >= 0:
+                pending.append([icount + 1 + s, w_br, s, bpc,
+                                counters.last_coalesced, None])
+        if mispred and w_brm is not None:
+            s = record(w_brm, 1)
+            if s >= 0:
+                pending.append([icount + 1 + s, w_brm, s, bpc,
+                                counters.last_coalesced, None])
 
     pc = cpu.pc
     npc = cpu.npc
@@ -209,6 +231,24 @@ def run_reference(
                 rd = instr.rd
                 if rd:
                     regs[rd] = value
+                if w_ldbytes is not None:
+                    skid = record(w_ldbytes, 8 if op is LDX else 1)
+                    if skid >= 0:
+                        pending.append(
+                            [instr_count + 1 + skid, w_ldbytes, skid, pc,
+                             counters.last_coalesced, ea]
+                        )
+                if w_ldlat is not None:
+                    skid = record(w_ldlat, 1)
+                    if skid >= 0:
+                        # sampled SPE-style latency: every cycle the load
+                        # consumed (miss penalties, prefetch waits) plus
+                        # its base issue cost
+                        pending.append(
+                            [instr_count + 1 + skid, w_ldlat, skid, pc,
+                             counters.last_coalesced, ea,
+                             cycles - cyc0 + base_cycles]
+                        )
 
             elif op is STX or op is STB:
                 rs2 = instr.rs2
@@ -261,6 +301,13 @@ def run_reference(
                     if word > _S64_MAX:
                         word -= _U64
                     words[widx] = word
+                if w_stbytes is not None:
+                    skid = record(w_stbytes, 8 if op is STX else 1)
+                    if skid >= 0:
+                        pending.append(
+                            [instr_count + 1 + skid, w_stbytes, skid, pc,
+                             counters.last_coalesced, ea]
+                        )
 
             elif op is PREFETCH:
                 rs2 = instr.rs2
@@ -304,25 +351,46 @@ def run_reference(
             elif op is NOP:
                 pass
             elif op is BE:
-                if cc == 0:
+                taken = cc == 0
+                if taken:
                     npc2 = instr.target
+                if track_br:
+                    note_br(taken != (instr.target <= pc), pc, instr_count)
             elif op is BNE:
-                if cc != 0:
+                taken = cc != 0
+                if taken:
                     npc2 = instr.target
+                if track_br:
+                    note_br(taken != (instr.target <= pc), pc, instr_count)
             elif op is BG:
-                if cc > 0:
+                taken = cc > 0
+                if taken:
                     npc2 = instr.target
+                if track_br:
+                    note_br(taken != (instr.target <= pc), pc, instr_count)
             elif op is BGE:
-                if cc >= 0:
+                taken = cc >= 0
+                if taken:
                     npc2 = instr.target
+                if track_br:
+                    note_br(taken != (instr.target <= pc), pc, instr_count)
             elif op is BL:
-                if cc < 0:
+                taken = cc < 0
+                if taken:
                     npc2 = instr.target
+                if track_br:
+                    note_br(taken != (instr.target <= pc), pc, instr_count)
             elif op is BLE:
-                if cc <= 0:
+                taken = cc <= 0
+                if taken:
                     npc2 = instr.target
+                if track_br:
+                    note_br(taken != (instr.target <= pc), pc, instr_count)
             elif op is BA:
                 npc2 = instr.target
+                if track_br:
+                    # unconditional with a static target: always predicted
+                    note_br(False, pc, instr_count)
             elif op is MULX:
                 rs2 = instr.rs2
                 value = regs[instr.rs1] * (instr.imm if rs2 is None else regs[rs2])
@@ -390,6 +458,8 @@ def run_reference(
                 regs[REG_RA] = pc
                 npc2 = instr.target
                 callstack.append(pc)
+                if track_br:
+                    note_br(False, pc, instr_count)
             elif op is JMPL:
                 rd = instr.rd
                 if rd:
@@ -397,6 +467,10 @@ def run_reference(
                 npc2 = regs[instr.rs1] + instr.imm
                 if rd == REG_G0 and instr.rs1 == REG_RA and callstack:
                     callstack.pop()
+                if track_br:
+                    # indirect target: the BTFN static predictor always
+                    # mispredicts it
+                    note_br(True, pc, instr_count)
             elif op is TA:
                 service = cpu.kernel_service
                 if service is None:
@@ -454,7 +528,8 @@ def run_reference(
                         if handler is not None:
                             handler(
                                 cpu.snapshot(trap[1], trap[2], trap[3], trap[4],
-                                             trap[5])
+                                             trap[5],
+                                             trap[6] if len(trap) > 6 else None)
                             )
 
             if cpu.clock_interval_cycles and cycles >= cpu.next_clock_tick:

@@ -35,6 +35,11 @@ reference interpreter:
   inside a block first write the architectural state (including partial
   cycle penalties) back to the state hub, so ``finally``-path
   finalization sees exactly what the fast engine would have.
+* **Extended-taxonomy events are not inlined.** When a run watches one
+  of the branch/bandwidth/latency counters (``counters.EXTENDED_EVENTS``)
+  ``CPU.run`` never enters this tier: it deopts the whole run to the
+  fast interpreter loop, which keeps the journals byte-identical without
+  teaching the block compiler about per-branch records.
 
 Blocks are compiled in one of two modes, chosen per ``run()`` call:
 
@@ -1188,7 +1193,8 @@ def run_trace(
                                 handler(
                                     self.snapshot(
                                         trap[1], trap[2], trap[3], trap[4],
-                                        trap[5]
+                                        trap[5],
+                                        trap[6] if len(trap) > 6 else None,
                                     )
                                 )
                 if self.clock_interval_cycles and cyc >= self.next_clock_tick:

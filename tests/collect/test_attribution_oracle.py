@@ -231,10 +231,11 @@ class TestFuzz:
     @pytest.mark.slow
     @pytest.mark.parametrize("seed", range(24))
     def test_fuzz_sweep_wide(self, seed):
-        """Nightly: wider program sweep across every backtrackable counter
-        and a coalescing-prone interval."""
+        """Nightly: wider program sweep across every backtrackable counter,
+        a coalescing-prone interval, and the sampled-latency event from
+        the extended taxonomy."""
         source = generate_source(seed, size=8)
-        for counter in ALL_COUNTERS + ["+ecstall,1"]:
+        for counter in ALL_COUNTERS + ["+ecstall,1", "+ldlat,17"]:
             report, _ = _run_oracle(counter, source=source,
                                     input_longs=FUZZ_INPUT,
                                     name=f"fuzz{seed}")
@@ -287,6 +288,105 @@ class TestMcfAcceptance:
         assert mcf_report.counts("ecref").rate(WRONG_PC) <= 0.85
         for tally in mcf_report.by_event.values():
             assert tally.spurious_not_found == 0
+
+
+#: data-dependent alternating branch: BTFN mispredicts ~50% of the
+#: forward conditionals, so ``brm`` actually accumulates events
+BRANCHY_SRC = """
+long main(long *input, long n) {
+    long i; long s;
+    s = 0;
+    for (i = 0; i < 20000; i++) {
+        if ((i & 1) == 0) {
+            s = s + i;
+        } else {
+            s = s - 1;
+        }
+    }
+    return s & 255;
+}
+"""
+
+#: store-heavy strided loop for the ``stbytes`` byte-bandwidth counter
+STORE_SRC = """
+struct rec { long a; long b; long c; long d; };
+long main(long *input, long n) {
+    struct rec *arr;
+    long i; long j; long s;
+    arr = (struct rec *) malloc(2048 * sizeof(struct rec));
+    s = 0;
+    for (j = 0; j < 4; j++) {
+        for (i = 0; i < 2048; i++) {
+            arr[i].a = i * 3;
+            arr[i].c = i - j;
+            s = s + arr[i].a;
+        }
+    }
+    return s & 255;
+}
+"""
+
+
+class TestExtendedTaxonomy:
+    """Accuracy gates for the bandwidth / branch / latency counters."""
+
+    def test_ldlat_is_precise_and_latencies_check_out(self):
+        # SPE-style sampling traps on the load itself (skid 0): every
+        # event is exact, and the reported latency matches ground truth
+        report, experiment = _run_oracle("+ldlat,101")
+        tally = report.counts("ldlat")
+        assert report.unexplained == []
+        assert tally.events > 0
+        assert tally.exact_pc_rate == 1.0
+        assert tally.classes[EXACT] == tally.events
+        assert tally.latency_checked == tally.events
+        assert tally.latency_wrong == 0
+        for hwc in experiment.iter_hwc_events():
+            assert hwc.latency is not None and hwc.latency > 0
+
+    def test_ldbytes_joins_totally_with_exact_pc_floor(self):
+        # byte-bandwidth loads fire densely; the 1-4 instruction skid
+        # keeps the PC but usually loses the address to a clobber
+        report, _ = _run_oracle("+ldbytes,31")
+        tally = report.counts("ldbytes")
+        assert report.unexplained == []
+        assert tally.events > 0
+        assert tally.exact_pc_rate >= 0.85
+        assert tally.rate(WRONG_EA) == 0.0
+        assert tally.spurious_not_found == 0
+
+    def test_stbytes_backtracks_through_stores(self):
+        # the search walks back to *store* memops (the new memop class)
+        report, _ = _run_oracle("+stbytes,33", source=STORE_SRC)
+        tally = report.counts("stbytes")
+        assert report.unexplained == []
+        assert tally.events > 0
+        assert tally.exact_pc_rate >= 0.85
+        assert tally.rate(EXACT) >= 0.20
+        assert tally.rate(WRONG_EA) == 0.0
+        assert tally.spurious_not_found == 0
+
+    def test_branch_counters_join_totally(self):
+        # br/brm take no backtracking (not memory events): every event
+        # is an honest correct-unknown, and the join stays total
+        program = build_executable(BRANCHY_SRC, name="branchy")
+        experiment = collect(
+            program,
+            tiny_config(),
+            CollectConfig(counters=["brm,61", "br,127"], name="branchy"),
+        )
+        report = oracle_experiment(experiment)
+        assert report.unexplained == []
+        for name in ("br", "brm"):
+            tally = report.counts(name)
+            assert tally.events > 0
+            assert tally.classes[CORRECT_UNKNOWN] == tally.events
+
+    def test_backtrack_rejected_on_branch_counters(self):
+        from repro.errors import CollectError
+
+        with pytest.raises(CollectError, match="memory-related"):
+            _run_oracle("+br,127")
 
 
 class TestCli:

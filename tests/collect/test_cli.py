@@ -29,6 +29,30 @@ class TestCounterListParsing:
         with pytest.raises(ReproError):
             _parse_counter_list("lo,+ecrm")
 
+    def test_trailing_comma_rejected(self):
+        with pytest.raises(ReproError, match="empty counter specification"):
+            _parse_counter_list("+ecrm,on,")
+
+    def test_double_comma_rejected(self):
+        with pytest.raises(ReproError, match="empty counter specification"):
+            _parse_counter_list("+ecrm,,on")
+
+    def test_interval_only_leading_token_rejected(self):
+        with pytest.raises(ReproError, match="bad counter specification"):
+            _parse_counter_list("on,+ecrm,on")
+
+    def test_repeated_counter_name_splits_requests(self):
+        # the same event twice is two requests (the scheduler later
+        # spreads them over passes; one event cannot hold both PICs)
+        assert _parse_counter_list("ecrm,on,ecrm,lo") == ["ecrm,on", "ecrm,lo"]
+
+    def test_backtrack_error_surfaces_verbatim_through_cli(self, capsys):
+        # '+' on a non-memory event: the CollectError text must reach
+        # stderr unchanged, with exit code 2 (not a traceback)
+        assert main(["-h", "+insts,on"]) == 2
+        err = capsys.readouterr().err
+        assert "+insts: backtracking applies only to memory-related counters" in err
+
 
 class TestMain:
     def test_no_args_lists_counters(self, capsys):

@@ -24,7 +24,19 @@ from repro.lang.fuzz import INPUT_LEN, generate_source, shrink_sizes
 INPUT = [((k * 37) ^ 11) & 1023 for k in range(INPUT_LEN)]
 
 
-def _journals(tmp_path, program, engine, tag):
+DEFAULT_COUNTERS = ["+ecstall,31", "+ecrm,13"]
+
+#: extended-taxonomy counter sets (bandwidth / branch / latency events):
+#: the trace tier deopts to the fast loop for these, and the branch
+#: counters exercise the BTFN predictor model in every engine
+EXTENDED_COUNTER_SETS = [
+    ["+ldbytes,31", "brm,13"],
+    ["+ldlat,17", "br,31"],
+    ["+stbytes,7", "+dcrm,17"],
+]
+
+
+def _journals(tmp_path, program, engine, tag, counters=None):
     outdir = tmp_path / f"{tag}-{engine}"
     collect(
         program,
@@ -32,7 +44,7 @@ def _journals(tmp_path, program, engine, tag):
         CollectConfig(
             clock_profiling=True,
             clock_interval=97,
-            counters=["+ecstall,31", "+ecrm,13"],
+            counters=DEFAULT_COUNTERS if counters is None else counters,
             name=f"{tag}-{engine}",
             engine=engine,
         ),
@@ -45,11 +57,13 @@ def _journals(tmp_path, program, engine, tag):
     return {p.name: p.read_bytes() for p in files}
 
 
-def _assert_engines_agree(tmp_path, seed, size):
+def _assert_engines_agree(tmp_path, seed, size, counters=None):
     program = build_executable(generate_source(seed, size), name=f"fuzz{seed}")
-    ref = _journals(tmp_path, program, "reference", f"s{seed}n{size}")
+    ref = _journals(tmp_path, program, "reference", f"s{seed}n{size}",
+                    counters=counters)
     for engine in ("fast", "trace"):
-        got = _journals(tmp_path, program, engine, f"s{seed}n{size}")
+        got = _journals(tmp_path, program, engine, f"s{seed}n{size}",
+                        counters=counters)
         assert got.keys() == ref.keys(), (
             f"journal sets differ ({engine}) for seed={seed} size={size}; "
             f"shrink with generate_source({seed}, k) for k in {size - 1}..0"
@@ -97,3 +111,17 @@ class TestDifferential:
     @pytest.mark.parametrize("seed", list(range(3, 23)))
     def test_fast_vs_reference_long_budget(self, tmp_path, seed):
         _assert_engines_agree(tmp_path, seed, size=12)
+
+
+class TestExtendedTaxonomy:
+    @pytest.mark.parametrize("counters", EXTENDED_COUNTER_SETS,
+                             ids=lambda c: c[0].lstrip("+").split(",")[0])
+    def test_new_events_short_budget(self, tmp_path, counters):
+        _assert_engines_agree(tmp_path, seed=2, size=5, counters=counters)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", list(range(3, 13)))
+    @pytest.mark.parametrize("counters", EXTENDED_COUNTER_SETS,
+                             ids=lambda c: c[0].lstrip("+").split(",")[0])
+    def test_new_events_long_budget(self, tmp_path, seed, counters):
+        _assert_engines_agree(tmp_path, seed, size=10, counters=counters)
