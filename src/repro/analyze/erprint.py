@@ -21,6 +21,10 @@ Commands (er_print-style):
                             structure members on each line (§4)
 * ``instances [metric]``    events by heap-allocation instance (§4)
 * ``latency [metric]``      sampled load-latency histogram (``ldlat``)
+* ``sharing [metric]``      cache lines written by several threads —
+                            false-sharing detection over the ``cohm``
+                            coherence-miss counter, with the structure
+                            members on each shared line (multi-core runs)
 * ``header``                collection parameters + run facts (flags
                             time-multiplexed counters whose totals are
                             scaled estimates)
@@ -74,6 +78,7 @@ _COMMANDS = (
     "lines",
     "instances",
     "latency",
+    "sharing",
     "header",
     "heap",
     "fsck",
@@ -134,6 +139,8 @@ def _run_command(reduced, command: str, args: list) -> str:
         return reports.instance_report(reduced, args[0] if args else "ecrm")
     if command == "latency":
         return reports.latency_report(reduced, args[0] if args else "ldlat")
+    if command == "sharing":
+        return reports.sharing_report(reduced, args[0] if args else "cohm")
     if command == "heap":
         return reports.heap_report(reduced)
     if command == "header":

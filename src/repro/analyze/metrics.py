@@ -41,6 +41,7 @@ METRICS: dict[str, MetricDef] = {
         MetricDef("br", "Branches Completed", False, "Branches"),
         MetricDef("brm", "Branch Mispredicts", False, "Br Miss"),
         MetricDef("ldlat", "Sampled Load Latency", False, "Ld Lat"),
+        MetricDef("cohm", "Coherence Misses", False, "Coh Miss"),
     )
 }
 
@@ -71,6 +72,7 @@ METRIC_ORDER = (
     "br",
     "brm",
     "ldlat",
+    "cohm",
 )
 
 

@@ -122,6 +122,13 @@ class ReducedData:
         self.cache_line_objects: dict[tuple, MetricVector] = defaultdict(MetricVector)
         #: (segment name, page base, data-object label) -> metrics
         self.page_objects: dict[tuple, MetricVector] = defaultdict(MetricVector)
+        #: software thread id -> metrics (empty for single-core runs, whose
+        #: journals carry no thread axis)
+        self.threads: dict[int, MetricVector] = defaultdict(MetricVector)
+        #: (cache-line base, writing thread id) -> metrics for coherence
+        #: events whose candidate instruction is a *store*: the
+        #: cross-thread write traffic behind the false-sharing report
+        self.cache_line_writers: dict[tuple, MetricVector] = defaultdict(MetricVector)
         #: ground truth totals from the experiment info (for validation)
         self.machine_totals: dict[str, float] = {}
         #: segments recorded at collection (name, base, size, page_bytes)
@@ -231,6 +238,8 @@ class ReducedData:
                 "pages",
                 "cache_line_objects",
                 "page_objects",
+                "threads",
+                "cache_line_writers",
             ):
                 table = getattr(source, table_name)
                 out_table = getattr(out, table_name)
@@ -298,7 +307,7 @@ class ReducedData:
 
     #: bump whenever the payload layout or reduction semantics change — a
     #: version bump orphans (and thereby invalidates) every existing cache
-    PAYLOAD_VERSION = 2
+    PAYLOAD_VERSION = 3
 
     def to_payload(self) -> dict:
         """JSON-serializable snapshot of the whole reduction (without the
@@ -351,6 +360,10 @@ class ReducedData:
             "page_objects": [
                 [k[0], k[1], k[2], vec(v)] for k, v in self.page_objects.items()
             ],
+            "threads": [[k, vec(v)] for k, v in self.threads.items()],
+            "cache_line_writers": [
+                [k[0], k[1], vec(v)] for k, v in self.cache_line_writers.items()
+            ],
             "machine_totals": dict(self.machine_totals),
             "segments": [list(s) for s in self.segments],
             "allocations": [list(a) for a in self.allocations],
@@ -380,10 +393,10 @@ class ReducedData:
                                        key=metric_sort_key)
         payload["pcs"] = sorted(payload["pcs"], key=lambda row: row[0])
         for table in ("functions", "functions_incl", "data_objects",
-                      "cache_lines"):
+                      "cache_lines", "threads"):
             payload[table] = sorted(payload[table], key=lambda row: row[0])
         for table in ("caller_callee", "lines", "pages",
-                      "cache_line_objects"):
+                      "cache_line_objects", "cache_line_writers"):
             payload[table] = sorted(payload[table], key=lambda row: row[:2])
         payload["page_objects"] = sorted(
             payload["page_objects"], key=lambda row: row[:3]
@@ -465,6 +478,10 @@ class ReducedData:
             out.cache_line_objects[(base, label)] = MetricVector(metrics)
         for segment, base, label, metrics in payload["page_objects"]:
             out.page_objects[(segment, base, label)] = MetricVector(metrics)
+        for tid, metrics in payload.get("threads", []):
+            out.threads[tid] = MetricVector(metrics)
+        for base, tid, metrics in payload.get("cache_line_writers", []):
+            out.cache_line_writers[(base, tid)] = MetricVector(metrics)
         out.machine_totals = dict(payload["machine_totals"])
         out.segments = [tuple(s) for s in payload["segments"]]
         out.allocations = [tuple(a) for a in payload["allocations"]]

@@ -38,6 +38,7 @@ from ..compiler import debuginfo
 from ..compiler.program import Program
 from ..errors import AnalysisError
 from ..collect.experiment import Experiment
+from ..isa.instructions import is_store
 from ..parallel import parallel_map
 from . import cache as reduction_cache
 from .metrics import metric_sort_key
@@ -82,6 +83,10 @@ class _Reducer:
             (tuple(seg) for seg in info.segments), key=lambda seg: seg[1]
         )
         self._segment_bases = [seg[1] for seg in self._segments]
+        #: multi-core experiments carry a thread axis; single-core ones
+        #: don't, and their reductions must stay identical to pre-thread
+        #: reductions (modulo the payload version)
+        self.multi_core = getattr(info, "cores", 1) > 1
 
     # ------------------------------------------------------------- helpers
 
@@ -189,6 +194,8 @@ class _Reducer:
         clock_weight = info.clock_interval_cycles
         for event in experiment.iter_clock_events():
             self._attribute("user_cpu", clock_weight, event.pc, event.callstack)
+            if self.multi_core:
+                reduced.threads[event.thread].add("user_cpu", clock_weight)
         for event in experiment.iter_hwc_events():
             self._reduce_hwc(event)
 
@@ -210,6 +217,9 @@ class _Reducer:
         # the journal header carries the multiplexed flag)
         weight = float(event.weight) * event.scale
         program = self.program
+
+        if self.multi_core:
+            self.reduced.threads[event.thread].add(metric_id, weight)
 
         if event.latency is not None:
             self.reduced.latency_samples[metric_id].append(
@@ -254,6 +264,19 @@ class _Reducer:
             self._account_data_space(
                 metric_id, weight, event.effective_address, object_class, key
             )
+            if self.multi_core:
+                # write-side sharing axis: an addressed event whose
+                # validated trigger is a *store* marks its thread as a
+                # writer of the cache line — two or more distinct writer
+                # threads on one line is the false-sharing signature
+                instr = program.instr_at(candidate)
+                if instr is not None and is_store(instr):
+                    line_base = (
+                        event.effective_address // self.line_bytes
+                    ) * self.line_bytes
+                    self.reduced.cache_line_writers[
+                        (line_base, event.thread)
+                    ].add(metric_id, weight)
 
         # annotate the PC record with its data object (for the PC report)
         record = self.reduced.pcs.get(candidate)

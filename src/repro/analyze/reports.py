@@ -576,6 +576,77 @@ def latency_report(reduced: ReducedData, metric: str = "ldlat") -> str:
     return "\n".join(lines)
 
 
+def sharing_report(reduced: ReducedData, metric: str = "cohm",
+                   top: int = 10, object_top: int = 3) -> str:
+    """False-sharing detector: cache lines written by several threads.
+
+    Ranks E$ lines by cross-thread write traffic — addressed ``cohm``
+    events whose validated trigger instruction is a store, bucketed by
+    (line, writing thread) during reduction.  A line with two or more
+    distinct writer threads is *write-shared*: either true sharing (the
+    threads really do communicate through it) or false sharing (disjoint
+    objects merely co-resident on the line).  The data objects/members
+    on each line are listed so the two cases can be told apart — and so
+    the fix (padding the structure) can be aimed at the right member.
+    """
+    writers = reduced.cache_line_writers
+    if not writers and not reduced.threads:
+        # no thread axis at all: this was a single-core experiment (or
+        # one with no events), not a clean multi-core run
+        raise AnalysisError(
+            f"no per-thread write data for {metric!r} (single-core run, "
+            f"or no addressed store events — collect with cores > 1 and "
+            f"a backtracked +{metric} counter)"
+        )
+    by_line: dict[int, dict[int, float]] = {}
+    for (base, tid), vector in writers.items():
+        value = vector.get(metric, 0.0)
+        if value > 0:
+            by_line.setdefault(base, {})[tid] = value
+    shared = [
+        (base, tids) for base, tids in by_line.items() if len(tids) >= 2
+    ]
+    total = reduced.total.get(metric, 0.0)
+    header = (
+        f"Write-shared cache lines ({reduced.line_bytes}-byte lines, "
+        f"ranked by {METRICS[metric].label})"
+    )
+    if not shared:
+        return (
+            f"{header}\n\n  no cache line is written by more than one "
+            f"thread — no false sharing detected"
+        )
+    shared.sort(key=lambda item: (-sum(item[1].values()), item[0]))
+    # member tie-back: what actually lives on each shared line
+    objects_by_line: dict[int, list] = {}
+    for (base, label), vector in reduced.cache_line_objects.items():
+        value = vector.get(metric, 0.0)
+        if value > 0:
+            objects_by_line.setdefault(base, []).append((label, value))
+    rows = []
+    for base, tids in shared[:top]:
+        line_total = sum(tids.values())
+        writer_list = ",".join(
+            str(tid) for tid in sorted(tids, key=lambda t: (-tids[t], t))
+        )
+        rows.append([
+            f"{line_total:.0f}",
+            f"{100.0 * line_total / total:5.1f}" if total else "  0.0",
+            f"line 0x{base:x} ({_segment_name_of(reduced, base)}) "
+            f"written by threads {writer_list}",
+        ])
+        members = sorted(objects_by_line.get(base, ()),
+                         key=lambda kv: (-kv[1], kv[0]))
+        for label, value in members[:object_top]:
+            rows.append([
+                f"{value:.0f}",
+                f"{100.0 * value / total:5.1f}" if total else "  0.0",
+                f"    {label}",
+            ])
+    table = _render_table([METRICS[metric].header, "%", "Name"], rows)
+    return f"{header}\n\n{table}"
+
+
 def instance_report(reduced: ReducedData, metric: str = "ecrm",
                     top: int = 10) -> str:
     """§4: aggregate events by *data object instance* — the individual
@@ -782,6 +853,7 @@ __all__ = [
     "page_report",
     "cache_line_report",
     "latency_report",
+    "sharing_report",
     "instance_report",
     "heap_report",
     "compare_functions",

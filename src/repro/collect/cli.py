@@ -152,6 +152,10 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--layout", default="baseline",
                         choices=["baseline", "opt_layout"])
+    parser.add_argument("--cores", type=int, default=1, metavar="N",
+                        help="simulated cores (threaded workloads; journals "
+                             "stay deterministic — the kernel interleave is "
+                             "a pure function of program state)")
     parser.add_argument("--heap-page-bytes", type=int, default=None)
     parser.add_argument("--watchdog-cycles", type=int, default=None,
                         help="abort runaway runs after this many cycles")
@@ -202,6 +206,10 @@ def main(argv=None) -> int:
         return 2
 
     if len(counter_sets) > 1:
+        if args.cores != 1:
+            print("collect: --cores is single-pass only; multi-pass runs "
+                  "use one core", file=sys.stderr)
+            return 2
         return _run_passes(args, counter_sets)
 
     if args.jobs > 1:
@@ -209,6 +217,11 @@ def main(argv=None) -> int:
               file=sys.stderr)
 
     program, input_longs = build_workload(args)
+    machine_config = scaled_config()
+    if args.cores != 1:
+        from dataclasses import replace as dataclass_replace
+
+        machine_config = dataclass_replace(machine_config, cores=args.cores)
     config = CollectConfig(
         clock_profiling=args.clock == "on",
         counters=counter_sets[0] if counter_sets else [],
@@ -222,7 +235,7 @@ def main(argv=None) -> int:
     try:
         experiment = collect(
             program,
-            scaled_config(),
+            machine_config,
             config,
             input_longs=input_longs,
             heap_page_bytes=args.heap_page_bytes,

@@ -128,7 +128,8 @@ class Collector:
             heap_page_bytes=heap_page_bytes,
             fault_plan=fault_plan,
         )
-        self.process.machine.cpu.engine = collect_config.engine
+        for core in self.process.machine.cores:
+            core.cpu.engine = collect_config.engine
         self.experiment = Experiment(collect_config.name)
         self.experiment.program = program
         self.experiment.info.heap_page_bytes = (
@@ -139,6 +140,15 @@ class Collector:
         if groups and list(collect_config.counters):
             raise CollectError(
                 "multiplex_groups and counters are mutually exclusive"
+            )
+        if groups and machine_config.cores > 1:
+            # rotation boundaries are exact *global* retired-instruction
+            # counts; with threads interleaving across cores there is no
+            # single count to cut at, so the combination is refused
+            # rather than given nondeterministic semantics
+            raise CollectError(
+                "counter multiplexing is not supported on multi-core "
+                "machines (cores > 1); run dedicated passes instead"
             )
         if len(groups) == 1:
             # a single group needs no rotation: run it as a plain pass
@@ -199,6 +209,8 @@ class Collector:
                 coalesced=snapshot.coalesced,
                 latency=snapshot.load_latency,
                 scale=self._scale,
+                core=snapshot.core,
+                thread=snapshot.thread,
             )
         )
         # Ground-truth side channel for the attribution oracle: what the
@@ -218,12 +230,18 @@ class Collector:
                 coalesced=snapshot.coalesced,
                 regs=snapshot.regs,
                 true_latency=snapshot.load_latency,
+                core=snapshot.core,
+                thread=snapshot.thread,
             )
         )
         self._truth_seq += 1
 
     def _on_clock(self, pc: int, cycle: int, callstack: tuple) -> None:
-        self.experiment.record_clock(ClockEvent(pc, cycle, callstack))
+        signals = self.process.signals
+        self.experiment.record_clock(
+            ClockEvent(pc, cycle, callstack,
+                       signals.clock_core, signals.clock_thread)
+        )
 
     # ------------------------------------------------------------------ run
 
@@ -283,7 +301,8 @@ class Collector:
 
         if self.config.clock_profiling:
             interval = self.config.resolve_clock_interval()
-            machine.cpu.enable_clock_profiling(interval)
+            for core in machine.cores:
+                core.cpu.enable_clock_profiling(interval)
             self.process.signals.register(SIGPROF, self._on_clock)
             experiment.info.clock_interval_cycles = interval
             experiment.log(f"collect: clock profiling every {interval} cycles")
@@ -291,6 +310,7 @@ class Collector:
         experiment.info.clock_hz = self.machine_config.clock_hz
         experiment.info.config_name = self.config.name
         experiment.info.ecache_line_bytes = self.machine_config.ecache.line_bytes
+        experiment.info.cores = self.machine_config.cores
         experiment.info.segments = [
             [seg.name, seg.base, seg.size, seg.page_bytes]
             for seg in machine.memory.segments
@@ -398,6 +418,8 @@ class Collector:
             "ec_stall_cycles": stats.ec_stall_cycles,
             "dtlb_misses": stats.dtlb_misses,
         }
+        if stats.coherence_misses:
+            experiment.info.totals["coherence_misses"] = stats.coherence_misses
         if self.fault_plan is not None:
             fault_stats = self.fault_plan.stats
             experiment.log(

@@ -121,6 +121,11 @@ class HwcEvent:
     #: for only 1/scale of the run, so reduction scales the weight up and
     #: reports flag the result as an estimate (1 on dedicated-pass runs)
     scale: int = 1
+    #: which core's PIC raised the trap and which software thread was
+    #: running on it (both 0 on single-core runs, and then absent on the
+    #: wire — single-core journals stay byte-identical to old recordings)
+    core: int = 0
+    thread: int = 0
 
     def to_json(self) -> str:
         """Serialize to one JSON line."""
@@ -132,6 +137,10 @@ class HwcEvent:
             del record["latency"]
         if record["scale"] == 1:
             del record["scale"]
+        if record["core"] == 0:
+            del record["core"]
+        if record["thread"] == 0:
+            del record["thread"]
         return json.dumps(record, separators=(",", ":"))
 
     @staticmethod
@@ -182,6 +191,10 @@ class TruthEvent:
     #: cycles, journaled so the oracle can check the profile row against
     #: it (None for every other event)
     true_latency: Optional[int] = None
+    #: raising core and resident software thread (0/0 — and absent on the
+    #: wire — for single-core runs)
+    core: int = 0
+    thread: int = 0
 
     def to_json(self) -> str:
         """Serialize to one JSON line."""
@@ -190,6 +203,10 @@ class TruthEvent:
         # as in HwcEvent.to_json: absent unless it carries information
         if record["true_latency"] is None:
             del record["true_latency"]
+        if record["core"] == 0:
+            del record["core"]
+        if record["thread"] == 0:
+            del record["thread"]
         return json.dumps(record, separators=(",", ":"))
 
     @staticmethod
@@ -212,13 +229,22 @@ class ClockEvent:
     pc: int
     cycle: int
     callstack: tuple
+    #: ticking core and resident software thread (0/0 — and absent on the
+    #: wire — for single-core runs)
+    core: int = 0
+    thread: int = 0
 
     def to_json(self) -> str:
         """Serialize to one JSON line."""
-        return json.dumps(
-            {"pc": self.pc, "cycle": self.cycle, "callstack": list(self.callstack)},
-            separators=(",", ":"),
-        )
+        record = {
+            "pc": self.pc, "cycle": self.cycle,
+            "callstack": list(self.callstack),
+        }
+        if self.core:
+            record["core"] = self.core
+        if self.thread:
+            record["thread"] = self.thread
+        return json.dumps(record, separators=(",", ":"))
 
     @staticmethod
     def from_json(line: str, source: str = "", lineno: int = 0) -> "ClockEvent":
@@ -226,7 +252,8 @@ class ClockEvent:
         try:
             record = json.loads(line)
             return ClockEvent(
-                record["pc"], record["cycle"], tuple(record["callstack"])
+                record["pc"], record["cycle"], tuple(record["callstack"]),
+                record.get("core", 0), record.get("thread", 0),
             )
         except (ValueError, KeyError, TypeError, AttributeError) as error:
             raise ExperimentCorrupt(
@@ -248,6 +275,9 @@ class ExperimentInfo:
     #: E$ line size of the collecting machine (0 in experiments saved
     #: before the field existed; the analyzer falls back to 512)
     ecache_line_bytes: int = 0
+    #: core count of the collecting machine (1 in experiments saved
+    #: before multi-core existed)
+    cores: int = 1
     config_name: str = ""
     #: [name, base, size, page_bytes] for each mapped segment
     segments: list = field(default_factory=list)

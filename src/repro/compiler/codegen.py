@@ -923,7 +923,15 @@ class _FuncGen:
             raise CodegenError(f"{expr.name}: too many arguments")
         # 1. evaluate args into scratch
         arg_regs: list[tuple[int, bool]] = []
-        for arg in expr.args:
+        spawn_target = getattr(expr, "spawn_target", None)
+        for index, arg in enumerate(expr.args):
+            if index == 0 and spawn_target is not None:
+                # spawn's first argument is a function: materialise its
+                # linked address (a "funcaddr" fixup the linker resolves)
+                reg = self.acquire()
+                self.emit(Op.SET, reg, target=("funcaddr", spawn_target))
+                arg_regs.append((reg, True))
+                continue
             arg_regs.append(self.gen_expr(arg))
         # 2. move args into %o registers, releasing scratch
         for index, (reg, owned) in enumerate(arg_regs):

@@ -222,6 +222,14 @@ def link(modules: list, entry_main: str = "main") -> Program:
                 if name not in func_addrs:
                     raise LinkError(f"call to undefined function {name!r}")
                 instr.target = func_addrs[name]
+            elif isinstance(target, tuple) and target[0] == "funcaddr":
+                # a function's address materialised as a SET immediate
+                # (``spawn(worker, ...)`` takes the callee by value)
+                name = target[1]
+                if name not in func_addrs:
+                    raise LinkError(f"address of undefined function {name!r}")
+                instr.imm = func_addrs[name]
+                instr.target = None
             # ("data", sym) fixups resolved after data layout
             program.code.append(instr)
             pc += INSTR_BYTES

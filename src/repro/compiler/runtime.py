@@ -21,6 +21,12 @@ TRAP_MALLOC = 1
 TRAP_FREE = 2
 TRAP_PRINT_LONG = 3
 TRAP_PRINT_CHAR = 4
+# threading (the kernel's deterministic round-robin scheduler)
+TRAP_SPAWN = 5
+TRAP_JOIN = 6
+TRAP_ATOMIC_ADD = 7
+TRAP_THREAD_EXIT = 8
+TRAP_THREAD_SELF = 9
 
 _O0 = reg_number("%o0")
 _O1 = reg_number("%o1")
@@ -94,6 +100,26 @@ def _print_str() -> AsmFunction:
     return AsmFunction("print_str", items)
 
 
+def _thread_entry() -> AsmFunction:
+    """Trampoline every spawned thread starts at.
+
+    The kernel materialises a new thread with ``%g1`` = the spawned
+    function's address, ``%o0`` = its argument, ``%sp`` = the thread's
+    own stack, and the PC here.  The indirect call writes its return
+    address into ``%o7`` so the function's normal ``retl`` lands on the
+    ``ta THREAD_EXIT``, which retires the function's ``%o0`` return
+    value as the thread's exit value.  The callee's return pops an
+    unmatched callstack frame — benign, both engines guard pops with
+    ``and callstack`` and a fresh thread starts with an empty one.
+    """
+    return AsmFunction("rt_thread_entry", [
+        Instr(Op.JMPL, REG_RA, _G1, imm=0),        # call *(%g1)
+        Instr(Op.NOP),                             # delay slot
+        Instr(Op.TA, imm=TRAP_THREAD_EXIT),        # exit value in %o0
+        Instr(Op.NOP),                             # never reached
+    ])
+
+
 def runtime_module() -> Module:
     """A fresh runtime-library module (fresh Instr objects each call)."""
     return Module(
@@ -107,6 +133,12 @@ def runtime_module() -> Module:
             _trap_stub("print_char", TRAP_PRINT_CHAR),
             _print_str(),
             _trap_stub("exit", TRAP_EXIT),
+            _trap_stub("spawn", TRAP_SPAWN),
+            _trap_stub("join", TRAP_JOIN),
+            _trap_stub("atomic_add", TRAP_ATOMIC_ADD),
+            _trap_stub("thread_self", TRAP_THREAD_SELF),
+            _trap_stub("thread_exit", TRAP_THREAD_EXIT),
+            _thread_entry(),
         ],
         globals_=[],
         strings=[],
@@ -124,4 +156,9 @@ __all__ = [
     "TRAP_FREE",
     "TRAP_PRINT_LONG",
     "TRAP_PRINT_CHAR",
+    "TRAP_SPAWN",
+    "TRAP_JOIN",
+    "TRAP_ATOMIC_ADD",
+    "TRAP_THREAD_EXIT",
+    "TRAP_THREAD_SELF",
 ]

@@ -81,11 +81,32 @@ class MachineConfig:
     #: E$ Stall metric correlates with loads)
     store_stall_cycles: int = 0
     seed: int = 0x5C03
+    #: simulated cores.  cores > 1 builds per-core CPU/counters/TLB/D$
+    #: behind one shared E$ with a line-ownership coherence model; the
+    #: single-core machine is byte-for-byte the historical one.
+    cores: int = 1
+    #: instructions one runnable thread retires before the deterministic
+    #: round-robin scheduler rotates to the next (see DESIGN.md §13)
+    thread_quantum: int = 5000
+    #: bytes of heap carved out as each spawned thread's stack
+    thread_stack_bytes: int = 64 * 1024
+    #: extra cycles charged to a load that must pull an E$ line away from
+    #: the core that last wrote it (ownership downgrade + data forward)
+    coherence_transfer_cycles: int = 60
+    #: extra cycles charged to a store that must invalidate another
+    #: core's ownership of (or sharers on) the E$ line
+    coherence_invalidate_cycles: int = 80
 
     def __post_init__(self) -> None:
         _require_power_of_two(self.arena_bytes, "arena size")
         if self.dcache.line_bytes > self.ecache.line_bytes:
             raise ReproError("D$ line must not exceed E$ line")
+        if self.cores < 1:
+            raise ReproError("cores must be >= 1")
+        if self.thread_quantum < 1:
+            raise ReproError("thread_quantum must be >= 1")
+        if self.thread_stack_bytes < 4096:
+            raise ReproError("thread_stack_bytes must be >= 4096")
 
     def with_heap_page_bytes(self, page_bytes: int) -> "MachineConfig":
         """Convenience for `-xpagesize_heap=...` style experiments."""

@@ -94,6 +94,12 @@ def load_program(
     cpu.text_base = program.text_base
     cpu.predecode_code()
     cpu.set_entry(program.entry)
+    # other cores see the same text (they execute spawned threads); they
+    # idle with no entry until the kernel's scheduler places one
+    for core in machine.cores[1:]:
+        core.cpu.code = program.code
+        core.cpu.text_base = program.text_base
+        core.cpu.predecode_code()
     stack_top = arena_end - 64
     cpu.regs[14] = stack_top        # %sp = %o6
     cpu.regs[8] = input_base        # %o0 = input pointer (main's first arg)

@@ -20,10 +20,17 @@ SIGPROF = "SIGPROF"
 
 
 class SignalDispatcher:
-    """Routes CPU-level events to registered signal handlers."""
+    """Routes CPU-level events to registered signal handlers.
 
-    def __init__(self, cpu: CPU, fault_plan=None) -> None:
+    On a multi-core machine pass the other cores' CPUs as
+    ``extra_cpus``: one dispatcher then hooks every core, and
+    ``delivered`` counts machine-wide deliveries (the snapshot itself
+    carries which core/thread raised it).
+    """
+
+    def __init__(self, cpu: CPU, fault_plan=None, extra_cpus=()) -> None:
         self.cpu = cpu
+        self.cpus = [cpu] + list(extra_cpus)
         #: optional FaultPlan that may clobber register snapshots in flight
         #: (models register windows trashed between trap and handler, before
         #: the apropos backtracking search reads them)
@@ -31,15 +38,20 @@ class SignalDispatcher:
         self._emt_handler: Optional[Callable[[CounterSnapshot], None]] = None
         self._prof_handler: Optional[Callable[[int, int, tuple], None]] = None
         self.delivered: dict[str, int] = {SIGEMT: 0, SIGPROF: 0}
+        #: core/thread of the SIGPROF tick currently being delivered
+        self.clock_core = 0
+        self.clock_thread = 0
 
     def register(self, signame: str, handler) -> None:
         """Install a handler for a signal name."""
         if signame == SIGEMT:
             self._emt_handler = handler
-            self.cpu.overflow_handler = self._on_overflow
+            for cpu in self.cpus:
+                cpu.overflow_handler = self._on_overflow
         elif signame == SIGPROF:
             self._prof_handler = handler
-            self.cpu.clock_handler = self._on_clock
+            for cpu in self.cpus:
+                cpu.clock_handler = self._make_clock_hook(cpu)
         else:
             raise KernelError(f"unknown signal {signame!r}")
 
@@ -47,10 +59,12 @@ class SignalDispatcher:
         """Remove the handler for a signal name."""
         if signame == SIGEMT:
             self._emt_handler = None
-            self.cpu.overflow_handler = None
+            for cpu in self.cpus:
+                cpu.overflow_handler = None
         elif signame == SIGPROF:
             self._prof_handler = None
-            self.cpu.clock_handler = None
+            for cpu in self.cpus:
+                cpu.clock_handler = None
         else:
             raise KernelError(f"unknown signal {signame!r}")
 
@@ -60,6 +74,22 @@ class SignalDispatcher:
             snapshot = self.fault_plan.mangle_snapshot(snapshot)
         if self._emt_handler is not None:
             self._emt_handler(snapshot)
+
+    def _make_clock_hook(self, cpu: CPU):
+        """Per-CPU SIGPROF hook: notes which core/thread is ticking.
+
+        The CPU-level clock callback predates multi-core and stays
+        three-argument; the dispatcher closes over the CPU instead and
+        publishes ``clock_core``/``clock_thread`` for the handler to
+        read (the call is synchronous, so the values are stable for the
+        duration of the handler)."""
+
+        def hook(pc: int, cycle: int, callstack: tuple) -> None:
+            self.clock_core = cpu.core_index
+            self.clock_thread = cpu.thread_id
+            self._on_clock(pc, cycle, callstack)
+
+        return hook
 
     def _on_clock(self, pc: int, cycle: int, callstack: tuple) -> None:
         self.delivered[SIGPROF] += 1

@@ -110,13 +110,15 @@ class IncDec(Expr):
 
 class Call(Expr):
     """Direct call by name."""
-    __slots__ = ("name", "args", "symbol")
+    __slots__ = ("name", "args", "symbol", "spawn_target")
 
     def __init__(self, name: str, args: list, line: int) -> None:
         super().__init__(line)
         self.name = name
         self.args = args
         self.symbol = None
+        #: for ``spawn(worker, arg)``: the named callee (sema fills it)
+        self.spawn_target = None
 
 
 class Index(Expr):

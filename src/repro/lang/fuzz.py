@@ -24,6 +24,16 @@ The point of the exercise is differential testing: compile a generated
 program once, run it under two interpreter engines, and require
 byte-identical experiment journals (see
 ``tests/collect/test_fuzz_differential.py``).
+
+:func:`generate_threaded_source` extends the idea to multi-core runs:
+deterministic programs that ``spawn``/``join`` worker threads over
+shared global arrays.  Spawn depth is bounded (main -> worker -> leaf)
+and every spawn's handle is joined in the function that created it, so
+generated programs always terminate and never leak threads.  Branch
+conditions and loop bounds depend only on constants and the worker's
+argument — never on shared data — so each thread retires the same
+instruction stream no matter how the scheduler slices it (the values it
+reads, and therefore the exit code, may still vary with core count).
 """
 
 from __future__ import annotations
@@ -196,4 +206,125 @@ def shrink_sizes(size: int):
     return range(size - 1, -1, -1)
 
 
-__all__ = ["INPUT_LEN", "generate_source", "shrink_sizes"]
+# --------------------------------------------------------- threaded programs
+
+def _threaded_statement(rng: random.Random, arrays, nested: bool) -> list:
+    """One worker-body statement over the shared globals.
+
+    Invariants (see :func:`generate_threaded_source`): loops are counted
+    with literal bounds and branches test only ``wid``/constants, so the
+    statement retires the same instructions under every interleaving.
+    """
+    name, mask = rng.choice(arrays)
+    kind = rng.random()
+    if nested and kind < 0.12:
+        # bounded nested spawn (depth 2): the handle is joined at once
+        return [f"    h = spawn(leaf, wid + {rng.randrange(0, 8)});",
+                "    s = s + join(h);"]
+    if kind < 0.38:
+        trips = rng.choice((8, 16, 24))
+        stride = rng.randrange(1, 5)
+        return [f"    for (i = 0; i < {trips}; i++) {{ "
+                f"s = s + {name}[(i * {stride} + wid) & {mask}]; }}"]
+    if kind < 0.58:
+        trips = rng.choice((8, 16))
+        return [f"    for (i = 0; i < {trips}; i++) {{ "
+                f"{name}[(i + wid * {rng.randrange(1, 7)}) & {mask}] = s + i; }}"]
+    if kind < 0.72:
+        return [f"    s = s + atomic_add(&acc, {rng.randrange(1, 9)});"]
+    if kind < 0.80:
+        return ["    s = s ^ (thread_self() << 1);"]
+    if kind < 0.90:
+        return [f"    if ((wid & 3) < {rng.randrange(1, 4)}) "
+                f"{{ s = s + {rng.randrange(1, 32)}; }} "
+                f"else {{ s = s - {rng.randrange(1, 32)}; }}"]
+    return [f"    s = (s * {rng.choice((3, 5, 9))} + wid) & 4095;"]
+
+
+def generate_threaded_source(seed: int, size: int = 6, workers: int = 3,
+                             nested: bool = True) -> str:
+    """A deterministic multi-threaded mini-C program for ``(seed, size)``.
+
+    By construction:
+
+    * spawn depth is at most two (``main`` -> worker -> ``leaf``) and
+      every spawn's tid is joined in the function that spawned it, so
+      the program terminates with no orphan threads;
+    * all loops are counted and all branch conditions depend only on
+      the worker's argument and constants — per-thread instruction
+      streams are independent of the scheduling quantum;
+    * every array index is masked to a power-of-two global array.
+
+    Threads race on the shared arrays (deterministically, under the
+    round-robin scheduler), so the exit code may differ between core
+    counts — but for a fixed machine config every engine must observe
+    the identical journal.  ``nested=False`` suppresses worker-level
+    spawns, making tid assignment (and hence thread->core pinning)
+    independent of the quantum as well.
+
+    Shrinking works like :func:`generate_source`: worker-body statement
+    ``k`` is drawn from its own ``(seed, worker, k)`` stream, so smaller
+    sizes truncate each worker body without changing the remainder.
+    """
+    if size < 0:
+        raise ValueError("size must be >= 0")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    prelude = random.Random((seed + 7) * 0x9E3779B1)
+
+    arrays = []
+    for index in range(prelude.randrange(2, 4)):
+        length = prelude.choice((64, 128))
+        arrays.append((f"g{index}", length - 1))
+
+    lines = []
+    for name, mask in arrays:
+        lines.append(f"long {name}[{mask + 1}];")
+    lines.append("long acc;")
+    lines.append("")
+
+    # leaf: never spawns, so worker-level spawns bottom out here
+    leaf = random.Random((seed + 1) * 48271 + 99)
+    name, mask = leaf.choice(arrays)
+    lines.append("long leaf(long wid) {")
+    lines.append("    long i; long s;")
+    lines.append(f"    s = wid * {leaf.randrange(1, 8)};")
+    lines.append(f"    for (i = 0; i < {leaf.choice((8, 16))}; i++) "
+                 f"{{ s = s + {name}[(i + wid) & {mask}]; }}")
+    lines.append(f"    s = s + atomic_add(&acc, {leaf.randrange(1, 5)});")
+    lines.append("    return s & 1023;")
+    lines.append("}")
+    lines.append("")
+
+    nfuncs = min(workers, 2)
+    for fidx in range(nfuncs):
+        lines.append(f"long worker{fidx}(long wid) {{")
+        lines.append("    long i; long s; long h;")
+        lines.append(f"    h = 0; s = wid + {fidx};")
+        for k in range(size):
+            rng = random.Random((seed + 1) * 1000003 + fidx * 10007 + k)
+            lines.extend(_threaded_statement(rng, arrays, nested))
+        lines.append("    return (s + h) & 255;")
+        lines.append("}")
+        lines.append("")
+
+    lines.append("long main(long *input, long n) {")
+    handles = " ".join(f"long h{w};" for w in range(workers))
+    lines.append(f"    long i; long s; {handles}")
+    for name, mask in arrays:
+        lines.append(f"    for (i = 0; i < {mask + 1}; i++) "
+                     f"{{ {name}[i] = input[i & {INPUT_LEN - 1}] + i; }}")
+    lines.append("    acc = 0;")
+    for w in range(workers):
+        lines.append(f"    h{w} = spawn(worker{w % nfuncs}, {w});")
+    lines.append("    s = 0;")
+    for w in range(workers):
+        lines.append(f"    s = s + join(h{w});")
+    lines.append("    s = s + acc;")
+    lines.append("    return s & 255;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["INPUT_LEN", "generate_source", "generate_threaded_source",
+           "shrink_sizes"]

@@ -72,6 +72,14 @@ RUNTIME_PROTOTYPES: dict[str, FuncType] = {
     "print_char": FuncType(VOID, [LONG]),
     "print_str": FuncType(VOID, [PointerType(CHAR)]),
     "exit": FuncType(VOID, [LONG]),
+    # threading: spawn's first parameter is really a function (checked
+    # specially in _check_call; there is no function-pointer type in the
+    # language), passed to the kernel as its entry address
+    "spawn": FuncType(LONG, [LONG, LONG]),
+    "join": FuncType(LONG, [LONG]),
+    "atomic_add": FuncType(LONG, [PointerType(LONG), LONG]),
+    "thread_self": FuncType(LONG, []),
+    "thread_exit": FuncType(VOID, [LONG]),
 }
 
 
@@ -519,6 +527,41 @@ class Analyzer:
         if sym is None:
             raise TypeCheckError(f"call to undeclared function {expr.name!r}", expr.line)
         expr.symbol = sym
+        if expr.name == "spawn" and sym.is_runtime:
+            # spawn(worker, arg): the first argument names a user
+            # function (no function-pointer type exists), lowered by
+            # codegen to a SET of its linked address
+            if len(expr.args) != 2:
+                raise TypeCheckError(
+                    "spawn() expects (function, long) arguments", expr.line
+                )
+            fn = expr.args[0]
+            if not isinstance(fn, A.Ident):
+                raise TypeCheckError(
+                    "spawn() first argument must name a function", expr.line
+                )
+            target = self.functions.get(fn.name)
+            if target is None or target.is_runtime:
+                raise TypeCheckError(
+                    f"spawn() target {fn.name!r} is not a user-defined function",
+                    expr.line,
+                )
+            if (
+                len(target.ftype.params) != 1
+                or not target.ftype.params[0].is_integer
+                or not target.ftype.ret.is_integer
+            ):
+                raise TypeCheckError(
+                    f"spawn() target {fn.name!r} must have signature "
+                    f"'long {fn.name}(long)'",
+                    expr.line,
+                )
+            expr.spawn_target = fn.name
+            atype = self.check_expr(expr.args[1], scope)
+            self._check_assignable(
+                LONG, self._decay(atype), expr.args[1], expr.args[1].line
+            )
+            return LONG
         if len(expr.args) != len(sym.ftype.params):
             raise TypeCheckError(
                 f"{expr.name}() expects {len(sym.ftype.params)} args, "

@@ -71,6 +71,21 @@ class Cache:
             entry.pop()
         return False
 
+    def invalidate_range(self, start: int, length: int) -> None:
+        """Drop every line intersecting ``[start, start+length)``.
+
+        Used by the coherence model: when another core acquires an E$
+        line it must purge this core's D$ copies of the (smaller) D$
+        lines inside it.  No counters are touched — the purge itself is
+        not a reference; the cost shows up as later misses.
+        """
+        first = start >> self.line_shift
+        last = (start + length - 1) >> self.line_shift
+        for line in range(first, last + 1):
+            entry = self.sets[line & self.set_mask]
+            if line in entry:
+                entry.remove(line)
+
     def contains(self, addr: int) -> bool:
         """Non-perturbing lookup (no LRU update, no counters)."""
         line = addr >> self.line_shift

@@ -95,13 +95,19 @@ EVENTS: dict[str, EventSpec] = {
         # interval-th load, carrying that load's latency in cycles.
         EventSpec("ldlat", "Sampled load latency (SPE-style, precise)",
                   False, (0,), 0, 0, "load"),
+        # Coherence misses: a memory access that had to pull the E$ line
+        # away from another core (load: ownership downgrade + forward;
+        # store: remote invalidation).  Long-stall, so mostly precise,
+        # like the other miss events.
+        EventSpec("cohm", "Coherence misses (remote E$-line transfers)",
+                  False, (1,), 0, 1, "loadstore", 0.85),
     )
 }
 
 #: events beyond the paper's US-III menu.  The trace/superblock tier does
 #: not inline them; watching one deopts a trace-engine run to the fast
 #: interpreter loop (journals are byte-identical across engines anyway).
-EXTENDED_EVENTS = frozenset({"ldbytes", "stbytes", "br", "brm", "ldlat"})
+EXTENDED_EVENTS = frozenset({"ldbytes", "stbytes", "br", "brm", "ldlat", "cohm"})
 
 #: named overflow intervals (prime, per paper §2.2, "to reduce the
 #: probability of correlations").  These are simulation-scale: a scaled MCF
@@ -209,6 +215,11 @@ class CounterSnapshot:
     #: (issue to data ready, including all stall penalties).  This is real
     #: delivered payload, not a diagnostic — SPE hardware reports it.
     load_latency: Optional[int] = None
+    #: core the trap was delivered on and the software thread running
+    #: there at delivery (0/0 on a single-core machine, so historical
+    #: journals are unchanged)
+    core: int = 0
+    thread: int = 0
 
 
 class CounterUnit:

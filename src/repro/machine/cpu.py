@@ -178,6 +178,23 @@ class CPU:
         #: raises SimulatedCrash once the cycle counter reaches it
         self.kill_at_cycle: Optional[int] = None
 
+        #: which core of the machine this CPU is (0 on single-core)
+        self.core_index = 0
+        #: software thread currently scheduled here (kernel-maintained)
+        self.thread_id = 0
+        #: shared CoherenceDirectory, or None on a single-core machine —
+        #: None skips every coherence hook in the hot loops, which is
+        #: what keeps single-core runs byte-identical to the historical
+        #: machine
+        self.coherence = None
+        #: scheduler handshake: a kernel service that must end the
+        #: current thread's timeslice (spawn/join-block/thread-exit) sets
+        #: this and ``halted``; the scheduler reads and clears it after
+        #: ``run()`` returns (services cannot redirect control flow —
+        #: the engines keep pc/npc in locals — so ending the slice is
+        #: the only way to switch threads deterministically)
+        self._slice_event: Optional[tuple] = None
+
     # ------------------------------------------------------------------ API
 
     def set_entry(self, pc: int) -> None:
@@ -210,6 +227,8 @@ class CPU:
             coalesced=coalesced,
             true_effective_address=true_effective_address,
             load_latency=load_latency,
+            core=self.core_index,
+            thread=self.thread_id,
         )
 
     def step(self) -> None:
@@ -281,8 +300,10 @@ class CPU:
             return run_reference(
                 self, max_instructions, max_cycles, watchdog_instructions
             )
-        if self.engine == "trace" and EXTENDED_EVENTS.isdisjoint(
-            self.counters.watching
+        if (
+            self.engine == "trace"
+            and self.coherence is None
+            and EXTENDED_EVENTS.isdisjoint(self.counters.watching)
         ):
             from .cpu_trace import run_trace
 
@@ -290,9 +311,10 @@ class CPU:
                 self, max_instructions, max_cycles, watchdog_instructions
             )
         # engine == "fast", or engine == "trace" watching an extended-
-        # taxonomy event (branch/bandwidth/latency counters): the trace
-        # tier does not inline those, so deopt to the fast loop below —
-        # journals are byte-identical across engines either way.
+        # taxonomy event (branch/bandwidth/latency counters) or running
+        # on a multi-core machine (compiled superblocks do not carry the
+        # coherence hooks): the trace tier deopts to the fast loop below
+        # — journals are byte-identical across engines either way.
 
         # Bind everything hot to locals.
         regs = self.regs
@@ -320,6 +342,11 @@ class CPU:
         store_stall_cycles = self.store_stall_cycles
         inflight = self.inflight_prefetches
         ec_line_shift = ecache.line_shift
+        # coherence (multi-core only; None on the historical machine)
+        coh = self.coherence
+        core_id = self.core_index
+        coh_owner = coh.owner if coh is not None else None
+        coh_shift = coh.line_shift if coh is not None else 0
 
         # D$ and DTLB most-recently-used fast paths: a hit on the MRU entry
         # causes no LRU movement and no state change, so it can be tested
@@ -349,6 +376,7 @@ class CPU:
         w_ldlat = watching.get("ldlat")
         w_br = watching.get("br")
         w_brm = watching.get("brm")
+        w_cohm = watching.get("cohm")
         track_br = w_br is not None or w_brm is not None
 
         pc = self.pc
@@ -611,6 +639,20 @@ class CPU:
                             dc_read_hits += 1
                         elif not dcache.access(ea, False):
                             brk = True
+                            if coh is not None:
+                                # a line another core owns must be pulled
+                                # shared (downgrade + forward penalty)
+                                pen = coh.load_miss(core_id, ea)
+                                if pen:
+                                    cycles += pen
+                                    if w_cohm is not None:
+                                        skid = record(w_cohm, 1)
+                                        if skid >= 0:
+                                            pending.append(
+                                                [instr_count + 1 + skid,
+                                                 w_cohm, skid, tb + (i << 2),
+                                                 counters.last_coalesced, ea]
+                                            )
                             if w_dcrm is not None:
                                 skid = record(w_dcrm, 1)
                                 if skid >= 0:
@@ -771,6 +813,21 @@ class CPU:
                             seg_end = seg_base + seg.size
                             seg_shift = seg.page_shift
                             mru_page = ea >> seg_shift
+                        if coh is not None and coh_owner.get(ea >> coh_shift) != core_id:
+                            # acquire ownership of the E$ line; any other
+                            # holder pays the invalidation penalty here
+                            pen = coh.store(core_id, ea)
+                            if pen:
+                                cycles += pen
+                                brk = True
+                                if w_cohm is not None:
+                                    skid = record(w_cohm, 1)
+                                    if skid >= 0:
+                                        pending.append(
+                                            [instr_count + 1 + skid, w_cohm,
+                                             skid, tb + (i << 2),
+                                             counters.last_coalesced, ea]
+                                        )
                         line = ea >> dc_shift
                         dcset = dc_sets[line & dc_mask]
                         if dcset and dcset[0] == line:

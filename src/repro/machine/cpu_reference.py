@@ -83,6 +83,11 @@ def run_reference(
     store_stall_cycles = cpu.store_stall_cycles
     inflight = cpu.inflight_prefetches
     ec_line_shift = ecache.line_shift
+    # coherence (multi-core only; None on the historical machine)
+    coh = cpu.coherence
+    core_id = cpu.core_index
+    coh_owner = coh.owner if coh is not None else None
+    coh_shift = coh.line_shift if coh is not None else 0
 
     w_cycles = watching.get("cycles")
     w_insts = watching.get("insts")
@@ -96,6 +101,7 @@ def run_reference(
     w_ldlat = watching.get("ldlat")
     w_br = watching.get("br")
     w_brm = watching.get("brm")
+    w_cohm = watching.get("cohm")
     track_br = w_br is not None or w_brm is not None
 
     def note_br(mispred, bpc, icount):
@@ -169,6 +175,19 @@ def run_reference(
                 # D$
                 full_miss = False
                 if not dcache.access(ea, False):
+                    if coh is not None:
+                        # a line another core owns must be pulled shared
+                        # (downgrade + forward penalty)
+                        pen = coh.load_miss(core_id, ea)
+                        if pen:
+                            cycles += pen
+                            if w_cohm is not None:
+                                skid = record(w_cohm, 1)
+                                if skid >= 0:
+                                    pending.append(
+                                        [instr_count + 1 + skid, w_cohm, skid,
+                                         pc, counters.last_coalesced, ea]
+                                    )
                     if w_dcrm is not None:
                         skid = record(w_dcrm, 1)
                         if skid >= 0:
@@ -262,6 +281,19 @@ def run_reference(
                                 [instr_count + 1 + skid, w_dtlbm, skid, pc,
                                  counters.last_coalesced, ea]
                             )
+                if coh is not None and coh_owner.get(ea >> coh_shift) != core_id:
+                    # acquire ownership of the E$ line; any other holder
+                    # pays the invalidation penalty here
+                    pen = coh.store(core_id, ea)
+                    if pen:
+                        cycles += pen
+                        if w_cohm is not None:
+                            skid = record(w_cohm, 1)
+                            if skid >= 0:
+                                pending.append(
+                                    [instr_count + 1 + skid, w_cohm, skid, pc,
+                                     counters.last_coalesced, ea]
+                                )
                 if not dcache.access(ea, True):
                     # write-allocate through E$; the write buffer hides most
                     # of the latency (configurable residual stall)

@@ -1,4 +1,13 @@
-"""Wiring of memory, caches, TLB, counters and CPU into one machine."""
+"""Wiring of memory, caches, TLB, counters and CPU into one machine.
+
+A machine has ``config.cores`` cores.  Each core owns a private CPU,
+D$, DTLB, counter unit and skid RNG; all cores share one arena, one E$
+and (when ``cores > 1``) one :class:`~.coherence.CoherenceDirectory`.
+Core 0 is wired exactly like the historical single-core machine — same
+RNG seeding, same object identities through the ``machine.cpu`` /
+``machine.dcache`` / ``machine.dtlb`` / ``machine.counters`` aliases —
+so an N=1 machine is byte-for-byte the old one.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +16,7 @@ from dataclasses import dataclass
 
 from ..config import ARENA_BASE, MachineConfig
 from .cache import Cache
+from .coherence import CoherenceDirectory
 from .counters import CounterSpec, CounterUnit
 from .cpu import CPU
 from .memory import Memory
@@ -15,7 +25,11 @@ from .tlb import TLB
 
 @dataclass(frozen=True)
 class MachineStats:
-    """Aggregate hardware statistics for one run (ground truth, not samples)."""
+    """Aggregate hardware statistics for one run (ground truth, not samples).
+
+    On a multi-core machine the per-core counters are summed;  ``cycles``
+    is the maximum over cores (wall clock), the shared E$ reports once.
+    """
 
     cycles: int
     system_cycles: int
@@ -31,6 +45,7 @@ class MachineStats:
     dtlb_refs: int
     dtlb_misses: int
     clock_hz: float
+    coherence_misses: int = 0
 
     @property
     def seconds(self) -> float:
@@ -58,57 +73,100 @@ class MachineStats:
         return self.ec_read_misses / self.ec_refs if self.ec_refs else 0.0
 
 
+class Core:
+    """One core's private hardware: CPU, D$, DTLB, counters, skid RNG."""
+
+    __slots__ = ("index", "rng", "dcache", "dtlb", "counters", "cpu")
+
+    def __init__(self, index, rng, dcache, dtlb, counters, cpu) -> None:
+        self.index = index
+        self.rng = rng
+        self.dcache = dcache
+        self.dtlb = dtlb
+        self.counters = counters
+        self.cpu = cpu
+
+
 class Machine:
-    """One simulated machine instance."""
+    """One simulated machine instance (``config.cores`` cores)."""
 
     def __init__(self, config: MachineConfig, fault_plan=None) -> None:
         self.config = config
-        self.rng = random.Random(config.seed)
         #: optional FaultPlan (deterministic injected hardware/OS faults)
         self.fault_plan = fault_plan
         self.memory = Memory(config.arena_bytes, base=ARENA_BASE)
-        self.dcache = Cache(config.dcache)
         self.ecache = Cache(config.ecache)
-        self.dtlb = TLB(config.dtlb)
-        self.counters = CounterUnit(self.rng, fault_plan=fault_plan)
-        self.cpu = CPU(
-            self.memory,
-            self.dcache,
-            self.ecache,
-            self.dtlb,
-            self.counters,
-            self.rng,
-            base_cycles=config.base_cycles_per_instr,
-            dtlb_miss_cycles=config.dtlb.miss_cycles,
-            store_stall_cycles=config.store_stall_cycles,
+        ncores = config.cores
+        dcaches = [Cache(config.dcache) for _ in range(ncores)]
+        self.coherence = (
+            CoherenceDirectory(
+                config.ecache.line_bytes,
+                config.coherence_transfer_cycles,
+                config.coherence_invalidate_cycles,
+                dcaches,
+            )
+            if ncores > 1
+            else None
         )
-        if fault_plan is not None:
-            self.cpu.kill_at_cycle = fault_plan.kill_at_cycle
+        self.cores: list[Core] = []
+        for index in range(ncores):
+            # core 0 seeds exactly like the historical single-core
+            # machine; other cores derive a distinct deterministic stream
+            seed = config.seed + 0x9E3779B9 * index
+            rng = random.Random(seed)
+            dtlb = TLB(config.dtlb)
+            counters = CounterUnit(rng, fault_plan=fault_plan)
+            cpu = CPU(
+                self.memory,
+                dcaches[index],
+                self.ecache,
+                dtlb,
+                counters,
+                rng,
+                base_cycles=config.base_cycles_per_instr,
+                dtlb_miss_cycles=config.dtlb.miss_cycles,
+                store_stall_cycles=config.store_stall_cycles,
+            )
+            cpu.core_index = index
+            cpu.coherence = self.coherence
+            if fault_plan is not None:
+                cpu.kill_at_cycle = fault_plan.kill_at_cycle
+            self.cores.append(Core(index, rng, dcaches[index], dtlb, counters, cpu))
+        # historical single-core aliases (core 0)
+        core0 = self.cores[0]
+        self.rng = core0.rng
+        self.dcache = core0.dcache
+        self.dtlb = core0.dtlb
+        self.counters = core0.counters
+        self.cpu = core0.cpu
 
     def configure_counters(self, specs: list[CounterSpec]) -> None:
-        """Program the two PIC registers."""
-        self.counters.configure(specs)
+        """Program the two PIC registers (identically on every core)."""
+        for core in self.cores:
+            core.counters.configure(specs)
 
     def stats(self) -> MachineStats:
-        """Snapshot the ground-truth hardware statistics."""
-        dc = self.dcache
+        """Snapshot the ground-truth hardware statistics (summed over cores)."""
         ec = self.ecache
         return MachineStats(
-            cycles=self.cpu.cycles,
-            system_cycles=self.cpu.system_cycles,
-            instructions=self.cpu.instr_count,
-            dc_read_refs=dc.read_refs,
-            dc_write_refs=dc.write_refs,
-            dc_read_misses=dc.read_misses,
-            dc_write_misses=dc.write_misses,
+            cycles=max(core.cpu.cycles for core in self.cores),
+            system_cycles=sum(core.cpu.system_cycles for core in self.cores),
+            instructions=sum(core.cpu.instr_count for core in self.cores),
+            dc_read_refs=sum(core.dcache.read_refs for core in self.cores),
+            dc_write_refs=sum(core.dcache.write_refs for core in self.cores),
+            dc_read_misses=sum(core.dcache.read_misses for core in self.cores),
+            dc_write_misses=sum(core.dcache.write_misses for core in self.cores),
             ec_refs=ec.refs,
             ec_read_misses=ec.read_misses,
             ec_write_misses=ec.write_misses,
-            ec_stall_cycles=self.cpu.ecstall_cycles,
-            dtlb_refs=self.dtlb.refs,
-            dtlb_misses=self.dtlb.misses,
+            ec_stall_cycles=sum(core.cpu.ecstall_cycles for core in self.cores),
+            dtlb_refs=sum(core.dtlb.refs for core in self.cores),
+            dtlb_misses=sum(core.dtlb.misses for core in self.cores),
             clock_hz=self.config.clock_hz,
+            coherence_misses=(
+                sum(self.coherence.cohm_counts) if self.coherence else 0
+            ),
         )
 
 
-__all__ = ["Machine", "MachineStats"]
+__all__ = ["Machine", "MachineStats", "Core"]

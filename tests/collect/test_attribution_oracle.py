@@ -74,12 +74,12 @@ FUZZ_INPUT = [((k * 37) ^ 11) & 1023 for k in range(INPUT_LEN)]
 
 
 def _run_oracle(counter, source=SRC, fault_plan=None, input_longs=(),
-                name="oracle-run"):
+                name="oracle-run", machine_config=None):
     """Collect one run and join it against its truth journal."""
     program = build_executable(source, name=name)
     experiment = collect(
         program,
-        tiny_config(),
+        machine_config if machine_config is not None else tiny_config(),
         CollectConfig(counters=[counter], name=name),
         input_longs=input_longs,
         fault_plan=fault_plan,
@@ -288,6 +288,62 @@ class TestMcfAcceptance:
         assert mcf_report.counts("ecref").rate(WRONG_PC) <= 0.85
         for tally in mcf_report.by_event.values():
             assert tally.spurious_not_found == 0
+
+
+class TestThreadedCohm:
+    """Accuracy gate for the coherence-miss counter on the fixed-seed
+    threaded MCF-style case (four workers falsely sharing a struct
+    array).  The floors are committed per core count; ``cohm`` has the
+    short 0-1 skid of the stall counters and its triggers are plain
+    loads/stores, so attribution should stay essentially exact."""
+
+    @pytest.fixture(scope="class")
+    def threaded(self):
+        import dataclasses
+
+        from tests.conftest import THREADED_MCF_SRC
+
+        results = {}
+        for cores in (2, 4):
+            config = dataclasses.replace(tiny_config(), cores=cores,
+                                         thread_quantum=211)
+            results[cores] = _run_oracle("+cohm,23", source=THREADED_MCF_SRC,
+                                         name=f"tmcf{cores}",
+                                         machine_config=config)
+        return results
+
+    @pytest.mark.parametrize("cores", [2, 4])
+    def test_join_is_total_per_core_count(self, threaded, cores):
+        report, _ = threaded[cores]
+        assert report.unexplained == []
+        assert report.total_events > 0
+        assert report.classified == report.total_events
+        for tally in report.by_event.values():
+            assert tally.spurious_not_found == 0
+
+    @pytest.mark.parametrize("cores", [2, 4])
+    def test_cohm_exact_pc_and_ea_floors(self, threaded, cores):
+        # measured 1.00 exact-PC and >0.98 EA recovery at both core
+        # counts; the floors keep slack for codegen/interval changes
+        report, experiment = threaded[cores]
+        tally = report.counts("cohm")
+        assert tally.events > 50
+        assert tally.exact_pc_rate >= 0.95
+        assert tally.rate(WRONG_EA) == 0.0
+        recovered = sum(1 for h in experiment.iter_hwc_events()
+                        if h.effective_address is not None)
+        assert recovered / tally.events >= 0.90
+
+    def test_more_cores_mean_more_coherence_traffic(self, threaded):
+        # 4 cores interleave the false sharing more finely than 2
+        assert (threaded[4][0].counts("cohm").events
+                > threaded[2][0].counts("cohm").events)
+
+    def test_events_carry_core_and_thread(self, threaded):
+        _, experiment = threaded[4]
+        events = list(experiment.iter_hwc_events())
+        assert {e.core for e in events} >= {0, 1}
+        assert {e.thread for e in events} >= {1, 2}
 
 
 #: data-dependent alternating branch: BTFN mispredicts ~50% of the

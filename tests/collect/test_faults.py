@@ -150,6 +150,97 @@ class TestKill:
         assert "SimulatedCrash" in reduced.incomplete_reason
 
 
+class TestKillThreaded:
+    """Kill-at-cycle matrix for multi-core runs: a SimulatedCrash landing
+    mid-``spawn``, mid-flight, or while ``main`` is blocked in ``join``
+    must still finalize a salvageable multi-core journal.
+
+    The fixed-seed threaded case runs ~284k cycles at 2 cores with its
+    four spawns inside the first ~2k cycles and main blocked joining for
+    the rest, so the kill points below land in each phase.
+    """
+
+    KILL_POINTS = [
+        pytest.param(800, id="mid-spawn"),
+        pytest.param(150_000, id="mid-run"),
+        pytest.param(280_000, id="mid-join"),
+    ]
+
+    @pytest.fixture(scope="class")
+    def threaded_program(self):
+        from tests.conftest import THREADED_MCF_SRC
+
+        return build_executable(THREADED_MCF_SRC, name="tmcf-kill")
+
+    def _machine(self):
+        import dataclasses
+
+        return dataclasses.replace(tiny_config(), cores=2,
+                                   thread_quantum=211)
+
+    @pytest.mark.parametrize("kill_at", KILL_POINTS)
+    def test_killed_multicore_run_finalizes_and_salvages(
+            self, threaded_program, tmp_path, kill_at):
+        from repro.collect.experiment import Experiment
+        from repro.errors import SimulatedCrash
+
+        cfg = CollectConfig(clock_profiling=True, clock_interval=97,
+                            counters=["+ecstall,59", "+cohm,23"],
+                            name=f"kill{kill_at}")
+        target = tmp_path / f"kill{kill_at}"
+        with pytest.raises(SimulatedCrash):
+            collect(threaded_program, self._machine(), cfg,
+                    fault_plan=FaultPlan(seed=9, kill_at_cycle=kill_at),
+                    save_to=target)
+        reopened = Experiment.open(target.with_suffix(".er"), strict=False)
+        assert reopened.incomplete
+        assert "SimulatedCrash" in reopened.info.fault
+        assert reopened.info.cores == 2
+        assert reopened.info.totals["cycles"] >= kill_at
+        # the partial multi-core journal reduces (threads axis intact)
+        reduced = reduce_experiment(reopened)
+        assert reduced.incomplete
+
+    def test_killed_collector_keeps_pre_kill_events(self, threaded_program):
+        from repro.errors import SimulatedCrash
+
+        cfg = CollectConfig(clock_profiling=True, clock_interval=97,
+                            counters=["+ecstall,59", "+cohm,23"],
+                            name="kill-events")
+        collector = Collector(threaded_program, self._machine(), cfg,
+                              fault_plan=FaultPlan(seed=9,
+                                                   kill_at_cycle=150_000))
+        with pytest.raises(SimulatedCrash):
+            collector.run()
+        experiment = collector.experiment
+        assert experiment.info.incomplete
+        assert experiment.hwc_events
+        # events from both cores made it out before the crash
+        assert {e.core for e in experiment.hwc_events} == {0, 1}
+        reduced = reduce_experiment(experiment)
+        assert reduced.threads
+
+    def test_kill_determinism_across_engines(self, threaded_program):
+        """The kill lands on the same cycle in every engine: the partial
+        journals must agree byte-for-byte too."""
+        from repro.errors import SimulatedCrash
+
+        def run(engine):
+            cfg = CollectConfig(clock_profiling=True, clock_interval=97,
+                                counters=["+ecstall,59", "+cohm,23"],
+                                name=f"kill-{engine}", engine=engine)
+            collector = Collector(
+                threaded_program, self._machine(), cfg,
+                fault_plan=FaultPlan(seed=9, kill_at_cycle=150_000))
+            with pytest.raises(SimulatedCrash):
+                collector.run()
+            return collector.experiment
+
+        fast, ref = run("fast"), run("reference")
+        assert fast.hwc_events == ref.hwc_events
+        assert fast.clock_events == ref.clock_events
+
+
 class TestSaveCorruption:
     def test_corrupt_saved_applies_all_modes(self, program, tmp_path):
         cfg = CollectConfig(clock_profiling=True, clock_interval=211,

@@ -15,11 +15,18 @@ Tier-1 runs a small seed budget; the ``slow`` marker gates the wide
 sweep for the nightly/manual CI job (``pytest -m slow``).
 """
 
+import dataclasses
+
 import pytest
 
 from repro import build_executable, tiny_config
 from repro.collect.collector import CollectConfig, collect
-from repro.lang.fuzz import INPUT_LEN, generate_source, shrink_sizes
+from repro.lang.fuzz import (
+    INPUT_LEN,
+    generate_source,
+    generate_threaded_source,
+    shrink_sizes,
+)
 
 INPUT = [((k * 37) ^ 11) & 1023 for k in range(INPUT_LEN)]
 
@@ -111,6 +118,90 @@ class TestDifferential:
     @pytest.mark.parametrize("seed", list(range(3, 23)))
     def test_fast_vs_reference_long_budget(self, tmp_path, seed):
         _assert_engines_agree(tmp_path, seed, size=12)
+
+
+#: threaded runs pair the coherence-miss counter (PIC1) with a stall
+#: counter (PIC0); fine prime intervals keep small programs observable
+THREADED_COUNTERS = ["+ecstall,31", "+cohm,7"]
+
+
+def _threaded_journals(tmp_path, program, engine, tag, cores):
+    outdir = tmp_path / f"{tag}-{engine}"
+    machine = dataclasses.replace(tiny_config(), cores=cores,
+                                  thread_quantum=97)
+    collect(
+        program,
+        machine,
+        CollectConfig(
+            clock_profiling=True,
+            clock_interval=97,
+            counters=THREADED_COUNTERS,
+            name=f"{tag}-{engine}",
+            engine=engine,
+        ),
+        input_longs=INPUT,
+        save_to=str(outdir),
+    )
+    saved = outdir.with_suffix(".er")
+    files = sorted(p for p in saved.iterdir() if p.suffix == ".jsonl")
+    assert files, f"no journal files in {saved}"
+    return {p.name: p.read_bytes() for p in files}
+
+
+def _assert_threaded_engines_agree(tmp_path, seed, size, cores):
+    program = build_executable(generate_threaded_source(seed, size),
+                               name=f"tfuzz{seed}")
+    tag = f"t{seed}n{size}c{cores}"
+    ref = _threaded_journals(tmp_path, program, "reference", tag, cores)
+    for engine in ("fast", "trace"):
+        got = _threaded_journals(tmp_path, program, engine, tag, cores)
+        assert got.keys() == ref.keys(), (
+            f"journal sets differ ({engine}) for threaded seed={seed} "
+            f"size={size} cores={cores}"
+        )
+        for name in got:
+            assert got[name] == ref[name], (
+                f"{name} differs ({engine} vs reference) for threaded "
+                f"seed={seed} size={size} cores={cores}; shrink with "
+                f"generate_threaded_source({seed}, k) for k in {size - 1}..0"
+            )
+
+
+class TestThreadedGenerator:
+    def test_deterministic(self):
+        assert generate_threaded_source(5, 7) == generate_threaded_source(5, 7)
+
+    def test_every_spawn_is_joined(self):
+        # guaranteed-join by construction: each spawn stores its tid in a
+        # handle and the very same handle is joined in that function
+        for seed in range(10):
+            source = generate_threaded_source(seed, 8)
+            assert source.count("spawn(") == source.count("join(")
+
+    def test_generated_programs_run_at_every_core_count(self):
+        from repro.kernel.process import Process
+
+        for seed in range(3):
+            program = build_executable(generate_threaded_source(seed, 4))
+            for cores in (1, 2, 4):
+                machine = dataclasses.replace(tiny_config(), cores=cores,
+                                              thread_quantum=211)
+                process = Process(program, machine, input_longs=INPUT)
+                code = process.run(max_instructions=50_000_000)
+                assert 0 <= code <= 255
+
+
+class TestThreadedDifferential:
+    @pytest.mark.parametrize("cores", [1, 2, 4])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fast_vs_reference_short_budget(self, tmp_path, seed, cores):
+        _assert_threaded_engines_agree(tmp_path, seed, size=6, cores=cores)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("cores", [1, 2, 4])
+    @pytest.mark.parametrize("seed", list(range(3, 15)))
+    def test_fast_vs_reference_long_budget(self, tmp_path, seed, cores):
+        _assert_threaded_engines_agree(tmp_path, seed, size=10, cores=cores)
 
 
 class TestExtendedTaxonomy:

@@ -41,6 +41,8 @@ class TestModuleShape:
         assert names == {
             "malloc", "free", "zero_memory", "copy_memory",
             "print_long", "print_char", "print_str", "exit",
+            "spawn", "join", "atomic_add", "thread_self", "thread_exit",
+            "rt_thread_entry",
         }
 
     def test_memory_routines_contain_real_memops(self):

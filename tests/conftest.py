@@ -8,6 +8,41 @@ from repro import build_executable, tiny_config
 from repro.kernel.process import Process
 
 
+#: fixed multi-threaded MCF-style case shared by the golden-journal and
+#: oracle/accuracy gates: four workers sweep a global struct array, the
+#: even workers writing member ``a`` and the odd ones member ``b`` — the
+#: same cells, so every E$ line of ``grid`` is write-shared and the
+#: ``cohm`` coherence-miss counter fires densely at cores > 1
+THREADED_MCF_SRC = """
+struct cell { long a; long b; };
+struct cell grid[512];
+long acc;
+long worker(long wid) {
+    long i; long t; long s;
+    s = 0;
+    for (t = 0; t < 6; t++) {
+        for (i = 0; i < 512; i++) {
+            if ((wid & 1) == 0) { grid[i].a = grid[i].a + wid + 1; }
+            else { grid[i].b = grid[i].b + wid; }
+            s = s + grid[i].a;
+        }
+    }
+    atomic_add(&acc, s & 255);
+    return s & 255;
+}
+long main(long *input, long n) {
+    long h0; long h1; long h2; long h3; long s;
+    acc = 0;
+    h0 = spawn(worker, 0);
+    h1 = spawn(worker, 1);
+    h2 = spawn(worker, 2);
+    h3 = spawn(worker, 3);
+    s = join(h0) + join(h1) + join(h2) + join(h3);
+    return (s + acc) & 255;
+}
+"""
+
+
 def run_source(
     source: str,
     input_longs=(),

@@ -1,0 +1,274 @@
+"""Tests for the deterministic thread scheduler and the thread runtime.
+
+The kernel's contract (DESIGN.md §13): threads are pinned to core
+``tid % cores``, sliced by a global round-robin over fixed quanta, and
+every kernel service is delivered at a deterministic point — so a run
+is a pure function of (program, input, machine config), and the
+single-thread path is bit-for-bit the historical single-core machine.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import build_executable, tiny_config
+from repro.errors import KernelError, MemoryFault
+from repro.kernel.process import Process
+from repro.lang.sema import TypeCheckError
+
+
+def _run(source, cores=2, quantum=211, input_longs=(), name="threads"):
+    program = build_executable(source, name=name)
+    config = dataclasses.replace(tiny_config(), cores=cores,
+                                 thread_quantum=quantum)
+    process = Process(program, config, input_longs=input_longs)
+    code = process.run(max_instructions=50_000_000)
+    return process, code
+
+
+BASIC = """
+long worker(long wid) { return wid * 10 + thread_self(); }
+long main(long *input, long n) {
+    long a; long b;
+    a = spawn(worker, 1);
+    b = spawn(worker, 2);
+    print_long(join(a) * 1000 + join(b));
+    return 0;
+}
+"""
+
+ATOMIC = """
+long acc;
+long worker(long wid) {
+    long i;
+    for (i = 0; i < 500; i++) { atomic_add(&acc, 1); }
+    return 0;
+}
+long main(long *input, long n) {
+    long a; long b; long c;
+    a = spawn(worker, 0);
+    b = spawn(worker, 1);
+    c = spawn(worker, 2);
+    print_long(join(a) + join(b) + join(c) + acc);
+    return acc & 255;
+}
+"""
+
+
+class TestSpawnJoin:
+    def test_spawn_returns_tids_and_join_returns_value(self):
+        # tids are handed out in spawn order starting after main's tid 0,
+        # and thread_self() inside the worker observes its own tid
+        process, code = _run(BASIC)
+        assert code == 0
+        assert process.stdout.strip() == "11022"
+
+    def test_atomic_add_is_atomic_across_cores(self):
+        for cores in (1, 2, 4):
+            process, code = _run(ATOMIC, cores=cores, quantum=97)
+            assert process.stdout.strip() == "1500", f"cores={cores}"
+            assert code == 1500 & 255
+
+    def test_join_already_exited_thread_returns_value_again(self):
+        src = """
+        long worker(long wid) { return wid + 5; }
+        long main(long *input, long n) {
+            long h; long s; long i;
+            h = spawn(worker, 7);
+            for (i = 0; i < 2000; i++) ;
+            s = join(h) + join(h);
+            return s;
+        }
+        """
+        _, code = _run(src)
+        assert code == 24
+
+    def test_threads_pinned_round_robin_to_cores(self):
+        process, _ = _run(ATOMIC, cores=2)
+        for tid, thread in process.threads.items():
+            assert thread.core == tid % 2
+
+    def test_thread_stacks_logged_as_allocations(self):
+        process, _ = _run(ATOMIC, cores=2)
+        config = process.machine.config
+        stacks = [a for a in process.allocations
+                  if a[1] == config.thread_stack_bytes]
+        assert len(stacks) == 3
+
+    def test_identical_runs_are_bit_identical(self):
+        p1, c1 = _run(ATOMIC, cores=4, quantum=97)
+        p2, c2 = _run(ATOMIC, cores=4, quantum=97)
+        assert c1 == c2
+        assert p1.stdout == p2.stdout
+        for a, b in zip(p1.machine.cores, p2.machine.cores):
+            assert a.cpu.instr_count == b.cpu.instr_count
+            assert a.cpu.cycles == b.cpu.cycles
+
+
+class TestErrors:
+    def test_join_unknown_tid_raises(self):
+        with pytest.raises(KernelError, match="join"):
+            _run("long main(long *input, long n) { return join(42); }")
+
+    def test_self_join_raises(self):
+        with pytest.raises(KernelError):
+            _run("long main(long *input, long n) "
+                 "{ return join(thread_self()); }")
+
+    def test_join_cycle_deadlocks(self):
+        # main joins the worker while the worker joins main: every
+        # thread blocked -> the scheduler must refuse, not spin
+        src = """
+        long worker(long wid) { return join(0); }
+        long main(long *input, long n) {
+            long h;
+            h = spawn(worker, 0);
+            return join(h);
+        }
+        """
+        with pytest.raises(KernelError, match="deadlock"):
+            _run(src)
+
+    def test_misaligned_atomic_add_faults(self):
+        src = """
+        long main(long *input, long n) {
+            return atomic_add((long *) 9, 1);
+        }
+        """
+        with pytest.raises(MemoryFault):
+            _run(src)
+
+    def test_spawn_of_wrong_signature_rejected_at_compile_time(self):
+        # main takes (long*, long), not (long): sema must refuse
+        src = """
+        long main(long *input, long n) { return spawn(main, 1); }
+        """
+        with pytest.raises(TypeCheckError):
+            build_executable(src)
+
+    def test_spawn_of_runtime_function_rejected(self):
+        src = """
+        long main(long *input, long n) { return spawn(print_long, 1); }
+        """
+        with pytest.raises(TypeCheckError):
+            build_executable(src)
+
+
+#: disjoint-data program: worker ``wid`` touches only ``g[wid*64 ..]``,
+#: so nothing a thread reads (except atomic_add's discarded return)
+#: depends on the interleaving — every observable below must be
+#: invariant under the scheduling quantum
+DISJOINT = """
+long acc;
+long g[256];
+long worker(long wid) {
+    long i; long s;
+    s = wid;
+    for (i = 0; i < 40; i++) {
+        g[wid * 64 + i] = g[wid * 64 + i] + i + s;
+        s = s + g[wid * 64 + i];
+    }
+    atomic_add(&acc, s & 63);
+    return s & 255;
+}
+long main(long *input, long n) {
+    long i; long h0; long h1; long h2; long s;
+    for (i = 0; i < 256; i++) { g[i] = input[i & 7] + i; }
+    acc = 0;
+    h0 = spawn(worker, 0);
+    h1 = spawn(worker, 1);
+    h2 = spawn(worker, 2);
+    s = join(h0) + join(h1) + join(h2);
+    print_long(acc);
+    return s & 255;
+}
+"""
+
+INPUT = [((k * 37) ^ 11) & 1023 for k in range(8)]
+
+
+class TestQuantumInvariance:
+    """Interleave property: slicing must not change what threads retire.
+
+    Loop bounds and branches in ``DISJOINT`` depend only on each
+    worker's argument, so per-thread instruction streams — and with
+    only ``main`` spawning, the tid->core pinning — are independent of
+    the quantum.  Exit code, stdout and per-core retirement counts must
+    therefore agree across quanta (cycle counts may differ: coherence
+    penalties on ``acc`` depend on the interleaving).
+    """
+
+    @pytest.mark.parametrize("cores", [2, 4])
+    def test_observables_invariant_across_quanta(self, cores):
+        results = []
+        for quantum in (61, 211, 997, 5000):
+            process, code = _run(DISJOINT, cores=cores, quantum=quantum,
+                                 input_longs=INPUT)
+            results.append({
+                "code": code,
+                "stdout": process.stdout,
+                "instrs": [c.cpu.instr_count for c in process.machine.cores],
+            })
+        for other in results[1:]:
+            assert other == results[0]
+
+    def test_total_retirement_invariant_across_core_counts(self):
+        totals = []
+        for cores in (1, 2, 4):
+            process, _ = _run(DISJOINT, cores=cores, quantum=211,
+                              input_longs=INPUT)
+            totals.append(sum(c.cpu.instr_count
+                              for c in process.machine.cores))
+        assert totals[0] == totals[1] == totals[2]
+
+
+SINGLE = """
+struct cell { long v; long pad1; long pad2; long pad3; };
+long main(long *input, long n) {
+    struct cell *arr;
+    long i; long j; long s;
+    arr = (struct cell *) malloc(1024 * sizeof(struct cell));
+    s = 0;
+    for (j = 0; j < 4; j++)
+        for (i = 0; i < 1024; i++)
+            s = s + arr[i].v + input[i & 7];
+    return s & 255;
+}
+"""
+
+
+class TestSingleCoreRegression:
+    """N=1 guard: the scheduler must be invisible to single-thread runs."""
+
+    def _journal(self, tmp_path, tag, quantum):
+        from repro.collect.collector import CollectConfig, collect
+
+        program = build_executable(SINGLE, name="single")
+        outdir = tmp_path / tag
+        collect(
+            program,
+            dataclasses.replace(tiny_config(), thread_quantum=quantum),
+            CollectConfig(clock_profiling=True, clock_interval=97,
+                          counters=["+ecstall,31", "+ecrm,13"], name=tag),
+            input_longs=INPUT,
+            save_to=str(outdir),
+        )
+        saved = outdir.with_suffix(".er")
+        return {p.name: p.read_bytes()
+                for p in sorted(saved.iterdir()) if p.suffix == ".jsonl"}
+
+    def test_journal_independent_of_quantum(self, tmp_path):
+        # a single-thread run takes the unchunked historical path: the
+        # quantum (any quantum) must leave the journal byte-identical
+        base = self._journal(tmp_path, "q-default", 5000)
+        tiny_slices = self._journal(tmp_path, "q-tiny", 50)
+        assert base.keys() == tiny_slices.keys()
+        for name in base:
+            assert base[name] == tiny_slices[name], name
+
+    def test_single_core_journal_has_no_core_or_thread_axis(self, tmp_path):
+        # the wire format deletes core/thread fields when 0, keeping
+        # single-core journals byte-identical to pre-multi-core ones
+        for name, body in self._journal(tmp_path, "axes", 5000).items():
+            assert b'"core"' not in body, name
+            assert b'"thread"' not in body, name

@@ -294,6 +294,53 @@ def test_struct_layout_invariants(field_kinds):
     assert struct.size() % struct.align() == 0
 
 
+# ------------------------------------------------ crash-safe multi-core kill
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=300, max_value=90_000))
+def test_multicore_kill_at_any_cycle_finalizes_salvageable_journal(
+        tmp_path_factory, kill_at):
+    """Property: a SimulatedCrash at *any* cycle of a multi-core run —
+    including inside the spawn burst and while main is blocked in join —
+    leaves a finalized, strict=False-salvageable journal whose ground
+    truth reflects the point of death."""
+    import dataclasses
+
+    from repro import build_executable, tiny_config
+    from repro.analyze.reduce import reduce_experiment
+    from repro.collect.collector import CollectConfig, collect
+    from repro.collect.experiment import Experiment
+    from repro.errors import SimulatedCrash
+    from repro.faults import FaultPlan
+    from tests.conftest import THREADED_MCF_SRC
+
+    # a shortened variant (~95k cycles at 2 cores) keeps the sweep fast
+    # while every phase — spawn burst, worker flight, join chain — still
+    # falls inside the sampled kill range
+    source = THREADED_MCF_SRC.replace("t < 6", "t < 2")
+    program = build_executable(source, name="tmcf-prop")
+    machine = dataclasses.replace(tiny_config(), cores=2, thread_quantum=211)
+    target = tmp_path_factory.mktemp("kill") / f"k{kill_at}"
+    cfg = CollectConfig(clock_profiling=True, clock_interval=97,
+                        counters=["+ecstall,59", "+cohm,23"],
+                        name=f"k{kill_at}")
+    with pytest.raises(SimulatedCrash):
+        collect(program, machine, cfg,
+                fault_plan=FaultPlan(seed=3, kill_at_cycle=kill_at),
+                save_to=target)
+    reopened = Experiment.open(target.with_suffix(".er"), strict=False)
+    assert reopened.incomplete
+    assert "SimulatedCrash" in reopened.info.fault
+    assert reopened.info.cores == 2
+    assert reopened.info.totals["cycles"] >= kill_at
+    # every journaled event predates the kill, and the reduction stands
+    assert all(e.cycle <= reopened.info.totals["cycles"]
+               for e in reopened.clock_events)
+    reduced = reduce_experiment(reopened)
+    assert reduced.incomplete
+
+
 # ----------------------------------------------------------------------- tlb
 
 @settings(max_examples=40, deadline=None)
