@@ -138,9 +138,26 @@ def _run_command(reduced, command: str, args: list) -> str:
     if command == "instances":
         return reports.instance_report(reduced, args[0] if args else "ecrm")
     if command == "latency":
-        return reports.latency_report(reduced, args[0] if args else "ldlat")
+        # an experiment without ldlat samples has no latency axis at all —
+        # say so plainly (exit 0) instead of erroring out of the report
+        metric = args[0] if args else "ldlat"
+        if not reduced.latency_samples.get(metric):
+            return (
+                f"no latency data recorded — collect with a +{metric} "
+                f"counter to sample per-load latencies"
+            )
+        return reports.latency_report(reduced, metric)
     if command == "sharing":
-        return reports.sharing_report(reduced, args[0] if args else "cohm")
+        # single-core runs have no thread axis: that is an answer ("no
+        # sharing is possible"), not an error
+        metric = args[0] if args else "cohm"
+        if not reduced.cache_line_writers and not reduced.threads:
+            return (
+                "no sharing data recorded — single-core run or no "
+                f"addressed store events (collect with --cores > 1 and a "
+                f"backtracked +{metric} counter)"
+            )
+        return reports.sharing_report(reduced, metric)
     if command == "heap":
         return reports.heap_report(reduced)
     if command == "header":

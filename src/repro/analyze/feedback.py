@@ -85,21 +85,79 @@ def make_prefetch_feedback(
     return hints
 
 
+def _dedupe(hints) -> list:
+    """Drop duplicate hints, keeping first-occurrence order (two analysis
+    passes over merged experiments can emit the same (function, member)
+    twice)."""
+    return list(dict.fromkeys(hints))
+
+
 def save_feedback(hints, path) -> Path:
     """Write the feedback file (JSON; the role of the paper's feedback
-    file consumed by a recompilation)."""
+    file consumed by a recompilation).  Duplicates are deduplicated and
+    the write is atomic, so a reader never sees a torn feedback file."""
+    from ..ioutil import atomic_write_text
+
     path = Path(path)
-    path.write_text(json.dumps([asdict(h) for h in hints], indent=2))
+    atomic_write_text(
+        path, json.dumps([asdict(h) for h in _dedupe(hints)], indent=2)
+    )
     return path
 
 
 def load_feedback(path) -> list:
-    """Read a feedback file written by save_feedback."""
+    """Read a feedback file written by :func:`save_feedback`.
+
+    Malformed or truncated JSON — and records that do not describe a
+    :class:`PrefetchHint` — raise :class:`AnalysisError` rather than
+    leaking ``json.JSONDecodeError``/``TypeError``; duplicates are
+    deduplicated on the way in."""
     path = Path(path)
     if not path.exists():
         raise AnalysisError(f"no feedback file at {path}")
-    records = json.loads(path.read_text())
-    return [PrefetchHint(**record) for record in records]
+    try:
+        records = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise AnalysisError(
+            f"feedback file {path} is not valid JSON "
+            f"(truncated or corrupt?): {error}"
+        ) from None
+    if not isinstance(records, list):
+        raise AnalysisError(
+            f"feedback file {path} must hold a list of hints, "
+            f"got {type(records).__name__}"
+        )
+    hints = []
+    for record in records:
+        if not isinstance(record, dict):
+            raise AnalysisError(
+                f"feedback file {path}: hint records must be objects, "
+                f"got {type(record).__name__}"
+            )
+        try:
+            hints.append(PrefetchHint(**record))
+        except TypeError as error:
+            raise AnalysisError(
+                f"feedback file {path}: bad hint record {record!r}: {error}"
+            ) from None
+    return _dedupe(hints)
 
 
-__all__ = ["PrefetchHint", "make_prefetch_feedback", "save_feedback", "load_feedback"]
+def unmatched_feedback(hints, program) -> list:
+    """Hints naming functions absent from ``program``.
+
+    A recompilation can rename or drop a function between the profiled
+    build and the feedback build; such hints will never match a load, so
+    callers (the compiler driver, ``repro-autotune``) report them to the
+    user instead of silently dropping them."""
+    known = {func.name for func in program.functions}
+    return [hint for hint in _dedupe(hints) if hint.function not in known]
+
+
+__all__ = [
+    "PrefetchHint",
+    "make_prefetch_feedback",
+    "save_feedback",
+    "load_feedback",
+    "unmatched_feedback",
+]

@@ -545,6 +545,8 @@ def latency_report(reduced: ReducedData, metric: str = "ldlat") -> str:
     distribution separates D$ hits, E$ hits and memory-bound loads into
     distinct buckets.
     """
+    if metric not in METRICS:
+        raise AnalysisError(f"unknown metric {metric!r}")
     samples = reduced.latency_samples.get(metric)
     if not samples:
         raise AnalysisError(f"no latency samples recorded for {metric!r}")
@@ -589,6 +591,8 @@ def sharing_report(reduced: ReducedData, metric: str = "cohm",
     on each line are listed so the two cases can be told apart — and so
     the fix (padding the structure) can be aimed at the right member.
     """
+    if metric not in METRICS:
+        raise AnalysisError(f"unknown metric {metric!r}")
     writers = reduced.cache_line_writers
     if not writers and not reduced.threads:
         # no thread axis at all: this was a single-core experiment (or

@@ -1,0 +1,53 @@
+"""Closed-loop profile-guided layout search (``repro-autotune``).
+
+The paper's workflow — profile with hardware counters, read the
+data-space ranking, edit the struct layout / page size, re-profile —
+run as an automated greedy search:
+
+* :mod:`~repro.autotune.transforms` — the search space as data;
+* :mod:`~repro.autotune.rewrite` — conservative mini-C source rewrites;
+* :mod:`~repro.autotune.journal` — crash-safe, byte-reproducible JSONL
+  search journal;
+* :mod:`~repro.autotune.workloads` — tunable-workload + machine
+  registry (journal meta round-trips);
+* :mod:`~repro.autotune.search` — the resume-aware search driver;
+* :mod:`~repro.autotune.cli` — ``run`` / ``report`` / ``resume`` verbs.
+"""
+
+from .journal import SearchJournal, canonical_line
+from .rewrite import align_allocations, apply_transforms, reorder_struct
+from .search import AutotuneSearch, SearchOptions, SearchResult, search_summary
+from .transforms import (
+    PageSize,
+    Prefetch,
+    StructReorder,
+    StructSplit,
+    transform_from_dict,
+    transform_key,
+    transform_to_dict,
+)
+from .workloads import MACHINES, TunableWorkload, make_machine, make_workload, mcf_tunable
+
+__all__ = [
+    "AutotuneSearch",
+    "SearchOptions",
+    "SearchResult",
+    "search_summary",
+    "SearchJournal",
+    "canonical_line",
+    "StructReorder",
+    "StructSplit",
+    "PageSize",
+    "Prefetch",
+    "transform_to_dict",
+    "transform_from_dict",
+    "transform_key",
+    "apply_transforms",
+    "reorder_struct",
+    "align_allocations",
+    "TunableWorkload",
+    "mcf_tunable",
+    "make_workload",
+    "MACHINES",
+    "make_machine",
+]

@@ -1,0 +1,148 @@
+"""Source-level application of layout transforms to mini-C programs.
+
+The advisor's proposals (reorder members, pad the struct, align the
+allocations) are applied as textual rewrites of the workload's mini-C
+source — the moral equivalent of the paper's human editing ``mcf.h``
+and recompiling.  The rewrites are deliberately conservative: they only
+touch flat, one-declaration-per-``;`` struct bodies and ``(struct X *)
+malloc(...)`` casts, and raise :class:`UnsupportedTransform` on anything
+they cannot prove they understand, so a bad rewrite can never silently
+change program semantics.
+
+Every mini-C struct member is one 64-bit word (``long``, pointer), which
+is what makes reordering a pure layout change: member access is by name,
+so any order compiles to the same program logic with different offsets.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import UnsupportedTransform
+from .transforms import PageSize, Prefetch, StructReorder, StructSplit
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _struct_pattern(name: str) -> re.Pattern:
+    return re.compile(
+        r"struct\s+" + re.escape(name) + r"\s*\{([^{}]*)\}\s*;"
+    )
+
+
+def parse_struct_members(source: str, name: str) -> dict:
+    """Member name -> declaration text for a flat struct definition."""
+    match = _struct_pattern(name).search(source)
+    if match is None:
+        raise UnsupportedTransform(f"no struct {name!r} defined in the source")
+    decls: dict[str, str] = {}
+    for decl in match.group(1).split(";"):
+        decl = decl.strip()
+        if not decl:
+            continue
+        if "," in decl:
+            raise UnsupportedTransform(
+                f"struct {name}: multi-declarator member {decl!r} "
+                f"is not rewritable"
+            )
+        idents = _IDENT.findall(decl)
+        if not idents:
+            raise UnsupportedTransform(
+                f"struct {name}: unparseable member {decl!r}"
+            )
+        member = idents[-1]
+        if member in decls:
+            raise UnsupportedTransform(
+                f"struct {name}: duplicate member {member!r}"
+            )
+        decls[member] = decl
+    return decls
+
+
+def reorder_struct(source: str, name: str, order, pad_to: int = 0) -> str:
+    """Rewrite ``struct name``'s definition with members in ``order``,
+    padded with ``long`` words up to ``pad_to`` bytes."""
+    decls = parse_struct_members(source, name)
+    if set(order) != set(decls):
+        missing = set(order) ^ set(decls)
+        raise UnsupportedTransform(
+            f"struct {name}: reorder names do not match the definition "
+            f"(difference: {sorted(missing)})"
+        )
+    lines = [f"    {decls[member]};" for member in order]
+    size = 8 * len(order)
+    if pad_to:
+        if pad_to < size or pad_to % 8:
+            raise UnsupportedTransform(
+                f"struct {name}: cannot pad {size} -> {pad_to} bytes"
+            )
+        for i in range((pad_to - size) // 8):
+            lines.append(f"    long __pad{i};")
+    text = "struct %s {\n%s\n};" % (name, "\n".join(lines))
+    match = _struct_pattern(name).search(source)
+    return source[:match.start()] + text + source[match.end():]
+
+
+def align_allocations(source: str, name: str, align: int):
+    """Round every ``(struct name *) malloc(...)`` result up to an
+    ``align``-byte boundary (over-allocating ``align`` slack bytes).
+
+    Returns ``(rewritten_source, n_rewritten)``; a struct that is never
+    heap-allocated (a global array, say) rewrites zero sites, which the
+    caller treats as "nothing to align", not an error.
+    """
+    if align <= 0 or align & (align - 1):
+        raise UnsupportedTransform(f"alignment {align} is not a power of two")
+    pattern = re.compile(
+        r"\(struct\s+" + re.escape(name) + r"\s*\*\)\s*malloc\(([^;]*)\)"
+    )
+
+    def replacement(match: re.Match) -> str:
+        expr = match.group(1)
+        return (
+            f"(struct {name} *) (((long) malloc({expr} + {align}) "
+            f"+ {align - 1}) & (0 - {align}))"
+        )
+
+    return pattern.subn(replacement, source)
+
+
+def apply_transforms(source: str, transforms):
+    """Apply a transform chain to a workload.
+
+    Returns ``(source, heap_page_bytes, prefetch_hint_triples)`` — the
+    rewritten source plus the two build/collect knobs that are not
+    source-level.  Raises :class:`UnsupportedTransform` for chains the
+    rewriter cannot realize (struct splits).
+    """
+    heap_page_bytes = None
+    hints: list[tuple] = []
+    for transform in transforms:
+        if isinstance(transform, StructReorder):
+            source = reorder_struct(
+                source, transform.struct, transform.order, transform.pad_to
+            )
+            if transform.align:
+                source, _count = align_allocations(
+                    source, transform.struct, transform.align
+                )
+        elif isinstance(transform, PageSize):
+            heap_page_bytes = transform.bytes_
+        elif isinstance(transform, Prefetch):
+            hints.extend(transform.hints)
+        elif isinstance(transform, StructSplit):
+            raise UnsupportedTransform(
+                f"struct split of {transform.struct!r} needs member-access "
+                f"rewriting, which the mini-C rewriter does not do"
+            )
+        else:
+            raise UnsupportedTransform(f"unknown transform {transform!r}")
+    return source, heap_page_bytes, hints
+
+
+__all__ = [
+    "parse_struct_members",
+    "reorder_struct",
+    "align_allocations",
+    "apply_transforms",
+]

@@ -141,3 +141,14 @@ class RetriesExhausted(FleetError):
 
 class WorkloadError(ReproError):
     """MCF instance generation or solution validation failure."""
+
+
+class AutotuneError(ReproError):
+    """PGO search driver failure (bad journal, config mismatch, damaged
+    baseline profile)."""
+
+
+class UnsupportedTransform(AutotuneError):
+    """A candidate transform the workload adapter cannot apply (e.g. a
+    struct split, which needs member-access rewriting).  The search
+    journals the candidate as unsupported and moves on."""

@@ -28,9 +28,19 @@ from ..errors import AnalysisError
 def straddle_fraction(elem_size: int, stride: int, line_bytes: int,
                       base_offset: int = 0) -> float:
     """Fraction of array elements (placed every ``stride`` bytes) whose
-    ``elem_size`` bytes cross a ``line_bytes`` boundary."""
+    ``elem_size`` bytes cross a ``line_bytes`` boundary.
+
+    ``base_offset`` is the first element's offset from a line boundary;
+    any integer is accepted (an address below a boundary is a negative
+    offset) and is normalized modulo ``line_bytes``.  ``stride`` may be
+    smaller than ``elem_size`` — overlapping placements (sliding
+    windows) count each placement independently.  The result is exact:
+    offsets repeat with period ``line_bytes / gcd(stride, line_bytes)``
+    placements, and one period is enumerated in full.
+    """
     if elem_size <= 0 or stride <= 0 or line_bytes <= 0:
         raise AnalysisError("sizes must be positive")
+    base_offset %= line_bytes
     if elem_size > line_bytes:
         return 1.0
     cycle = line_bytes // gcd(stride, line_bytes)
@@ -64,6 +74,10 @@ class StructAdvice:
     straddle_fraction_current: float
     straddle_fraction_proposed: float
     notes: list = field(default_factory=list)
+    #: True when the advice came from a salvaged ``(Incomplete)`` profile:
+    #: member weights may be missing whole counters, so treat the ranking
+    #: as an estimate, not ground truth
+    estimate: bool = False
 
     def render_struct(self, name: Optional[str] = None) -> str:
         """A C struct definition implementing the proposal."""
@@ -97,6 +111,9 @@ class PageSizeAdvice:
     recommended_page_bytes: int
     dtlb_cost_fraction: float
     message: str
+    #: True when the DTLB totals came from a salvaged ``(Incomplete)``
+    #: profile — the cost fraction is a lower bound, not a measurement
+    estimate: bool = False
 
 
 class LayoutAdvisor:
@@ -158,7 +175,14 @@ class LayoutAdvisor:
                 used += 8
         current_straddle = straddle_fraction(size, size, self.ecache_line)
         proposed_straddle = straddle_fraction(proposed, proposed, self.ecache_line)
+        estimate = bool(getattr(self.reduced, "incomplete", False))
         notes = []
+        if estimate:
+            notes.append(
+                "ESTIMATE: the profile is (Incomplete) — member weights may "
+                "be missing whole counters; re-profile before acting on the "
+                "ranking"
+            )
         if hot_line:
             notes.append(
                 f"pack {', '.join(hot_line)} into the first {self.dcache_line}-byte "
@@ -181,6 +205,7 @@ class LayoutAdvisor:
             straddle_fraction_current=current_straddle,
             straddle_fraction_proposed=proposed_straddle,
             notes=notes,
+            estimate=estimate,
         )
 
     # ----------------------------------------------------------- page size
@@ -201,15 +226,23 @@ class LayoutAdvisor:
         if fraction < threshold:
             return None
         recommended = current * factor
+        estimate = bool(getattr(self.reduced, "incomplete", False))
+        message = (
+            f"DTLB misses cost ~{fraction:.1%} of run time; rebuild with "
+            f"-xpagesize_heap={recommended // 1024}k to cover the heap "
+            f"with {factor}x fewer TLB entries"
+        )
+        if estimate:
+            message = (
+                "ESTIMATE (profile is (Incomplete); the cost fraction is a "
+                "lower bound): " + message
+            )
         return PageSizeAdvice(
             current_page_bytes=current,
             recommended_page_bytes=recommended,
             dtlb_cost_fraction=fraction,
-            message=(
-                f"DTLB misses cost ~{fraction:.1%} of run time; rebuild with "
-                f"-xpagesize_heap={recommended // 1024}k to cover the heap "
-                f"with {factor}x fewer TLB entries"
-            ),
+            message=message,
+            estimate=estimate,
         )
 
     # ------------------------------------------------------------- summary

@@ -98,3 +98,33 @@ class TestHeader:
         text = run_command(reduced, "header", [])
         assert "HW counter: +ecstall" in text
         assert "segment heap" in text
+
+
+class TestMissingAxes:
+    """A verb whose axis was never recorded answers plainly and exits 0
+    (an absent axis is an answer, not an error)."""
+
+    def test_latency_without_ldlat_samples(self, reduced):
+        text = run_command(reduced, "latency", [])
+        assert "no latency data recorded" in text
+        assert "+ldlat" in text
+
+    def test_latency_names_requested_metric(self, reduced):
+        text = run_command(reduced, "latency", ["stlat"])
+        assert "no latency data recorded" in text
+        assert "+stlat" in text
+
+    def test_sharing_on_single_core_run(self, reduced):
+        text = run_command(reduced, "sharing", [])
+        assert "no sharing data recorded" in text
+        assert "--cores > 1" in text
+
+    def test_latency_exits_zero(self, experiment_dir, capsys):
+        assert main([experiment_dir, "latency"]) == 0
+        out = capsys.readouterr().out
+        assert "no latency data recorded" in out
+
+    def test_sharing_exits_zero(self, experiment_dir, capsys):
+        assert main([experiment_dir, "sharing"]) == 0
+        out = capsys.readouterr().out
+        assert "no sharing data recorded" in out

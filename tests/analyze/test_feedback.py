@@ -1,0 +1,126 @@
+"""Feedback-file round-trip hygiene (paper §4's feedback file).
+
+A feedback file crosses a build boundary: it is written after one
+profiling run and read by a later recompilation, possibly after the
+program changed.  These tests pin the failure modes down: corrupt files
+raise :class:`AnalysisError` (not raw ``json`` exceptions), duplicates
+collapse, and hints naming vanished functions are reported rather than
+silently dropped.
+"""
+
+import json
+
+import pytest
+
+from repro import build_executable
+from repro.analyze.feedback import (
+    PrefetchHint,
+    load_feedback,
+    save_feedback,
+    unmatched_feedback,
+)
+from repro.errors import AnalysisError
+
+H1 = PrefetchHint("refresh_potential", "structure:node", "potential", 12.5)
+H2 = PrefetchHint("primal_bea_mpp", "structure:arc", "cost", 8.0)
+H3 = PrefetchHint("price_out_impl", "structure:arc", "flow", 3.25)
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_hints(self, tmp_path):
+        path = tmp_path / "feedback.json"
+        save_feedback([H1, H2, H3], path)
+        assert load_feedback(path) == [H1, H2, H3]
+
+    def test_save_deduplicates(self, tmp_path):
+        path = tmp_path / "feedback.json"
+        save_feedback([H1, H2, H1, H1, H2], path)
+        assert load_feedback(path) == [H1, H2]
+
+    def test_load_deduplicates_hand_edited_file(self, tmp_path):
+        path = tmp_path / "feedback.json"
+        from dataclasses import asdict
+
+        path.write_text(json.dumps([asdict(H1), asdict(H1), asdict(H2)]))
+        assert load_feedback(path) == [H1, H2]
+
+    def test_empty_list_round_trips(self, tmp_path):
+        path = tmp_path / "feedback.json"
+        save_feedback([], path)
+        assert load_feedback(path) == []
+
+
+class TestCorruptFiles:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(AnalysisError, match="no feedback file"):
+            load_feedback(tmp_path / "absent.json")
+
+    def test_truncated_json(self, tmp_path):
+        path = tmp_path / "feedback.json"
+        save_feedback([H1, H2], path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(AnalysisError, match="truncated or corrupt"):
+            load_feedback(path)
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "feedback.json"
+        path.write_bytes(b"\xff\xfe not json at all")
+        with pytest.raises(AnalysisError):
+            load_feedback(path)
+
+    def test_non_list_payload(self, tmp_path):
+        path = tmp_path / "feedback.json"
+        path.write_text(json.dumps({"function": "main"}))
+        with pytest.raises(AnalysisError, match="list of hints"):
+            load_feedback(path)
+
+    def test_non_object_record(self, tmp_path):
+        path = tmp_path / "feedback.json"
+        path.write_text(json.dumps(["refresh_potential"]))
+        with pytest.raises(AnalysisError, match="must be objects"):
+            load_feedback(path)
+
+    def test_record_with_wrong_fields(self, tmp_path):
+        path = tmp_path / "feedback.json"
+        path.write_text(json.dumps([{"function": "main", "line": 7}]))
+        with pytest.raises(AnalysisError, match="bad hint record"):
+            load_feedback(path)
+
+    def test_never_leaks_json_decode_error(self, tmp_path):
+        path = tmp_path / "feedback.json"
+        path.write_text("{not json")
+        try:
+            load_feedback(path)
+        except AnalysisError:
+            pass
+        else:  # pragma: no cover
+            pytest.fail("corrupt file did not raise")
+
+
+class TestUnmatchedHints:
+    @pytest.fixture(scope="class")
+    def program(self):
+        return build_executable(
+            """
+            struct pair { long a; long b; };
+            long helper(long x) { return x + 1; }
+            long main(long *input, long n) { return helper(n); }
+            """
+        )
+
+    def test_known_functions_match(self, program):
+        hints = [
+            PrefetchHint("main", "structure:pair", "a", 5.0),
+            PrefetchHint("helper", "structure:pair", "b", 4.0),
+        ]
+        assert unmatched_feedback(hints, program) == []
+
+    def test_vanished_function_reported(self, program):
+        gone = PrefetchHint("renamed_away", "structure:pair", "a", 5.0)
+        kept = PrefetchHint("main", "structure:pair", "a", 5.0)
+        assert unmatched_feedback([kept, gone], program) == [gone]
+
+    def test_unmatched_deduplicates(self, program):
+        gone = PrefetchHint("renamed_away", "structure:pair", "a", 5.0)
+        assert unmatched_feedback([gone, gone], program) == [gone]

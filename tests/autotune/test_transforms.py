@@ -1,0 +1,231 @@
+"""Unit tests for the autotune transform space, rewriter, and journal."""
+
+import json
+
+import pytest
+
+from repro.autotune.journal import SearchJournal, canonical_line
+from repro.autotune.rewrite import (
+    align_allocations,
+    apply_transforms,
+    parse_struct_members,
+    reorder_struct,
+)
+from repro.autotune.transforms import (
+    PageSize,
+    Prefetch,
+    StructReorder,
+    StructSplit,
+    transform_from_dict,
+    transform_key,
+    transform_to_dict,
+)
+from repro.errors import AutotuneError, UnsupportedTransform
+from repro.mcf.sources import LayoutVariant, mcf_source
+
+ALL_TRANSFORMS = [
+    StructReorder("node", ("b", "a", "c"), pad_to=32, align=32),
+    StructReorder("arc", ("x", "y")),
+    StructSplit("node", ("b", "a")),
+    PageSize(512 * 1024),
+    Prefetch((("f", "structure:node", "m"), ("g", "structure:arc", "n"))),
+]
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("transform", ALL_TRANSFORMS,
+                             ids=lambda t: t.kind)
+    def test_round_trip(self, transform):
+        assert transform_from_dict(transform_to_dict(transform)) == transform
+
+    @pytest.mark.parametrize("transform", ALL_TRANSFORMS,
+                             ids=lambda t: t.kind)
+    def test_dict_is_plain_json(self, transform):
+        record = transform_to_dict(transform)
+        assert json.loads(json.dumps(record)) == record
+
+    def test_key_is_canonical(self):
+        t = StructReorder("node", ("a", "b"))
+        assert transform_key(t) == transform_key(
+            transform_from_dict(transform_to_dict(t))
+        )
+        assert transform_key(t) != transform_key(StructReorder("node", ("b", "a")))
+
+    @pytest.mark.parametrize("record", [
+        None,
+        {},
+        {"kind": "warp"},
+        {"kind": "reorder"},
+        {"kind": "pagesize", "bytes": "many"},
+    ])
+    def test_bad_records_rejected(self, record):
+        with pytest.raises(AutotuneError):
+            transform_from_dict(record)
+
+    @pytest.mark.parametrize("transform", ALL_TRANSFORMS,
+                             ids=lambda t: t.kind)
+    def test_describe_is_text(self, transform):
+        assert transform.describe()
+
+
+class TestRewriter:
+    SRC = """
+struct pair {
+    long first;
+    long second;
+    struct pair *link;
+};
+long main(long *input, long n) {
+    struct pair *p;
+    p = (struct pair *) malloc(8 * sizeof(struct pair));
+    p[0].first = n;
+    return p[0].first;
+}
+"""
+
+    def test_parse_members(self):
+        decls = parse_struct_members(self.SRC, "pair")
+        assert list(decls) == ["first", "second", "link"]
+
+    def test_parse_unknown_struct(self):
+        with pytest.raises(UnsupportedTransform, match="no struct"):
+            parse_struct_members(self.SRC, "ghost")
+
+    def test_parse_rejects_multi_declarator(self):
+        src = "struct p { long a, b; };"
+        with pytest.raises(UnsupportedTransform, match="multi-declarator"):
+            parse_struct_members(src, "p")
+
+    def test_reorder_emits_new_order(self):
+        out = reorder_struct(self.SRC, "pair", ["link", "second", "first"])
+        decls = parse_struct_members(out, "pair")
+        assert list(decls) == ["link", "second", "first"]
+        # the rest of the program is untouched
+        assert "p[0].first = n;" in out
+
+    def test_reorder_with_padding(self):
+        out = reorder_struct(self.SRC, "pair", ["link", "second", "first"],
+                             pad_to=64)
+        decls = parse_struct_members(out, "pair")
+        assert list(decls) == ["link", "second", "first",
+                               "__pad0", "__pad1", "__pad2", "__pad3",
+                               "__pad4"]
+
+    def test_reorder_wrong_names_rejected(self):
+        with pytest.raises(UnsupportedTransform, match="do not match"):
+            reorder_struct(self.SRC, "pair", ["first", "second", "zzz"])
+
+    def test_reorder_bad_padding_rejected(self):
+        with pytest.raises(UnsupportedTransform, match="cannot pad"):
+            reorder_struct(self.SRC, "pair",
+                           ["first", "second", "link"], pad_to=16)
+
+    def test_align_rewrites_malloc(self):
+        out, count = align_allocations(self.SRC, "pair", 64)
+        assert count == 1
+        assert "+ 63) & (0 - 64)" in out
+
+    def test_align_unallocated_struct_is_noop(self):
+        src = "struct q { long a; };\n" + self.SRC
+        out, count = align_allocations(src, "q", 64)
+        assert count == 0
+        assert out == src
+
+    def test_align_non_power_of_two_rejected(self):
+        with pytest.raises(UnsupportedTransform, match="power of two"):
+            align_allocations(self.SRC, "pair", 48)
+
+    def test_apply_chain(self):
+        source, page, hints = apply_transforms(self.SRC, [
+            StructReorder("pair", ("link", "second", "first"),
+                          pad_to=32, align=32),
+            PageSize(512 * 1024),
+            Prefetch((("main", "structure:pair", "first"),)),
+        ])
+        assert list(parse_struct_members(source, "pair")) == \
+            ["link", "second", "first", "__pad0"]
+        assert "& (0 - 32)" in source
+        assert page == 512 * 1024
+        assert hints == [("main", "structure:pair", "first")]
+
+    def test_apply_split_unsupported(self):
+        with pytest.raises(UnsupportedTransform, match="split"):
+            apply_transforms(self.SRC, [StructSplit("pair", ("first",))])
+
+    def test_mcf_reorder_matches_hand_optimized_layout(self):
+        """Reordering + padding + aligning the baseline MCF source must
+        produce the same node layout as the hand-written OPT_LAYOUT
+        variant (the paper's §3.3 edit)."""
+        from repro import build_executable
+
+        baseline = mcf_source(LayoutVariant.BASELINE)
+        hand = mcf_source(LayoutVariant.OPT_LAYOUT)
+        hand_order = [m for m in parse_struct_members(hand, "node")
+                      if not m.startswith("pad")]
+        rewritten, _page, _hints = apply_transforms(baseline, [
+            StructReorder("node", tuple(hand_order), pad_to=128, align=128),
+        ])
+        auto = build_executable(rewritten, name="auto")
+        ref = build_executable(hand, name="ref")
+        auto_members = [(m[0], m[1]) for m in auto.structs["node"].members
+                        if not m[0].startswith("__pad")]
+        ref_members = [(m[0], m[1]) for m in ref.structs["node"].members
+                       if not m[0].startswith("pad")]
+        assert auto_members == ref_members
+        assert auto.structs["node"].size == ref.structs["node"].size == 128
+
+
+class TestJournal:
+    def test_append_read_round_trip(self, tmp_path):
+        journal = SearchJournal(tmp_path)
+        records = [{"type": "meta", "version": 1},
+                   {"type": "trial", "id": 0, "cycles": 123}]
+        for record in records:
+            journal.append(record)
+        assert journal.read() == records
+
+    def test_record_without_type_rejected(self, tmp_path):
+        with pytest.raises(AutotuneError, match="without a type"):
+            SearchJournal(tmp_path).append({"id": 1})
+
+    def test_canonical_line_is_sorted_compact(self):
+        assert canonical_line({"b": 1, "a": [2]}) == '{"a":[2],"b":1}'
+
+    def test_recover_truncates_unterminated_tail(self, tmp_path):
+        journal = SearchJournal(tmp_path)
+        journal.append({"type": "meta"})
+        journal.append({"type": "trial", "id": 0})
+        clean = journal.path.read_bytes()
+        with open(journal.path, "ab") as fh:
+            fh.write(b'{"type":"trial","id":1,"cyc')  # kill mid-write
+        assert journal.recover() == [{"type": "meta"},
+                                     {"type": "trial", "id": 0}]
+        assert journal.path.read_bytes() == clean
+
+    def test_recover_truncates_garbage_final_line(self, tmp_path):
+        journal = SearchJournal(tmp_path)
+        journal.append({"type": "meta"})
+        clean = journal.path.read_bytes()
+        with open(journal.path, "ab") as fh:
+            fh.write(b'{"type":"tri\n')  # torn line that got its newline
+        assert journal.recover() == [{"type": "meta"}]
+        assert journal.path.read_bytes() == clean
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        journal = SearchJournal(tmp_path)
+        journal.path.parent.mkdir(parents=True, exist_ok=True)
+        journal.path.write_text('{"type":"meta"}\ngarbage\n{"type":"x"}\n')
+        with pytest.raises(AutotuneError, match="undecodable"):
+            journal.read()
+
+    def test_non_record_line_raises(self, tmp_path):
+        journal = SearchJournal(tmp_path)
+        journal.path.parent.mkdir(parents=True, exist_ok=True)
+        journal.path.write_text('[1,2,3]\n{"type":"meta"}\n')
+        with pytest.raises(AutotuneError, match="not a record"):
+            journal.read()
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        journal = SearchJournal(tmp_path / "new")
+        assert journal.read() == []
+        assert not journal.exists()

@@ -107,3 +107,83 @@ class TestStraddleFraction:
     def test_bad_input_rejected(self):
         with pytest.raises(AnalysisError):
             straddle_fraction(0, 8, 512)
+
+    def test_negative_base_offset_normalized(self):
+        # an address just below a line boundary is a negative offset;
+        # -8 must behave exactly like line_bytes - 8
+        assert straddle_fraction(16, 16, 512, base_offset=-8) == \
+            straddle_fraction(16, 16, 512, base_offset=504)
+
+    def test_base_offset_beyond_line_normalized(self):
+        assert straddle_fraction(24, 24, 128, base_offset=128 + 8) == \
+            straddle_fraction(24, 24, 128, base_offset=8)
+
+    def test_overlapping_stride_counts_each_placement(self):
+        # stride 8 < elem 16: placements at 0,8,...,504; the one at 504
+        # crosses (504+16 > 512), so 1 in 64 placements straddles
+        assert straddle_fraction(16, 8, 512) == pytest.approx(1 / 64)
+
+    def test_matches_brute_force_enumeration(self):
+        # independent oracle: walk a large address window and test each
+        # placement with floor-division boundary crossing, no modular
+        # arithmetic shared with the implementation
+        import random
+        from math import gcd
+
+        rng = random.Random(20030813)
+        for _ in range(300):
+            line = rng.choice([16, 32, 64, 128, 256, 512])
+            elem = rng.randrange(1, line + 1)
+            stride = rng.randrange(1, 2 * line)
+            base = rng.randrange(-4 * line, 4 * line)
+            period = line // gcd(stride, line)
+            # several whole periods, starting at the (possibly negative)
+            # base address
+            n = 4 * period
+            split = sum(
+                1
+                for k in range(n)
+                if (base + k * stride) // line
+                != (base + k * stride + elem - 1) // line
+            )
+            got = straddle_fraction(elem, stride, line, base_offset=base)
+            assert got == pytest.approx(split / n), (
+                f"elem={elem} stride={stride} line={line} base={base}"
+            )
+
+
+class TestEstimateMarking:
+    """Advice from a salvaged (Incomplete) profile is an estimate, not a
+    measurement — the advisor must say so (and repro-autotune refuses to
+    score such trials at all)."""
+
+    @pytest.fixture()
+    def damaged(self, reduced):
+        import copy
+
+        partial = copy.copy(reduced)
+        partial.incomplete = True
+        partial.incomplete_reason = "SimulatedCrash: injected"
+        return partial
+
+    def test_struct_advice_marked_estimate(self, damaged):
+        advice = LayoutAdvisor(damaged).advise_struct("structure:thing")
+        assert advice.estimate
+        assert any("ESTIMATE" in note for note in advice.notes)
+
+    def test_clean_struct_advice_not_estimate(self, reduced):
+        advice = LayoutAdvisor(reduced).advise_struct("structure:thing")
+        assert not advice.estimate
+        assert not any("ESTIMATE" in note for note in advice.notes)
+
+    def test_page_advice_marked_estimate(self, damaged):
+        advice = LayoutAdvisor(damaged).advise_page_size(threshold=0.0001)
+        assert advice is not None
+        assert advice.estimate
+        assert advice.message.startswith("ESTIMATE")
+
+    def test_clean_page_advice_not_estimate(self, reduced):
+        advice = LayoutAdvisor(reduced).advise_page_size(threshold=0.0001)
+        assert advice is not None
+        assert not advice.estimate
+        assert "ESTIMATE" not in advice.message
